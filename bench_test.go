@@ -1,0 +1,454 @@
+package ggpdes
+
+// One benchmark per paper table/figure, at a miniature scale that
+// preserves every ratio the figures depend on (threads per hardware
+// context, over-subscription factor, imbalance windows). Each
+// iteration runs one full simulation; b.ReportMetric exposes the
+// committed event rate — the paper's y-axis — alongside ns/op.
+//
+// Regenerate the full figures (all thread sweeps and systems) with:
+//
+//	go run ./cmd/ggbench -all
+import (
+	"fmt"
+	"testing"
+)
+
+// benchMachine is a 8-core, 2-SMT machine: 16 hardware contexts.
+func benchMachine() Machine {
+	return Machine{Cores: 8, SMTWidth: 2, FreqHz: 1.3e9}
+}
+
+func benchRun(b *testing.B, cfg Config) {
+	b.Helper()
+	if cfg.Machine.Cores == 0 {
+		cfg.Machine = benchMachine()
+	}
+	if cfg.GVTFrequency == 0 {
+		cfg.GVTFrequency = 40
+	}
+	if cfg.ZeroCounterThreshold == 0 {
+		cfg.ZeroCounterThreshold = 400 // the paper's 10x-frequency ratio
+	}
+	if cfg.EndTime == 0 {
+		cfg.EndTime = 40
+	}
+	if cfg.OptimismWindow == 0 {
+		cfg.OptimismWindow = 10
+	}
+	var rate, committed float64
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = uint64(i + 1)
+		res, err := Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rate += res.CommittedEventRate
+		committed += float64(res.CommittedEvents)
+	}
+	b.ReportMetric(rate/float64(b.N), "ev/s(sim)")
+	b.ReportMetric(committed/float64(b.N), "committed/op")
+}
+
+// systemsSix mirrors the six lines of Figures 2-4.
+var systemsSix = []struct {
+	name string
+	sys  System
+	gvt  GVT
+}{
+	{"Baseline-Sync", Baseline, Barrier},
+	{"Baseline-Async", Baseline, WaitFree},
+	{"DD-PDES-Sync", DDPDES, Barrier},
+	{"DD-PDES-Async", DDPDES, WaitFree},
+	{"GG-PDES-Sync", GGPDES, Barrier},
+	{"GG-PDES-Async", GGPDES, WaitFree},
+}
+
+// benchPHOLDFigure runs one imbalanced-PHOLD figure: every system at
+// full subscription and the headline pair over-subscribed.
+func benchPHOLDFigure(b *testing.B, imbalance, overSub int) {
+	full := 16 // hardware contexts of benchMachine
+	for _, s := range systemsSix {
+		s := s
+		b.Run(fmt.Sprintf("%s/%dthr", s.name, full), func(b *testing.B) {
+			benchRun(b, Config{
+				Model: PHOLD{LPsPerThread: 4, Imbalance: imbalance}, Threads: full,
+				System: s.sys, GVT: s.gvt, Affinity: ConstantAffinity,
+			})
+		})
+	}
+	if overSub > 1 {
+		over := full * overSub
+		for _, s := range []struct {
+			name string
+			sys  System
+			gvt  GVT
+		}{{"Baseline-Sync", Baseline, Barrier}, {"GG-PDES-Async", GGPDES, WaitFree}} {
+			s := s
+			b.Run(fmt.Sprintf("%s/%dthr-oversub", s.name, over), func(b *testing.B) {
+				benchRun(b, Config{
+					Model: PHOLD{LPsPerThread: 4, Imbalance: imbalance}, Threads: over,
+					System: s.sys, GVT: s.gvt, Affinity: ConstantAffinity,
+				})
+			})
+		}
+	}
+}
+
+// BenchmarkFig2BalancedPHOLD regenerates Figure 2: all six systems on
+// the balanced model (demand-driven overhead check).
+func BenchmarkFig2BalancedPHOLD(b *testing.B) { benchPHOLDFigure(b, 1, 1) }
+
+// BenchmarkFig3a regenerates Figure 3(a): 1-2 imbalanced PHOLD with 2x
+// over-subscription.
+func BenchmarkFig3a(b *testing.B) { benchPHOLDFigure(b, 2, 2) }
+
+// BenchmarkFig3b regenerates Figure 3(b): 1-4 imbalanced PHOLD with 2x
+// over-subscription.
+func BenchmarkFig3b(b *testing.B) { benchPHOLDFigure(b, 4, 2) }
+
+// BenchmarkFig4a regenerates Figure 4(a): 1-8 imbalanced PHOLD with 4x
+// over-subscription.
+func BenchmarkFig4a(b *testing.B) { benchPHOLDFigure(b, 8, 4) }
+
+// BenchmarkFig4b regenerates Figure 4(b): 1-16 imbalanced PHOLD with 8x
+// over-subscription.
+func BenchmarkFig4b(b *testing.B) { benchPHOLDFigure(b, 16, 8) }
+
+// benchAppFigure runs Figures 5-6's three systems on a model.
+func benchAppFigure(b *testing.B, model func(threads int) Model, threads int) {
+	specs := []struct {
+		name string
+		sys  System
+		gvt  GVT
+	}{
+		{"Baseline", Baseline, Barrier},
+		{"DD-PDES", DDPDES, WaitFree},
+		{"GG-PDES", GGPDES, WaitFree},
+	}
+	for _, s := range specs {
+		s := s
+		b.Run(s.name, func(b *testing.B) {
+			benchRun(b, Config{
+				Model: model(threads), Threads: threads,
+				System: s.sys, GVT: s.gvt, Affinity: ConstantAffinity,
+			})
+		})
+	}
+}
+
+// BenchmarkFig5a regenerates Figure 5(a): Epidemics, 3/4 lock-down.
+func BenchmarkFig5a(b *testing.B) {
+	benchAppFigure(b, func(int) Model {
+		return Epidemics{LPsPerThread: 8, LockdownGroups: 4, ContactRate: 3, TransmissionProb: 0.5}
+	}, 16)
+}
+
+// BenchmarkFig5b regenerates Figure 5(b): Epidemics, 7/8 lock-down,
+// over-subscribed 2x.
+func BenchmarkFig5b(b *testing.B) {
+	benchAppFigure(b, func(int) Model {
+		return Epidemics{LPsPerThread: 8, LockdownGroups: 8, ContactRate: 3, TransmissionProb: 0.5}
+	}, 32)
+}
+
+// BenchmarkFig6a regenerates Figure 6(a): Traffic, gradient 0.35.
+func BenchmarkFig6a(b *testing.B) {
+	benchAppFigure(b, func(threads int) Model {
+		return Traffic{LPsPerThread: 4, DensityGradient: 0.35} // 16x4=64=8² grid
+	}, 16)
+}
+
+// BenchmarkFig6b regenerates Figure 6(b): Traffic, gradient 0.5.
+func BenchmarkFig6b(b *testing.B) {
+	benchAppFigure(b, func(threads int) Model {
+		return Traffic{LPsPerThread: 4, DensityGradient: 0.5}
+	}, 16)
+}
+
+// benchAffinityFigure runs Figure 7's three affinity algorithms.
+func benchAffinityFigure(b *testing.B, nonLinear bool) {
+	for _, aff := range []Affinity{NoAffinity, ConstantAffinity, DynamicAffinity} {
+		aff := aff
+		b.Run(aff.String(), func(b *testing.B) {
+			benchRun(b, Config{
+				Model:   PHOLD{LPsPerThread: 4, Imbalance: 4, NonLinear: nonLinear},
+				Threads: 32, System: GGPDES, GVT: WaitFree, Affinity: aff,
+			})
+		})
+	}
+}
+
+// BenchmarkFig7a regenerates Figure 7(a): affinity under linear
+// locality.
+func BenchmarkFig7a(b *testing.B) { benchAffinityFigure(b, false) }
+
+// BenchmarkFig7b regenerates Figure 7(b): affinity under non-linear
+// locality (constant pinning's pathological case).
+func BenchmarkFig7b(b *testing.B) { benchAffinityFigure(b, true) }
+
+// BenchmarkTblGVTTimes regenerates the in-text GVT CPU time comparison
+// (§6.2): Baseline vs GG, over-subscribed.
+func BenchmarkTblGVTTimes(b *testing.B) {
+	for _, s := range []struct {
+		name string
+		sys  System
+		gvt  GVT
+	}{
+		{"Baseline-Sync", Baseline, Barrier},
+		{"Baseline-Async", Baseline, WaitFree},
+		{"GG-PDES-Sync", GGPDES, Barrier},
+		{"GG-PDES-Async", GGPDES, WaitFree},
+	} {
+		s := s
+		b.Run(s.name, func(b *testing.B) {
+			var gvtPerRound float64
+			cfg := Config{
+				Model: PHOLD{LPsPerThread: 4, Imbalance: 2}, Threads: 32,
+				System: s.sys, GVT: s.gvt, Affinity: ConstantAffinity,
+				Machine: benchMachine(), EndTime: 40,
+				GVTFrequency: 40, ZeroCounterThreshold: 400,
+			}
+			for i := 0; i < b.N; i++ {
+				cfg.Seed = uint64(i + 1)
+				res, err := Run(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				gvtPerRound += res.GVTCPUSecondsPerRound()
+			}
+			b.ReportMetric(gvtPerRound/float64(b.N)*1e6, "gvt-us/round")
+		})
+	}
+}
+
+// BenchmarkTblInstructions regenerates the in-text instruction-count
+// comparison (§6.2-6.3) as total cycles.
+func BenchmarkTblInstructions(b *testing.B) {
+	for _, s := range []struct {
+		name string
+		sys  System
+		gvt  GVT
+	}{
+		{"Baseline-Sync", Baseline, Barrier},
+		{"GG-PDES-Async", GGPDES, WaitFree},
+	} {
+		s := s
+		b.Run(s.name, func(b *testing.B) {
+			var cycles float64
+			cfg := Config{
+				Model: PHOLD{LPsPerThread: 4, Imbalance: 4}, Threads: 32,
+				System: s.sys, GVT: s.gvt, Affinity: ConstantAffinity,
+				Machine: benchMachine(), EndTime: 40,
+				GVTFrequency: 40, ZeroCounterThreshold: 400,
+			}
+			for i := 0; i < b.N; i++ {
+				cfg.Seed = uint64(i + 1)
+				res, err := Run(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cycles += float64(res.TotalCycles)
+			}
+			b.ReportMetric(cycles/float64(b.N)/1e6, "Mcycles/op")
+		})
+	}
+}
+
+// BenchmarkTblRollbacks regenerates §6.5's rollback statistics on the
+// traffic model.
+func BenchmarkTblRollbacks(b *testing.B) {
+	for _, s := range []struct {
+		name string
+		sys  System
+		gvt  GVT
+	}{
+		{"Baseline", Baseline, Barrier},
+		{"DD-PDES", DDPDES, WaitFree},
+		{"GG-PDES", GGPDES, WaitFree},
+	} {
+		s := s
+		b.Run(s.name, func(b *testing.B) {
+			var rolled, processed float64
+			cfg := Config{
+				Model: Traffic{LPsPerThread: 4, DensityGradient: 0.5}, Threads: 16,
+				System: s.sys, GVT: s.gvt, Affinity: ConstantAffinity,
+				Machine: benchMachine(), EndTime: 30,
+				GVTFrequency: 40, ZeroCounterThreshold: 400,
+			}
+			for i := 0; i < b.N; i++ {
+				cfg.Seed = uint64(i + 1)
+				res, err := Run(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rolled += float64(res.RolledBackEvents)
+				processed += float64(res.ProcessedEvents)
+			}
+			b.ReportMetric(rolled/processed*100, "rolled-back-%")
+		})
+	}
+}
+
+// --- Ablations (design choices called out in DESIGN.md §5) ---
+
+// BenchmarkAblationGVTFrequency sweeps the GVT round frequency (the
+// paper fixes 1/200 by static analysis).
+func BenchmarkAblationGVTFrequency(b *testing.B) {
+	for _, freq := range []int{10, 40, 160, 640} {
+		freq := freq
+		b.Run(fmt.Sprintf("freq-%d", freq), func(b *testing.B) {
+			benchRun(b, Config{
+				Model: PHOLD{LPsPerThread: 4, Imbalance: 4}, Threads: 32,
+				System: GGPDES, GVT: WaitFree, Affinity: ConstantAffinity,
+				GVTFrequency: freq,
+			})
+		})
+	}
+}
+
+// BenchmarkAblationZeroCounter sweeps the deactivation threshold (the
+// paper fixes 1/2000).
+func BenchmarkAblationZeroCounter(b *testing.B) {
+	for _, thr := range []int{30, 120, 480, 1920} {
+		thr := thr
+		b.Run(fmt.Sprintf("thresh-%d", thr), func(b *testing.B) {
+			benchRun(b, Config{
+				Model: PHOLD{LPsPerThread: 4, Imbalance: 4}, Threads: 32,
+				System: GGPDES, GVT: WaitFree, Affinity: ConstantAffinity,
+				ZeroCounterThreshold: thr,
+			})
+		})
+	}
+}
+
+// BenchmarkAblationBatchSize sweeps the event batch per loop cycle
+// (ROSS uses 8).
+func BenchmarkAblationBatchSize(b *testing.B) {
+	for _, batch := range []int{1, 4, 8, 32} {
+		batch := batch
+		b.Run(fmt.Sprintf("batch-%d", batch), func(b *testing.B) {
+			benchRun(b, Config{
+				Model: PHOLD{LPsPerThread: 4, Imbalance: 4}, Threads: 16,
+				System: GGPDES, GVT: WaitFree, Affinity: ConstantAffinity,
+				BatchSize: batch,
+			})
+		})
+	}
+}
+
+// BenchmarkAblationPendingQueue compares the pending-set structures
+// under the full engine (micro-benchmarks live in internal/pq).
+func BenchmarkAblationPendingQueue(b *testing.B) {
+	for _, q := range []Queue{SplayQueue, HeapQueue, CalendarQueue} {
+		q := q
+		b.Run(q.String(), func(b *testing.B) {
+			benchRun(b, Config{
+				Model: PHOLD{LPsPerThread: 16, Imbalance: 1}, Threads: 16,
+				System: GGPDES, GVT: WaitFree, Affinity: ConstantAffinity,
+				Queue: q,
+			})
+		})
+	}
+}
+
+// BenchmarkAblationStateSaving compares copy state-saving against
+// ROSS-style reverse computation (allocation pressure shows in B/op).
+func BenchmarkAblationStateSaving(b *testing.B) {
+	for _, policy := range []StateSaving{CopyState, ReverseComputation} {
+		policy := policy
+		b.Run(policy.String(), func(b *testing.B) {
+			benchRun(b, Config{
+				Model:   Epidemics{LPsPerThread: 8, LockdownGroups: 4, ContactRate: 3, TransmissionProb: 0.5},
+				Threads: 16, System: GGPDES, GVT: WaitFree, Affinity: ConstantAffinity,
+				StateSaving: policy,
+			})
+		})
+	}
+}
+
+// BenchmarkAblationAdaptiveGVT compares fixed vs adaptive GVT frequency
+// (speculative memory shows in the reported peak metric).
+func BenchmarkAblationAdaptiveGVT(b *testing.B) {
+	base := Config{
+		Model: PHOLD{LPsPerThread: 8, Imbalance: 2}, Threads: 16,
+		System: GGPDES, GVT: WaitFree, Affinity: ConstantAffinity,
+		Machine: benchMachine(), EndTime: 40,
+		GVTFrequency: 256, ZeroCounterThreshold: 2560, OptimismWindow: 10,
+	}
+	run := func(b *testing.B, cfg Config) {
+		var peak float64
+		for i := 0; i < b.N; i++ {
+			cfg.Seed = uint64(i + 1)
+			res, err := Run(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			peak += float64(res.PeakUncommittedEvents)
+		}
+		b.ReportMetric(peak/float64(b.N), "peak-uncommitted")
+	}
+	b.Run("fixed-256", func(b *testing.B) { run(b, base) })
+	b.Run("adaptive", func(b *testing.B) {
+		cfg := base
+		cfg.AdaptiveGVT = &AdaptiveGVT{MinFrequency: 8, MaxFrequency: 256, TargetUncommittedPerThread: 8}
+		run(b, cfg)
+	})
+}
+
+// BenchmarkAblationLazyCancellation compares aggressive and lazy
+// cancellation on the rollback-heavy traffic model. Per-event RNG
+// draws make re-adoption rare, so lazy typically does not pay — an
+// honest negative result.
+func BenchmarkAblationLazyCancellation(b *testing.B) {
+	for _, lazy := range []bool{false, true} {
+		lazy := lazy
+		name := "aggressive"
+		if lazy {
+			name = "lazy"
+		}
+		b.Run(name, func(b *testing.B) {
+			benchRun(b, Config{
+				Model: Traffic{LPsPerThread: 4, DensityGradient: 0.5}, Threads: 16,
+				System: GGPDES, GVT: WaitFree, Affinity: ConstantAffinity,
+				EndTime: 30, LazyCancellation: lazy,
+			})
+		})
+	}
+}
+
+// BenchmarkAblationNUMAAffinity compares dynamic affinity on a uniform
+// machine against the same core count in sub-NUMA-clustering mode,
+// where the pass prefers each thread's previous node (the paper's
+// stated future work).
+func BenchmarkAblationNUMAAffinity(b *testing.B) {
+	for _, numa := range []int{0, 2} {
+		numa := numa
+		name := "uniform"
+		if numa > 1 {
+			name = fmt.Sprintf("snc-%d", numa)
+		}
+		b.Run(name, func(b *testing.B) {
+			benchRun(b, Config{
+				Model:   PHOLD{LPsPerThread: 4, Imbalance: 4, NonLinear: true},
+				Threads: 32, System: GGPDES, GVT: WaitFree, Affinity: DynamicAffinity,
+				Machine: Machine{Cores: 8, SMTWidth: 2, FreqHz: 1.3e9, NUMANodes: numa},
+			})
+		})
+	}
+}
+
+// BenchmarkAblationKPSize sweeps ROSS-style kernel-process sizes: the
+// rollback-granularity vs bookkeeping trade-off.
+func BenchmarkAblationKPSize(b *testing.B) {
+	for _, size := range []int{1, 2, 4, 8} {
+		size := size
+		b.Run(fmt.Sprintf("lps-per-kp-%d", size), func(b *testing.B) {
+			benchRun(b, Config{
+				Model: PHOLD{LPsPerThread: 8, Imbalance: 2}, Threads: 16,
+				System: GGPDES, GVT: WaitFree, Affinity: ConstantAffinity,
+				LPsPerKP: size,
+			})
+		})
+	}
+}

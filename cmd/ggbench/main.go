@@ -1,0 +1,90 @@
+// Command ggbench regenerates the paper's tables and figures.
+//
+//	ggbench -list               enumerate experiments
+//	ggbench -exp fig4b          run one experiment
+//	ggbench -all                run everything
+//	ggbench -all -md > EXPERIMENTS.md   emit the markdown report
+//	ggbench -scale paper        full KNL-7230 scale (slow)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"ggpdes/internal/harness"
+)
+
+func main() {
+	var (
+		list      = flag.Bool("list", false, "list experiments and exit")
+		expID     = flag.String("exp", "", "run a single experiment by id")
+		all       = flag.Bool("all", false, "run every experiment")
+		md        = flag.Bool("md", false, "emit markdown (EXPERIMENTS.md body) instead of text")
+		scaleName = flag.String("scale", "default", "scale: tiny | default | paper")
+		quiet     = flag.Bool("q", false, "suppress per-run progress on stderr")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range harness.Experiments() {
+			fmt.Printf("%-12s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	var scale harness.Scale
+	switch *scaleName {
+	case "tiny":
+		scale = harness.Tiny()
+	case "default":
+		scale = harness.Default()
+	case "paper":
+		scale = harness.Paper()
+	default:
+		fmt.Fprintf(os.Stderr, "ggbench: unknown scale %q\n", *scaleName)
+		os.Exit(2)
+	}
+
+	var progress io.Writer = os.Stderr
+	if *quiet {
+		progress = nil
+	}
+
+	var exps []*harness.Experiment
+	switch {
+	case *expID != "":
+		e := harness.Get(*expID)
+		if e == nil {
+			fmt.Fprintf(os.Stderr, "ggbench: unknown experiment %q (use -list)\n", *expID)
+			os.Exit(2)
+		}
+		exps = []*harness.Experiment{e}
+	case *all:
+		exps = harness.Experiments()
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	start := time.Now()
+	var results []*harness.Result
+	for _, e := range exps {
+		if progress != nil {
+			fmt.Fprintf(progress, "== %s (%s) ==\n", e.ID, e.Title)
+		}
+		r, err := e.Run(scale, progress)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ggbench: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		results = append(results, r)
+	}
+	if *md {
+		harness.WriteMarkdown(os.Stdout, scale, results, time.Since(start))
+	} else {
+		harness.WriteText(os.Stdout, results)
+	}
+}

@@ -1,0 +1,170 @@
+// Command ggsim runs a single GG-PDES simulation and prints its
+// metrics — the quickest way to poke at one configuration.
+//
+// Examples:
+//
+//	ggsim -model phold -imbalance 4 -threads 64 -system gg -gvt async
+//	ggsim -model epidemics -lockdown 8 -threads 32 -system baseline
+//	ggsim -model traffic -gradient 0.5 -threads 16 -affinity dynamic
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ggpdes"
+	"ggpdes/internal/stats"
+)
+
+func main() {
+	var (
+		modelName = flag.String("model", "phold", "workload: phold | epidemics | traffic")
+		threads   = flag.Int("threads", 32, "simulation threads (POSIX threads in the paper)")
+		system    = flag.String("system", "gg", "scheduling system: baseline | dd | gg")
+		gvtAlg    = flag.String("gvt", "async", "GVT algorithm: sync (barrier) | async (wait-free)")
+		affinity  = flag.String("affinity", "constant", "CPU affinity: none | constant | dynamic")
+		endTime   = flag.Float64("end", 60, "virtual end time")
+		seed      = flag.Uint64("seed", 1, "random seed")
+		lps       = flag.Int("lps", 8, "LPs per thread")
+		imbalance = flag.Int("imbalance", 1, "PHOLD 1-K imbalance (1 = balanced)")
+		nonLinear = flag.Bool("nonlinear", false, "PHOLD non-linear locality groups")
+		lockdown  = flag.Int("lockdown", 4, "epidemics lock-down groups K ((K-1)/K locked)")
+		gradient  = flag.Float64("gradient", 0.35, "traffic density gradient")
+		cores     = flag.Int("cores", 16, "simulated cores")
+		smt       = flag.Int("smt", 2, "SMT contexts per core")
+		gvtFreq   = flag.Int("gvt-freq", 40, "loop iterations per GVT round")
+		zeroThr   = flag.Int("zero-threshold", 400, "empty-queue iterations before deactivation")
+		queue     = flag.String("queue", "splay", "pending queue: splay | heap | calendar")
+		optimism  = flag.Float64("optimism", 0, "optimism window in virtual time (0 = unbounded)")
+		saving    = flag.String("statesaving", "copy", "rollback mechanism: copy | reverse")
+		traceFile = flag.String("trace", "", "write a CSV trace of the run to this file")
+		lazy      = flag.Bool("lazy", false, "lazy cancellation (defer anti-messages across rollbacks)")
+		verbose   = flag.Bool("v", false, "print the full metric set")
+	)
+	flag.Parse()
+
+	cfg := ggpdes.Config{
+		Threads:              *threads,
+		EndTime:              *endTime,
+		Seed:                 *seed,
+		Machine:              ggpdes.Machine{Cores: *cores, SMTWidth: *smt, FreqHz: 1.3e9},
+		GVTFrequency:         *gvtFreq,
+		ZeroCounterThreshold: *zeroThr,
+		OptimismWindow:       *optimism,
+		LazyCancellation:     *lazy,
+	}
+
+	switch strings.ToLower(*modelName) {
+	case "phold":
+		cfg.Model = ggpdes.PHOLD{LPsPerThread: *lps, Imbalance: *imbalance, NonLinear: *nonLinear}
+	case "epidemics":
+		cfg.Model = ggpdes.Epidemics{LPsPerThread: *lps, LockdownGroups: *lockdown, ContactRate: 3, TransmissionProb: 0.5}
+	case "traffic":
+		cfg.Model = ggpdes.Traffic{LPsPerThread: *lps, DensityGradient: *gradient}
+	default:
+		fatalf("unknown model %q", *modelName)
+	}
+
+	switch strings.ToLower(*system) {
+	case "baseline":
+		cfg.System = ggpdes.Baseline
+	case "dd", "dd-pdes":
+		cfg.System = ggpdes.DDPDES
+	case "gg", "gg-pdes":
+		cfg.System = ggpdes.GGPDES
+	default:
+		fatalf("unknown system %q", *system)
+	}
+
+	switch strings.ToLower(*gvtAlg) {
+	case "sync", "barrier":
+		cfg.GVT = ggpdes.Barrier
+	case "async", "waitfree", "wait-free":
+		cfg.GVT = ggpdes.WaitFree
+	default:
+		fatalf("unknown gvt algorithm %q", *gvtAlg)
+	}
+
+	switch strings.ToLower(*affinity) {
+	case "none":
+		cfg.Affinity = ggpdes.NoAffinity
+	case "constant":
+		cfg.Affinity = ggpdes.ConstantAffinity
+	case "dynamic":
+		cfg.Affinity = ggpdes.DynamicAffinity
+	default:
+		fatalf("unknown affinity %q", *affinity)
+	}
+
+	switch strings.ToLower(*saving) {
+	case "copy":
+		cfg.StateSaving = ggpdes.CopyState
+	case "reverse":
+		cfg.StateSaving = ggpdes.ReverseComputation
+	default:
+		fatalf("unknown state saving %q", *saving)
+	}
+
+	switch strings.ToLower(*queue) {
+	case "splay":
+		cfg.Queue = ggpdes.SplayQueue
+	case "heap":
+		cfg.Queue = ggpdes.HeapQueue
+	case "calendar":
+		cfg.Queue = ggpdes.CalendarQueue
+	default:
+		fatalf("unknown queue %q", *queue)
+	}
+
+	var traceOut *os.File
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer f.Close()
+		traceOut = f
+		cfg.Trace = &ggpdes.TraceOptions{CSV: f}
+	}
+
+	res, err := ggpdes.Run(cfg)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if traceOut != nil {
+		fmt.Printf("trace written to %s\n", traceOut.Name())
+	}
+	if res.TraceSummary != "" {
+		fmt.Println(res.TraceSummary)
+	}
+
+	fmt.Printf("%s | %s | %s GVT | %s affinity | %d threads on %dx%d contexts\n",
+		cfg.Model.Name(), cfg.System, cfg.GVT, cfg.Affinity, cfg.Threads, *cores, *smt)
+	fmt.Printf("committed event rate : %s\n", stats.Rate(res.CommittedEventRate))
+	fmt.Printf("committed events     : %s\n", stats.Count(res.CommittedEvents))
+	fmt.Printf("wall clock           : %s (simulated)\n", stats.Seconds(res.WallClockSeconds))
+	fmt.Printf("efficiency           : %.1f%% (%s rolled back of %s processed)\n",
+		res.Efficiency()*100, stats.Count(res.RolledBackEvents), stats.Count(res.ProcessedEvents))
+	fmt.Printf("GVT                  : %d rounds, %s CPU per round\n",
+		res.GVTRounds, stats.Seconds(res.GVTCPUSecondsPerRound()))
+	if *verbose {
+		fmt.Printf("total cycles         : %s\n", stats.Count(res.TotalCycles))
+		fmt.Printf("deactivations        : %d, activations: %d\n", res.Deactivations, res.Activations)
+		fmt.Printf("lock contention      : %d (DD-PDES mutex)\n", res.LockContention)
+		fmt.Printf("dynamic repins       : %d\n", res.Repins)
+		fmt.Printf("context switches     : %d, migrations: %d\n", res.ContextSwitches, res.Migrations)
+		fmt.Printf("stragglers           : %d, anti-messages: %d, rollbacks: %d\n",
+			res.Stragglers, res.AntiMessages, res.Rollbacks)
+		if res.LazyReused+res.LazyCancelled > 0 {
+			fmt.Printf("lazy cancellation    : %d sends re-adopted, %d annihilated late\n",
+				res.LazyReused, res.LazyCancelled)
+		}
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "ggsim: "+format+"\n", args...)
+	os.Exit(2)
+}

@@ -1,0 +1,65 @@
+// Command ggtrace analyzes a run trace produced by ggsim -trace (or
+// the ggpdes.TraceOptions.CSV writer): prints the summary, the GVT
+// progression, and the per-thread activity timeline.
+//
+//	ggsim -model phold -imbalance 4 -threads 16 -trace run.csv
+//	ggtrace run.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ggpdes/internal/stats"
+	"ggpdes/internal/trace"
+)
+
+func main() {
+	var (
+		width    = flag.Int("width", 80, "timeline width in columns")
+		maxRows  = flag.Int("rows", 64, "maximum timeline rows before eliding")
+		gvtSteps = flag.Int("gvt", 10, "number of GVT progression samples to print (0 = none)")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: ggtrace [flags] <trace.csv>")
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer f.Close()
+	rec, err := trace.ReadCSV(f)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	threads := rec.MaxThread() + 1
+	end := rec.EndCycles()
+	fmt.Println(rec.Summary(threads, end))
+	fmt.Println()
+
+	if *gvtSteps > 0 {
+		cycles, gvt := rec.GVTSeries()
+		if len(gvt) > 0 {
+			fmt.Println("GVT progression (wall cycles -> gvt):")
+			stride := len(gvt) / *gvtSteps
+			if stride < 1 {
+				stride = 1
+			}
+			for i := 0; i < len(gvt); i += stride {
+				fmt.Printf("  %12s  %10.4f\n", stats.Count(cycles[i]), gvt[i])
+			}
+			fmt.Println()
+		}
+	}
+
+	fmt.Print(rec.RenderTimeline(threads, end, *width, *maxRows))
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "ggtrace: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,58 @@
+// Affinity: compare the three CPU pinning algorithms under non-linear
+// execution locality — the case where constant round-robin pinning
+// piles every active thread onto a few cores while the rest idle, and
+// the paper's Dynamic CPU Affinity re-balances each GVT round.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ggpdes"
+	"ggpdes/internal/stats"
+)
+
+func main() {
+	run := func(aff ggpdes.Affinity, nonLinear bool) *ggpdes.Results {
+		res, err := ggpdes.Run(ggpdes.Config{
+			Model:                ggpdes.PHOLD{LPsPerThread: 8, Imbalance: 4, NonLinear: nonLinear},
+			Threads:              32,
+			System:               ggpdes.GGPDES, // dynamic affinity builds on GG-PDES
+			GVT:                  ggpdes.WaitFree,
+			Affinity:             aff,
+			EndTime:              60,
+			Machine:              ggpdes.Machine{Cores: 16, SMTWidth: 2, FreqHz: 1.3e9},
+			GVTFrequency:         40,
+			ZeroCounterThreshold: 400,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res
+	}
+
+	for _, nl := range []bool{false, true} {
+		kind := "linear"
+		if nl {
+			kind = "non-linear"
+		}
+		fmt.Printf("-- %s execution locality (1-4 imbalanced PHOLD, GG-PDES-Async) --\n", kind)
+		var constant float64
+		for _, aff := range []ggpdes.Affinity{ggpdes.NoAffinity, ggpdes.ConstantAffinity, ggpdes.DynamicAffinity} {
+			res := run(aff, nl)
+			if aff == ggpdes.ConstantAffinity {
+				constant = res.CommittedEventRate
+			}
+			extra := ""
+			if aff == ggpdes.DynamicAffinity {
+				extra = fmt.Sprintf("  repins=%d  vs constant: %s",
+					res.Repins, stats.Speedup(res.CommittedEventRate, constant))
+			}
+			fmt.Printf("%-9s rate=%-14s migrations=%-5d%s\n",
+				aff, stats.Rate(res.CommittedEventRate), res.Migrations, extra)
+		}
+		fmt.Println()
+	}
+	fmt.Println("(paper: dynamic ~ constant under linear locality (-0.5%), but up to 15x")
+	fmt.Println(" better under non-linear locality, and up to 35% better than no affinity)")
+}

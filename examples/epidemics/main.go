@@ -1,0 +1,64 @@
+// Epidemics: simulate SEIR disease spread across households under a
+// 7/8 lock-down whose unlocked region shifts over time, and show how
+// demand-driven scheduling exploits the locked (quiet) regions.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ggpdes"
+	"ggpdes/internal/stats"
+)
+
+func main() {
+	model := ggpdes.Epidemics{
+		LPsPerThread:     32,  // households per simulation thread
+		LockdownGroups:   8,   // 7/8 of the population under curfew
+		ContactRate:      3,   // contacts per infectious agent per unit time
+		TransmissionProb: 0.5, // exposure probability per contact
+	}
+	base := ggpdes.Config{
+		Model:                model,
+		Threads:              32,
+		GVT:                  ggpdes.WaitFree,
+		EndTime:              80,
+		Machine:              ggpdes.Machine{Cores: 16, SMTWidth: 2, FreqHz: 1.3e9},
+		GVTFrequency:         40,
+		ZeroCounterThreshold: 400,
+	}
+
+	fmt.Println("Epidemics model, 7/8 lock-down, 32 threads (full subscription)")
+	fmt.Println("Only households in the unlocked region can be exposed; the region")
+	fmt.Println("shifts across the simulated time, so 7/8 of threads idle at any moment.")
+	fmt.Println()
+
+	systems := []struct {
+		label string
+		sys   ggpdes.System
+		gvt   ggpdes.GVT
+	}{
+		{"Baseline (Sync)", ggpdes.Baseline, ggpdes.Barrier},
+		{"DD-PDES (Async)", ggpdes.DDPDES, ggpdes.WaitFree},
+		{"GG-PDES (Async)", ggpdes.GGPDES, ggpdes.WaitFree},
+	}
+	var baseline float64
+	for _, s := range systems {
+		cfg := base
+		cfg.System = s.sys
+		cfg.GVT = s.gvt
+		res, err := ggpdes.Run(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if baseline == 0 {
+			baseline = res.CommittedEventRate
+		}
+		fmt.Printf("%-16s rate=%-14s vs baseline %-8s committed=%-8s deact=%-4d gvt/round=%s\n",
+			s.label, stats.Rate(res.CommittedEventRate),
+			stats.Speedup(res.CommittedEventRate, baseline),
+			stats.Count(res.CommittedEvents), res.Deactivations,
+			stats.Seconds(res.GVTCPUSecondsPerRound()))
+	}
+	fmt.Println("\n(paper: GG-PDES gains 29% over Baseline at 7/8 lock-down, 19% over-subscribed)")
+}

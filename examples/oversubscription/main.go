@@ -1,0 +1,50 @@
+// Oversubscription: load the machine with up to 8x more simulation
+// threads than hardware contexts on a highly imbalanced model — the
+// weak-scaling scenario where demand-driven scheduling shines, because
+// only the active fraction ever competes for cores.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ggpdes"
+	"ggpdes/internal/stats"
+)
+
+func main() {
+	machine := ggpdes.Machine{Cores: 16, SMTWidth: 2, FreqHz: 1.3e9}
+	hw := machine.Cores * machine.SMTWidth
+
+	fmt.Printf("1-8 Imbalanced PHOLD on %d hardware contexts; weak scaling past the hardware\n\n", hw)
+	fmt.Printf("%8s  %18s  %18s  %8s\n", "threads", "Baseline-Async", "GG-PDES-Async", "GG/Base")
+
+	for _, threads := range []int{hw, 2 * hw, 4 * hw, 8 * hw} {
+		var rates [2]float64
+		for i, sys := range []ggpdes.System{ggpdes.Baseline, ggpdes.GGPDES} {
+			res, err := ggpdes.Run(ggpdes.Config{
+				Model:                ggpdes.PHOLD{LPsPerThread: 4, Imbalance: 8},
+				Threads:              threads,
+				System:               sys,
+				GVT:                  ggpdes.WaitFree,
+				Affinity:             ggpdes.ConstantAffinity, // the paper's Figures 3-4 setup
+				EndTime:              60,
+				Machine:              machine,
+				GVTFrequency:         40,
+				ZeroCounterThreshold: 400,
+				// Bound speculation like ROSS's max_opt_lookahead: a
+				// freshly woken group otherwise races ahead on the
+				// whole machine and thrashes on rollbacks.
+				OptimismWindow: 10,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			rates[i] = res.CommittedEventRate
+		}
+		fmt.Printf("%8d  %18s  %18s  %8s\n", threads,
+			stats.Rate(rates[0]), stats.Rate(rates[1]), stats.Speedup(rates[1], rates[0]))
+	}
+	fmt.Println("\n(paper: GG scales to 4096 threads on 256 contexts, up to 44% over baseline;")
+	fmt.Println(" baselines collapse because every thread — active or not — competes for cores)")
+}

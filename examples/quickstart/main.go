@@ -1,0 +1,47 @@
+// Quickstart: run the paper's headline comparison on one imbalanced
+// PHOLD configuration — GG-PDES-Async against Baseline-Async — and
+// print committed event rates and the GVT cost gap.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ggpdes"
+	"ggpdes/internal/stats"
+)
+
+func main() {
+	base := ggpdes.Config{
+		// 1-4 imbalanced PHOLD: only a quarter of the threads receive
+		// traffic at a time, and the active group shifts.
+		Model:   ggpdes.PHOLD{LPsPerThread: 8, Imbalance: 4},
+		Threads: 64, // 2x over-subscribed on the 16x2 machine below
+		GVT:     ggpdes.WaitFree,
+		EndTime: 60,
+		Machine: ggpdes.Machine{Cores: 16, SMTWidth: 2, FreqHz: 1.3e9},
+		// Paper settings are 200/2000; scaled with the workload.
+		GVTFrequency:         40,
+		ZeroCounterThreshold: 400,
+	}
+
+	fmt.Println("1-4 Imbalanced PHOLD, 64 threads on 32 hardware contexts (2x over-subscribed)")
+	fmt.Println()
+
+	var rates [2]float64
+	for i, sys := range []ggpdes.System{ggpdes.Baseline, ggpdes.GGPDES} {
+		cfg := base
+		cfg.System = sys
+		res, err := ggpdes.Run(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rates[i] = res.CommittedEventRate
+		fmt.Printf("%-9s rate=%-14s gvt/round=%-10s cycles=%-10s deactivations=%d\n",
+			sys, stats.Rate(res.CommittedEventRate),
+			stats.Seconds(res.GVTCPUSecondsPerRound()),
+			stats.Count(res.TotalCycles), res.Deactivations)
+	}
+	fmt.Printf("\nGG-PDES speedup over Baseline-Async: %s\n", stats.Speedup(rates[1], rates[0]))
+	fmt.Println("(the paper reports 13-50% over DD-PDES and up to 44% over baselines, growing with locality)")
+}

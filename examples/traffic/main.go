@@ -1,0 +1,51 @@
+// Traffic: simulate vehicles moving through a city grid whose density
+// decays from the centre by an inverse power law, and compare density
+// gradients — the paper's most rollback-prone workload.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ggpdes"
+	"ggpdes/internal/stats"
+)
+
+func main() {
+	fmt.Println("Traffic model, 16 threads; vehicles concentrated at the city centre")
+	fmt.Println("travel times ~ Burr(c=12.4, k=0.46); centre LP starts with 24 vehicles")
+	fmt.Println()
+
+	for _, gradient := range []float64{0.35, 0.5} {
+		fmt.Printf("-- density gradient %.2f --\n", gradient)
+		for _, sys := range []ggpdes.System{ggpdes.Baseline, ggpdes.GGPDES} {
+			cfg := ggpdes.Config{
+				Model: ggpdes.Traffic{
+					LPsPerThread:    16, // 16 threads x 16 LPs = 256 = 16x16 grid
+					DensityGradient: gradient,
+				},
+				Threads:              16,
+				System:               sys,
+				GVT:                  ggpdes.WaitFree,
+				EndTime:              40,
+				Machine:              ggpdes.Machine{Cores: 16, SMTWidth: 2, FreqHz: 1.3e9},
+				GVTFrequency:         40,
+				ZeroCounterThreshold: 400,
+			}
+			if sys == ggpdes.Baseline {
+				cfg.GVT = ggpdes.Barrier // the paper's "Baseline" is Baseline-Sync
+			}
+			res, err := ggpdes.Run(cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%-9s rate=%-14s processed=%-8s rolled-back=%-8s efficiency=%.0f%%\n",
+				sys, stats.Rate(res.CommittedEventRate),
+				stats.Count(res.ProcessedEvents), stats.Count(res.RolledBackEvents),
+				res.Efficiency()*100)
+		}
+		fmt.Println()
+	}
+	fmt.Println("(paper: GG gains 24-27% at 2x over-subscription; at larger scales rollbacks")
+	fmt.Println(" dominate — 540M of 562M processed events rolled back at 2048 threads)")
+}

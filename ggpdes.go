@@ -1,0 +1,447 @@
+// Package ggpdes is a reproduction of "GVT-Guided Demand-Driven
+// Scheduling in Parallel Discrete Event Simulation" (Eker, Timmerman,
+// Williams, Chiu, Ponomarev — ICPP 2021).
+//
+// It bundles a full optimistic (Time Warp) PDES engine, the paper's
+// GVT-guided demand-driven thread scheduler (GG-PDES), the prior
+// controller-thread design it improves on (DD-PDES), two GVT algorithms
+// (synchronous Barrier and asynchronous Wait-Free), three CPU affinity
+// algorithms (none / constant / dynamic), and the paper's three
+// workloads (PHOLD, Epidemics, Traffic) — all running on a
+// deterministic simulated many-core processor that stands in for the
+// paper's Knights Landing testbed, since Go's runtime exposes no
+// portable thread pinning or core-level de-scheduling.
+//
+// Quick start:
+//
+//	res, err := ggpdes.Run(ggpdes.Config{
+//		Model:   ggpdes.PHOLD{LPsPerThread: 16, Imbalance: 4},
+//		Threads: 64,
+//		System:  ggpdes.GGPDES,
+//		GVT:     ggpdes.WaitFree,
+//		EndTime: 50,
+//	})
+//	fmt.Println(res.CommittedEventRate, "committed events/s")
+package ggpdes
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"ggpdes/internal/core"
+	"ggpdes/internal/gvt"
+	"ggpdes/internal/machine"
+	"ggpdes/internal/pq"
+	"ggpdes/internal/trace"
+	"ggpdes/internal/tw"
+)
+
+// System selects the thread-scheduling design under evaluation.
+type System int
+
+const (
+	// Baseline performs no explicit thread scheduling (the OS/CFS
+	// multiplexes everything).
+	Baseline System = iota
+	// DDPDES is the prior Demand-Driven PDES with a dedicated
+	// controller thread and a global lock.
+	DDPDES
+	// GGPDES is the paper's lock-free, GVT-guided design.
+	GGPDES
+)
+
+// String returns the system's name as used in the paper.
+func (s System) String() string { return core.System(s).String() }
+
+// GVT selects the Global Virtual Time algorithm.
+type GVT int
+
+const (
+	// Barrier is the synchronous algorithm ("-Sync" systems).
+	Barrier GVT = iota
+	// WaitFree is the asynchronous five-phase algorithm ("-Async").
+	WaitFree
+)
+
+// String returns the algorithm's name.
+func (g GVT) String() string { return gvt.Kind(g).String() }
+
+// Affinity selects the CPU pinning algorithm (§4.2 / Figure 7).
+type Affinity int
+
+const (
+	// NoAffinity lets the machine's CFS place and migrate threads.
+	NoAffinity Affinity = iota
+	// ConstantAffinity pins thread t to core t mod cores at startup.
+	ConstantAffinity
+	// DynamicAffinity re-pins active threads to idle cores each GVT
+	// round (GG-PDES only).
+	DynamicAffinity
+)
+
+// String returns the affinity algorithm's name.
+func (a Affinity) String() string { return core.Affinity(a).String() }
+
+// StateSaving selects the rollback mechanism.
+type StateSaving int
+
+const (
+	// CopyState snapshots LP state before every event (works for any
+	// model).
+	CopyState StateSaving = iota
+	// ReverseComputation undoes handlers instead (ROSS-style); all
+	// bundled models support it.
+	ReverseComputation
+)
+
+// String returns the policy name.
+func (s StateSaving) String() string { return tw.SavePolicy(s).String() }
+
+// Queue selects the pending-event data structure.
+type Queue int
+
+const (
+	// SplayQueue is the ROSS-style splay tree (default).
+	SplayQueue Queue = iota
+	// HeapQueue is a binary heap.
+	HeapQueue
+	// CalendarQueue is a Brown calendar queue.
+	CalendarQueue
+)
+
+// String returns the queue kind's name.
+func (q Queue) String() string { return pq.Kind(q).String() }
+
+// Machine describes the simulated processor. The zero value selects the
+// paper's KNL 7230 (64 cores × 4-way SMT at 1.3 GHz).
+type Machine struct {
+	// Cores is the number of physical cores (0 = 64).
+	Cores int
+	// SMTWidth is hardware threads per core (0 = 4).
+	SMTWidth int
+	// FreqHz converts cycles to seconds (0 = 1.3 GHz).
+	FreqHz float64
+	// NUMANodes partitions the cores into equal nodes (0/1 = uniform);
+	// KNL's sub-NUMA clustering. Dynamic affinity becomes NUMA-aware
+	// automatically when set.
+	NUMANodes int
+	// MaxTicks aborts runaway simulations (0 = 1<<26 quanta).
+	MaxTicks uint64
+}
+
+// KNL7230 returns the paper's evaluation platform.
+func KNL7230() Machine { return Machine{Cores: 64, SMTWidth: 4, FreqHz: 1.3e9} }
+
+// KNL7230SNC4 returns the same processor in sub-NUMA-clustering mode
+// (4 nodes of 16 cores).
+func KNL7230SNC4() Machine {
+	m := KNL7230()
+	m.NUMANodes = 4
+	return m
+}
+
+// SmallMachine returns a 4-core, 2-way-SMT machine for quick runs.
+func SmallMachine() Machine { return Machine{Cores: 4, SMTWidth: 2, FreqHz: 1.3e9} }
+
+func (m Machine) build() (machine.Config, error) {
+	cfg := machine.KNL7230()
+	if m.Cores > 0 {
+		cfg.Cores = m.Cores
+	}
+	if m.SMTWidth > 0 {
+		cfg.SMTWidth = m.SMTWidth
+		if m.SMTWidth <= len(cfg.SMTAggregate) {
+			cfg.SMTAggregate = cfg.SMTAggregate[:m.SMTWidth]
+		} else {
+			agg := make([]float64, m.SMTWidth)
+			for i := range agg {
+				agg[i] = 1 + 0.3*float64(i)
+			}
+			agg[0] = 1
+			cfg.SMTAggregate = agg
+		}
+	}
+	if m.FreqHz > 0 {
+		cfg.FreqHz = m.FreqHz
+	}
+	if m.NUMANodes > 1 {
+		cfg.NUMANodes = m.NUMANodes
+		if cfg.CrossNodeMigrationCycles == 0 {
+			cfg.CrossNodeMigrationCycles = 18000
+		}
+	}
+	cfg.MaxTicks = m.MaxTicks
+	if cfg.MaxTicks == 0 {
+		cfg.MaxTicks = 1 << 26
+	}
+	return cfg, cfg.Validate()
+}
+
+// Config assembles a simulation run.
+type Config struct {
+	// Model is the workload: PHOLD, Epidemics or Traffic.
+	Model Model
+	// Threads is the number of simulation threads. More threads than
+	// the machine's hardware contexts is the paper's over-subscription
+	// scenario.
+	Threads int
+	// System selects Baseline, DDPDES or GGPDES.
+	System System
+	// GVT selects Barrier (Sync) or WaitFree (Async).
+	GVT GVT
+	// Affinity selects the pinning algorithm; DynamicAffinity requires
+	// GGPDES.
+	Affinity Affinity
+	// EndTime is the virtual end time of the simulation.
+	EndTime float64
+	// Seed drives all model randomness (0 = 1).
+	Seed uint64
+	// Machine is the simulated processor (zero value = KNL 7230).
+	Machine Machine
+	// GVTFrequency is main-loop iterations per GVT round (0 = 200, the
+	// paper's setting).
+	GVTFrequency int
+	// ZeroCounterThreshold is empty-queue iterations before a thread is
+	// flagged inactive (0 = 2000, the paper's setting).
+	ZeroCounterThreshold int
+	// BatchSize is events per main-loop cycle (0 = 8, as in ROSS).
+	BatchSize int
+	// LPsPerKP groups each thread's LPs into ROSS-style kernel
+	// processes sharing rollback state (0/1 = one per LP). Larger KPs
+	// shrink bookkeeping but roll back whole groups.
+	LPsPerKP int
+	// Queue selects the pending-event structure (default splay tree).
+	Queue Queue
+	// StateSaving selects copy state-saving (default) or ROSS-style
+	// reverse computation.
+	StateSaving StateSaving
+	// LazyCancellation defers anti-messages at rollback and re-adopts
+	// sends that re-execution regenerates identically — the classic
+	// Time Warp optimization. Rarely pays off for models that draw
+	// randomness per event (stragglers shift the stream), which the
+	// ablation benchmark demonstrates.
+	LazyCancellation bool
+	// AdaptiveGVT, when non-nil, lets the GVT round frequency self-tune
+	// between the given bounds based on speculative memory growth.
+	AdaptiveGVT *AdaptiveGVT
+	// Trace enables run instrumentation when non-nil.
+	Trace *TraceOptions
+	// OptimismWindow bounds speculation to GVT + window virtual time
+	// units (ROSS's max_opt_lookahead); 0 means unbounded optimism.
+	// Bounding is recommended for deep over-subscription, where
+	// demand-driven scheduling hands freshly woken thread groups the
+	// whole machine and unbounded speculation triggers rollback thrash.
+	OptimismWindow float64
+}
+
+// AdaptiveGVT bounds the self-tuning GVT frequency.
+type AdaptiveGVT struct {
+	// MinFrequency and MaxFrequency clamp the loop-iteration interval
+	// between GVT rounds.
+	MinFrequency, MaxFrequency int
+	// TargetUncommittedPerThread aims the per-thread peak of
+	// uncommitted (speculative) events between rounds.
+	TargetUncommittedPerThread int
+}
+
+// TraceOptions configures run instrumentation: GVT progression,
+// rollbacks, scheduling transitions, affinity repins.
+type TraceOptions struct {
+	// Limit caps retained records (0 = 1<<20).
+	Limit int
+	// CSV, when non-nil, receives all records as CSV after the run.
+	CSV io.Writer
+	// Timeline, when non-nil, receives an ASCII per-thread activity
+	// Gantt after the run ('#' scheduled, '.' de-scheduled).
+	Timeline io.Writer
+	// TimelineWidth is the Gantt width in columns (0 = 80).
+	TimelineWidth int
+}
+
+// Results reports everything the paper's evaluation measures.
+type Results struct {
+	// CommittedEvents is the number of events committed below GVT; the
+	// paper's primary metric is CommittedEventRate = CommittedEvents /
+	// WallClockSeconds.
+	CommittedEvents    uint64
+	CommittedEventRate float64
+	// ProcessedEvents counts speculative executions including
+	// re-executions; RolledBackEvents counts undone executions (§6.5).
+	ProcessedEvents, RolledBackEvents uint64
+	// Rollbacks, Stragglers, AntiMessages detail optimism behaviour;
+	// LazyReused/LazyCancelled count lazy-cancellation outcomes.
+	Rollbacks, Stragglers, AntiMessages uint64
+	LazyReused, LazyCancelled           uint64
+	// WallClockSeconds is simulated machine wall time.
+	WallClockSeconds float64
+	// GVTCPUSeconds is CPU time spent inside GVT computation,
+	// accumulated across threads (the paper's per-round numbers ×
+	// rounds); GVTRounds is the number of completed rounds.
+	GVTCPUSeconds float64
+	GVTRounds     uint64
+	// TotalCycles is all CPU cycles consumed — the instruction-count
+	// proxy for the paper's PAPI numbers.
+	TotalCycles uint64
+	// Deactivations/Activations count demand-driven scheduling ops;
+	// LockContention counts blocked acquisitions of DD-PDES's mutex;
+	// Repins counts dynamic-affinity pin operations.
+	Deactivations, Activations uint64
+	LockContention             uint64
+	Repins                     uint64
+	// ContextSwitches and Migrations are machine scheduler counters;
+	// CrossNodeMigrations is the NUMA-crossing subset.
+	ContextSwitches, Migrations uint64
+	CrossNodeMigrations         uint64
+	// PeakUncommittedEvents is the high-water mark of processed events
+	// awaiting fossil collection — the state-saving memory demand the
+	// GVT computation frequency trades off against (§2.1).
+	PeakUncommittedEvents int
+	// FinalGVT is the published GVT at completion (== EndTime).
+	FinalGVT float64
+	// FinalGVTFrequency is the GVT round interval at completion (equals
+	// the configured value unless AdaptiveGVT tuned it).
+	FinalGVTFrequency int
+	// TraceSummary digests the recorded trace (empty without tracing);
+	// InactiveFraction is the share of thread-time spent de-scheduled.
+	TraceSummary     string
+	InactiveFraction float64
+}
+
+// GVTCPUSecondsPerRound is the paper's "average CPU time spent for a
+// GVT computation round accumulated among threads".
+func (r *Results) GVTCPUSecondsPerRound() float64 {
+	if r.GVTRounds == 0 {
+		return 0
+	}
+	return r.GVTCPUSeconds / float64(r.GVTRounds)
+}
+
+// Efficiency is the fraction of processed events that committed.
+func (r *Results) Efficiency() float64 {
+	if r.ProcessedEvents == 0 {
+		return 0
+	}
+	return float64(r.CommittedEvents) / float64(r.ProcessedEvents)
+}
+
+// Run executes one simulation to completion and returns its metrics.
+func Run(cfg Config) (*Results, error) {
+	if cfg.Model == nil {
+		return nil, errors.New("ggpdes: Config.Model is required")
+	}
+	if cfg.Threads <= 0 {
+		return nil, errors.New("ggpdes: Config.Threads must be positive")
+	}
+	if cfg.EndTime <= 0 {
+		return nil, errors.New("ggpdes: Config.EndTime must be positive")
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	mcfg, err := cfg.Machine.build()
+	if err != nil {
+		return nil, err
+	}
+	m, err := machine.New(mcfg)
+	if err != nil {
+		return nil, err
+	}
+	var adaptive *gvt.Adaptive
+	if a := cfg.AdaptiveGVT; a != nil {
+		adaptive = &gvt.Adaptive{
+			MinFrequency:               a.MinFrequency,
+			MaxFrequency:               a.MaxFrequency,
+			TargetUncommittedPerThread: a.TargetUncommittedPerThread,
+		}
+	}
+	var rec *trace.Recorder
+	if cfg.Trace != nil {
+		rec = trace.New(cfg.Trace.Limit)
+		rec.Clock = m.NowCycles
+	}
+	model, err := cfg.Model.build(cfg.Threads, cfg.EndTime)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := tw.NewEngine(tw.Config{
+		NumThreads:       cfg.Threads,
+		Model:            model,
+		EndTime:          cfg.EndTime,
+		Seed:             cfg.Seed,
+		BatchSize:        cfg.BatchSize,
+		QueueKind:        pq.Kind(cfg.Queue),
+		StateSaving:      tw.SavePolicy(cfg.StateSaving),
+		LazyCancellation: cfg.LazyCancellation,
+		OptimismWindow:   cfg.OptimismWindow,
+		Trace:            rec,
+	})
+	if err != nil {
+		return nil, err
+	}
+	runner, err := core.NewRunner(core.Config{
+		Machine:              m,
+		Engine:               eng,
+		System:               core.System(cfg.System),
+		GVTKind:              gvt.Kind(cfg.GVT),
+		GVTFrequency:         cfg.GVTFrequency,
+		ZeroCounterThreshold: cfg.ZeroCounterThreshold,
+		Affinity:             core.Affinity(cfg.Affinity),
+		Trace:                rec,
+		GVTAdaptive:          adaptive,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := m.Run(); err != nil {
+		return nil, fmt.Errorf("ggpdes: %s/%s run failed: %w", cfg.System, cfg.GVT, err)
+	}
+	if err := eng.CheckInvariants(); err != nil {
+		return nil, fmt.Errorf("ggpdes: engine invariant violated: %w", err)
+	}
+	s := eng.TotalStats()
+	ms := m.Stats()
+	ss := runner.SchedulingStats()
+	res := &Results{
+		CommittedEvents:       s.Committed,
+		ProcessedEvents:       s.Processed,
+		RolledBackEvents:      s.RolledBack,
+		Rollbacks:             s.Rollbacks,
+		Stragglers:            s.Stragglers,
+		AntiMessages:          s.AntiSent,
+		LazyReused:            s.LazyReused,
+		LazyCancelled:         s.LazyCancelled,
+		WallClockSeconds:      m.WallSeconds(),
+		GVTCPUSeconds:         m.CyclesToSeconds(s.GVTCycles),
+		GVTRounds:             runner.Algorithm().Rounds(),
+		TotalCycles:           m.TotalCycles(),
+		Deactivations:         ss.Deactivations,
+		Activations:           ss.Activations,
+		LockContention:        ss.LockContention,
+		Repins:                ss.Repins,
+		ContextSwitches:       ms.CtxSwitches,
+		Migrations:            ms.Migrations,
+		FinalGVT:              eng.GVT(),
+		FinalGVTFrequency:     runner.Algorithm().Frequency(),
+		PeakUncommittedEvents: eng.PeakUncommittedEvents(),
+	}
+	if res.WallClockSeconds > 0 {
+		res.CommittedEventRate = float64(res.CommittedEvents) / res.WallClockSeconds
+	}
+	if rec != nil {
+		res.TraceSummary = rec.Summary(cfg.Threads, m.NowCycles())
+		res.InactiveFraction = rec.InactiveFraction(cfg.Threads, m.NowCycles())
+		if cfg.Trace.CSV != nil {
+			if err := rec.WriteCSV(cfg.Trace.CSV); err != nil {
+				return nil, fmt.Errorf("ggpdes: writing trace: %w", err)
+			}
+		}
+		if cfg.Trace.Timeline != nil {
+			if _, err := io.WriteString(cfg.Trace.Timeline,
+				rec.RenderTimeline(cfg.Threads, m.NowCycles(), cfg.Trace.TimelineWidth, 64)); err != nil {
+				return nil, fmt.Errorf("ggpdes: writing timeline: %w", err)
+			}
+		}
+	}
+	return res, nil
+}

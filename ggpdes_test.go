@@ -1,0 +1,378 @@
+package ggpdes
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// quickCfg returns a small, fast configuration for API tests.
+func quickCfg() Config {
+	return Config{
+		Model:                PHOLD{LPsPerThread: 4, Imbalance: 2},
+		Threads:              8,
+		System:               GGPDES,
+		GVT:                  WaitFree,
+		EndTime:              30,
+		Machine:              SmallMachine(),
+		GVTFrequency:         20,
+		ZeroCounterThreshold: 60,
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	cases := []Config{
+		{},                                       // no model
+		{Model: PHOLD{}, Threads: 0, EndTime: 1}, // no threads
+		{Model: PHOLD{}, Threads: 1, EndTime: 0}, // no end time
+		{Model: PHOLD{LPsPerThread: 1, Imbalance: 3}, Threads: 4, EndTime: 1, Machine: SmallMachine()}, // bad imbalance
+	}
+	for i, cfg := range cases {
+		if _, err := Run(cfg); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestRunQuickstart(t *testing.T) {
+	res, err := Run(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CommittedEvents == 0 || res.CommittedEventRate <= 0 {
+		t.Fatalf("no throughput: %+v", res)
+	}
+	if res.FinalGVT < 30 {
+		t.Fatalf("simulation incomplete: GVT %v", res.FinalGVT)
+	}
+	if res.WallClockSeconds <= 0 || res.TotalCycles == 0 {
+		t.Fatal("machine metrics missing")
+	}
+	if res.GVTRounds == 0 || res.GVTCPUSeconds <= 0 {
+		t.Fatal("GVT metrics missing")
+	}
+}
+
+func TestResultsDerivedMetrics(t *testing.T) {
+	res, err := Run(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GVTCPUSecondsPerRound() <= 0 {
+		t.Fatal("per-round GVT time missing")
+	}
+	if e := res.Efficiency(); e <= 0 || e > 1 {
+		t.Fatalf("efficiency = %v", e)
+	}
+	zero := &Results{}
+	if zero.GVTCPUSecondsPerRound() != 0 || zero.Efficiency() != 0 {
+		t.Fatal("zero-value derived metrics should be 0")
+	}
+}
+
+func TestAllModelsRunThroughAPI(t *testing.T) {
+	cfgs := []Config{
+		{Model: PHOLD{LPsPerThread: 4}, Threads: 4, EndTime: 20},
+		{Model: Epidemics{LPsPerThread: 8, LockdownGroups: 4, ContactRate: 3, TransmissionProb: 0.5}, Threads: 4, EndTime: 20},
+		{Model: Traffic{LPsPerThread: 4, CenterStartEvents: 6}, Threads: 4, EndTime: 10},
+	}
+	for _, cfg := range cfgs {
+		cfg.Machine = SmallMachine()
+		cfg.GVTFrequency = 20
+		cfg.ZeroCounterThreshold = 60
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", cfg.Model.Name(), err)
+		}
+		if res.CommittedEvents == 0 {
+			t.Fatalf("%s committed nothing", cfg.Model.Name())
+		}
+	}
+}
+
+func TestModelNames(t *testing.T) {
+	cases := map[string]Model{
+		"phold":               PHOLD{},
+		"phold-1-4":           PHOLD{Imbalance: 4},
+		"phold-1-8-nonlinear": PHOLD{Imbalance: 8, NonLinear: true},
+		"epidemics-3-4":       Epidemics{},
+		"epidemics-7-8":       Epidemics{LockdownGroups: 8},
+		"traffic-0.35":        Traffic{},
+		"traffic-0.50":        Traffic{DensityGradient: 0.5},
+	}
+	for want, m := range cases {
+		if got := m.Name(); got != want {
+			t.Errorf("Name = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestEnumStrings(t *testing.T) {
+	if Baseline.String() != "baseline" || GGPDES.String() != "gg-pdes" {
+		t.Fatal("system strings wrong")
+	}
+	if Barrier.String() != "barrier" || WaitFree.String() != "waitfree" {
+		t.Fatal("gvt strings wrong")
+	}
+	if NoAffinity.String() != "none" || DynamicAffinity.String() != "dynamic" {
+		t.Fatal("affinity strings wrong")
+	}
+	if SplayQueue.String() != "splay" || CalendarQueue.String() != "calendar" {
+		t.Fatal("queue strings wrong")
+	}
+}
+
+func TestMachinePresets(t *testing.T) {
+	knl := KNL7230()
+	if knl.Cores != 64 || knl.SMTWidth != 4 {
+		t.Fatalf("KNL preset wrong: %+v", knl)
+	}
+	small := SmallMachine()
+	if small.Cores != 4 || small.SMTWidth != 2 {
+		t.Fatalf("small preset wrong: %+v", small)
+	}
+	// Custom SMT wider than the KNL curve extends it.
+	cfg, err := Machine{Cores: 2, SMTWidth: 8}.build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.SMTAggregate) != 8 {
+		t.Fatalf("SMT curve not extended: %v", cfg.SMTAggregate)
+	}
+}
+
+func TestDeterministicAPIRuns(t *testing.T) {
+	a, err := Run(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.CommittedEvents != b.CommittedEvents || a.WallClockSeconds != b.WallClockSeconds ||
+		a.TotalCycles != b.TotalCycles {
+		t.Fatalf("identical configs diverged: %+v vs %+v", a, b)
+	}
+}
+
+func TestSeedChangesTrajectory(t *testing.T) {
+	cfg := quickCfg()
+	cfg.Seed = 1
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Seed = 2
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.CommittedEvents == b.CommittedEvents && a.TotalCycles == b.TotalCycles {
+		t.Fatal("different seeds produced identical runs")
+	}
+}
+
+func TestQueueKindsAgreeOnCommitted(t *testing.T) {
+	var committed []uint64
+	for _, q := range []Queue{SplayQueue, HeapQueue, CalendarQueue} {
+		cfg := quickCfg()
+		cfg.Queue = q
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", q, err)
+		}
+		committed = append(committed, res.CommittedEvents)
+	}
+	if committed[0] != committed[1] || committed[1] != committed[2] {
+		t.Fatalf("queue kinds disagree: %v", committed)
+	}
+}
+
+// The headline claim, miniaturized: on an imbalanced model, GG-PDES
+// (Async) must beat Baseline-Async in committed event rate and execute
+// fewer total cycles.
+func TestGGBeatsBaselineAsyncOnImbalance(t *testing.T) {
+	run := func(sys System) *Results {
+		cfg := Config{
+			Model:                PHOLD{LPsPerThread: 4, Imbalance: 4},
+			Threads:              16,
+			System:               sys,
+			GVT:                  WaitFree,
+			EndTime:              60,
+			Machine:              SmallMachine(),
+			GVTFrequency:         20,
+			ZeroCounterThreshold: 60,
+		}
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	base := run(Baseline)
+	gg := run(GGPDES)
+	if gg.Deactivations == 0 {
+		t.Fatal("GG never deactivated")
+	}
+	if gg.TotalCycles >= base.TotalCycles {
+		t.Fatalf("GG cycles %d not below baseline %d", gg.TotalCycles, base.TotalCycles)
+	}
+	if gg.CommittedEventRate <= base.CommittedEventRate {
+		t.Fatalf("GG rate %.0f not above baseline %.0f", gg.CommittedEventRate, base.CommittedEventRate)
+	}
+}
+
+func TestTraceRecordsRun(t *testing.T) {
+	var csv bytes.Buffer
+	cfg := quickCfg()
+	cfg.Model = PHOLD{LPsPerThread: 4, Imbalance: 4}
+	cfg.Threads = 16
+	cfg.EndTime = 60
+	cfg.Trace = &TraceOptions{CSV: &csv}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TraceSummary == "" {
+		t.Fatal("no trace summary")
+	}
+	for _, want := range []string{"gvt updates", "deactivations"} {
+		if !strings.Contains(res.TraceSummary, want) {
+			t.Fatalf("summary %q missing %q", res.TraceSummary, want)
+		}
+	}
+	if res.Deactivations > 0 && res.InactiveFraction <= 0 {
+		t.Fatalf("deactivations %d but inactive fraction %v", res.Deactivations, res.InactiveFraction)
+	}
+	out := csv.String()
+	if !strings.Contains(out, "gvt,") || !strings.Contains(out, "deactivate,") {
+		t.Fatalf("csv missing records:\n%.300s", out)
+	}
+}
+
+func TestReverseComputationThroughAPI(t *testing.T) {
+	cfg := quickCfg()
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.StateSaving = ReverseComputation
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.CommittedEvents != b.CommittedEvents {
+		t.Fatalf("reverse committed %d != copy %d", b.CommittedEvents, a.CommittedEvents)
+	}
+	if CopyState.String() != "copy" || ReverseComputation.String() != "reverse" {
+		t.Fatal("state saving strings wrong")
+	}
+}
+
+func TestAdaptiveGVTThroughAPI(t *testing.T) {
+	cfg := quickCfg()
+	cfg.Model = PHOLD{LPsPerThread: 8, Imbalance: 2}
+	cfg.Threads = 8
+	cfg.GVTFrequency = 64
+	cfg.AdaptiveGVT = &AdaptiveGVT{MinFrequency: 4, MaxFrequency: 64, TargetUncommittedPerThread: 1}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalGVTFrequency >= 64 {
+		t.Fatalf("frequency never adapted: %d", res.FinalGVTFrequency)
+	}
+	if res.PeakUncommittedEvents <= 0 {
+		t.Fatal("no memory accounting")
+	}
+	// Fixed-frequency run for comparison keeps the configured value.
+	cfg.AdaptiveGVT = nil
+	fixed, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fixed.FinalGVTFrequency != 64 {
+		t.Fatalf("fixed frequency drifted: %d", fixed.FinalGVTFrequency)
+	}
+}
+
+func TestAdaptiveGVTBoundsMemory(t *testing.T) {
+	base := Config{
+		Model:                PHOLD{LPsPerThread: 16},
+		Threads:              8,
+		System:               Baseline,
+		GVT:                  WaitFree,
+		EndTime:              60,
+		Machine:              SmallMachine(),
+		GVTFrequency:         512, // rare rounds: memory piles up
+		ZeroCounterThreshold: 600,
+	}
+	rare, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The adaptive run starts at a moderate frequency (adaptation can
+	// only act after the first round) and tunes down toward the target.
+	adaptive := base
+	adaptive.GVTFrequency = 64
+	adaptive.AdaptiveGVT = &AdaptiveGVT{MinFrequency: 8, MaxFrequency: 512, TargetUncommittedPerThread: 8}
+	tuned, err := Run(adaptive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tuned.PeakUncommittedEvents >= rare.PeakUncommittedEvents {
+		t.Fatalf("adaptive peak %d not below fixed-rare peak %d",
+			tuned.PeakUncommittedEvents, rare.PeakUncommittedEvents)
+	}
+	if tuned.FinalGVTFrequency >= 64 {
+		t.Fatalf("frequency did not tune down: %d", tuned.FinalGVTFrequency)
+	}
+}
+
+func TestLazyCancellationThroughAPI(t *testing.T) {
+	cfg := quickCfg()
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.LazyCancellation = true
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.CommittedEvents != b.CommittedEvents {
+		t.Fatalf("lazy committed %d != aggressive %d", b.CommittedEvents, a.CommittedEvents)
+	}
+	if b.Rollbacks > 0 && b.LazyReused+b.LazyCancelled == 0 {
+		t.Fatal("lazy run rolled back but recorded no lazy outcomes")
+	}
+}
+
+func TestNUMAMachineThroughAPI(t *testing.T) {
+	cfg := Config{
+		Model:                PHOLD{LPsPerThread: 4, Imbalance: 4, NonLinear: true},
+		Threads:              16,
+		System:               GGPDES,
+		GVT:                  WaitFree,
+		Affinity:             DynamicAffinity,
+		EndTime:              40,
+		Machine:              Machine{Cores: 8, SMTWidth: 2, FreqHz: 1.3e9, NUMANodes: 2},
+		GVTFrequency:         20,
+		ZeroCounterThreshold: 200,
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CommittedEvents == 0 {
+		t.Fatal("nothing committed")
+	}
+	if res.Repins == 0 {
+		t.Fatal("dynamic affinity idle on NUMA machine")
+	}
+	knl := KNL7230SNC4()
+	if knl.NUMANodes != 4 {
+		t.Fatal("SNC4 preset wrong")
+	}
+}

@@ -1,0 +1,3 @@
+module ggpdes
+
+go 1.22

@@ -1,0 +1,189 @@
+package core
+
+import (
+	"ggpdes/internal/machine"
+	"ggpdes/internal/trace"
+)
+
+// affinity is the CPU pinning behaviour plugged into the runner.
+type affinity interface {
+	// Setup runs once per simulation thread before its main loop.
+	Setup(p *machine.Proc, acc *machine.Acc, tid int)
+	// OnDeactivate releases the thread's core assignment (Algorithm 1
+	// lines 9-10); only the dynamic algorithm keeps tables.
+	OnDeactivate(acc *machine.Acc, tid int)
+	// OnRoundComplete re-pins active threads (Algorithm 4), executed by
+	// the last thread of a GVT round on behalf of the pseudo-controller.
+	OnRoundComplete(p *machine.Proc, acc *machine.Acc, g *ggSched)
+}
+
+// noAffinity leaves every placement decision to the machine's CFS.
+type noAffinity struct{}
+
+func (noAffinity) Setup(*machine.Proc, *machine.Acc, int)                {}
+func (noAffinity) OnDeactivate(*machine.Acc, int)                        {}
+func (noAffinity) OnRoundComplete(*machine.Proc, *machine.Acc, *ggSched) {}
+
+// constantAffinity is Algorithm 3: pin thread t to core t mod N during
+// setup and never change it, trading migration freedom for cache
+// locality. Adequate under linear execution locality, pathological
+// under non-linear locality (active threads pile onto few cores).
+type constantAffinity struct {
+	usableCores int
+}
+
+func (c *constantAffinity) Setup(p *machine.Proc, acc *machine.Acc, tid int) {
+	acc.Flush()
+	p.SetAffinity(tid, tid%c.usableCores)
+}
+
+func (c *constantAffinity) OnDeactivate(*machine.Acc, int)                        {}
+func (c *constantAffinity) OnRoundComplete(*machine.Proc, *machine.Acc, *ggSched) {}
+
+// dynamicAffinity is Algorithm 4: at the end of each GVT round, pin
+// every active-but-unpinned thread to the emptiest core. Two tables
+// mirror the paper's: affinityTable[core] holds how many threads are
+// pinned to the core (SMT-aware generalization of the paper's single
+// occupant entry), and affinityTableInv[tid] holds the thread's core or
+// -1. Deactivating threads release their slots, so shifting locality
+// keeps re-balancing onto idled cores.
+type dynamicAffinity struct {
+	costs Costs
+	// pinnedCount[core] is the number of active threads pinned there.
+	pinnedCount []int
+	// coreOf[tid] is the paper's affinity_table_inv: -1 when unpinned.
+	coreOf   []int
+	smtWidth int
+	// smtAware selects the paper's SMT-aware placement (fewest active
+	// hardware threads first). When false, the pass first-fits with a
+	// rotating cursor, the plain Algorithm 4 — kept for ablation.
+	smtAware bool
+	cursor   int
+	// nodeOf maps a core to its NUMA node; numaAware makes the pass
+	// prefer a thread's previous node when re-pinning — the extension
+	// the paper leaves as future work.
+	nodeOf    func(core int) int
+	numaAware bool
+	// lastNode remembers where each thread was pinned before
+	// deactivation (-1 = never pinned).
+	lastNode []int
+	// Repins counts SetAffinity operations performed by the pass.
+	Repins uint64
+}
+
+func newDynamicAffinity(threads, usableCores, smtWidth int, costs Costs) *dynamicAffinity {
+	d := &dynamicAffinity{
+		costs:       costs,
+		pinnedCount: make([]int, usableCores),
+		coreOf:      make([]int, threads),
+		lastNode:    make([]int, threads),
+		smtWidth:    smtWidth,
+		smtAware:    true,
+		nodeOf:      func(int) int { return 0 },
+	}
+	for i := range d.coreOf {
+		d.coreOf[i] = -1
+		d.lastNode[i] = -1
+	}
+	return d
+}
+
+// Setup performs no initial pinning: the first GVT round's pass places
+// every active thread.
+func (d *dynamicAffinity) Setup(*machine.Proc, *machine.Acc, int) {}
+
+// OnDeactivate is Algorithm 1 lines 9-10: clear both table entries so
+// the core becomes available to newly activated threads.
+func (d *dynamicAffinity) OnDeactivate(acc *machine.Acc, tid int) {
+	if core := d.coreOf[tid]; core >= 0 {
+		d.pinnedCount[core]--
+		d.coreOf[tid] = -1
+		d.lastNode[tid] = d.nodeOf(core)
+	}
+	acc.Work(d.costs.AffinityPerThreadCycles)
+}
+
+// OnRoundComplete is Algorithm 4: walk active_threads; for each active
+// thread not yet pinned, find the core with the fewest active pinned
+// hardware threads (SMT-awareness) and pin it there.
+func (d *dynamicAffinity) OnRoundComplete(p *machine.Proc, acc *machine.Acc, g *ggSched) {
+	for tid, active := range g.activeThreads {
+		acc.Work(d.costs.AffinityPerThreadCycles)
+		if !active || d.coreOf[tid] >= 0 {
+			continue
+		}
+		core := d.pickCore(acc, tid)
+		d.pinnedCount[core]++
+		d.coreOf[tid] = core
+		d.Repins++
+		if t := g.r.cfg.Trace; t != nil {
+			t.Add(trace.KindRepin, tid, 0, int64(core))
+		}
+		acc.Flush()
+		p.SetAffinity(tid, core)
+	}
+}
+
+func (d *dynamicAffinity) pickCore(acc *machine.Acc, tid int) int {
+	if !d.smtAware {
+		return d.firstFitCore(acc)
+	}
+	if d.numaAware {
+		if node := d.lastNode[tid]; node >= 0 {
+			// Prefer an empty-enough core on the thread's previous node
+			// (warm caches, local memory); fall back globally when that
+			// node is crowded.
+			if core, count := d.emptiestCoreInNode(acc, node); core >= 0 && count < d.smtWidth {
+				return core
+			}
+		}
+	}
+	return d.emptiestCore(acc)
+}
+
+// emptiestCoreInNode scans one NUMA node for its least-pinned core.
+func (d *dynamicAffinity) emptiestCoreInNode(acc *machine.Acc, node int) (core, count int) {
+	best, bestCount := -1, int(^uint(0)>>1)
+	for c, n := range d.pinnedCount {
+		if d.nodeOf(c) != node {
+			continue
+		}
+		acc.Work(d.costs.AffinityPerThreadCycles / 4)
+		if n < bestCount {
+			best, bestCount = c, n
+		}
+	}
+	return best, bestCount
+}
+
+// emptiestCore returns the core with the fewest pinned active threads,
+// lowest id on ties — so four active threads land on four distinct
+// cores rather than sharing SMT contexts.
+func (d *dynamicAffinity) emptiestCore(acc *machine.Acc) int {
+	best, bestCount := 0, int(^uint(0)>>1)
+	for c, n := range d.pinnedCount {
+		acc.Work(d.costs.AffinityPerThreadCycles / 4)
+		if n < bestCount {
+			best, bestCount = c, n
+		}
+	}
+	return best
+}
+
+// firstFitCore is the SMT-blind ablation: scan from a rotating cursor
+// for any core with a free hardware context, ignoring how loaded the
+// others are.
+func (d *dynamicAffinity) firstFitCore(acc *machine.Acc) int {
+	n := len(d.pinnedCount)
+	for i := 0; i < n; i++ {
+		c := (d.cursor + i) % n
+		acc.Work(d.costs.AffinityPerThreadCycles / 4)
+		if d.pinnedCount[c] < d.smtWidth {
+			d.cursor = c
+			return c
+		}
+	}
+	// All cores saturated; fall back to the cursor position.
+	d.cursor = (d.cursor + 1) % n
+	return d.cursor
+}

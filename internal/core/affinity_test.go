@@ -1,0 +1,203 @@
+package core
+
+import (
+	"testing"
+
+	"ggpdes/internal/machine"
+)
+
+func newTestDynAffinity(threads, cores, smt int) (*dynamicAffinity, *machine.Acc, *machine.Machine) {
+	d := newDynamicAffinity(threads, cores, smt, DefaultCosts())
+	// A throwaway machine/acc pair for cost charging in unit tests.
+	m, _ := machine.New(machine.Small())
+	return d, nil, m
+}
+
+func TestDynamicAffinitySMTAwarePlacement(t *testing.T) {
+	d := newDynamicAffinity(8, 4, 2, DefaultCosts())
+	acc := &nopAcc{}
+	// Pin four threads: SMT-aware placement spreads one per core.
+	got := make(map[int]int)
+	for i := 0; i < 4; i++ {
+		c := d.pickCore(acc.acc(), 0)
+		d.pinnedCount[c]++
+		got[c]++
+	}
+	if len(got) != 4 {
+		t.Fatalf("SMT-aware placement used %d cores, want 4: %v", len(got), got)
+	}
+	// The next four double up, one per core again.
+	for i := 0; i < 4; i++ {
+		c := d.pickCore(acc.acc(), 0)
+		d.pinnedCount[c]++
+		got[c]++
+	}
+	for c, n := range got {
+		if n != 2 {
+			t.Fatalf("core %d has %d pinned, want 2", c, n)
+		}
+	}
+}
+
+func TestDynamicAffinitySMTBlindFirstFit(t *testing.T) {
+	d := newDynamicAffinity(8, 4, 2, DefaultCosts())
+	d.smtAware = false
+	acc := &nopAcc{}
+	// First-fit with a cursor fills core 0's two contexts before moving
+	// on: the pathology SMT-awareness avoids.
+	c1 := d.pickCore(acc.acc(), 0)
+	d.pinnedCount[c1]++
+	c2 := d.pickCore(acc.acc(), 0)
+	d.pinnedCount[c2]++
+	if c1 != 0 || c2 != 0 {
+		t.Fatalf("blind first-fit picked %d then %d, want 0, 0", c1, c2)
+	}
+	c3 := d.pickCore(acc.acc(), 0)
+	if c3 != 1 {
+		t.Fatalf("third pick = %d, want 1", c3)
+	}
+}
+
+func TestDynamicAffinityBlindSaturationFallback(t *testing.T) {
+	d := newDynamicAffinity(4, 2, 1, DefaultCosts())
+	d.smtAware = false
+	acc := &nopAcc{}
+	d.pinnedCount[0] = 1
+	d.pinnedCount[1] = 1 // all cores saturated
+	c := d.pickCore(acc.acc(), 0)
+	if c < 0 || c >= 2 {
+		t.Fatalf("fallback core %d out of range", c)
+	}
+}
+
+func TestDynamicAffinityDeactivateReleasesSlot(t *testing.T) {
+	d := newDynamicAffinity(4, 2, 2, DefaultCosts())
+	acc := &nopAcc{}
+	d.coreOf[1] = 1
+	d.pinnedCount[1] = 1
+	d.OnDeactivate(acc.acc(), 1)
+	if d.coreOf[1] != -1 || d.pinnedCount[1] != 0 {
+		t.Fatalf("slot not released: coreOf=%d count=%d", d.coreOf[1], d.pinnedCount[1])
+	}
+	// Deactivating an unpinned thread is a no-op.
+	d.OnDeactivate(acc.acc(), 2)
+	if d.pinnedCount[0] != 0 && d.pinnedCount[1] != 0 {
+		t.Fatal("unpinned deactivation touched counts")
+	}
+}
+
+// nopAcc supplies an *machine.Acc-compatible sink for unit tests that
+// never flush; built on a real machine thread is overkill here, so use
+// the zero-value Acc which accumulates without a Proc.
+type nopAcc struct{ a machine.Acc }
+
+func (n *nopAcc) acc() *machine.Acc { return &n.a }
+
+// BenchmarkAblationSMTAwareness compares SMT-aware against first-fit
+// dynamic affinity on a non-linear locality PHOLD where placement
+// matters (DESIGN.md §5).
+func BenchmarkAblationSMTAwareness(b *testing.B) {
+	for _, aware := range []bool{true, false} {
+		aware := aware
+		name := "smt-aware"
+		if !aware {
+			name = "first-fit"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res := benchOneAffinityRun(b, aware, uint64(i+1))
+				b.ReportMetric(res, "ev/s(sim)")
+			}
+		})
+	}
+}
+
+// benchOneAffinityRun runs one GG + dynamic-affinity simulation with
+// the given SMT policy and returns the committed event rate.
+func benchOneAffinityRun(b *testing.B, smtAware bool, seed uint64) float64 {
+	b.Helper()
+	res := runAffinitySim(b, smtAware, seed)
+	return res
+}
+
+// runAffinitySim builds a full GG + dynamic-affinity run with the given
+// SMT policy and returns the committed event rate.
+func runAffinitySim(tb testing.TB, smtAware bool, seed uint64) float64 {
+	tb.Helper()
+	sp := simParams{
+		system: GGPDES, gvtKind: 1 /* waitfree */, affinity: AffinityDynamic,
+		threads: 16, lpsPer: 4, imbalance: 4, nonLinear: true,
+		endTime: 40, cores: 4, smt: 2, gvtFreq: 20, zeroThresh: 60,
+		seed: seed, maxTicks: 1 << 22, startPerLP: 1,
+	}
+	mcfg := machine.Small()
+	mcfg.MaxTicks = sp.maxTicks
+	m, err := machine.New(mcfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	model, err := newPHOLDFor(sp)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	eng, err := newEngineFor(model, sp)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	r, err := NewRunner(Config{
+		Machine: m, Engine: eng, System: GGPDES, GVTKind: 1,
+		GVTFrequency: sp.gvtFreq, ZeroCounterThreshold: sp.zeroThresh,
+		Affinity: AffinityDynamic,
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	r.aff.(*dynamicAffinity).smtAware = smtAware
+	if err := m.Run(); err != nil {
+		tb.Fatal(err)
+	}
+	wall := m.WallSeconds()
+	if wall == 0 {
+		return 0
+	}
+	return float64(eng.TotalStats().Committed) / wall
+}
+
+func TestDynamicAffinityNUMAPrefersPreviousNode(t *testing.T) {
+	d := newDynamicAffinity(4, 8, 2, DefaultCosts())
+	d.numaAware = true
+	d.nodeOf = func(core int) int { return core / 4 } // 2 nodes of 4
+	acc := &nopAcc{}
+	// Thread 0 was last pinned on node 1; node 1 cores are emptier than
+	// nothing, so it should return there even though core 0 is equally
+	// empty.
+	d.lastNode[0] = 1
+	core := d.pickCore(acc.acc(), 0)
+	if d.nodeOf(core) != 1 {
+		t.Fatalf("picked core %d on node %d, want node 1", core, d.nodeOf(core))
+	}
+	// When the previous node saturates, fall back globally.
+	for c := 4; c < 8; c++ {
+		d.pinnedCount[c] = 2 // == smtWidth
+	}
+	core = d.pickCore(acc.acc(), 0)
+	if d.nodeOf(core) != 0 {
+		t.Fatalf("saturated node not avoided: picked core %d", core)
+	}
+	// Threads never pinned before place globally.
+	if got := d.pickCore(acc.acc(), 1); d.nodeOf(got) != 0 {
+		t.Fatalf("fresh thread picked node %d", d.nodeOf(got))
+	}
+}
+
+func TestDeactivateRemembersNode(t *testing.T) {
+	d := newDynamicAffinity(2, 8, 2, DefaultCosts())
+	d.nodeOf = func(core int) int { return core / 4 }
+	acc := &nopAcc{}
+	d.coreOf[0] = 6
+	d.pinnedCount[6] = 1
+	d.OnDeactivate(acc.acc(), 0)
+	if d.lastNode[0] != 1 {
+		t.Fatalf("lastNode = %d, want 1", d.lastNode[0])
+	}
+}

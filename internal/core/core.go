@@ -1,0 +1,353 @@
+// Package core implements the paper's contribution: demand-driven
+// scheduling of PDES simulation threads.
+//
+// Three systems are provided:
+//
+//   - Baseline: no explicit scheduling; inactive threads keep polling
+//     (or sleep only incidentally inside barrier waits) and the OS
+//     (machine CFS) multiplexes everything.
+//   - DDPDES: the prior Demand-Driven PDES design — a dedicated
+//     controller thread on its own core periodically scans activity
+//     under a global mutex and reactivates threads; simulation threads
+//     deactivate under the same mutex.
+//   - GGPDES: the paper's GVT-Guided design — no controller thread;
+//     the first thread to reach the GVT round's Aware phase acts as
+//     pseudo-controller and runs the activation scan (Algorithm 2);
+//     every thread may deactivate at Phase End (Algorithm 1); shared
+//     state is touched lock-free, relying on the phase ordering
+//     (Aware precedes End) for consistency.
+//
+// On top of GG-PDES sit three CPU affinity algorithms (§4.2): none
+// (CFS decides), constant (round-robin pinning at startup, Algorithm
+// 3), and dynamic (re-pin active threads to idle cores each GVT round,
+// SMT-aware, Algorithm 4).
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"ggpdes/internal/gvt"
+	"ggpdes/internal/machine"
+	"ggpdes/internal/trace"
+	"ggpdes/internal/tw"
+)
+
+// System selects the thread-scheduling design.
+type System int
+
+const (
+	// Baseline relies on the OS scheduler alone.
+	Baseline System = iota
+	// DDPDES is the prior controller-thread design.
+	DDPDES
+	// GGPDES is the paper's GVT-guided design.
+	GGPDES
+)
+
+// String returns the system name.
+func (s System) String() string {
+	switch s {
+	case Baseline:
+		return "baseline"
+	case DDPDES:
+		return "dd-pdes"
+	case GGPDES:
+		return "gg-pdes"
+	default:
+		return "unknown"
+	}
+}
+
+// Affinity selects the CPU pinning algorithm.
+type Affinity int
+
+const (
+	// AffinityNone lets the machine's CFS place and migrate threads.
+	AffinityNone Affinity = iota
+	// AffinityConstant pins thread t to core t mod usable-cores at
+	// startup and never changes it (Algorithm 3).
+	AffinityConstant
+	// AffinityDynamic re-pins unpinned active threads to the
+	// least-loaded cores at the end of every GVT round (Algorithm 4);
+	// only meaningful with GGPDES.
+	AffinityDynamic
+)
+
+// String returns the affinity algorithm's name.
+func (a Affinity) String() string {
+	switch a {
+	case AffinityNone:
+		return "none"
+	case AffinityConstant:
+		return "constant"
+	case AffinityDynamic:
+		return "dynamic"
+	default:
+		return "unknown"
+	}
+}
+
+// Costs prices scheduler operations in CPU cycles.
+type Costs struct {
+	// LoopCycles is per main-loop iteration overhead (queue size check,
+	// zero-counter update, branch logic).
+	LoopCycles uint64
+	// ScanPerThreadCycles is the activation scan's cost per thread
+	// entry (Algorithm 2's walk, and the DD controller's scan).
+	ScanPerThreadCycles uint64
+	// DeactivateCycles is the bookkeeping cost of Algorithm 1's
+	// deactivation path (excluding the semaphore call itself).
+	DeactivateCycles uint64
+	// AffinityPerThreadCycles is Algorithm 4's per-entry table scan.
+	AffinityPerThreadCycles uint64
+	// DDControllerPauseCycles is the work the DD controller performs
+	// between scan passes on its dedicated core.
+	DDControllerPauseCycles uint64
+}
+
+// DefaultCosts returns the scheduler cost model used in the evaluation.
+func DefaultCosts() Costs {
+	return Costs{
+		LoopCycles:              150,
+		ScanPerThreadCycles:     25,
+		DeactivateCycles:        300,
+		AffinityPerThreadCycles: 30,
+		DDControllerPauseCycles: 4000,
+	}
+}
+
+// Config assembles a Runner.
+type Config struct {
+	// Machine hosts the simulation threads.
+	Machine *machine.Machine
+	// Engine is the Time Warp engine to drive (one peer per thread).
+	Engine *tw.Engine
+	// System selects Baseline, DDPDES or GGPDES.
+	System System
+	// GVTKind selects Barrier (-Sync) or WaitFree (-Async).
+	GVTKind gvt.Kind
+	// GVTFrequency is main-loop iterations between GVT rounds (paper:
+	// 200). Zero selects 200.
+	GVTFrequency int
+	// ZeroCounterThreshold is how many consecutive empty-queue loop
+	// iterations flag a thread inactive (paper: 2000). Zero selects
+	// 2000.
+	ZeroCounterThreshold int
+	// Affinity selects the pinning algorithm. AffinityDynamic requires
+	// GGPDES.
+	Affinity Affinity
+	// Costs is the scheduler cost model; zero value selects defaults.
+	Costs Costs
+	// GVTCosts is the GVT protocol cost model; zero value = defaults.
+	GVTCosts gvt.Costs
+	// Trace, when non-nil, records scheduling transitions, GVT rounds
+	// and affinity repins.
+	Trace *trace.Recorder
+	// GVTAdaptive, when non-nil, enables adaptive GVT frequency tuning.
+	GVTAdaptive *gvt.Adaptive
+}
+
+// Runner wires a machine, an engine, a GVT algorithm, a scheduler and
+// an affinity algorithm together and spawns the simulation threads.
+// After Setup, drive the run with Machine.Run.
+type Runner struct {
+	cfg   Config
+	alg   gvt.Algorithm
+	sched scheduler
+	aff   affinity
+
+	shutdownDone bool
+}
+
+// scheduler is the demand-driven scheduling behaviour, invoked from the
+// GVT algorithm's hook points and from the main loop.
+type scheduler interface {
+	gvt.Hooks
+	// ReadMessageCount is Algorithm 1's per-iteration activity probe.
+	ReadMessageCount(tid int)
+	// SemOf returns the thread's de-scheduling semaphore, nil if the
+	// system never de-schedules.
+	SemOf(tid int) *machine.Sem
+	// IsActive reports scheduler-level activity of a thread.
+	IsActive(tid int) bool
+}
+
+// NewRunner validates cfg, spawns one machine thread per engine peer
+// (and the DD controller when applicable), and returns the runner.
+func NewRunner(cfg Config) (*Runner, error) {
+	if cfg.Machine == nil || cfg.Engine == nil {
+		return nil, errors.New("core: Machine and Engine are required")
+	}
+	if cfg.GVTFrequency == 0 {
+		cfg.GVTFrequency = 200
+	}
+	if cfg.GVTFrequency < 0 {
+		return nil, errors.New("core: GVTFrequency must be positive")
+	}
+	if cfg.ZeroCounterThreshold == 0 {
+		cfg.ZeroCounterThreshold = 2000
+	}
+	if cfg.ZeroCounterThreshold < 0 {
+		return nil, errors.New("core: ZeroCounterThreshold must be positive")
+	}
+	if cfg.Costs == (Costs{}) {
+		cfg.Costs = DefaultCosts()
+	}
+	if cfg.Affinity == AffinityDynamic && cfg.System != GGPDES {
+		return nil, errors.New("core: AffinityDynamic requires the GGPDES system")
+	}
+	r := &Runner{cfg: cfg}
+
+	n := len(cfg.Engine.Peers())
+	mcfg := cfg.Machine.Config()
+	usableCores := mcfg.Cores
+	if cfg.System == DDPDES {
+		// The controller monopolizes the last core.
+		usableCores--
+		if usableCores < 1 {
+			return nil, errors.New("core: DDPDES needs at least 2 cores")
+		}
+	}
+
+	switch cfg.Affinity {
+	case AffinityNone:
+		r.aff = &noAffinity{}
+	case AffinityConstant:
+		r.aff = &constantAffinity{usableCores: usableCores}
+	case AffinityDynamic:
+		dyn := newDynamicAffinity(n, usableCores, mcfg.SMTWidth, cfg.Costs)
+		if mcfg.NUMANodes > 1 {
+			dyn.nodeOf = mcfg.NodeOf
+			dyn.numaAware = true
+		}
+		r.aff = dyn
+	default:
+		return nil, fmt.Errorf("core: unknown affinity %d", cfg.Affinity)
+	}
+
+	switch cfg.System {
+	case Baseline:
+		r.sched = &baselineSched{}
+	case GGPDES:
+		r.sched = newGGSched(r)
+	case DDPDES:
+		r.sched = newDDSched(r)
+	default:
+		return nil, fmt.Errorf("core: unknown system %d", cfg.System)
+	}
+
+	alg, err := gvt.New(gvt.Config{
+		Kind:      cfg.GVTKind,
+		Engine:    cfg.Engine,
+		Machine:   cfg.Machine,
+		Frequency: cfg.GVTFrequency,
+		Hooks:     r.sched,
+		Costs:     cfg.GVTCosts,
+		Adaptive:  cfg.GVTAdaptive,
+	})
+	if err != nil {
+		return nil, err
+	}
+	r.alg = alg
+
+	for tid := 0; tid < n; tid++ {
+		tid := tid
+		cfg.Machine.Spawn(fmt.Sprintf("sim-%d", tid), func(p *machine.Proc) {
+			r.threadBody(p, tid)
+		})
+	}
+	if dd, ok := r.sched.(*ddSched); ok {
+		cfg.Machine.SpawnPinned("dd-controller", mcfg.Cores-1, dd.controllerBody)
+	}
+	return r, nil
+}
+
+// Algorithm returns the GVT algorithm instance (for stats).
+func (r *Runner) Algorithm() gvt.Algorithm { return r.alg }
+
+// SchedulingStats summarizes a run's demand-driven scheduling activity.
+type SchedulingStats struct {
+	// Deactivations and Activations count de-schedule / re-schedule
+	// operations.
+	Deactivations, Activations uint64
+	// LockContention counts blocking acquisitions of DD-PDES's global
+	// mutex (zero for Baseline and GG-PDES).
+	LockContention uint64
+	// Repins counts dynamic-affinity SetAffinity operations.
+	Repins uint64
+}
+
+// SchedulingStats returns the run's scheduling counters; valid after
+// Machine.Run completes.
+func (r *Runner) SchedulingStats() SchedulingStats {
+	var s SchedulingStats
+	switch sched := r.sched.(type) {
+	case *ggSched:
+		s.Deactivations = sched.Deactivations
+		s.Activations = sched.Activations
+	case *ddSched:
+		s.Deactivations = sched.Deactivations
+		s.Activations = sched.Activations
+		s.LockContention = sched.mu.Contended
+	}
+	if dyn, ok := r.aff.(*dynamicAffinity); ok {
+		s.Repins = dyn.Repins
+	}
+	return s
+}
+
+// System returns the configured scheduling system.
+func (r *Runner) System() System { return r.cfg.System }
+
+// idleFlushEvery batches the cycle charges of consecutive do-nothing
+// loop iterations into one machine interaction; idle iterations have no
+// cross-thread effects, so batching them does not change semantics.
+const idleFlushEvery = 8
+
+// threadBody is a simulation thread's main loop, the ROSS core loop:
+// drain input, process a batch, probe activity, advance GVT.
+func (r *Runner) threadBody(p *machine.Proc, tid int) {
+	eng := r.cfg.Engine
+	peer := eng.Peer(tid)
+	acc := machine.NewAcc(p)
+	r.aff.Setup(p, acc, tid)
+	idle := 0
+	for !eng.Done() {
+		acc.Work(r.cfg.Costs.LoopCycles)
+		drained := peer.Drain(acc)
+		processed := peer.ProcessBatch(acc)
+		r.sched.ReadMessageCount(tid)
+		before := r.alg.Rounds()
+		r.alg.Step(p, acc, tid)
+		if drained > 0 || processed > 0 || r.alg.Rounds() != before || acc.Pending() > 4*r.cfg.Costs.LoopCycles {
+			acc.Flush()
+			idle = 0
+			continue
+		}
+		if idle++; idle >= idleFlushEvery {
+			acc.Flush()
+			idle = 0
+		}
+	}
+	// Final fossil collection: threads that exit mid-round (wait-free)
+	// or woke from de-scheduling still hold committable history.
+	peer.FossilCollect(acc, eng.GVT())
+	acc.Flush()
+	r.shutdownWake(p, tid)
+}
+
+// shutdownWake releases every de-scheduled thread once the simulation
+// completes so it can observe completion and exit.
+func (r *Runner) shutdownWake(p *machine.Proc, tid int) {
+	if r.shutdownDone {
+		return
+	}
+	r.shutdownDone = true
+	n := len(r.cfg.Engine.Peers())
+	for i := 0; i < n; i++ {
+		if sem := r.sched.SemOf(i); sem != nil && !r.sched.IsActive(i) {
+			p.SemPost(sem)
+		}
+	}
+}

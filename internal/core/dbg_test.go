@@ -1,0 +1,44 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"ggpdes/internal/gvt"
+	"ggpdes/internal/machine"
+	"ggpdes/internal/models"
+	"ggpdes/internal/tw"
+)
+
+func TestDebugDDBarrier2(t *testing.T) {
+	mcfg := machine.Small()
+	mcfg.Cores = 4
+	mcfg.SMTWidth = 2
+	mcfg.SMTAggregate = []float64{1, 1.45}
+	mcfg.MaxTicks = 1 << 17
+	m, _ := machine.New(mcfg)
+	model, _ := models.NewPHOLD(models.PHOLDConfig{
+		Threads: 8, LPsPerThread: 4, Imbalance: 4,
+		EndTime: 40, StartEventsPerLP: 1,
+	})
+	eng, _ := tw.NewEngine(tw.Config{NumThreads: 8, Model: model, EndTime: 40, Seed: 42})
+	r, err := NewRunner(Config{
+		Machine: m, Engine: eng, System: DDPDES, GVTKind: gvt.Barrier,
+		GVTFrequency: 20, ZeroCounterThreshold: 60,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = m.Run()
+	dd := r.sched.(*ddSched)
+	bar := r.alg.(interface{ Participants() int })
+	fmt.Printf("err=%v GVT=%.3f rounds=%d deact=%d act=%d numActive=%d participants=%d\n",
+		err, eng.GVT(), r.Algorithm().Rounds(), dd.Deactivations, dd.Activations, dd.numActive, bar.Participants())
+	for i, th := range m.Threads() {
+		extra := ""
+		if i < 8 {
+			extra = fmt.Sprintf(" active=%v posted=%v inq=%d haswork=%v", dd.activeThreads[i], dd.posted[i], eng.Peer(i).InputSize(), eng.Peer(i).HasWork())
+		}
+		fmt.Printf("  thr %d (%s): state=%v cycles=%d%s\n", i, th.Name(), th.State(), th.Cycles(), extra)
+	}
+}

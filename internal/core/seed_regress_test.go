@@ -1,0 +1,46 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"ggpdes/internal/gvt"
+	"ggpdes/internal/machine"
+	"ggpdes/internal/models"
+	"ggpdes/internal/tw"
+)
+
+// Regression for the last-subscriber-leaves-while-joiners-pend
+// livelock: under DD-PDES + wait-free GVT, reactivated threads join the
+// protocol lazily, and specific seeds once left the protocol with zero
+// participants and the joiners stranded.
+func TestDDWaitFreeSeedRegression(t *testing.T) {
+	for _, seed := range []uint64{9, 10, 58, 89, 105, 164, 177} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed-%d", seed), func(t *testing.T) {
+			mcfg := machine.KNL7230()
+			mcfg.Cores = 8
+			mcfg.SMTWidth = 2
+			mcfg.SMTAggregate = mcfg.SMTAggregate[:2]
+			mcfg.MaxTicks = 1 << 18
+			m, err := machine.New(mcfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			model, _ := models.NewPHOLD(models.PHOLDConfig{Threads: 16, LPsPerThread: 4, Imbalance: 1, EndTime: 40})
+			eng, _ := tw.NewEngine(tw.Config{NumThreads: 16, Model: model, EndTime: 40, Seed: seed, OptimismWindow: 10})
+			if _, err := NewRunner(Config{
+				Machine: m, Engine: eng, System: DDPDES, GVTKind: gvt.WaitFree,
+				GVTFrequency: 40, ZeroCounterThreshold: 400, Affinity: AffinityConstant,
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if err := m.Run(); err != nil {
+				t.Fatal(err)
+			}
+			if !eng.Done() {
+				t.Fatalf("GVT stalled at %v", eng.GVT())
+			}
+		})
+	}
+}

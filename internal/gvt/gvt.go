@@ -1,0 +1,215 @@
+// Package gvt implements the two Global Virtual Time algorithms the
+// paper evaluates: the synchronous Barrier GVT (descheduling
+// pthread-style barriers, a perfect GVT) and the asynchronous Wait-Free
+// GVT (the five-phase A / Send / B / Aware / End protocol GG-PDES
+// couples its scheduling to).
+//
+// Demand-driven scheduling hooks into the algorithms at the points the
+// paper prescribes: the pseudo-controller — the first thread to reach
+// Phase Aware (or the barrier's serial thread) — runs activation; every
+// thread may deactivate at Phase End; and the last thread to complete a
+// round runs the Dynamic CPU Affinity pass.
+package gvt
+
+import (
+	"fmt"
+
+	"ggpdes/internal/machine"
+	"ggpdes/internal/tw"
+)
+
+// Kind selects a GVT algorithm.
+type Kind int
+
+const (
+	// Barrier is the synchronous algorithm ("-Sync" systems).
+	Barrier Kind = iota
+	// WaitFree is the asynchronous five-phase algorithm ("-Async").
+	WaitFree
+)
+
+// String returns the kind's name.
+func (k Kind) String() string {
+	switch k {
+	case Barrier:
+		return "barrier"
+	case WaitFree:
+		return "waitfree"
+	default:
+		return "unknown"
+	}
+}
+
+// Hooks are the demand-driven scheduling extension points. All methods
+// must charge their costs through acc (flushing before any blocking
+// machine call).
+type Hooks interface {
+	// OnAware runs on the pseudo-controller once per round, immediately
+	// after the new GVT is published: the activation scan (Algorithm 2).
+	OnAware(p *machine.Proc, acc *machine.Acc, tid int)
+	// OnRoundComplete runs on the last thread to finish the round,
+	// after all activations and deactivations: the Dynamic CPU Affinity
+	// pass (Algorithm 4).
+	OnRoundComplete(p *machine.Proc, acc *machine.Acc, tid int)
+	// OnEnd runs on every participating thread at Phase End, after
+	// fossil collection: the deactivation decision (Algorithm 1). It
+	// may block the calling thread (semaphore de-scheduling); it must
+	// call Algorithm.Leave before blocking and Algorithm.Join after
+	// waking.
+	OnEnd(p *machine.Proc, acc *machine.Acc, tid int)
+}
+
+// NopHooks is the baseline: no demand-driven scheduling.
+type NopHooks struct{}
+
+// OnAware does nothing.
+func (NopHooks) OnAware(*machine.Proc, *machine.Acc, int) {}
+
+// OnRoundComplete does nothing.
+func (NopHooks) OnRoundComplete(*machine.Proc, *machine.Acc, int) {}
+
+// OnEnd does nothing.
+func (NopHooks) OnEnd(*machine.Proc, *machine.Acc, int) {}
+
+// Algorithm is a GVT protocol instance shared by all simulation
+// threads of one run.
+type Algorithm interface {
+	// Name identifies the algorithm in reports.
+	Name() string
+	// Step advances the protocol for thread tid. It is called once per
+	// main-loop iteration; non-blocking costs go through acc, blocking
+	// calls flush first. Step also drives the scheduling hooks.
+	Step(p *machine.Proc, acc *machine.Acc, tid int)
+	// Leave unsubscribes tid from GVT participation. It must only be
+	// called from the Phase End extension point (inside Hooks.OnEnd),
+	// where the thread's pending events are already incorporated in the
+	// finished round.
+	Leave(tid int)
+	// Join resubscribes tid after reactivation; the thread participates
+	// from the next round on.
+	Join(tid int)
+	// Participants returns the number of currently subscribed threads.
+	Participants() int
+	// Rounds returns the number of completed GVT rounds.
+	Rounds() uint64
+	// Frequency returns the current loop-iteration interval between
+	// rounds (fixed, unless adaptive tuning is enabled).
+	Frequency() int
+}
+
+// Costs prices GVT protocol operations in CPU cycles.
+type Costs struct {
+	// PhaseCheckCycles is the cost of polling round/phase counters,
+	// paid on every Step call — the overhead inactive threads keep
+	// paying in asynchronous baselines.
+	PhaseCheckCycles uint64
+	// PhaseAdvanceCycles is the cost of recording a cut (atomic counter
+	// + local minimum bookkeeping beyond the engine's LocalMin scan).
+	PhaseAdvanceCycles uint64
+	// ReduceCyclesPerThread is the pseudo-controller's per-participant
+	// cost of the global minimum reduction.
+	ReduceCyclesPerThread uint64
+}
+
+// DefaultCosts returns the cost model used in the evaluation.
+func DefaultCosts() Costs {
+	return Costs{
+		PhaseCheckCycles:      60,
+		PhaseAdvanceCycles:    200,
+		ReduceCyclesPerThread: 30,
+	}
+}
+
+// Adaptive makes the GVT round frequency self-tuning, in the spirit of
+// the adaptive-GVT literature the paper cites: rounds happen more often
+// when speculative state (uncommitted events) piles up, less often when
+// the GVT overhead buys nothing. The controller adjusts the shared
+// frequency at every round completion.
+type Adaptive struct {
+	// MinFrequency and MaxFrequency clamp the loop-iteration interval.
+	MinFrequency, MaxFrequency int
+	// TargetUncommittedPerThread is the aimed-for per-thread peak of
+	// uncommitted events between rounds.
+	TargetUncommittedPerThread int
+}
+
+func (a *Adaptive) validate(base int) error {
+	if a.MinFrequency <= 0 || a.MaxFrequency < a.MinFrequency {
+		return fmt.Errorf("gvt: adaptive bounds [%d, %d] invalid", a.MinFrequency, a.MaxFrequency)
+	}
+	if base < a.MinFrequency || base > a.MaxFrequency {
+		return fmt.Errorf("gvt: base frequency %d outside adaptive bounds", base)
+	}
+	if a.TargetUncommittedPerThread <= 0 {
+		return fmt.Errorf("gvt: adaptive target must be positive")
+	}
+	return nil
+}
+
+// adapt returns the next frequency given the peak uncommitted events
+// seen since the previous round.
+func (a *Adaptive) adapt(freq, peak, threads int) int {
+	target := a.TargetUncommittedPerThread * threads
+	switch {
+	case peak > 2*target:
+		freq /= 2
+	case peak < target/2:
+		freq += freq/4 + 1
+	}
+	if freq < a.MinFrequency {
+		freq = a.MinFrequency
+	}
+	if freq > a.MaxFrequency {
+		freq = a.MaxFrequency
+	}
+	return freq
+}
+
+// Config assembles an Algorithm.
+type Config struct {
+	Kind Kind
+	// Engine is the Time Warp engine being synchronized.
+	Engine *tw.Engine
+	// Machine hosts the simulation threads (the Barrier algorithm
+	// allocates machine barriers).
+	Machine *machine.Machine
+	// Frequency is the number of main-loop iterations between GVT
+	// rounds (the paper uses 200).
+	Frequency int
+	// Hooks are the scheduling extension points; nil means NopHooks.
+	Hooks Hooks
+	// Costs is the protocol cost model; zero value selects defaults.
+	Costs Costs
+	// Adaptive, when non-nil, lets the algorithm tune Frequency within
+	// the given bounds based on speculative memory growth.
+	Adaptive *Adaptive
+}
+
+// New builds the requested algorithm over all engine threads.
+func New(cfg Config) (Algorithm, error) {
+	if cfg.Engine == nil || cfg.Machine == nil {
+		return nil, fmt.Errorf("gvt: Engine and Machine are required")
+	}
+	if cfg.Frequency <= 0 {
+		return nil, fmt.Errorf("gvt: Frequency must be positive, got %d", cfg.Frequency)
+	}
+	if cfg.Hooks == nil {
+		cfg.Hooks = NopHooks{}
+	}
+	if cfg.Costs == (Costs{}) {
+		cfg.Costs = DefaultCosts()
+	}
+	if cfg.Adaptive != nil {
+		if err := cfg.Adaptive.validate(cfg.Frequency); err != nil {
+			return nil, err
+		}
+	}
+	switch cfg.Kind {
+	case Barrier:
+		return newBarrier(cfg), nil
+	case WaitFree:
+		return newWaitFree(cfg), nil
+	default:
+		return nil, fmt.Errorf("gvt: unknown kind %d", cfg.Kind)
+	}
+}

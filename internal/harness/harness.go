@@ -1,0 +1,329 @@
+// Package harness defines one experiment per table and figure of the
+// paper's evaluation and regenerates the corresponding rows/series.
+// Absolute numbers differ from the paper (the substrate is a simulated
+// processor, not the authors' KNL testbed); what reproduces is the
+// shape: which system wins, by roughly what factor, and where the
+// crossovers fall.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"ggpdes"
+	"ggpdes/internal/stats"
+)
+
+// Scale sizes experiments. Paper-scale runs (256 hardware threads, up
+// to 4096 simulation threads, 128-4096 LPs per thread) are supported
+// but expensive; the default scale shrinks the machine and workloads
+// while preserving every ratio the figures depend on (threads per core,
+// over-subscription factors, imbalance windows).
+type Scale struct {
+	// Name identifies the scale in reports.
+	Name string
+	// Machine is the simulated processor.
+	Machine ggpdes.Machine
+	// BaseSweep is the weak-scaling thread sweep up to the machine's
+	// hardware contexts (Figure 2's x-axis).
+	BaseSweep []int
+	// OverSub maps an imbalance factor K to the maximum
+	// over-subscription multiple of hardware contexts (the paper goes
+	// to K/2 × contexts for 1-K models, e.g. 4096 threads at 1-16).
+	MaxOverSub func(k int) int
+	// PHOLDLPs, EpiLPs, TrafficLPs are LPs per thread per model.
+	PHOLDLPs, EpiLPs, TrafficLPs int
+	// EndTime is the virtual end time for every run.
+	EndTime float64
+	// GVTFrequency and ZeroCounterThreshold are the scheduler knobs
+	// (paper: 200 and 2000), shrunk with the workload.
+	GVTFrequency, ZeroCounterThreshold int
+	// OptimismWindow bounds speculation (ROSS max_opt_lookahead);
+	// essential at deep over-subscription.
+	OptimismWindow float64
+	// Seed drives model randomness.
+	Seed uint64
+}
+
+// HWThreads returns the machine's hardware context count.
+func (s Scale) HWThreads() int {
+	m := s.Machine
+	if m.Cores == 0 {
+		m = ggpdes.KNL7230()
+	}
+	return m.Cores * m.SMTWidth
+}
+
+// Default returns the scale used for EXPERIMENTS.md and the benchmark
+// harness: a 16-core, 2-way-SMT machine (32 hardware contexts) with
+// over-subscription up to 8x, completing the full suite in minutes.
+func Default() Scale {
+	return Scale{
+		Name:      "default-16x2",
+		Machine:   ggpdes.Machine{Cores: 16, SMTWidth: 2, FreqHz: 1.3e9},
+		BaseSweep: []int{8, 16, 32},
+		MaxOverSub: func(k int) int {
+			if k/2 > 8 {
+				return 8
+			}
+			if k < 2 {
+				return 1
+			}
+			return k / 2
+		},
+		PHOLDLPs:   8,
+		EpiLPs:     16,
+		TrafficLPs: 8,
+		EndTime:    60,
+		// The paper's ratio: threshold = 10 x GVT frequency, i.e. a
+		// thread deactivates after ~10 workless GVT rounds.
+		GVTFrequency:         40,
+		ZeroCounterThreshold: 400,
+		OptimismWindow:       10,
+		Seed:                 1,
+	}
+}
+
+// Tiny returns a minimal scale for unit tests.
+func Tiny() Scale {
+	s := Default()
+	s.Name = "tiny-4x2"
+	s.Machine = ggpdes.SmallMachine()
+	s.BaseSweep = []int{4, 8}
+	s.MaxOverSub = func(k int) int {
+		if k >= 4 {
+			return 2
+		}
+		return 1
+	}
+	s.PHOLDLPs = 4
+	s.EpiLPs = 8
+	s.TrafficLPs = 4
+	s.EndTime = 30
+	s.GVTFrequency = 20
+	s.ZeroCounterThreshold = 200
+	s.OptimismWindow = 10
+	return s
+}
+
+// Paper returns the full KNL-7230 scale. Expect long host run times.
+func Paper() Scale {
+	return Scale{
+		Name:      "paper-knl-64x4",
+		Machine:   ggpdes.KNL7230(),
+		BaseSweep: []int{32, 64, 128, 256},
+		MaxOverSub: func(k int) int {
+			if k < 2 {
+				return 1
+			}
+			if k/2 > 16 {
+				return 16
+			}
+			return k / 2
+		},
+		PHOLDLPs:             128,
+		EpiLPs:               4096,
+		TrafficLPs:           96,
+		EndTime:              200,
+		GVTFrequency:         200,
+		ZeroCounterThreshold: 2000,
+		OptimismWindow:       10,
+		Seed:                 1,
+	}
+}
+
+// SystemSpec names one line of a figure.
+type SystemSpec struct {
+	Label    string
+	System   ggpdes.System
+	GVT      ggpdes.GVT
+	Affinity ggpdes.Affinity
+}
+
+// The six systems of Figures 2-4 and the three of Figures 5-6.
+var (
+	AllSix = []SystemSpec{
+		{"Baseline-Sync", ggpdes.Baseline, ggpdes.Barrier, ggpdes.ConstantAffinity},
+		{"Baseline-Async", ggpdes.Baseline, ggpdes.WaitFree, ggpdes.ConstantAffinity},
+		{"DD-PDES-Sync", ggpdes.DDPDES, ggpdes.Barrier, ggpdes.ConstantAffinity},
+		{"DD-PDES-Async", ggpdes.DDPDES, ggpdes.WaitFree, ggpdes.ConstantAffinity},
+		{"GG-PDES-Sync", ggpdes.GGPDES, ggpdes.Barrier, ggpdes.ConstantAffinity},
+		{"GG-PDES-Async", ggpdes.GGPDES, ggpdes.WaitFree, ggpdes.ConstantAffinity},
+	}
+	AsyncThree = []SystemSpec{
+		{"Baseline", ggpdes.Baseline, ggpdes.Barrier, ggpdes.ConstantAffinity}, // paper's "Baseline" in §6.4+ is Baseline-Sync
+		{"DD-PDES", ggpdes.DDPDES, ggpdes.WaitFree, ggpdes.ConstantAffinity},
+		{"GG-PDES", ggpdes.GGPDES, ggpdes.WaitFree, ggpdes.ConstantAffinity},
+	}
+)
+
+// Point is one measured figure point.
+type Point struct {
+	Label   string
+	Threads int
+	Res     *ggpdes.Results
+}
+
+// Result is a regenerated figure or table.
+type Result struct {
+	ID, Title  string
+	PaperClaim string
+	Points     []Point
+	Tables     []*stats.Table
+	Charts     []*stats.BarChart
+	Notes      []string
+}
+
+// Experiment regenerates one paper figure/table.
+type Experiment struct {
+	ID         string
+	Title      string
+	PaperClaim string
+	Run        func(s Scale, progress io.Writer) (*Result, error)
+}
+
+// logf writes progress when a writer is supplied.
+func logf(w io.Writer, format string, args ...any) {
+	if w != nil {
+		fmt.Fprintf(w, format+"\n", args...)
+	}
+}
+
+// runOne executes a single configuration.
+func runOne(s Scale, spec SystemSpec, model ggpdes.Model, threads int, progress io.Writer) (*ggpdes.Results, error) {
+	cfg := ggpdes.Config{
+		Model:                model,
+		Threads:              threads,
+		System:               spec.System,
+		GVT:                  spec.GVT,
+		Affinity:             spec.Affinity,
+		EndTime:              s.EndTime,
+		Seed:                 s.Seed,
+		Machine:              s.Machine,
+		GVTFrequency:         s.GVTFrequency,
+		ZeroCounterThreshold: s.ZeroCounterThreshold,
+		OptimismWindow:       s.OptimismWindow,
+	}
+	res, err := ggpdes.Run(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("%s @ %d threads: %w", spec.Label, threads, err)
+	}
+	logf(progress, "  %-16s %5d thr  %14s  cycles=%s gvt/round=%s", spec.Label, threads,
+		stats.Rate(res.CommittedEventRate), stats.Count(res.TotalCycles),
+		stats.Seconds(res.GVTCPUSecondsPerRound()))
+	return res, nil
+}
+
+// sweep runs every (system × threads) combination and assembles the
+// committed-event-rate table every figure reports.
+func sweep(s Scale, id, title, claim string, model func(threads int) ggpdes.Model,
+	threadCounts []int, systems []SystemSpec, progress io.Writer) (*Result, error) {
+
+	r := &Result{ID: id, Title: title, PaperClaim: claim}
+	headers := append([]string{"threads"}, labels(systems)...)
+	tbl := stats.NewTable(title+" — committed event rate", headers...)
+	chart := stats.NewBarChart(title, "ev/s")
+	for _, th := range threadCounts {
+		row := []string{fmt.Sprint(th)}
+		for _, spec := range systems {
+			res, err := runOne(s, spec, model(th), th, progress)
+			if err != nil {
+				return nil, err
+			}
+			r.Points = append(r.Points, Point{Label: spec.Label, Threads: th, Res: res})
+			row = append(row, stats.Rate(res.CommittedEventRate))
+			chart.Add(fmt.Sprintf("%d threads", th), spec.Label, res.CommittedEventRate)
+		}
+		tbl.Add(row...)
+	}
+	r.Tables = append(r.Tables, tbl)
+	r.Charts = append(r.Charts, chart)
+	if s := Summary(r); s != "" {
+		r.Notes = append(r.Notes, "headline ratios: "+s)
+	}
+	if v := Verdict(r); v != "" {
+		r.Notes = append(r.Notes, "shape vs paper: "+v)
+	}
+	return r, nil
+}
+
+func labels(systems []SystemSpec) []string {
+	out := make([]string, len(systems))
+	for i, s := range systems {
+		out[i] = s.Label
+	}
+	return out
+}
+
+// pholdSweep builds the thread sweep for a 1-K imbalanced PHOLD figure:
+// the base weak-scaling points plus over-subscribed points, all
+// divisible by K.
+func pholdSweep(s Scale, k int) []int {
+	var out []int
+	for _, th := range s.BaseSweep {
+		if th%max(k, 1) == 0 {
+			out = append(out, th)
+		}
+	}
+	hw := s.HWThreads()
+	for f := 2; f <= s.MaxOverSub(k); f *= 2 {
+		out = append(out, hw*f)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// trafficLPsFor picks an LPs-per-thread near approx such that threads ×
+// LPs is a perfect square (the traffic grid).
+func trafficLPsFor(threads, approx int) int {
+	best := -1
+	for lps := 1; lps <= 4*approx+4; lps++ {
+		n := threads * lps
+		r := intSqrt(n)
+		if r*r == n {
+			if best == -1 || absInt(lps-approx) < absInt(best-approx) {
+				best = lps
+			}
+		}
+	}
+	if best == -1 {
+		return threads // threads² is always a perfect square
+	}
+	return best
+}
+
+func intSqrt(n int) int {
+	if n < 0 {
+		return 0
+	}
+	r := 0
+	for (r+1)*(r+1) <= n {
+		r++
+	}
+	return r
+}
+
+func absInt(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Get returns the experiment with the given id, or nil.
+func Get(id string) *Experiment {
+	for _, e := range Experiments() {
+		if e.ID == id {
+			return e
+		}
+	}
+	return nil
+}

@@ -1,0 +1,155 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Verdict grades a regenerated figure against the paper's qualitative
+// shape: who wins where. It returns "PASS ..." when the shape holds,
+// "PARTIAL ..." when it holds only in part — absolute factors are never
+// graded, only directions and orderings.
+func Verdict(r *Result) string {
+	switch {
+	case r.ID == "fig2":
+		return verdictBalanced(r)
+	case strings.HasPrefix(r.ID, "fig3") || strings.HasPrefix(r.ID, "fig4"):
+		return verdictImbalanced(r)
+	case strings.HasPrefix(r.ID, "fig5") || strings.HasPrefix(r.ID, "fig6"):
+		return verdictApplication(r)
+	case r.ID == "fig7a":
+		return verdictAffinityLinear(r)
+	case r.ID == "fig7b":
+		return verdictAffinityNonLinear(r)
+	default:
+		return ""
+	}
+}
+
+// ratesAt collects label -> committed rate at the given thread count.
+func ratesAt(r *Result, threads int) map[string]float64 {
+	out := map[string]float64{}
+	for _, p := range r.Points {
+		if p.Threads == threads {
+			out[p.Label] = p.Res.CommittedEventRate
+		}
+	}
+	return out
+}
+
+// threadPoints returns the distinct thread counts in ascending order.
+func threadPoints(r *Result) []int {
+	var out []int
+	seen := map[int]bool{}
+	for _, p := range r.Points {
+		if !seen[p.Threads] {
+			seen[p.Threads] = true
+			out = append(out, p.Threads)
+		}
+	}
+	return out
+}
+
+// verdictBalanced: demand-driven overhead small — GG within 15% of the
+// same-GVT baseline at every point.
+func verdictBalanced(r *Result) string {
+	worst := 1.0
+	for _, th := range threadPoints(r) {
+		m := ratesAt(r, th)
+		for _, pair := range [][2]string{
+			{"GG-PDES-Async", "Baseline-Async"},
+			{"GG-PDES-Sync", "Baseline-Sync"},
+		} {
+			gg, base := m[pair[0]], m[pair[1]]
+			if base == 0 {
+				continue
+			}
+			if ratio := gg / base; ratio < worst {
+				worst = ratio
+			}
+		}
+	}
+	if worst >= 0.85 {
+		return fmt.Sprintf("PASS: GG within %.0f%% of its baseline everywhere (paper: small overhead)", (1-worst)*100)
+	}
+	return fmt.Sprintf("PARTIAL: GG drops to %.2fx of its baseline at some point", worst)
+}
+
+// verdictImbalanced: at the largest (over-subscribed) point, the best
+// GG line beats every baseline and every DD line.
+func verdictImbalanced(r *Result) string {
+	pts := threadPoints(r)
+	last := pts[len(pts)-1]
+	m := ratesAt(r, last)
+	gg := maxWith(m, "GG")
+	base := maxWith(m, "Baseline")
+	dd := maxWith(m, "DD")
+	switch {
+	case gg > base && gg > dd:
+		return fmt.Sprintf("PASS: at %d threads GG leads (GG/Baseline %.2fx, GG/DD %.2fx)", last, gg/base, gg/dd)
+	case gg > base:
+		return fmt.Sprintf("PARTIAL: at %d threads GG beats baselines (%.2fx) but not DD", last, gg/base)
+	default:
+		return fmt.Sprintf("PARTIAL: at %d threads GG/Baseline = %.2fx", last, gg/base)
+	}
+}
+
+// verdictApplication (epidemics/traffic): GG >= baseline at the largest
+// point and at full subscription or the point below.
+func verdictApplication(r *Result) string {
+	pts := threadPoints(r)
+	last := pts[len(pts)-1]
+	m := ratesAt(r, last)
+	gg, base := maxWith(m, "GG"), maxWith(m, "Baseline")
+	if base == 0 {
+		return ""
+	}
+	if gg >= base {
+		return fmt.Sprintf("PASS: GG/Baseline = %.2fx at %d threads", gg/base, last)
+	}
+	return fmt.Sprintf("PARTIAL: GG/Baseline = %.2fx at %d threads (paper: GG ahead)", gg/base, last)
+}
+
+// verdictAffinityLinear: dynamic within 10% of constant.
+func verdictAffinityLinear(r *Result) string {
+	worst := 1.0
+	for _, th := range threadPoints(r) {
+		m := ratesAt(r, th)
+		if m["Constant"] == 0 {
+			continue
+		}
+		if ratio := m["Dynamic"] / m["Constant"]; ratio < worst {
+			worst = ratio
+		}
+	}
+	if worst >= 0.9 {
+		return fmt.Sprintf("PASS: dynamic within %.1f%% of constant under linear locality (paper: -0.5%%)", (1-worst)*100)
+	}
+	return fmt.Sprintf("PARTIAL: dynamic drops to %.2fx of constant", worst)
+}
+
+// verdictAffinityNonLinear: dynamic beats constant decisively at the
+// largest point.
+func verdictAffinityNonLinear(r *Result) string {
+	pts := threadPoints(r)
+	last := pts[len(pts)-1]
+	m := ratesAt(r, last)
+	if m["Constant"] == 0 {
+		return ""
+	}
+	ratio := m["Dynamic"] / m["Constant"]
+	if ratio > 1.2 {
+		return fmt.Sprintf("PASS: dynamic %.1fx constant at %d threads under non-linear locality (paper: up to 15x)", ratio, last)
+	}
+	return fmt.Sprintf("PARTIAL: dynamic only %.2fx constant at %d threads", ratio, last)
+}
+
+func maxWith(m map[string]float64, prefix string) float64 {
+	best := 0.0
+	for label, v := range m {
+		if strings.HasPrefix(label, prefix) && v > best {
+			best = v
+		}
+	}
+	return best
+}

@@ -1,0 +1,633 @@
+package machine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Machine is a simulated many-core processor. Create one with New,
+// spawn threads, then Run to completion. A Machine is single-use.
+type Machine struct {
+	cfg     Config
+	threads []*Thread
+	cores   []coreState
+	tick    uint64
+	live    int
+	started bool
+
+	stats Stats
+}
+
+type coreState struct {
+	// runq holds runnable threads not currently on a context, ordered
+	// by (vruntime, id).
+	runq []*Thread
+	// running holds the threads occupying SMT contexts this tick.
+	running []*Thread
+	// busy accumulates cycles actually consumed on this core.
+	busy uint64
+}
+
+// Stats aggregates machine-level counters for a run.
+type Stats struct {
+	// Ticks is the number of scheduling quanta the run took; Ticks ×
+	// TickCycles is the machine wall-clock in cycles.
+	Ticks uint64
+	// CtxSwitches counts threads switched onto a context they were not
+	// already occupying.
+	CtxSwitches uint64
+	// Migrations counts cross-core thread movements;
+	// CrossNodeMigrations counts the subset crossing NUMA nodes.
+	Migrations          uint64
+	CrossNodeMigrations uint64
+	// SemWaits, SemPosts and BarrierWaits count synchronization calls.
+	SemWaits, SemPosts, BarrierWaits uint64
+	// Wakeups counts threads woken from blocking calls.
+	Wakeups uint64
+}
+
+// New creates a machine from cfg.
+func New(cfg Config) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	m := &Machine{cfg: cfg}
+	m.cores = make([]coreState, cfg.Cores)
+	return m, nil
+}
+
+// Config returns the machine's configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// Stats returns the machine counters; valid after Run.
+func (m *Machine) Stats() Stats { return m.stats }
+
+// NowCycles returns the machine wall-clock in cycles (tick-granular);
+// also available to threads via Proc.NowCycles.
+func (m *Machine) NowCycles() uint64 { return m.tick * m.cfg.TickCycles }
+
+// WallSeconds converts the run's tick count to seconds of machine
+// wall-clock time.
+func (m *Machine) WallSeconds() float64 {
+	return float64(m.tick) * float64(m.cfg.TickCycles) / m.cfg.FreqHz
+}
+
+// CyclesToSeconds converts a cycle count to seconds on this machine.
+func (m *Machine) CyclesToSeconds(cycles uint64) float64 {
+	return float64(cycles) / m.cfg.FreqHz
+}
+
+// TotalCycles returns the CPU cycles consumed by all threads, the
+// machine's "instructions executed" proxy.
+func (m *Machine) TotalCycles() uint64 {
+	var sum uint64
+	for _, t := range m.threads {
+		sum += t.cycles
+	}
+	return sum
+}
+
+// Threads returns the spawned threads in id order.
+func (m *Machine) Threads() []*Thread { return m.threads }
+
+// Thread returns the thread with the given id.
+func (m *Machine) Thread(id int) *Thread { return m.threads[id] }
+
+// CoreBusyCycles returns the cycles consumed on the given core.
+func (m *Machine) CoreBusyCycles(core int) uint64 { return m.cores[core].busy }
+
+// Spawn creates a thread that will run body when the machine starts.
+// The thread is unpinned; initial placement is round-robin. Spawn must
+// be called before Run.
+func (m *Machine) Spawn(name string, body func(*Proc)) *Thread {
+	return m.spawn(name, AnyCore, body)
+}
+
+// SpawnPinned creates a thread pinned to the given core.
+func (m *Machine) SpawnPinned(name string, core int, body func(*Proc)) *Thread {
+	if core < 0 || core >= m.cfg.Cores {
+		panic(fmt.Sprintf("machine: SpawnPinned to invalid core %d", core))
+	}
+	return m.spawn(name, core, body)
+}
+
+func (m *Machine) spawn(name string, pin int, body func(*Proc)) *Thread {
+	if m.started {
+		panic("machine: Spawn after Run")
+	}
+	t := &Thread{
+		id:         len(m.threads),
+		name:       name,
+		m:          m,
+		state:      StateRunnable,
+		pinned:     pin,
+		needsFetch: true,
+		resume:     make(chan struct{}),
+		yieldc:     make(chan segment),
+	}
+	m.threads = append(m.threads, t)
+	m.live++
+	go func() {
+		if _, ok := <-t.resume; !ok {
+			return // machine aborted before the thread ever ran
+		}
+		defer func() {
+			if r := recover(); r != nil {
+				t.yieldc <- segment{kind: segPanic, panicV: r}
+				return
+			}
+			t.yieldc <- segment{kind: segExit}
+		}()
+		body(&Proc{t: t})
+	}()
+	return t
+}
+
+// DeadlockError reports that live threads exist but none is runnable.
+type DeadlockError struct {
+	// Tick is the quantum at which the deadlock was detected.
+	Tick uint64
+	// Blocked lists the blocked threads and what they wait on.
+	Blocked []string
+}
+
+// Error implements the error interface.
+func (e *DeadlockError) Error() string {
+	msg := fmt.Sprintf("machine: deadlock at tick %d: %d thread(s) blocked", e.Tick, len(e.Blocked))
+	n := len(e.Blocked)
+	if n > 8 {
+		n = 8
+	}
+	return msg + ": " + strings.Join(e.Blocked[:n], ", ")
+}
+
+// Run drives the machine until every thread has exited. It returns a
+// *DeadlockError if all live threads block, or an error when MaxTicks
+// is exceeded or a thread body panics.
+func (m *Machine) Run() (err error) {
+	if m.started {
+		return fmt.Errorf("machine: Run called twice")
+	}
+	m.started = true
+	defer func() {
+		if err != nil {
+			m.abort()
+		}
+	}()
+	// Initial placement: pinned threads on their core, the rest
+	// round-robin (fork balancing).
+	next := 0
+	for _, t := range m.threads {
+		core := t.pinned
+		if core == AnyCore {
+			core = next % m.cfg.Cores
+			next++
+		}
+		t.core = core
+		m.cores[core].runq = append(m.cores[core].runq, t)
+	}
+	for c := range m.cores {
+		m.sortRunq(&m.cores[c])
+	}
+
+	for m.live > 0 {
+		if m.cfg.MaxTicks > 0 && m.tick >= m.cfg.MaxTicks {
+			return fmt.Errorf("machine: exceeded MaxTicks=%d with %d live thread(s): %s",
+				m.cfg.MaxTicks, m.live, m.describeThreads())
+		}
+		anyRunning := false
+		for c := range m.cores {
+			m.reselect(c)
+			if len(m.cores[c].running) > 0 {
+				anyRunning = true
+			}
+		}
+		if !anyRunning {
+			return m.deadlock()
+		}
+		if perr := m.advanceTick(); perr != nil {
+			return perr
+		}
+		m.tick++
+		m.stats.Ticks = m.tick
+		if m.cfg.LoadBalancePeriodTicks > 0 && m.tick%uint64(m.cfg.LoadBalancePeriodTicks) == 0 {
+			m.loadBalance()
+		}
+	}
+	return nil
+}
+
+// abort closes the resume channels of all non-exited threads so their
+// goroutines unwind instead of leaking.
+func (m *Machine) abort() {
+	for _, t := range m.threads {
+		if t.state != StateExited {
+			t.state = StateExited
+			close(t.resume)
+		}
+	}
+}
+
+// describeThreads summarizes non-exited threads for diagnostics.
+func (m *Machine) describeThreads() string {
+	var parts []string
+	for _, t := range m.threads {
+		if t.state == StateExited {
+			continue
+		}
+		d := fmt.Sprintf("%s=%s", t.name, t.state)
+		if t.state == StateBlocked {
+			d += "(" + t.blockReason + ")"
+		}
+		parts = append(parts, d)
+		if len(parts) >= 16 {
+			parts = append(parts, "...")
+			break
+		}
+	}
+	return strings.Join(parts, " ")
+}
+
+func (m *Machine) deadlock() error {
+	e := &DeadlockError{Tick: m.tick}
+	for _, t := range m.threads {
+		if t.state == StateBlocked {
+			e.Blocked = append(e.Blocked, fmt.Sprintf("%s(%s)", t.name, t.blockReason))
+		}
+	}
+	return e
+}
+
+// threadLess is the CFS ordering: lowest vruntime first, id tiebreak.
+func threadLess(a, b *Thread) bool {
+	if a.vruntime != b.vruntime {
+		return a.vruntime < b.vruntime
+	}
+	return a.id < b.id
+}
+
+func (m *Machine) sortRunq(c *coreState) {
+	sort.Slice(c.runq, func(i, j int) bool { return threadLess(c.runq[i], c.runq[j]) })
+}
+
+// reselect fills the core's SMT contexts: empty slots take the lowest
+// vruntime runnable threads; a runnable thread preempts a running one
+// only with a vruntime lead of PreemptGranularityTicks quanta.
+func (m *Machine) reselect(core int) {
+	c := &m.cores[core]
+	// Fill free contexts.
+	for len(c.running) < m.cfg.SMTWidth && len(c.runq) > 0 {
+		t := c.runq[0]
+		c.runq = c.runq[1:]
+		m.switchIn(c, t)
+	}
+	if len(c.runq) == 0 {
+		return
+	}
+	gran := uint64(m.cfg.PreemptGranularityTicks) * m.cfg.TickCycles
+	// Preemption: compare the best waiter against the worst runner.
+	for {
+		if len(c.runq) == 0 {
+			return
+		}
+		cand := c.runq[0]
+		worst := -1
+		for i, r := range c.running {
+			if worst == -1 || threadLess(c.running[worst], r) {
+				worst = i
+			}
+		}
+		r := c.running[worst]
+		if cand.vruntime+gran >= r.vruntime {
+			return
+		}
+		// Swap: r back to the queue, cand onto the context.
+		c.runq = c.runq[1:]
+		r.state = StateRunnable
+		c.running[worst] = c.running[len(c.running)-1]
+		c.running = c.running[:len(c.running)-1]
+		m.enqueue(r, core)
+		m.switchIn(c, cand)
+	}
+}
+
+// switchIn puts t on a free context of core c, charging switch costs.
+func (m *Machine) switchIn(c *coreState, t *Thread) {
+	t.state = StateRunning
+	c.running = append(c.running, t)
+	if t.everRan {
+		t.penalty += m.cfg.CtxSwitchCycles
+		m.stats.CtxSwitches++
+	}
+	t.everRan = true
+}
+
+// enqueue places a runnable thread on a core's run queue in order.
+func (m *Machine) enqueue(t *Thread, core int) {
+	if t.core != core {
+		t.penalty += m.cfg.MigrationCycles
+		m.stats.Migrations++
+		if m.cfg.NodeOf(t.core) != m.cfg.NodeOf(core) {
+			t.penalty += m.cfg.CrossNodeMigrationCycles
+			m.stats.CrossNodeMigrations++
+		}
+		t.core = core
+	}
+	c := &m.cores[core]
+	i := sort.Search(len(c.runq), func(i int) bool { return threadLess(t, c.runq[i]) })
+	c.runq = append(c.runq, nil)
+	copy(c.runq[i+1:], c.runq[i:])
+	c.runq[i] = t
+}
+
+// placeWoken chooses a core for a freshly woken thread: its pin, or the
+// least-loaded core (CFS wake placement).
+func (m *Machine) placeWoken(t *Thread) {
+	core := t.pinned
+	if core == AnyCore {
+		core = m.idlestCore()
+	}
+	// Wake-up placement: do not let a long-sleeping thread's stale low
+	// vruntime starve others; align it with the destination core's
+	// minimum.
+	if min, ok := m.coreMinVruntime(core); ok && t.vruntime < min {
+		t.vruntime = min
+	}
+	m.enqueue(t, core)
+}
+
+func (m *Machine) idlestCore() int {
+	best, bestLoad := 0, int(^uint(0)>>1)
+	for i := range m.cores {
+		load := len(m.cores[i].runq) + len(m.cores[i].running)
+		if load < bestLoad {
+			best, bestLoad = i, load
+		}
+	}
+	return best
+}
+
+func (m *Machine) coreMinVruntime(core int) (uint64, bool) {
+	c := &m.cores[core]
+	var min uint64
+	found := false
+	for _, t := range c.running {
+		if !found || t.vruntime < min {
+			min, found = t.vruntime, true
+		}
+	}
+	if len(c.runq) > 0 && (!found || c.runq[0].vruntime < min) {
+		min, found = c.runq[0].vruntime, true
+	}
+	return min, found
+}
+
+// wake transitions a blocked thread to runnable.
+func (m *Machine) wake(t *Thread) {
+	if t.state != StateBlocked {
+		panic("machine: wake of non-blocked thread " + t.name)
+	}
+	t.state = StateRunnable
+	t.blockReason = ""
+	t.penalty += m.cfg.WakeCycles
+	m.stats.Wakeups++
+	m.placeWoken(t)
+}
+
+// block marks the currently running thread t as blocked; the caller
+// removes it from the running set.
+func (m *Machine) block(t *Thread, reason string) {
+	t.state = StateBlocked
+	t.blockReason = reason
+}
+
+// advanceTick grants every running context its cycle share and advances
+// thread programs.
+func (m *Machine) advanceTick() error {
+	for core := range m.cores {
+		c := &m.cores[core]
+		k := len(c.running)
+		if k == 0 {
+			continue
+		}
+		share := uint64(float64(m.cfg.TickCycles) * m.cfg.SMTAggregate[k-1] / float64(k))
+		if share == 0 {
+			share = 1
+		}
+		// Iterate over a snapshot: perform() mutates c.running.
+		snapshot := append([]*Thread(nil), c.running...)
+		for _, t := range snapshot {
+			if t.state != StateRunning {
+				continue // blocked/migrated by an earlier thread this tick
+			}
+			if err := m.advanceThread(c, t, share); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// advanceThread lets t consume up to budget cycles, completing as many
+// segments as fit.
+func (m *Machine) advanceThread(c *coreState, t *Thread, budget uint64) error {
+	for {
+		if t.needsFetch {
+			ok, err := m.fetchNext(t)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				m.exitThread(c, t)
+				return nil
+			}
+		}
+		if t.seg.cost > budget {
+			t.seg.cost -= budget
+			m.charge(c, t, budget)
+			return nil
+		}
+		spent := t.seg.cost
+		budget -= spent
+		m.charge(c, t, spent)
+		t.seg.cost = 0
+		t.needsFetch = true
+		m.perform(c, t)
+		if t.state != StateRunning {
+			return nil
+		}
+		if budget == 0 {
+			return nil
+		}
+	}
+}
+
+func (m *Machine) charge(c *coreState, t *Thread, cycles uint64) {
+	t.cycles += cycles
+	t.vruntime += cycles
+	c.busy += cycles
+}
+
+// fetchNext resumes t's goroutine until its next machine call. It
+// reports ok=false when the body returned, and an error if it panicked.
+func (m *Machine) fetchNext(t *Thread) (ok bool, err error) {
+	t.resume <- struct{}{}
+	seg := <-t.yieldc
+	t.needsFetch = false
+	switch seg.kind {
+	case segExit:
+		return false, nil
+	case segPanic:
+		return false, fmt.Errorf("machine: thread %s panicked: %v", t.name, seg.panicV)
+	}
+	seg.cost += t.penalty
+	t.penalty = 0
+	t.seg = seg
+	return true, nil
+}
+
+// exitThread removes t from its core after its body returned.
+func (m *Machine) exitThread(c *coreState, t *Thread) {
+	t.state = StateExited
+	m.removeRunning(c, t)
+	m.live--
+}
+
+func (m *Machine) removeRunning(c *coreState, t *Thread) {
+	for i, r := range c.running {
+		if r == t {
+			c.running = append(c.running[:i], c.running[i+1:]...)
+			return
+		}
+	}
+}
+
+// perform executes the action of t's just-paid segment.
+func (m *Machine) perform(c *coreState, t *Thread) {
+	seg := &t.seg
+	switch seg.kind {
+	case segWork:
+		// Pure computation; nothing to do.
+	case segSemWait:
+		m.stats.SemWaits++
+		if seg.sem.wait(t) {
+			m.block(t, "sem "+seg.sem.name)
+			m.removeRunning(c, t)
+		}
+	case segSemPost:
+		m.stats.SemPosts++
+		seg.sem.post()
+	case segBarrier:
+		m.stats.BarrierWaits++
+		if seg.bar.arrive(t) {
+			m.block(t, "barrier "+seg.bar.name)
+			m.removeRunning(c, t)
+		}
+	case segLock:
+		if seg.mu.lock(t) {
+			m.block(t, "mutex "+seg.mu.name)
+			m.removeRunning(c, t)
+		}
+	case segUnlock:
+		seg.mu.unlock(t)
+	case segSetAffinity:
+		m.applyAffinity(c, t, seg.target, seg.newPin)
+	case segYield:
+		// Give up the context; rejoin the queue at the back of the
+		// current vruntime position.
+		t.state = StateRunnable
+		m.removeRunning(c, t)
+		m.enqueue(t, t.core)
+	default:
+		panic(fmt.Sprintf("machine: unknown segment kind %d", seg.kind))
+	}
+}
+
+// applyAffinity implements sched_setaffinity: pin target to newPin and
+// migrate it if it currently sits elsewhere.
+func (m *Machine) applyAffinity(c *coreState, caller, target *Thread, newPin int) {
+	target.pinned = newPin
+	if newPin == AnyCore || target.core == newPin {
+		return
+	}
+	switch target.state {
+	case StateRunning:
+		tc := &m.cores[target.core]
+		m.removeRunning(tc, target)
+		target.state = StateRunnable
+		m.enqueue(target, newPin)
+	case StateRunnable:
+		tc := &m.cores[target.core]
+		for i, r := range tc.runq {
+			if r == target {
+				tc.runq = append(tc.runq[:i], tc.runq[i+1:]...)
+				break
+			}
+		}
+		m.enqueue(target, newPin)
+	case StateBlocked:
+		// Re-placed on wake; just record the pin (done above) and the
+		// eventual migration cost.
+		target.core = newPin
+		target.penalty += m.cfg.MigrationCycles
+		m.stats.Migrations++
+	case StateExited:
+		// Nothing to do.
+	}
+}
+
+// loadBalance migrates unpinned threads from the most to the least
+// loaded cores, one pass per period, preferring same-NUMA-node targets
+// (CFS scheduling domains balance within a node before across nodes).
+func (m *Machine) loadBalance() {
+	for moves := 0; moves < m.cfg.Cores; moves++ {
+		maxC, minC := -1, -1
+		maxL, minL := -1, int(^uint(0)>>1)
+		for i := range m.cores {
+			load := len(m.cores[i].runq) + len(m.cores[i].running)
+			if load > maxL {
+				maxL, maxC = load, i
+			}
+			if load < minL {
+				minL, minC = load, i
+			}
+		}
+		if maxC == -1 || minC == -1 || maxL-minL <= 1 {
+			return
+		}
+		// Same-node alternative within one unit of the global minimum.
+		if m.cfg.NUMANodes > 1 && m.cfg.NodeOf(maxC) != m.cfg.NodeOf(minC) {
+			node := m.cfg.NodeOf(maxC)
+			bestLocal, bestLoad := -1, int(^uint(0)>>1)
+			for i := range m.cores {
+				if m.cfg.NodeOf(i) != node || i == maxC {
+					continue
+				}
+				load := len(m.cores[i].runq) + len(m.cores[i].running)
+				if load < bestLoad {
+					bestLocal, bestLoad = i, load
+				}
+			}
+			if bestLocal >= 0 && bestLoad <= minL+1 && maxL-bestLoad > 1 {
+				minC = bestLocal
+			}
+		}
+		// Move the last (highest-vruntime) unpinned runnable thread.
+		c := &m.cores[maxC]
+		moved := false
+		for i := len(c.runq) - 1; i >= 0; i-- {
+			t := c.runq[i]
+			if t.pinned != AnyCore {
+				continue
+			}
+			c.runq = append(c.runq[:i], c.runq[i+1:]...)
+			m.enqueue(t, minC)
+			moved = true
+			break
+		}
+		if !moved {
+			return
+		}
+	}
+}

@@ -1,0 +1,214 @@
+package machine
+
+import (
+	"fmt"
+	"runtime"
+)
+
+// ThreadState is the scheduling state of a simulated thread.
+type ThreadState int
+
+// Thread states.
+const (
+	// StateRunnable means the thread is on a core's run queue.
+	StateRunnable ThreadState = iota
+	// StateRunning means the thread occupies an SMT context this tick.
+	StateRunning
+	// StateBlocked means the thread is de-scheduled, waiting on a
+	// semaphore, barrier or mutex. It consumes no cycles.
+	StateBlocked
+	// StateExited means the thread's body returned.
+	StateExited
+)
+
+// String returns the state name.
+func (s ThreadState) String() string {
+	switch s {
+	case StateRunnable:
+		return "runnable"
+	case StateRunning:
+		return "running"
+	case StateBlocked:
+		return "blocked"
+	case StateExited:
+		return "exited"
+	default:
+		return "invalid"
+	}
+}
+
+// AnyCore passed as an affinity pin lets the scheduler place the thread
+// on any core.
+const AnyCore = -1
+
+type segKind int
+
+const (
+	segWork segKind = iota
+	segSemWait
+	segSemPost
+	segBarrier
+	segLock
+	segUnlock
+	segSetAffinity
+	segYield
+	segExit
+	segPanic
+)
+
+type segment struct {
+	kind segKind
+	cost uint64
+	sem  *Sem
+	bar  *Barrier
+	mu   *Mutex
+	// SetAffinity operands.
+	target  *Thread
+	newPin  int
+	panicV  any
+	panicST []byte
+}
+
+// Thread is a simulated OS thread.
+type Thread struct {
+	id   int
+	name string
+	m    *Machine
+
+	state  ThreadState
+	core   int // core whose structures currently hold the thread
+	pinned int // AnyCore or a core id
+
+	vruntime uint64
+	cycles   uint64 // CPU cycles consumed so far
+	penalty  uint64 // pending wake/switch/migration cycles, added to the next segment
+
+	seg        segment
+	needsFetch bool
+	everRan    bool
+
+	resume chan struct{}
+	yieldc chan segment
+
+	blockReason   string
+	waitSeq       uint64 // FIFO ordering among waiters
+	barrierSerial bool   // set on barrier release for the last arriver
+}
+
+// ID returns the thread's identifier (its spawn index).
+func (t *Thread) ID() int { return t.id }
+
+// Name returns the thread's diagnostic name.
+func (t *Thread) Name() string { return t.name }
+
+// State returns the thread's scheduling state. Only meaningful from
+// machine or simulated-thread context (runs are single-threaded).
+func (t *Thread) State() ThreadState { return t.state }
+
+// Cycles returns the CPU cycles the thread has consumed.
+func (t *Thread) Cycles() uint64 { return t.cycles }
+
+// Pinned returns the core the thread is pinned to, or AnyCore.
+func (t *Thread) Pinned() int { return t.pinned }
+
+// Proc is the machine interface handed to a thread's body. All methods
+// must be called from the thread's own goroutine.
+type Proc struct {
+	t *Thread
+}
+
+// call yields a segment to the scheduler and blocks until the machine
+// completes it and schedules the thread again.
+func (p *Proc) call(seg segment) {
+	t := p.t
+	t.yieldc <- seg
+	if _, ok := <-t.resume; !ok {
+		// The machine aborted; unwind this goroutine.
+		runtime.Goexit()
+	}
+}
+
+// ID returns the calling thread's id.
+func (p *Proc) ID() int { return p.t.id }
+
+// Machine returns the machine the thread runs on.
+func (p *Proc) Machine() *Machine { return p.t.m }
+
+// NowCycles returns the machine's wall-clock in cycles (tick-granular).
+func (p *Proc) NowCycles() uint64 { return p.t.m.tick * p.t.m.cfg.TickCycles }
+
+// NowSeconds returns the machine's wall-clock in seconds.
+func (p *Proc) NowSeconds() float64 {
+	return float64(p.NowCycles()) / p.t.m.cfg.FreqHz
+}
+
+// CPUCycles returns the CPU cycles this thread has consumed; the
+// difference across a region measures its CPU time (blocked time does
+// not count).
+func (p *Proc) CPUCycles() uint64 { return p.t.cycles }
+
+// Work consumes the given number of CPU cycles.
+func (p *Proc) Work(cycles uint64) {
+	p.call(segment{kind: segWork, cost: cycles + p.t.m.cfg.OpCycles})
+}
+
+// Op consumes the baseline per-operation cost, modelling a cheap shared
+// memory or atomic operation.
+func (p *Proc) Op() {
+	p.call(segment{kind: segWork, cost: p.t.m.cfg.OpCycles})
+}
+
+// SemWait decrements the semaphore, blocking (de-scheduled, zero
+// cycles) while its value is zero.
+func (p *Proc) SemWait(s *Sem) {
+	p.call(segment{kind: segSemWait, cost: p.t.m.cfg.OpCycles, sem: s})
+}
+
+// SemPost increments the semaphore, waking the longest-waiting blocked
+// thread if any.
+func (p *Proc) SemPost(s *Sem) {
+	p.call(segment{kind: segSemPost, cost: p.t.m.cfg.OpCycles, sem: s})
+}
+
+// BarrierWait blocks until all parties have arrived. It returns true on
+// exactly one thread per generation (the last arriver), mirroring
+// PTHREAD_BARRIER_SERIAL_THREAD.
+func (p *Proc) BarrierWait(b *Barrier) bool {
+	p.call(segment{kind: segBarrier, cost: p.t.m.cfg.OpCycles, bar: b})
+	return p.t.barrierSerial
+}
+
+// Lock acquires the mutex, blocking while it is held.
+func (p *Proc) Lock(mu *Mutex) {
+	p.call(segment{kind: segLock, cost: p.t.m.cfg.OpCycles, mu: mu})
+}
+
+// Unlock releases the mutex, handing it to the longest waiter if any.
+// It panics if the calling thread does not hold the mutex.
+func (p *Proc) Unlock(mu *Mutex) {
+	p.call(segment{kind: segUnlock, cost: p.t.m.cfg.OpCycles, mu: mu})
+}
+
+// SetAffinity pins thread tid to the given core (or AnyCore to unpin),
+// migrating it if necessary — the sched_setaffinity equivalent. Pinning
+// a thread to an out-of-range core panics.
+func (p *Proc) SetAffinity(tid, core int) {
+	m := p.t.m
+	if tid < 0 || tid >= len(m.threads) {
+		panic(fmt.Sprintf("machine: SetAffinity on unknown thread %d", tid))
+	}
+	if core != AnyCore && (core < 0 || core >= m.cfg.Cores) {
+		panic(fmt.Sprintf("machine: SetAffinity to invalid core %d", core))
+	}
+	p.call(segment{
+		kind:   segSetAffinity,
+		cost:   p.t.m.cfg.OpCycles,
+		target: m.threads[tid],
+		newPin: core,
+	})
+}
+
+// Yield relinquishes the rest of the thread's timeslice.
+func (p *Proc) Yield() {
+	p.call(segment{kind: segYield, cost: p.t.m.cfg.OpCycles})
+}

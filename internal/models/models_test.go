@@ -1,0 +1,594 @@
+package models
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"ggpdes/internal/tw"
+)
+
+type accCPU struct{ cycles uint64 }
+
+func (a *accCPU) Work(c uint64) { a.cycles += c }
+
+// drive runs an engine to quiescence single-batch-at-a-time across all
+// peers, computing GVT between passes; a minimal harness for model
+// tests.
+func drive(t *testing.T, eng *tw.Engine) {
+	t.Helper()
+	cpu := &accCPU{}
+	for pass := 0; pass < 5_000_000; pass++ {
+		busy := false
+		for _, p := range eng.Peers() {
+			if p.Drain(cpu) > 0 || p.ProcessBatch(cpu) > 0 {
+				busy = true
+			}
+		}
+		if busy {
+			continue
+		}
+		min := math.Inf(1)
+		for _, p := range eng.Peers() {
+			if m := p.LocalMin(cpu); m < min {
+				min = m
+			}
+			if s := p.TakeMinSent(); s < min {
+				min = s
+			}
+		}
+		eng.SetGVT(math.Min(min, eng.EndTime()))
+		for _, p := range eng.Peers() {
+			p.FossilCollect(cpu, eng.GVT())
+		}
+		if eng.Done() {
+			return
+		}
+	}
+	t.Fatal("model did not quiesce")
+}
+
+func newEngine(t *testing.T, model tw.Model, threads int, end tw.VT, seed uint64) *tw.Engine {
+	t.Helper()
+	eng, err := tw.NewEngine(tw.Config{NumThreads: threads, Model: model, EndTime: end, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+// ---------- PHOLD ----------
+
+func TestPHOLDValidation(t *testing.T) {
+	cases := []PHOLDConfig{
+		{Threads: 0, LPsPerThread: 1, EndTime: 1},
+		{Threads: 1, LPsPerThread: 0, EndTime: 1},
+		{Threads: 4, LPsPerThread: 1, EndTime: 1, Imbalance: 3}, // 3 does not divide 4
+		{Threads: 1, LPsPerThread: 1, EndTime: 0},
+	}
+	for i, cfg := range cases {
+		if _, err := NewPHOLD(cfg); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestPHOLDDefaults(t *testing.T) {
+	m, err := NewPHOLD(PHOLDConfig{Threads: 2, LPsPerThread: 2, EndTime: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := m.Config()
+	if cfg.Imbalance != 1 || cfg.LookaheadMin != 0.1 || cfg.LookaheadMean != 0.9 || cfg.StartEventsPerLP != 1 {
+		t.Fatalf("defaults wrong: %+v", cfg)
+	}
+}
+
+func TestPHOLDWindows(t *testing.T) {
+	m, _ := NewPHOLD(PHOLDConfig{Threads: 8, LPsPerThread: 2, EndTime: 40, Imbalance: 4})
+	cases := map[tw.VT]int{0: 0, 9.99: 0, 10: 1, 25: 2, 39.9: 3, 40: 3, 100: 3}
+	for ts, want := range cases {
+		if got := m.Window(ts); got != want {
+			t.Errorf("Window(%v) = %d, want %d", ts, got, want)
+		}
+	}
+}
+
+func TestPHOLDLinearGroups(t *testing.T) {
+	m, _ := NewPHOLD(PHOLDConfig{Threads: 8, LPsPerThread: 2, EndTime: 40, Imbalance: 4})
+	if m.GroupSize() != 2 {
+		t.Fatalf("GroupSize = %d", m.GroupSize())
+	}
+	// Window 1 should own threads 2, 3.
+	if m.ActiveThread(1, 0) != 2 || m.ActiveThread(1, 1) != 3 {
+		t.Fatalf("linear group wrong: %d, %d", m.ActiveThread(1, 0), m.ActiveThread(1, 1))
+	}
+	if !m.IsActiveThread(1, 2) || m.IsActiveThread(1, 4) {
+		t.Fatal("IsActiveThread wrong for linear groups")
+	}
+}
+
+func TestPHOLDNonLinearGroups(t *testing.T) {
+	m, _ := NewPHOLD(PHOLDConfig{Threads: 8, LPsPerThread: 2, EndTime: 40, Imbalance: 4, NonLinear: true})
+	// Window 1 owns threads 1, 5 (ids ≡ 1 mod 4).
+	if m.ActiveThread(1, 0) != 1 || m.ActiveThread(1, 1) != 5 {
+		t.Fatalf("non-linear group wrong: %d, %d", m.ActiveThread(1, 0), m.ActiveThread(1, 1))
+	}
+	if !m.IsActiveThread(1, 5) || m.IsActiveThread(1, 2) {
+		t.Fatal("IsActiveThread wrong for non-linear groups")
+	}
+}
+
+// Property: every generated destination thread belongs to the window's
+// active group, for arbitrary windows and draws.
+func TestQuickPHOLDDestinationsInActiveGroup(t *testing.T) {
+	m, _ := NewPHOLD(PHOLDConfig{Threads: 16, LPsPerThread: 4, EndTime: 80, Imbalance: 8, NonLinear: true})
+	f := func(w uint8, i uint8) bool {
+		win := int(w) % 8
+		idx := int(i) % m.GroupSize()
+		tid := m.ActiveThread(win, idx)
+		return tid >= 0 && tid < 16 && m.IsActiveThread(win, tid)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPHOLDEventPopulationConserved(t *testing.T) {
+	m, _ := NewPHOLD(PHOLDConfig{Threads: 4, LPsPerThread: 4, EndTime: 25, Imbalance: 2})
+	eng := newEngine(t, m, 4, 25, 7)
+	drive(t, eng)
+	s := eng.TotalStats()
+	if s.Committed == 0 {
+		t.Fatal("nothing committed")
+	}
+	// Every event spawns exactly one event: the live population after
+	// quiescence equals the starting population (16), all parked at or
+	// beyond the end time.
+	if err := eng.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	var stateTotal int64
+	for _, lp := range eng.LPs() {
+		stateTotal += lp.State().(*PHOLDState).Processed
+	}
+	if uint64(stateTotal) != s.Committed {
+		t.Fatalf("state counters %d != committed %d", stateTotal, s.Committed)
+	}
+}
+
+// Temporal execution locality: chains must chew through window w's
+// events (owned by group w) before producing window w+1 traffic, so
+// groups become busy strictly in window order.
+func TestPHOLDImbalanceActivatesGroupsInOrder(t *testing.T) {
+	const threads, lpsPer, K = 8, 2, 4
+	m, _ := NewPHOLD(PHOLDConfig{Threads: threads, LPsPerThread: lpsPer, EndTime: 40, Imbalance: K})
+	eng := newEngine(t, m, threads, 40, 11)
+	cpu := &accCPU{}
+	// Each thread owns lpsPer initial events; "busy" means it processed
+	// well beyond those, i.e. received real window traffic.
+	const busyThreshold = 20
+	firstBusy := [K]int{}
+	for g := range firstBusy {
+		firstBusy[g] = -1
+	}
+	for pass := 1; pass <= 4000; pass++ {
+		for _, p := range eng.Peers() {
+			p.Drain(cpu)
+			p.ProcessBatch(cpu)
+		}
+		for g := 0; g < K; g++ {
+			if firstBusy[g] >= 0 {
+				continue
+			}
+			var sum uint64
+			for i := 0; i < threads/K; i++ {
+				sum += eng.Peer(m.ActiveThread(g, i)).Stats.Processed
+			}
+			if sum >= busyThreshold {
+				firstBusy[g] = pass
+			}
+		}
+	}
+	for g := 0; g < K; g++ {
+		if firstBusy[g] < 0 {
+			t.Fatalf("group %d never became busy: %v", g, firstBusy)
+		}
+	}
+	for g := 1; g < K; g++ {
+		if firstBusy[g] < firstBusy[g-1] {
+			t.Fatalf("group %d busy at pass %d before group %d at %d",
+				g, firstBusy[g], g-1, firstBusy[g-1])
+		}
+	}
+}
+
+// ---------- Epidemics ----------
+
+func TestEpidemicsValidation(t *testing.T) {
+	cases := []EpidemicsConfig{
+		{Threads: 0, LPsPerThread: 1, EndTime: 1},
+		{Threads: 1, LPsPerThread: 0, EndTime: 1},
+		{Threads: 4, LPsPerThread: 1, EndTime: 1, LockdownGroups: 3},
+		{Threads: 1, LPsPerThread: 1, EndTime: 0},
+	}
+	for i, cfg := range cases {
+		if _, err := NewEpidemics(cfg); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestEpidemicsUnlockedRegionShifts(t *testing.T) {
+	m, _ := NewEpidemics(EpidemicsConfig{Threads: 8, LPsPerThread: 4, EndTime: 40, LockdownGroups: 4})
+	// Window 0: LPs 0..7 unlocked; window 2: LPs 16..23.
+	if !m.Unlocked(3, 1) || m.Unlocked(16, 1) {
+		t.Fatal("window 0 region wrong")
+	}
+	if !m.Unlocked(17, 22) || m.Unlocked(3, 22) {
+		t.Fatal("window 2 region wrong")
+	}
+}
+
+func TestEpidemicsRunsAndInfects(t *testing.T) {
+	m, _ := NewEpidemics(EpidemicsConfig{
+		Threads: 4, LPsPerThread: 8, EndTime: 20, LockdownGroups: 4,
+		ContactRate: 3, TransmissionProb: 0.5,
+	})
+	eng := newEngine(t, m, 4, 20, 3)
+	drive(t, eng)
+	if err := eng.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	var exposures, infections, recoveries int64
+	locked := 0
+	for _, lp := range eng.LPs() {
+		st := lp.State().(*HouseholdState)
+		exposures += st.Exposures
+		infections += st.Infections
+		recoveries += st.Recoveries
+		for _, a := range st.Agents {
+			if a > Recovered {
+				t.Fatalf("invalid agent state %d", a)
+			}
+		}
+		if st.Exposures == 0 && st.Infections == 0 {
+			locked++
+		}
+	}
+	if infections == 0 {
+		t.Fatal("epidemic never took off")
+	}
+	// Infections include seeds (no exposure step), so infections >=
+	// recoveries is the only safe ordering; every exposure eventually
+	// becomes infectious or stays exposed at end.
+	if recoveries > infections {
+		t.Fatalf("recoveries %d > infections %d", recoveries, infections)
+	}
+	_ = locked // many runs leave untouched households, but seeds reach every group
+}
+
+func TestEpidemicsSEIRMonotonicity(t *testing.T) {
+	// Agent states only move S -> E -> I -> R; verify via committed
+	// counters: exposures >= infections via E (infections also come
+	// from seeds), recoveries <= infections.
+	m, _ := NewEpidemics(EpidemicsConfig{
+		Threads: 2, LPsPerThread: 8, EndTime: 30, LockdownGroups: 2,
+		ContactRate: 2, TransmissionProb: 0.4, SeedsPerWindow: 2,
+	})
+	eng := newEngine(t, m, 2, 30, 5)
+	drive(t, eng)
+	var st HouseholdState
+	seeds := int64(2 * 2) // SeedsPerWindow × LockdownGroups
+	for _, lp := range eng.LPs() {
+		s := lp.State().(*HouseholdState)
+		st.Exposures += s.Exposures
+		st.Infections += s.Infections
+		st.Recoveries += s.Recoveries
+	}
+	if st.Infections > st.Exposures+seeds {
+		t.Fatalf("infections %d exceed exposures %d + seeds %d", st.Infections, st.Exposures, seeds)
+	}
+	if st.Recoveries > st.Infections {
+		t.Fatalf("recoveries %d exceed infections %d", st.Recoveries, st.Infections)
+	}
+}
+
+// Lock-down confinement: every contact event's destination must be
+// unlocked at the contact's virtual time, so a household can only
+// accumulate exposures while its group's window is open. Verified by
+// checking that exposure-bearing groups become busy in window order.
+func TestEpidemicsLockdownConfinesSpread(t *testing.T) {
+	const threads, K = 8, 4
+	m, _ := NewEpidemics(EpidemicsConfig{
+		Threads: threads, LPsPerThread: 4, EndTime: 40, LockdownGroups: K,
+		ContactRate: 3, TransmissionProb: 0.5, SeedsPerWindow: 3,
+	})
+	eng := newEngine(t, m, threads, 40, 9)
+	cpu := &accCPU{}
+	firstExposed := [K]int{}
+	for g := range firstExposed {
+		firstExposed[g] = -1
+	}
+	groupThreads := threads / K
+	for pass := 1; pass <= 6000; pass++ {
+		for _, p := range eng.Peers() {
+			p.Drain(cpu)
+			p.ProcessBatch(cpu)
+		}
+		for g := 0; g < K; g++ {
+			if firstExposed[g] >= 0 {
+				continue
+			}
+			var sum int64
+			for tid := g * groupThreads; tid < (g+1)*groupThreads; tid++ {
+				for _, lp := range eng.Peer(tid).LPs() {
+					sum += lp.State().(*HouseholdState).Exposures
+				}
+			}
+			if sum > 0 {
+				firstExposed[g] = pass
+			}
+		}
+	}
+	for g := 1; g < K; g++ {
+		if firstExposed[g] >= 0 && firstExposed[g-1] >= 0 && firstExposed[g] < firstExposed[g-1] {
+			t.Fatalf("group %d exposed at pass %d before group %d at %d",
+				g, firstExposed[g], g-1, firstExposed[g-1])
+		}
+	}
+	if firstExposed[0] < 0 {
+		t.Fatal("group 0 never exposed")
+	}
+}
+
+// ---------- Traffic ----------
+
+func TestTrafficValidation(t *testing.T) {
+	cases := []TrafficConfig{
+		{Threads: 0, LPsPerThread: 1},
+		{Threads: 1, LPsPerThread: 0},
+		{Threads: 2, LPsPerThread: 3}, // 6 not a perfect square
+	}
+	for i, cfg := range cases {
+		if _, err := NewTraffic(cfg); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestTrafficGridGeometry(t *testing.T) {
+	m, _ := NewTraffic(TrafficConfig{Threads: 4, LPsPerThread: 4}) // 16 LPs = 4x4
+	if m.GridSide() != 4 {
+		t.Fatalf("grid side = %d", m.GridSide())
+	}
+	// Neighbor stepping with boundary reflection.
+	if m.neighbor(0, West) == 0 && m.GridSide() > 1 {
+		// reflection sends it inward, never self for grid > 2
+		t.Log("west reflection at corner:", m.neighbor(0, West))
+	}
+	n := m.neighbor(5, East) // (1,1) -> (2,1) = 6
+	if n != 6 {
+		t.Fatalf("neighbor(5, East) = %d, want 6", n)
+	}
+	n = m.neighbor(5, South) // (1,1) -> (1,2) = 9
+	if n != 9 {
+		t.Fatalf("neighbor(5, South) = %d, want 9", n)
+	}
+}
+
+// Property: neighbours are always valid LPs and adjacent or reflected.
+func TestQuickTrafficNeighborsValid(t *testing.T) {
+	m, _ := NewTraffic(TrafficConfig{Threads: 4, LPsPerThread: 16}) // 8x8
+	f := func(lpRaw uint8, dirRaw uint8) bool {
+		lp := int(lpRaw) % 64
+		dir := int64(dirRaw) % 4
+		n := m.neighbor(lp, dir)
+		return n >= 0 && n < 64
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTrafficDensityDecaysFromCenter(t *testing.T) {
+	for _, g := range []float64{0.35, 0.5} {
+		m, _ := NewTraffic(TrafficConfig{Threads: 4, LPsPerThread: 16, DensityGradient: g})
+		center := m.lpAt(3, 3) // near centre of 8x8
+		corner := m.lpAt(0, 0)
+		if m.StartEvents(center) <= m.StartEvents(corner) {
+			t.Fatalf("gradient %v: centre %d <= corner %d", g, m.StartEvents(center), m.StartEvents(corner))
+		}
+		if m.StartEvents(center) > m.Config().CenterStartEvents {
+			t.Fatalf("centre exceeds CenterStartEvents")
+		}
+	}
+}
+
+func TestTrafficHigherGradientMoreCentralized(t *testing.T) {
+	lo, _ := NewTraffic(TrafficConfig{Threads: 4, LPsPerThread: 16, DensityGradient: 0.35})
+	hi, _ := NewTraffic(TrafficConfig{Threads: 4, LPsPerThread: 16, DensityGradient: 0.5})
+	corner := 0
+	if hi.StartEvents(corner) > lo.StartEvents(corner) {
+		t.Fatal("higher gradient should strip the periphery")
+	}
+}
+
+func TestTrafficRunsAndConservesVehicles(t *testing.T) {
+	m, _ := NewTraffic(TrafficConfig{Threads: 4, LPsPerThread: 4, CenterStartEvents: 6})
+	eng := newEngine(t, m, 4, 15, 13)
+	drive(t, eng)
+	if err := eng.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	var arrivals, departures, queued int64
+	for _, lp := range eng.LPs() {
+		st := lp.State().(*IntersectionState)
+		arrivals += st.Arrivals
+		departures += st.Departures
+		queued += st.Queued
+		if st.Queued < 0 {
+			t.Fatalf("negative queue at LP %d", lp.ID)
+		}
+	}
+	if arrivals == 0 {
+		t.Fatal("no vehicles moved")
+	}
+	// Vehicles in flight or queued: arrivals - departures = queued.
+	if arrivals-departures != queued {
+		t.Fatalf("conservation violated: arrivals %d - departures %d != queued %d", arrivals, departures, queued)
+	}
+}
+
+func TestTrafficCenterBusierThanPeriphery(t *testing.T) {
+	m, _ := NewTraffic(TrafficConfig{Threads: 4, LPsPerThread: 16, DensityGradient: 0.5, CenterStartEvents: 12})
+	eng := newEngine(t, m, 4, 10, 17)
+	drive(t, eng)
+	var center, corner int64
+	side := m.GridSide()
+	for _, lp := range eng.LPs() {
+		st := lp.State().(*IntersectionState)
+		x, y := lp.ID%side, lp.ID/side
+		if (x == 3 || x == 4) && (y == 3 || y == 4) {
+			center += st.Arrivals
+		}
+		if (x <= 1 || x >= side-2) && (y <= 1 || y >= side-2) {
+			corner += st.Arrivals
+		}
+	}
+	// 4 centre cells vs 16 corner cells: per-cell centre activity must
+	// dominate.
+	if center/4 <= corner/16 {
+		t.Fatalf("centre per-cell %d <= corner per-cell %d", center/4, corner/16)
+	}
+}
+
+// ---------- Reverse computation ----------
+
+// Every bundled model must commit the identical trajectory under copy
+// state-saving and reverse computation, including through rollbacks.
+func TestReverseComputationMatchesCopyAllModels(t *testing.T) {
+	type build func() tw.Model
+	cases := []struct {
+		name  string
+		build build
+		final func(eng *tw.Engine) []int64
+	}{
+		{
+			"phold",
+			func() tw.Model {
+				m, _ := NewPHOLD(PHOLDConfig{Threads: 4, LPsPerThread: 4, EndTime: 25, Imbalance: 2})
+				return m
+			},
+			func(eng *tw.Engine) []int64 {
+				var out []int64
+				for _, lp := range eng.LPs() {
+					out = append(out, lp.State().(*PHOLDState).Processed)
+				}
+				return out
+			},
+		},
+		{
+			"epidemics",
+			func() tw.Model {
+				m, _ := NewEpidemics(EpidemicsConfig{
+					Threads: 4, LPsPerThread: 8, EndTime: 25, LockdownGroups: 4,
+					ContactRate: 3, TransmissionProb: 0.5, SeedsPerWindow: 3,
+				})
+				return m
+			},
+			func(eng *tw.Engine) []int64 {
+				var out []int64
+				for _, lp := range eng.LPs() {
+					st := lp.State().(*HouseholdState)
+					out = append(out, st.Exposures, st.Infections, st.Recoveries, st.ContactsSeen)
+					for _, a := range st.Agents {
+						out = append(out, int64(a))
+					}
+				}
+				return out
+			},
+		},
+		{
+			"traffic",
+			func() tw.Model {
+				m, _ := NewTraffic(TrafficConfig{Threads: 4, LPsPerThread: 4, CenterStartEvents: 8})
+				return m
+			},
+			func(eng *tw.Engine) []int64 {
+				var out []int64
+				for _, lp := range eng.LPs() {
+					st := lp.State().(*IntersectionState)
+					out = append(out, st.Arrivals, st.Departures, st.Queued)
+				}
+				return out
+			},
+		},
+	}
+	// A skewed drive order to force cross-thread rollbacks.
+	order := []int{0, 0, 0, 0, 1, 2, 3}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			run := func(policy tw.SavePolicy) ([]int64, uint64, uint64) {
+				eng, err := tw.NewEngine(tw.Config{
+					NumThreads: 4, Model: tc.build(), EndTime: 25, Seed: 31,
+					StateSaving: policy,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				driveOrder(t, eng, order)
+				if err := eng.CheckInvariants(); err != nil {
+					t.Fatal(err)
+				}
+				s := eng.TotalStats()
+				return tc.final(eng), s.Committed, s.RolledBack
+			}
+			wantState, wantCommitted, _ := run(tw.SaveCopy)
+			gotState, gotCommitted, rolled := run(tw.SaveReverse)
+			if gotCommitted != wantCommitted {
+				t.Fatalf("committed %d != %d", gotCommitted, wantCommitted)
+			}
+			for i := range wantState {
+				if gotState[i] != wantState[i] {
+					t.Fatalf("state[%d] = %d, want %d (rolled back %d)", i, gotState[i], wantState[i], rolled)
+				}
+			}
+		})
+	}
+}
+
+// driveOrder drives peers in a repeating order until quiescent.
+func driveOrder(t *testing.T, eng *tw.Engine, order []int) {
+	t.Helper()
+	cpu := &accCPU{}
+	for pass := 0; pass < 5_000_000; pass++ {
+		busy := false
+		for _, id := range order {
+			p := eng.Peer(id)
+			if p.Drain(cpu) > 0 || p.ProcessBatch(cpu) > 0 {
+				busy = true
+			}
+		}
+		if busy {
+			continue
+		}
+		min := math.Inf(1)
+		for _, p := range eng.Peers() {
+			if m := p.LocalMin(cpu); m < min {
+				min = m
+			}
+			if s := p.TakeMinSent(); s < min {
+				min = s
+			}
+		}
+		eng.SetGVT(math.Min(min, eng.EndTime()))
+		for _, p := range eng.Peers() {
+			p.FossilCollect(cpu, eng.GVT())
+		}
+		if eng.Done() {
+			return
+		}
+	}
+	t.Fatal("model did not quiesce")
+}

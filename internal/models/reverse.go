@@ -1,0 +1,68 @@
+package models
+
+import "ggpdes/internal/tw"
+
+// Reverse computation support (ROSS-style): every model implements
+// tw.ReverseModel so the engine can roll back by undoing handlers
+// instead of restoring state copies. Forward handlers stash what they
+// changed in the event's undo word; the engine restores RNG position
+// and LVT itself and unsends all sends.
+var (
+	_ tw.ReverseModel = (*PHOLD)(nil)
+	_ tw.ReverseModel = (*Epidemics)(nil)
+	_ tw.ReverseModel = (*Traffic)(nil)
+)
+
+// OnReverseEvent implements tw.ReverseModel: PHOLD's only state is a
+// counter.
+func (m *PHOLD) OnReverseEvent(ctx *tw.EventCtx) {
+	ctx.LP().State().(*PHOLDState).Processed--
+}
+
+// Epidemics undo encoding: 0 = no agent transition happened; otherwise
+// agent index + 1.
+
+// OnReverseEvent implements tw.ReverseModel for the SEIR model.
+func (m *Epidemics) OnReverseEvent(ctx *tw.EventCtx) {
+	st := ctx.LP().State().(*HouseholdState)
+	undo := ctx.Undo()
+	switch ctx.Event().Kind {
+	case EvSeed:
+		if undo > 0 {
+			st.Agents[undo-1] = Susceptible
+			st.Infections--
+		}
+	case EvContact:
+		st.ContactsSeen--
+		if undo > 0 {
+			st.Agents[undo-1] = Susceptible
+			st.Exposures--
+		}
+	case EvBecomeInfectious:
+		if undo > 0 {
+			st.Agents[undo-1] = Exposed
+			st.Infections--
+		}
+	case EvRecover:
+		if undo > 0 {
+			st.Agents[undo-1] = Infectious
+			st.Recoveries--
+		}
+	}
+}
+
+// OnReverseEvent implements tw.ReverseModel for the traffic model;
+// lane selection mutates no state (its send is unsent by the engine).
+func (m *Traffic) OnReverseEvent(ctx *tw.EventCtx) {
+	st := ctx.LP().State().(*IntersectionState)
+	switch ctx.Event().Kind {
+	case EvArrival:
+		st.Arrivals--
+		st.Queued--
+	case EvLaneSelect:
+		// No state mutation to undo.
+	case EvDeparture:
+		st.Queued++
+		st.Departures--
+	}
+}

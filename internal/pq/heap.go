@@ -1,0 +1,79 @@
+package pq
+
+// BinHeap is a classic array-backed binary min-heap. It is the baseline
+// pending-event structure the splay tree and calendar queue are
+// benchmarked against.
+type BinHeap[T any] struct {
+	items []T
+	less  Less[T]
+}
+
+// NewHeap returns an empty binary heap ordered by less.
+func NewHeap[T any](less Less[T]) *BinHeap[T] {
+	return &BinHeap[T]{less: less}
+}
+
+// Len reports the number of items in the heap.
+func (h *BinHeap[T]) Len() int { return len(h.items) }
+
+// Push inserts an item.
+func (h *BinHeap[T]) Push(item T) {
+	h.items = append(h.items, item)
+	h.up(len(h.items) - 1)
+}
+
+// Peek returns the minimum item without removing it.
+func (h *BinHeap[T]) Peek() (T, bool) {
+	var zero T
+	if len(h.items) == 0 {
+		return zero, false
+	}
+	return h.items[0], true
+}
+
+// Pop removes and returns the minimum item.
+func (h *BinHeap[T]) Pop() (T, bool) {
+	var zero T
+	n := len(h.items)
+	if n == 0 {
+		return zero, false
+	}
+	min := h.items[0]
+	h.items[0] = h.items[n-1]
+	h.items[n-1] = zero // allow GC of popped item
+	h.items = h.items[:n-1]
+	if len(h.items) > 0 {
+		h.down(0)
+	}
+	return min, true
+}
+
+func (h *BinHeap[T]) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(h.items[i], h.items[parent]) {
+			return
+		}
+		h.items[i], h.items[parent] = h.items[parent], h.items[i]
+		i = parent
+	}
+}
+
+func (h *BinHeap[T]) down(i int) {
+	n := len(h.items)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && h.less(h.items[l], h.items[smallest]) {
+			smallest = l
+		}
+		if r < n && h.less(h.items[r], h.items[smallest]) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		h.items[i], h.items[smallest] = h.items[smallest], h.items[i]
+		i = smallest
+	}
+}

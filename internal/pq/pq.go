@@ -1,0 +1,73 @@
+// Package pq provides timestamp-ordered priority queues for pending
+// event sets. Three implementations are provided — a splay tree (the
+// structure used by ROSS), a binary heap, and a calendar queue — behind
+// a common Queue interface so the engine can be benchmarked with each.
+//
+// Queues are min-queues ordered by a caller-supplied comparison. They
+// deliberately do not support arbitrary removal: Time Warp annihilates
+// unprocessed events lazily by marking them cancelled and skipping them
+// at pop time, which keeps every implementation simple and fast.
+package pq
+
+// Queue is a min-priority queue over items of type T.
+type Queue[T any] interface {
+	// Push inserts an item.
+	Push(item T)
+	// Pop removes and returns the minimum item. The boolean is false
+	// when the queue is empty.
+	Pop() (T, bool)
+	// Peek returns the minimum item without removing it. The boolean is
+	// false when the queue is empty.
+	Peek() (T, bool)
+	// Len reports the number of items in the queue.
+	Len() int
+}
+
+// Less orders items; it must be a strict weak ordering.
+type Less[T any] func(a, b T) bool
+
+// Kind selects a Queue implementation.
+type Kind int
+
+const (
+	// Splay selects the top-down splay tree (ROSS default).
+	Splay Kind = iota
+	// Heap selects the binary heap.
+	Heap
+	// Calendar selects the calendar queue. Calendar queues additionally
+	// need a numeric priority; see NewCalendar.
+	Calendar
+)
+
+// String returns the queue kind's name.
+func (k Kind) String() string {
+	switch k {
+	case Splay:
+		return "splay"
+	case Heap:
+		return "heap"
+	case Calendar:
+		return "calendar"
+	default:
+		return "unknown"
+	}
+}
+
+// New constructs a queue of the given kind. For Calendar, prio maps an
+// item to its numeric priority and must agree with less; prio may be
+// nil for Splay and Heap.
+func New[T any](kind Kind, less Less[T], prio func(T) float64) Queue[T] {
+	switch kind {
+	case Splay:
+		return NewSplay(less)
+	case Heap:
+		return NewHeap(less)
+	case Calendar:
+		if prio == nil {
+			panic("pq: Calendar queue requires a priority function")
+		}
+		return NewCalendar(less, prio)
+	default:
+		panic("pq: unknown queue kind")
+	}
+}

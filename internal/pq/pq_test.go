@@ -1,0 +1,287 @@
+package pq
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+type ev struct {
+	ts  float64
+	seq int
+}
+
+func evLess(a, b ev) bool {
+	if a.ts != b.ts {
+		return a.ts < b.ts
+	}
+	return a.seq < b.seq
+}
+
+func evPrio(e ev) float64 { return e.ts }
+
+func allKinds(t *testing.T, f func(t *testing.T, q Queue[ev])) {
+	t.Helper()
+	for _, k := range []Kind{Splay, Heap, Calendar} {
+		k := k
+		t.Run(k.String(), func(t *testing.T) {
+			f(t, New[ev](k, evLess, evPrio))
+		})
+	}
+}
+
+func TestEmptyQueue(t *testing.T) {
+	allKinds(t, func(t *testing.T, q Queue[ev]) {
+		if q.Len() != 0 {
+			t.Fatal("new queue not empty")
+		}
+		if _, ok := q.Pop(); ok {
+			t.Fatal("Pop on empty returned ok")
+		}
+		if _, ok := q.Peek(); ok {
+			t.Fatal("Peek on empty returned ok")
+		}
+	})
+}
+
+func TestSingleItem(t *testing.T) {
+	allKinds(t, func(t *testing.T, q Queue[ev]) {
+		q.Push(ev{ts: 3.5, seq: 1})
+		if q.Len() != 1 {
+			t.Fatal("Len != 1 after one push")
+		}
+		got, ok := q.Peek()
+		if !ok || got.ts != 3.5 {
+			t.Fatalf("Peek = %v, %v", got, ok)
+		}
+		got, ok = q.Pop()
+		if !ok || got.ts != 3.5 || q.Len() != 0 {
+			t.Fatalf("Pop = %v, %v, len %d", got, ok, q.Len())
+		}
+	})
+}
+
+func TestSortedDrain(t *testing.T) {
+	allKinds(t, func(t *testing.T, q Queue[ev]) {
+		r := rand.New(rand.NewSource(7))
+		const n = 5000
+		want := make([]ev, n)
+		for i := range want {
+			want[i] = ev{ts: r.Float64() * 1000, seq: i}
+		}
+		for _, e := range want {
+			q.Push(e)
+		}
+		sort.Slice(want, func(i, j int) bool { return evLess(want[i], want[j]) })
+		for i, w := range want {
+			got, ok := q.Pop()
+			if !ok {
+				t.Fatalf("queue dried up at %d", i)
+			}
+			if got != w {
+				t.Fatalf("drain[%d] = %v, want %v", i, got, w)
+			}
+		}
+		if q.Len() != 0 {
+			t.Fatal("queue not empty after drain")
+		}
+	})
+}
+
+func TestDuplicateTimestamps(t *testing.T) {
+	allKinds(t, func(t *testing.T, q Queue[ev]) {
+		for i := 0; i < 100; i++ {
+			q.Push(ev{ts: 1.0, seq: i})
+		}
+		last := -1
+		for i := 0; i < 100; i++ {
+			got, ok := q.Pop()
+			if !ok || got.ts != 1.0 {
+				t.Fatalf("bad pop %v %v", got, ok)
+			}
+			if got.seq <= last {
+				t.Fatalf("tie-break order violated: %d after %d", got.seq, last)
+			}
+			last = got.seq
+		}
+	})
+}
+
+func TestInterleavedPushPop(t *testing.T) {
+	allKinds(t, func(t *testing.T, q Queue[ev]) {
+		r := rand.New(rand.NewSource(99))
+		var ref []ev
+		seq := 0
+		for step := 0; step < 20000; step++ {
+			if r.Intn(3) != 0 || len(ref) == 0 {
+				e := ev{ts: r.Float64() * 100, seq: seq}
+				seq++
+				q.Push(e)
+				ref = append(ref, e)
+			} else {
+				sort.Slice(ref, func(i, j int) bool { return evLess(ref[i], ref[j]) })
+				want := ref[0]
+				ref = ref[1:]
+				got, ok := q.Pop()
+				if !ok || got != want {
+					t.Fatalf("step %d: got %v, want %v", step, got, want)
+				}
+			}
+			if q.Len() != len(ref) {
+				t.Fatalf("step %d: Len %d, ref %d", step, q.Len(), len(ref))
+			}
+		}
+	})
+}
+
+// PDES-like access pattern: mostly-increasing pushes with occasional
+// out-of-order "straggler" pushes below the last popped priority.
+func TestStragglerPattern(t *testing.T) {
+	allKinds(t, func(t *testing.T, q Queue[ev]) {
+		r := rand.New(rand.NewSource(3))
+		now := 0.0
+		var ref []ev
+		seq := 0
+		push := func(ts float64) {
+			e := ev{ts: ts, seq: seq}
+			seq++
+			q.Push(e)
+			ref = append(ref, e)
+		}
+		for i := 0; i < 200; i++ {
+			push(r.Float64() * 10)
+		}
+		for step := 0; step < 5000; step++ {
+			got, ok := q.Pop()
+			if !ok {
+				break
+			}
+			sort.Slice(ref, func(i, j int) bool { return evLess(ref[i], ref[j]) })
+			if got != ref[0] {
+				t.Fatalf("step %d: got %v, want %v", step, got, ref[0])
+			}
+			ref = ref[1:]
+			now = got.ts
+			// Forward push, plus occasional stragglers behind now.
+			push(now + r.Float64()*5)
+			if r.Intn(20) == 0 {
+				push(now * r.Float64())
+			}
+		}
+	})
+}
+
+func TestPeekDoesNotRemove(t *testing.T) {
+	allKinds(t, func(t *testing.T, q Queue[ev]) {
+		q.Push(ev{ts: 2})
+		q.Push(ev{ts: 1})
+		a, _ := q.Peek()
+		b, _ := q.Peek()
+		if a != b || q.Len() != 2 {
+			t.Fatalf("Peek mutated queue: %v %v len=%d", a, b, q.Len())
+		}
+		c, _ := q.Pop()
+		if c != a {
+			t.Fatalf("Pop %v != Peek %v", c, a)
+		}
+	})
+}
+
+// Property: for arbitrary push sequences, every queue kind drains in
+// exactly the reference-sorted order.
+func TestQuickAllKindsMatchReference(t *testing.T) {
+	f := func(tsRaw []uint16) bool {
+		items := make([]ev, len(tsRaw))
+		for i, v := range tsRaw {
+			items[i] = ev{ts: float64(v) / 7.0, seq: i}
+		}
+		want := append([]ev(nil), items...)
+		sort.Slice(want, func(i, j int) bool { return evLess(want[i], want[j]) })
+		for _, k := range []Kind{Splay, Heap, Calendar} {
+			q := New[ev](k, evLess, evPrio)
+			for _, e := range items {
+				q.Push(e)
+			}
+			for _, w := range want {
+				got, ok := q.Pop()
+				if !ok || got != w {
+					return false
+				}
+			}
+			if q.Len() != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Len is consistent under arbitrary interleavings.
+func TestQuickLenConsistency(t *testing.T) {
+	f := func(ops []int8) bool {
+		for _, k := range []Kind{Splay, Heap, Calendar} {
+			q := New[ev](k, evLess, evPrio)
+			n := 0
+			for i, op := range ops {
+				if op >= 0 {
+					q.Push(ev{ts: float64(op), seq: i})
+					n++
+				} else if n > 0 {
+					if _, ok := q.Pop(); !ok {
+						return false
+					}
+					n--
+				}
+				if q.Len() != n {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCalendarRequiresPrio(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(Calendar) without prio did not panic")
+		}
+	}()
+	New[ev](Calendar, evLess, nil)
+}
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{Splay: "splay", Heap: "heap", Calendar: "calendar", Kind(42): "unknown"}
+	for k, want := range cases {
+		if k.String() != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", int(k), k.String(), want)
+		}
+	}
+}
+
+func benchQueue(b *testing.B, k Kind) {
+	q := New[ev](k, evLess, evPrio)
+	r := rand.New(rand.NewSource(1))
+	// Hold pattern at steady state ~1024 items: push one, pop one.
+	now := 0.0
+	for i := 0; i < 1024; i++ {
+		q.Push(ev{ts: now + r.Float64()*10, seq: i})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e, _ := q.Pop()
+		now = e.ts
+		q.Push(ev{ts: now + r.Float64()*10, seq: i})
+	}
+}
+
+func BenchmarkPendingQueueSplay(b *testing.B)    { benchQueue(b, Splay) }
+func BenchmarkPendingQueueHeap(b *testing.B)     { benchQueue(b, Heap) }
+func BenchmarkPendingQueueCalendar(b *testing.B) { benchQueue(b, Calendar) }

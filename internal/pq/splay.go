@@ -1,0 +1,155 @@
+package pq
+
+// SplayTree is a self-adjusting binary search tree used as a
+// min-priority queue. Pending-event access in PDES is heavily skewed
+// toward the low-timestamp end, which splaying exploits: repeated Pop
+// and near-minimum Push run in amortized O(log n) with very small
+// constants, which is why ROSS uses a splay tree for its event queue.
+type SplayTree[T any] struct {
+	root *splayNode[T]
+	less Less[T]
+	size int
+}
+
+type splayNode[T any] struct {
+	item        T
+	left, right *splayNode[T]
+}
+
+// NewSplay returns an empty splay tree ordered by less.
+func NewSplay[T any](less Less[T]) *SplayTree[T] {
+	return &SplayTree[T]{less: less}
+}
+
+// Len reports the number of items in the tree.
+func (t *SplayTree[T]) Len() int { return t.size }
+
+// splay performs a top-down splay of the tree around item, leaving the
+// closest node at the root.
+func (t *SplayTree[T]) splay(item T) {
+	if t.root == nil {
+		return
+	}
+	var header splayNode[T]
+	l, r := &header, &header
+	cur := t.root
+	for {
+		if t.less(item, cur.item) {
+			if cur.left == nil {
+				break
+			}
+			if t.less(item, cur.left.item) {
+				// Rotate right.
+				y := cur.left
+				cur.left = y.right
+				y.right = cur
+				cur = y
+				if cur.left == nil {
+					break
+				}
+			}
+			// Link right.
+			r.left = cur
+			r = cur
+			cur = cur.left
+		} else if t.less(cur.item, item) {
+			if cur.right == nil {
+				break
+			}
+			if t.less(cur.right.item, item) {
+				// Rotate left.
+				y := cur.right
+				cur.right = y.left
+				y.left = cur
+				cur = y
+				if cur.right == nil {
+					break
+				}
+			}
+			// Link left.
+			l.right = cur
+			l = cur
+			cur = cur.right
+		} else {
+			break
+		}
+	}
+	l.right = cur.left
+	r.left = cur.right
+	cur.left = header.right
+	cur.right = header.left
+	t.root = cur
+}
+
+// Push inserts an item.
+func (t *SplayTree[T]) Push(item T) {
+	n := &splayNode[T]{item: item}
+	t.size++
+	if t.root == nil {
+		t.root = n
+		return
+	}
+	t.splay(item)
+	if t.less(item, t.root.item) {
+		n.left = t.root.left
+		n.right = t.root
+		t.root.left = nil
+	} else {
+		n.right = t.root.right
+		n.left = t.root
+		t.root.right = nil
+	}
+	t.root = n
+}
+
+// Peek returns the minimum item without removing it.
+func (t *SplayTree[T]) Peek() (T, bool) {
+	var zero T
+	if t.root == nil {
+		return zero, false
+	}
+	// Splay the minimum to the root so a following Pop is cheap.
+	cur := t.root
+	if cur.left != nil {
+		t.splayMin()
+		cur = t.root
+	}
+	return cur.item, true
+}
+
+// splayMin splays the leftmost node to the root.
+func (t *SplayTree[T]) splayMin() {
+	var header splayNode[T]
+	r := &header
+	cur := t.root
+	for cur.left != nil {
+		if cur.left.left != nil {
+			y := cur.left
+			cur.left = y.right
+			y.right = cur
+			cur = y
+		} else {
+			r.left = cur
+			r = cur
+			cur = cur.left
+		}
+	}
+	r.left = cur.right
+	cur.right = header.left
+	t.root = cur
+}
+
+// Pop removes and returns the minimum item.
+func (t *SplayTree[T]) Pop() (T, bool) {
+	var zero T
+	if t.root == nil {
+		return zero, false
+	}
+	if t.root.left != nil {
+		t.splayMin()
+	}
+	n := t.root
+	t.root = n.right
+	t.size--
+	return n.item, true
+}

@@ -1,0 +1,105 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// kindFromString is the inverse of Kind.String.
+func kindFromString(s string) (Kind, error) {
+	switch s {
+	case "gvt":
+		return KindGVT, nil
+	case "round":
+		return KindRound, nil
+	case "rollback":
+		return KindRollback, nil
+	case "deactivate":
+		return KindDeactivate, nil
+	case "activate":
+		return KindActivate, nil
+	case "repin":
+		return KindRepin, nil
+	default:
+		return 0, fmt.Errorf("trace: unknown record kind %q", s)
+	}
+}
+
+// ReadCSV parses records previously written with WriteCSV into a new
+// Recorder, enabling offline analysis (cmd/ggtrace).
+func ReadCSV(r io.Reader) (*Recorder, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	rec := New(0)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if line == 1 {
+			if text != "kind,wall_cycles,thread,value,aux" {
+				return nil, fmt.Errorf("trace: line 1: unexpected header %q", text)
+			}
+			continue
+		}
+		if text == "" {
+			continue
+		}
+		fields := strings.Split(text, ",")
+		if len(fields) != 5 {
+			return nil, fmt.Errorf("trace: line %d: want 5 fields, got %d", line, len(fields))
+		}
+		kind, err := kindFromString(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		wall, err := strconv.ParseUint(fields[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: wall_cycles: %w", line, err)
+		}
+		thread, err := strconv.Atoi(fields[2])
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: thread: %w", line, err)
+		}
+		value, err := strconv.ParseFloat(fields[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: value: %w", line, err)
+		}
+		aux, err := strconv.ParseInt(fields[4], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: aux: %w", line, err)
+		}
+		rec.records = append(rec.records, Record{
+			Kind: kind, WallCycles: wall, Thread: thread, Value: value, Aux: aux,
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: reading csv: %w", err)
+	}
+	return rec, nil
+}
+
+// MaxThread returns the largest thread id referenced (at least 0), for
+// sizing offline analyses.
+func (r *Recorder) MaxThread() int {
+	max := 0
+	for _, rec := range r.records {
+		if rec.Thread > max {
+			max = rec.Thread
+		}
+	}
+	return max
+}
+
+// EndCycles returns the latest wall-clock stamp in the trace.
+func (r *Recorder) EndCycles() uint64 {
+	var end uint64
+	for _, rec := range r.records {
+		if rec.WallCycles > end {
+			end = rec.WallCycles
+		}
+	}
+	return end
+}

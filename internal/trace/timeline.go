@@ -1,0 +1,49 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+)
+
+// RenderTimeline draws an ASCII activity Gantt: one row per thread,
+// '#' while scheduled, '.' while de-scheduled, sampled into width
+// columns over [0, endCycles). Threads beyond maxRows are elided.
+func (r *Recorder) RenderTimeline(threads int, endCycles uint64, width, maxRows int) string {
+	if width <= 0 {
+		width = 80
+	}
+	if maxRows <= 0 {
+		maxRows = 64
+	}
+	if endCycles == 0 || threads == 0 {
+		return "(empty timeline)\n"
+	}
+	intervals := r.InactiveIntervals(threads, endCycles)
+	var b strings.Builder
+	fmt.Fprintf(&b, "thread activity over %d cycles ('#' scheduled, '.' de-scheduled)\n", endCycles)
+	rows := threads
+	elided := 0
+	if rows > maxRows {
+		elided = rows - maxRows
+		rows = maxRows
+	}
+	cell := float64(endCycles) / float64(width)
+	for tid := 0; tid < rows; tid++ {
+		line := make([]byte, width)
+		for col := 0; col < width; col++ {
+			mid := uint64((float64(col) + 0.5) * cell)
+			line[col] = '#'
+			for _, iv := range intervals[tid] {
+				if mid >= iv.Start && mid < iv.End {
+					line[col] = '.'
+					break
+				}
+			}
+		}
+		fmt.Fprintf(&b, "%4d |%s|\n", tid, line)
+	}
+	if elided > 0 {
+		fmt.Fprintf(&b, "     ... %d more threads elided ...\n", elided)
+	}
+	return b.String()
+}

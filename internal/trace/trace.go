@@ -1,0 +1,221 @@
+// Package trace records simulation-run events — GVT progression,
+// rollbacks, demand-driven scheduling transitions, affinity repins —
+// for post-run analysis, mirroring the instrumentation layers PDES
+// engines like ROSS ship with. Recording is allocation-light (one flat
+// record slice) and safe on the simulated machine because execution is
+// serialized.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Kind tags a trace record.
+type Kind uint8
+
+// Record kinds.
+const (
+	// KindGVT: a GVT publication. Value = new GVT.
+	KindGVT Kind = iota
+	// KindRound: a completed GVT round. Aux = participants.
+	KindRound
+	// KindRollback: a rollback episode. Aux = events undone.
+	KindRollback
+	// KindDeactivate: thread scheduled out.
+	KindDeactivate
+	// KindActivate: thread scheduled back in.
+	KindActivate
+	// KindRepin: dynamic affinity pinned the thread. Aux = core.
+	KindRepin
+)
+
+// String returns the kind name.
+func (k Kind) String() string {
+	switch k {
+	case KindGVT:
+		return "gvt"
+	case KindRound:
+		return "round"
+	case KindRollback:
+		return "rollback"
+	case KindDeactivate:
+		return "deactivate"
+	case KindActivate:
+		return "activate"
+	case KindRepin:
+		return "repin"
+	default:
+		return "unknown"
+	}
+}
+
+// Record is one trace event.
+type Record struct {
+	// Kind tags the record.
+	Kind Kind
+	// WallCycles is the machine wall-clock at recording time.
+	WallCycles uint64
+	// Thread is the acting simulation thread (-1 when global).
+	Thread int
+	// Value is kind-specific (GVT value, etc.).
+	Value float64
+	// Aux is kind-specific (rollback depth, core id, participants).
+	Aux int64
+}
+
+// Recorder accumulates records up to a limit.
+type Recorder struct {
+	// Clock supplies the machine wall-clock; nil records zero times.
+	Clock func() uint64
+
+	records []Record
+	limit   int
+	dropped uint64
+}
+
+// New returns a recorder keeping at most limit records (<=0 selects
+// 1<<20); further records are counted as dropped.
+func New(limit int) *Recorder {
+	if limit <= 0 {
+		limit = 1 << 20
+	}
+	return &Recorder{limit: limit}
+}
+
+// Add appends a record, stamping the wall clock.
+func (r *Recorder) Add(kind Kind, thread int, value float64, aux int64) {
+	if len(r.records) >= r.limit {
+		r.dropped++
+		return
+	}
+	var now uint64
+	if r.Clock != nil {
+		now = r.Clock()
+	}
+	r.records = append(r.records, Record{Kind: kind, WallCycles: now, Thread: thread, Value: value, Aux: aux})
+}
+
+// Records returns all retained records in order.
+func (r *Recorder) Records() []Record { return r.records }
+
+// Dropped reports how many records hit the limit.
+func (r *Recorder) Dropped() uint64 { return r.dropped }
+
+// CountKind returns how many records of the kind were retained.
+func (r *Recorder) CountKind(k Kind) int {
+	n := 0
+	for _, rec := range r.records {
+		if rec.Kind == k {
+			n++
+		}
+	}
+	return n
+}
+
+// GVTSeries returns (wall cycles, gvt) pairs in publication order.
+func (r *Recorder) GVTSeries() (cycles []uint64, gvt []float64) {
+	for _, rec := range r.records {
+		if rec.Kind == KindGVT {
+			cycles = append(cycles, rec.WallCycles)
+			gvt = append(gvt, rec.Value)
+		}
+	}
+	return cycles, gvt
+}
+
+// Interval is a half-open [Start, End) span in machine wall cycles.
+type Interval struct {
+	Start, End uint64
+}
+
+// InactiveIntervals reconstructs, per thread, the spans during which it
+// was de-scheduled, from Deactivate/Activate pairs. endCycles closes
+// intervals still open at the end of the run.
+func (r *Recorder) InactiveIntervals(threads int, endCycles uint64) [][]Interval {
+	out := make([][]Interval, threads)
+	open := make(map[int]uint64)
+	for _, rec := range r.records {
+		switch rec.Kind {
+		case KindDeactivate:
+			if rec.Thread >= 0 && rec.Thread < threads {
+				open[rec.Thread] = rec.WallCycles
+			}
+		case KindActivate:
+			if start, ok := open[rec.Thread]; ok {
+				out[rec.Thread] = append(out[rec.Thread], Interval{start, rec.WallCycles})
+				delete(open, rec.Thread)
+			}
+		}
+	}
+	for tid, start := range open {
+		out[tid] = append(out[tid], Interval{start, endCycles})
+	}
+	for _, iv := range out {
+		sort.Slice(iv, func(i, j int) bool { return iv[i].Start < iv[j].Start })
+	}
+	return out
+}
+
+// InactiveFraction returns the fraction of total thread-time spent
+// de-scheduled across all threads, given the run length.
+func (r *Recorder) InactiveFraction(threads int, endCycles uint64) float64 {
+	if threads == 0 || endCycles == 0 {
+		return 0
+	}
+	var inactive uint64
+	for _, iv := range r.InactiveIntervals(threads, endCycles) {
+		for _, i := range iv {
+			inactive += i.End - i.Start
+		}
+	}
+	return float64(inactive) / (float64(endCycles) * float64(threads))
+}
+
+// MeanRollbackDepth returns the average events undone per rollback.
+func (r *Recorder) MeanRollbackDepth() float64 {
+	var n, sum int64
+	for _, rec := range r.records {
+		if rec.Kind == KindRollback {
+			n++
+			sum += rec.Aux
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return float64(sum) / float64(n)
+}
+
+// WriteCSV emits all records as kind,wall_cycles,thread,value,aux rows.
+func (r *Recorder) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "kind,wall_cycles,thread,value,aux"); err != nil {
+		return err
+	}
+	for _, rec := range r.records {
+		if _, err := fmt.Fprintf(w, "%s,%d,%d,%g,%d\n",
+			rec.Kind, rec.WallCycles, rec.Thread, rec.Value, rec.Aux); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Summary renders a one-paragraph digest of the trace.
+func (r *Recorder) Summary(threads int, endCycles uint64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace: %d records", len(r.records))
+	if r.dropped > 0 {
+		fmt.Fprintf(&b, " (+%d dropped)", r.dropped)
+	}
+	fmt.Fprintf(&b, "; gvt updates %d, rounds %d", r.CountKind(KindGVT), r.CountKind(KindRound))
+	fmt.Fprintf(&b, "; rollbacks %d (mean depth %.1f)", r.CountKind(KindRollback), r.MeanRollbackDepth())
+	fmt.Fprintf(&b, "; deactivations %d, activations %d, repins %d",
+		r.CountKind(KindDeactivate), r.CountKind(KindActivate), r.CountKind(KindRepin))
+	if threads > 0 && endCycles > 0 {
+		fmt.Fprintf(&b, "; de-scheduled %.1f%% of thread-time", r.InactiveFraction(threads, endCycles)*100)
+	}
+	return b.String()
+}

@@ -1,0 +1,262 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddAndCount(t *testing.T) {
+	r := New(100)
+	clock := uint64(0)
+	r.Clock = func() uint64 { clock += 10; return clock }
+	r.Add(KindGVT, -1, 1.5, 0)
+	r.Add(KindRollback, 3, 2.0, 7)
+	r.Add(KindRollback, 1, 2.5, 3)
+	if len(r.Records()) != 3 {
+		t.Fatalf("records = %d", len(r.Records()))
+	}
+	if r.CountKind(KindRollback) != 2 || r.CountKind(KindGVT) != 1 || r.CountKind(KindRepin) != 0 {
+		t.Fatal("counts wrong")
+	}
+	if r.Records()[0].WallCycles != 10 || r.Records()[2].WallCycles != 30 {
+		t.Fatal("clock not stamped")
+	}
+}
+
+func TestLimitDrops(t *testing.T) {
+	r := New(2)
+	for i := 0; i < 5; i++ {
+		r.Add(KindRound, i, 0, 0)
+	}
+	if len(r.Records()) != 2 || r.Dropped() != 3 {
+		t.Fatalf("records=%d dropped=%d", len(r.Records()), r.Dropped())
+	}
+}
+
+func TestNilClockRecordsZero(t *testing.T) {
+	r := New(0)
+	r.Add(KindGVT, -1, 1, 0)
+	if r.Records()[0].WallCycles != 0 {
+		t.Fatal("nil clock should stamp zero")
+	}
+}
+
+func TestGVTSeries(t *testing.T) {
+	r := New(0)
+	tick := uint64(0)
+	r.Clock = func() uint64 { tick += 100; return tick }
+	r.Add(KindGVT, -1, 1, 0)
+	r.Add(KindRollback, 0, 0, 1)
+	r.Add(KindGVT, -1, 2, 0)
+	cycles, gvt := r.GVTSeries()
+	if len(cycles) != 2 || gvt[0] != 1 || gvt[1] != 2 || cycles[1] <= cycles[0] {
+		t.Fatalf("series = %v %v", cycles, gvt)
+	}
+}
+
+func TestInactiveIntervals(t *testing.T) {
+	r := New(0)
+	tick := uint64(0)
+	r.Clock = func() uint64 { return tick }
+	tick = 100
+	r.Add(KindDeactivate, 0, 0, 0)
+	tick = 300
+	r.Add(KindActivate, 0, 0, 0)
+	tick = 400
+	r.Add(KindDeactivate, 1, 0, 0) // stays open
+	iv := r.InactiveIntervals(2, 1000)
+	if len(iv[0]) != 1 || iv[0][0] != (Interval{100, 300}) {
+		t.Fatalf("thread 0 intervals = %v", iv[0])
+	}
+	if len(iv[1]) != 1 || iv[1][0] != (Interval{400, 1000}) {
+		t.Fatalf("thread 1 intervals = %v", iv[1])
+	}
+	// Fraction: (200 + 600) / (1000 * 2) = 0.4.
+	if f := r.InactiveFraction(2, 1000); f != 0.4 {
+		t.Fatalf("fraction = %v", f)
+	}
+}
+
+func TestMeanRollbackDepth(t *testing.T) {
+	r := New(0)
+	if r.MeanRollbackDepth() != 0 {
+		t.Fatal("empty mean not zero")
+	}
+	r.Add(KindRollback, 0, 0, 4)
+	r.Add(KindRollback, 1, 0, 8)
+	if got := r.MeanRollbackDepth(); got != 6 {
+		t.Fatalf("mean = %v", got)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	r := New(0)
+	r.Add(KindRepin, 5, 0, 3)
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "kind,wall_cycles,thread,value,aux\n") || !strings.Contains(out, "repin,0,5,0,3") {
+		t.Fatalf("csv = %q", out)
+	}
+}
+
+func TestSummaryMentionsEverything(t *testing.T) {
+	r := New(0)
+	r.Add(KindGVT, -1, 1, 0)
+	r.Add(KindRound, 0, 1, 4)
+	r.Add(KindRollback, 0, 0, 2)
+	r.Add(KindDeactivate, 0, 0, 0)
+	r.Add(KindActivate, 0, 0, 0)
+	r.Add(KindRepin, 0, 0, 1)
+	s := r.Summary(4, 1000)
+	for _, want := range []string{"gvt updates 1", "rounds 1", "rollbacks 1", "deactivations 1", "activations 1", "repins 1", "de-scheduled"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("summary %q missing %q", s, want)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	names := map[Kind]string{
+		KindGVT: "gvt", KindRound: "round", KindRollback: "rollback",
+		KindDeactivate: "deactivate", KindActivate: "activate", KindRepin: "repin",
+		Kind(99): "unknown",
+	}
+	for k, want := range names {
+		if k.String() != want {
+			t.Errorf("kind %d = %q, want %q", k, k.String(), want)
+		}
+	}
+}
+
+// Property: interval reconstruction never produces overlapping or
+// reversed intervals per thread for arbitrary transition sequences.
+func TestQuickIntervalsWellFormed(t *testing.T) {
+	f := func(ops []bool) bool {
+		r := New(0)
+		tick := uint64(0)
+		r.Clock = func() uint64 { return tick }
+		inactive := false
+		for _, deact := range ops {
+			tick += 10
+			if deact && !inactive {
+				r.Add(KindDeactivate, 0, 0, 0)
+				inactive = true
+			} else if !deact && inactive {
+				r.Add(KindActivate, 0, 0, 0)
+				inactive = false
+			}
+		}
+		iv := r.InactiveIntervals(1, tick+10)[0]
+		for i, in := range iv {
+			if in.End < in.Start {
+				return false
+			}
+			if i > 0 && in.Start < iv[i-1].End {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRenderTimeline(t *testing.T) {
+	r := New(0)
+	tick := uint64(0)
+	r.Clock = func() uint64 { return tick }
+	tick = 500
+	r.Add(KindDeactivate, 1, 0, 0)
+	tick = 900
+	r.Add(KindActivate, 1, 0, 0)
+	out := r.RenderTimeline(2, 1000, 20, 10)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	// Thread 0 fully active; thread 1 has a de-scheduled stretch.
+	if strings.Contains(lines[1], ".") {
+		t.Fatalf("thread 0 shows inactivity: %s", lines[1])
+	}
+	if !strings.Contains(lines[2], ".") || !strings.Contains(lines[2], "#") {
+		t.Fatalf("thread 1 missing mixed activity: %s", lines[2])
+	}
+}
+
+func TestRenderTimelineElides(t *testing.T) {
+	r := New(0)
+	out := r.RenderTimeline(100, 1000, 10, 4)
+	if !strings.Contains(out, "96 more threads elided") {
+		t.Fatalf("no elision note:\n%s", out)
+	}
+}
+
+func TestRenderTimelineEmpty(t *testing.T) {
+	r := New(0)
+	if out := r.RenderTimeline(0, 0, 10, 10); !strings.Contains(out, "empty") {
+		t.Fatalf("out = %q", out)
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	r := New(0)
+	tick := uint64(0)
+	r.Clock = func() uint64 { tick += 7; return tick }
+	r.Add(KindGVT, -1, 1.25, 0)
+	r.Add(KindRollback, 3, 9.5, 12)
+	r.Add(KindDeactivate, 5, 0, 0)
+	r.Add(KindRepin, 2, 0, 6)
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Records()) != len(r.Records()) {
+		t.Fatalf("records %d != %d", len(back.Records()), len(r.Records()))
+	}
+	for i, want := range r.Records() {
+		if back.Records()[i] != want {
+			t.Fatalf("record %d = %+v, want %+v", i, back.Records()[i], want)
+		}
+	}
+	if back.MaxThread() != 5 || back.EndCycles() != 28 {
+		t.Fatalf("MaxThread=%d EndCycles=%d", back.MaxThread(), back.EndCycles())
+	}
+}
+
+func TestReadCSVRejectsMalformed(t *testing.T) {
+	cases := []string{
+		"wrong,header\n",
+		"kind,wall_cycles,thread,value,aux\nnot-a-kind,1,2,3,4\n",
+		"kind,wall_cycles,thread,value,aux\ngvt,xx,2,3,4\n",
+		"kind,wall_cycles,thread,value,aux\ngvt,1,2,3\n",
+		"kind,wall_cycles,thread,value,aux\ngvt,1,zz,3,4\n",
+		"kind,wall_cycles,thread,value,aux\ngvt,1,2,zz,4\n",
+		"kind,wall_cycles,thread,value,aux\ngvt,1,2,3,zz\n",
+	}
+	for i, in := range cases {
+		if _, err := ReadCSV(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestReadCSVSkipsBlankLines(t *testing.T) {
+	in := "kind,wall_cycles,thread,value,aux\n\ngvt,5,-1,2,0\n\n"
+	rec, err := ReadCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Records()) != 1 {
+		t.Fatalf("records = %d", len(rec.Records()))
+	}
+}

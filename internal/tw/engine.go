@@ -1,0 +1,398 @@
+package tw
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"ggpdes/internal/pq"
+	"ggpdes/internal/rng"
+	"ggpdes/internal/trace"
+)
+
+// CostModel gives the CPU cycle cost of engine operations on the
+// simulated machine. Absolute values set absolute event rates; the
+// reproduced comparisons depend only on their relative magnitudes.
+type CostModel struct {
+	// EventCycles is charged per executed event (model handler work).
+	EventCycles uint64
+	// StateSaveCycles is charged per pre-execution state snapshot.
+	StateSaveCycles uint64
+	// SendCycles is charged per event or anti-message enqueued to a
+	// destination input queue.
+	SendCycles uint64
+	// DrainBaseCycles is charged per input-queue poll, even when empty
+	// — the cost inactive threads keep paying in baseline systems.
+	DrainBaseCycles uint64
+	// DrainPerEventCycles is charged per drained entry.
+	DrainPerEventCycles uint64
+	// RollbackPerEventCycles is charged per rolled-back event (state
+	// restore under SaveCopy, reverse handler under SaveReverse).
+	RollbackPerEventCycles uint64
+	// RngSaveCycles replaces StateSaveCycles per event under
+	// SaveReverse: only the RNG position and LVT are snapshotted.
+	RngSaveCycles uint64
+	// LocalMinCycles is charged per GVT local-minimum scan.
+	LocalMinCycles uint64
+	// FossilBaseCycles and FossilPerEventCycles price fossil collection.
+	FossilBaseCycles     uint64
+	FossilPerEventCycles uint64
+}
+
+// DefaultCosts returns the cost model used throughout the evaluation.
+func DefaultCosts() CostModel {
+	return CostModel{
+		EventCycles:            1200,
+		StateSaveCycles:        250,
+		SendCycles:             250,
+		DrainBaseCycles:        120,
+		DrainPerEventCycles:    100,
+		RollbackPerEventCycles: 600,
+		RngSaveCycles:          60,
+		LocalMinCycles:         150,
+		FossilBaseCycles:       100,
+		FossilPerEventCycles:   25,
+	}
+}
+
+// Config configures an Engine.
+type Config struct {
+	// NumThreads is the number of simulation threads (Peers).
+	NumThreads int
+	// Model is the simulation application.
+	Model Model
+	// EndTime is the virtual time at which the simulation completes
+	// (simulation ends when GVT reaches it).
+	EndTime VT
+	// Seed drives all model randomness.
+	Seed uint64
+	// BatchSize is the number of events processed per main-loop cycle
+	// (ROSS uses 8; 0 selects 8).
+	BatchSize int
+	// LPsPerKP groups each thread's LPs into kernel processes sharing
+	// rollback state (ROSS's KPs). 0 or 1 keeps one KP per LP; larger
+	// values trade rollback granularity for bookkeeping.
+	LPsPerKP int
+	// QueueKind selects the pending-set structure (default splay tree).
+	QueueKind pq.Kind
+	// Costs is the CPU cost model; zero value selects DefaultCosts.
+	Costs CostModel
+	// StateSaving selects copy state-saving (default) or reverse
+	// computation; SaveReverse requires Model to be a ReverseModel.
+	StateSaving SavePolicy
+	// LazyCancellation defers anti-messages at rollback: the rolled-back
+	// event keeps its sends as "tentative", and on re-execution any
+	// regenerated send that matches a tentative one is reused instead of
+	// being annihilated and resent. Wins when rollbacks do not change
+	// what gets sent (pure timing stragglers), loses a little
+	// bookkeeping otherwise — the classic Time Warp trade-off.
+	LazyCancellation bool
+	// Trace, when non-nil, records GVT publications and rollbacks.
+	Trace *trace.Recorder
+	// OptimismWindow bounds speculation: events beyond GVT +
+	// OptimismWindow are not executed until GVT catches up (ROSS's
+	// max_opt_lookahead). Zero means unbounded optimism. Bounding
+	// tames rollback thrash when demand-driven scheduling hands a
+	// freshly woken thread group the whole machine.
+	OptimismWindow VT
+}
+
+func (c *Config) fillDefaults() error {
+	if c.NumThreads <= 0 {
+		return errors.New("tw: NumThreads must be positive")
+	}
+	if c.Model == nil {
+		return errors.New("tw: Model is required")
+	}
+	if c.EndTime <= 0 {
+		return errors.New("tw: EndTime must be positive")
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = 8
+	}
+	if c.BatchSize < 0 {
+		return errors.New("tw: BatchSize must be positive")
+	}
+	if c.LPsPerKP < 0 {
+		return errors.New("tw: LPsPerKP must be non-negative")
+	}
+	if c.LPsPerKP == 0 {
+		c.LPsPerKP = 1
+	}
+	if c.Costs == (CostModel{}) {
+		c.Costs = DefaultCosts()
+	}
+	if c.StateSaving == SaveReverse {
+		if _, ok := c.Model.(ReverseModel); !ok {
+			return errors.New("tw: SaveReverse requires a ReverseModel")
+		}
+	}
+	return nil
+}
+
+// Engine owns the global simulation structures shared by all
+// simulation threads. It performs no synchronization of its own: the
+// simulated machine serializes all thread execution.
+type Engine struct {
+	cfg   Config
+	lps   []*LP
+	peers []*Peer
+	seq   uint64
+	gvt   VT
+	// uncommitted counts processed-but-not-fossil-collected events, the
+	// state-saving memory the GVT exists to bound (§2.1); peak tracks
+	// its high-water mark.
+	uncommitted     int
+	peakUncommitted int
+	peakSinceMark   int
+}
+
+// NewEngine builds LPs and peers, asks the model to initialize every
+// LP, and distributes starting events.
+func NewEngine(cfg Config) (*Engine, error) {
+	if err := cfg.fillDefaults(); err != nil {
+		return nil, err
+	}
+	eng := &Engine{cfg: cfg}
+	perThread := cfg.Model.LPsPerThread()
+	if perThread <= 0 {
+		return nil, errors.New("tw: model reports non-positive LPsPerThread")
+	}
+	nLPs := perThread * cfg.NumThreads
+	eng.peers = make([]*Peer, cfg.NumThreads)
+	for i := range eng.peers {
+		eng.peers[i] = newPeer(i, eng)
+	}
+	eng.lps = make([]*LP, nLPs)
+	for id := 0; id < nLPs; id++ {
+		// Block mapping: thread i serves LPs [i*perThread, (i+1)*perThread),
+		// so "the first half of threads" also means the first half of LPs,
+		// matching the paper's imbalanced models.
+		owner := id / perThread
+		lp := &LP{
+			ID:    id,
+			Owner: owner,
+			rand:  rng.New(cfg.Seed, uint64(id)+1),
+		}
+		eng.lps[id] = lp
+		p := eng.peers[owner]
+		// KP assignment: consecutive runs of LPsPerKP LPs per thread.
+		kpIdx := len(p.lps) / cfg.LPsPerKP
+		if kpIdx == len(p.kps) {
+			p.kps = append(p.kps, &KP{ID: kpIdx, Owner: owner})
+		}
+		lp.kp = p.kps[kpIdx]
+		p.lps = append(p.lps, lp)
+	}
+	for _, lp := range eng.lps {
+		cfg.Model.InitLP(&InitCtx{eng: eng, lp: lp}, lp)
+		if lp.state == nil {
+			return nil, fmt.Errorf("tw: model left LP %d without state", lp.ID)
+		}
+	}
+	return eng, nil
+}
+
+// Config returns the engine configuration (defaults filled).
+func (e *Engine) Config() Config { return e.cfg }
+
+// Peers returns all simulation-thread states, indexed by thread id.
+func (e *Engine) Peers() []*Peer { return e.peers }
+
+// Peer returns the peer for thread id.
+func (e *Engine) Peer(id int) *Peer { return e.peers[id] }
+
+// LPs returns all logical processes, indexed by LP id.
+func (e *Engine) LPs() []*LP { return e.lps }
+
+// NumLPs returns the total LP count.
+func (e *Engine) NumLPs() int { return len(e.lps) }
+
+// UncommittedEvents returns the current count of processed events
+// awaiting fossil collection.
+func (e *Engine) UncommittedEvents() int { return e.uncommitted }
+
+// PeakUncommittedEvents returns the high-water mark of uncommitted
+// events — the run's state-saving memory demand.
+func (e *Engine) PeakUncommittedEvents() int { return e.peakUncommitted }
+
+// noteProcessed and noteUnprocessed maintain the memory gauge.
+func (e *Engine) noteProcessed(n int) {
+	e.uncommitted += n
+	if e.uncommitted > e.peakUncommitted {
+		e.peakUncommitted = e.uncommitted
+	}
+	if e.uncommitted > e.peakSinceMark {
+		e.peakSinceMark = e.uncommitted
+	}
+}
+
+// PeakUncommittedSinceMark returns the high-water mark since the last
+// MarkUncommitted call; the adaptive GVT controller samples it per
+// round.
+func (e *Engine) PeakUncommittedSinceMark() int { return e.peakSinceMark }
+
+// MarkUncommitted resets the per-round high-water mark.
+func (e *Engine) MarkUncommitted() { e.peakSinceMark = e.uncommitted }
+
+// GVT returns the engine's last published Global Virtual Time.
+func (e *Engine) GVT() VT { return e.gvt }
+
+// SetGVT publishes a newly computed GVT. It panics if GVT would move
+// backwards — the monotonicity invariant of every GVT algorithm.
+func (e *Engine) SetGVT(gvt VT) {
+	if gvt < e.gvt {
+		panic(fmt.Sprintf("tw: GVT moved backwards: %.6f -> %.6f", e.gvt, gvt))
+	}
+	e.gvt = gvt
+	if e.cfg.Trace != nil {
+		e.cfg.Trace.Add(trace.KindGVT, -1, gvt, 0)
+	}
+}
+
+// Done reports whether the simulation has completed (GVT has reached
+// the end time).
+func (e *Engine) Done() bool { return e.gvt >= e.cfg.EndTime }
+
+// EndTime returns the simulation end time.
+func (e *Engine) EndTime() VT { return e.cfg.EndTime }
+
+// horizon returns the current speculation bound: GVT + OptimismWindow,
+// or +Inf with unbounded optimism.
+func (e *Engine) horizon() VT {
+	if w := e.cfg.OptimismWindow; w > 0 {
+		return e.gvt + w
+	}
+	return math.Inf(1)
+}
+
+// nextSeq assigns the next global event sequence number. Execution is
+// machine-serialized, so a plain counter is deterministic.
+func (e *Engine) nextSeq() uint64 {
+	e.seq++
+	return e.seq
+}
+
+// scheduleInit inserts a starting event directly into the destination
+// peer's pending set; initial events precede the simulation and carry
+// no rollback bookkeeping.
+func (e *Engine) scheduleInit(src, dst int, ts VT, kind uint8, a, b int64) {
+	if dst < 0 || dst >= len(e.lps) {
+		panic(fmt.Sprintf("tw: initial event for unknown LP %d", dst))
+	}
+	if ts < 0 {
+		panic("tw: initial event with negative timestamp")
+	}
+	ev := &Event{
+		Ts:    ts,
+		Seq:   e.nextSeq(),
+		Src:   src,
+		Dst:   dst,
+		Kind:  kind,
+		A:     a,
+		B:     b,
+		state: StatePending,
+	}
+	e.peers[e.lps[dst].Owner].pending.Push(ev)
+}
+
+// send delivers a model-generated event to the destination peer's
+// input queue, recording it on the causing event for anti-messages.
+// Under lazy cancellation, a send matching one of the cause's tentative
+// (not-yet-annihilated) prior sends is satisfied by re-adopting it.
+func (e *Engine) send(from *Peer, cause *Event, dst int, ts VT, kind uint8, a, b int64) {
+	if dst < 0 || dst >= len(e.lps) {
+		panic(fmt.Sprintf("tw: send to unknown LP %d", dst))
+	}
+	if e.cfg.LazyCancellation && len(cause.tentative) > 0 {
+		for i, old := range cause.tentative {
+			if old != nil && old.Dst == dst && old.Ts == ts && old.Kind == kind &&
+				old.A == a && old.B == b && old.state != StateCancelled {
+				cause.tentative[i] = nil
+				cause.sent = append(cause.sent, old)
+				from.Stats.LazyReused++
+				return
+			}
+		}
+	}
+	ev := &Event{
+		Ts:    ts,
+		Seq:   e.nextSeq(),
+		Src:   cause.Dst,
+		Dst:   dst,
+		Kind:  kind,
+		A:     a,
+		B:     b,
+		state: StateInQueue,
+	}
+	cause.sent = append(cause.sent, ev)
+	dstPeer := e.peers[e.lps[dst].Owner]
+	if dstPeer == from {
+		// Same-thread delivery goes straight to the pending set, as in
+		// shared-memory ROSS; the input queue is for remote senders.
+		// A send below the destination LP's local virtual time is a
+		// straggler handled immediately.
+		lp := e.lps[dst]
+		if last := lp.kp.lastProcessed(); last != nil && ev.before(last) {
+			from.Stats.Stragglers++
+			from.rollback(lp.kp, ev)
+		}
+		ev.state = StatePending
+		from.pending.Push(ev)
+	} else {
+		dstPeer.inq = append(dstPeer.inq, ev)
+	}
+	from.acc += e.cfg.Costs.SendCycles
+	from.noteSent(ts)
+}
+
+// TotalStats sums peer statistics.
+func (e *Engine) TotalStats() PeerStats {
+	var s PeerStats
+	for _, p := range e.peers {
+		s.Processed += p.Stats.Processed
+		s.RolledBack += p.Stats.RolledBack
+		s.Committed += p.Stats.Committed
+		s.Rollbacks += p.Stats.Rollbacks
+		s.Stragglers += p.Stats.Stragglers
+		s.AntiSent += p.Stats.AntiSent
+		s.Annihilated += p.Stats.Annihilated
+		s.LazyReused += p.Stats.LazyReused
+		s.LazyCancelled += p.Stats.LazyCancelled
+		s.Drained += p.Stats.Drained
+		s.GVTCycles += p.Stats.GVTCycles
+		s.GVTRounds += p.Stats.GVTRounds
+	}
+	return s
+}
+
+// CheckInvariants validates cross-cutting engine invariants; tests call
+// it after (and during) runs. It returns the first violation found.
+func (e *Engine) CheckInvariants() error {
+	for _, p := range e.peers {
+		for _, kp := range p.kps {
+			for i := 1; i < len(kp.processed); i++ {
+				if !kp.processed[i-1].before(kp.processed[i]) {
+					return fmt.Errorf("kp %d/%d processed order violated at %d: %v !< %v",
+						kp.Owner, kp.ID, i, kp.processed[i-1], kp.processed[i])
+				}
+			}
+			for _, ev := range kp.processed {
+				if ev.state != StateProcessed {
+					return fmt.Errorf("kp %d/%d history holds %v (state %s)", kp.Owner, kp.ID, ev, ev.state)
+				}
+				if e.lps[ev.Dst].kp != kp {
+					return fmt.Errorf("kp %d/%d history holds foreign event %v", kp.Owner, kp.ID, ev)
+				}
+			}
+		}
+	}
+	if !math.IsInf(e.gvt, 0) {
+		for _, p := range e.peers {
+			if ev := p.peekLive(); ev != nil && ev.Ts < e.gvt {
+				return fmt.Errorf("peer %d pending event %v below GVT %.6f", p.ID, ev, e.gvt)
+			}
+		}
+	}
+	return nil
+}

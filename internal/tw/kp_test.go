@@ -1,0 +1,130 @@
+package tw
+
+import (
+	"math"
+	"testing"
+)
+
+func TestKPAssignment(t *testing.T) {
+	eng, err := NewEngine(Config{
+		NumThreads: 2,
+		Model:      &ringModel{lpsPerThread: 6, startPerLP: 1},
+		EndTime:    10,
+		Seed:       1,
+		LPsPerKP:   3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range eng.Peers() {
+		if len(p.KPs()) != 2 {
+			t.Fatalf("peer %d has %d KPs, want 2", p.ID, len(p.KPs()))
+		}
+	}
+	// LPs 0-2 share a KP; 3-5 the next; thread 1 restarts numbering.
+	lps := eng.LPs()
+	if lps[0].KP() != lps[2].KP() || lps[0].KP() == lps[3].KP() {
+		t.Fatal("KP grouping wrong within thread 0")
+	}
+	if lps[5].KP() == lps[6].KP() {
+		t.Fatal("KPs leaked across threads")
+	}
+	if lps[6].KP().Owner != 1 {
+		t.Fatalf("thread-1 KP owner = %d", lps[6].KP().Owner)
+	}
+}
+
+func TestKPDefaultsToOnePerLP(t *testing.T) {
+	eng := newTestEngine(t, 1, 4, 1, 10)
+	if got := len(eng.Peer(0).KPs()); got != 4 {
+		t.Fatalf("default KPs = %d, want 4", got)
+	}
+}
+
+func TestKPValidation(t *testing.T) {
+	_, err := NewEngine(Config{
+		NumThreads: 1,
+		Model:      &ringModel{lpsPerThread: 2, startPerLP: 1},
+		EndTime:    10,
+		LPsPerKP:   -1,
+	})
+	if err == nil {
+		t.Fatal("negative LPsPerKP accepted")
+	}
+}
+
+// The KP gold test: grouping LPs into KPs changes rollback granularity,
+// never the committed trajectory.
+func TestKPSizesCommitIdenticalTrajectories(t *testing.T) {
+	run := func(lpsPerKP int, order []int) (uint64, []int, []float64, uint64) {
+		eng, err := NewEngine(Config{
+			NumThreads: 4,
+			Model:      &ringModel{lpsPerThread: 4, startPerLP: 2},
+			EndTime:    30,
+			Seed:       12345,
+			LPsPerKP:   lpsPerKP,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		runQuiescent(t, eng, order)
+		if err := eng.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+		committed, counts, sums := collectResults(eng)
+		return committed, counts, sums, eng.TotalStats().RolledBack
+	}
+	order := []int{0, 0, 0, 0, 0, 0, 1, 2, 3}
+	refCommitted, refCounts, refSums, refRolled := run(1, order)
+	for _, size := range []int{2, 4} {
+		committed, counts, sums, rolled := run(size, order)
+		if committed != refCommitted {
+			t.Fatalf("kp=%d: committed %d != %d", size, committed, refCommitted)
+		}
+		for i := range counts {
+			if counts[i] != refCounts[i] || math.Abs(sums[i]-refSums[i]) > 1e-9 {
+				t.Fatalf("kp=%d: LP %d state diverged", size, i)
+			}
+		}
+		// Coarser KPs can only roll back at least as much.
+		if rolled < refRolled {
+			t.Fatalf("kp=%d rolled back %d < per-LP %d", size, rolled, refRolled)
+		}
+	}
+}
+
+// Coarse KPs must roll back sibling LPs when one member straggles.
+func TestKPStragglerRollsBackSiblings(t *testing.T) {
+	eng, err := NewEngine(Config{
+		NumThreads: 2,
+		Model:      &ringModel{lpsPerThread: 4, startPerLP: 1},
+		EndTime:    100,
+		Seed:       5,
+		LPsPerKP:   4, // one KP per thread
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpu := &fakeCPU{}
+	p0, p1 := eng.Peer(0), eng.Peer(1)
+	for i := 0; i < 40; i++ {
+		p0.Drain(cpu)
+		p0.ProcessBatch(cpu)
+	}
+	for i := 0; i < 80; i++ {
+		p1.Drain(cpu)
+		p1.ProcessBatch(cpu)
+		p0.Drain(cpu)
+		p0.ProcessBatch(cpu)
+	}
+	s := eng.TotalStats()
+	if s.Stragglers == 0 {
+		t.Skip("no stragglers this interleaving")
+	}
+	if s.RolledBack == 0 {
+		t.Fatal("stragglers rolled back nothing")
+	}
+	if err := eng.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

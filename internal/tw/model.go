@@ -1,0 +1,131 @@
+package tw
+
+import "ggpdes/internal/rng"
+
+// State is a logical process's model-defined state. Clone must return a
+// deep copy; the engine snapshots state before every event execution so
+// rollbacks can restore it.
+type State interface {
+	Clone() State
+}
+
+// Snapshot couples an LP state copy with its RNG position; restoring
+// both makes re-execution after a rollback bit-identical.
+type Snapshot struct {
+	state State
+	rng   rng.State
+	lvt   VT
+}
+
+// CPU abstracts the simulated processor's cost accounting; the
+// machine's Proc satisfies it.
+type CPU interface {
+	// Work consumes the given number of CPU cycles.
+	Work(cycles uint64)
+}
+
+// Model defines a simulation application.
+type Model interface {
+	// LPsPerThread is how many LPs each simulation thread serves.
+	LPsPerThread() int
+	// InitLP populates lp's initial state and schedules its starting
+	// events via ictx.ScheduleInit.
+	InitLP(ictx *InitCtx, lp *LP)
+	// OnEvent executes one event against its destination LP. All state
+	// mutation must go through ctx (reads of lp.State() are fine).
+	OnEvent(ctx *EventCtx)
+}
+
+// ReverseModel is a Model whose event handlers can be undone — ROSS's
+// reverse computation. With SaveReverse, the engine skips per-event
+// state copies: a rollback replays OnReverseEvent in LIFO order
+// instead, using the undo word each forward execution may stash via
+// EventCtx.SetUndo. The engine still saves and restores the LP's RNG
+// position, so re-execution stays bit-identical.
+type ReverseModel interface {
+	Model
+	// OnReverseEvent undoes exactly the state mutations OnEvent made
+	// for this event. Sends are unsent by the engine; only LP state is
+	// the model's responsibility.
+	OnReverseEvent(ctx *EventCtx)
+}
+
+// SavePolicy selects the rollback mechanism.
+type SavePolicy int
+
+const (
+	// SaveCopy snapshots a deep copy of the LP state before every
+	// event (simple, works for any Model).
+	SaveCopy SavePolicy = iota
+	// SaveReverse uses the model's reverse handlers (cheaper per event,
+	// requires a ReverseModel).
+	SaveReverse
+)
+
+// String returns the policy name.
+func (s SavePolicy) String() string {
+	switch s {
+	case SaveCopy:
+		return "copy"
+	case SaveReverse:
+		return "reverse"
+	default:
+		return "unknown"
+	}
+}
+
+// InitCtx is handed to Model.InitLP.
+type InitCtx struct {
+	eng *Engine
+	lp  *LP
+}
+
+// Engine returns the engine under initialization.
+func (ic *InitCtx) Engine() *Engine { return ic.eng }
+
+// ScheduleInit schedules a starting event for dstLP at time ts. Initial
+// events carry no rollback bookkeeping (they precede the simulation).
+func (ic *InitCtx) ScheduleInit(dstLP int, ts VT, kind uint8, a, b int64) {
+	ic.eng.scheduleInit(ic.lp.ID, dstLP, ts, kind, a, b)
+}
+
+// EventCtx is handed to Model.OnEvent for each executed event.
+type EventCtx struct {
+	eng  *Engine
+	peer *Peer
+	lp   *LP
+	ev   *Event
+}
+
+// Engine returns the running engine.
+func (c *EventCtx) Engine() *Engine { return c.eng }
+
+// LP returns the destination LP.
+func (c *EventCtx) LP() *LP { return c.lp }
+
+// Event returns the event being executed.
+func (c *EventCtx) Event() *Event { return c.ev }
+
+// Now returns the event's timestamp, the LP's new local virtual time.
+func (c *EventCtx) Now() VT { return c.ev.Ts }
+
+// Rand returns the LP's random stream. Its position is part of the
+// LP snapshot, so rolled-back draws are replayed identically.
+func (c *EventCtx) Rand() *rng.Stream { return c.lp.rand }
+
+// Send schedules an event for dstLP at absolute time ts, which must be
+// strictly in the future of the current event. The send is recorded so
+// a rollback of the current event unsends it with an anti-message.
+func (c *EventCtx) Send(dstLP int, ts VT, kind uint8, a, b int64) {
+	if ts < c.ev.Ts {
+		panic("tw: model sent an event into the past")
+	}
+	c.eng.send(c.peer, c.ev, dstLP, ts, kind, a, b)
+}
+
+// SetUndo stashes a word on the event for the reverse handler; only
+// meaningful under SaveReverse.
+func (c *EventCtx) SetUndo(u int64) { c.ev.undo = u }
+
+// Undo returns the word the forward execution stashed with SetUndo.
+func (c *EventCtx) Undo() int64 { return c.ev.undo }

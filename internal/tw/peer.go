@@ -1,0 +1,441 @@
+package tw
+
+import (
+	"fmt"
+	"math"
+
+	"ggpdes/internal/pq"
+	"ggpdes/internal/trace"
+)
+
+// PeerStats counts a simulation thread's work.
+type PeerStats struct {
+	// Processed counts event executions, including re-executions after
+	// rollback.
+	Processed uint64
+	// RolledBack counts event executions undone by rollbacks.
+	RolledBack uint64
+	// Committed counts events fossil collected below GVT; these are the
+	// events the committed event rate is computed from.
+	Committed uint64
+	// Rollbacks counts rollback episodes; Stragglers counts the ones
+	// triggered by late positive events (the rest are anti-messages).
+	Rollbacks, Stragglers uint64
+	// AntiSent and Annihilated count anti-message traffic.
+	AntiSent, Annihilated uint64
+	// Drained counts input-queue entries moved to the pending set.
+	Drained uint64
+	// LazyReused counts sends satisfied by re-adopting a tentative
+	// message under lazy cancellation; LazyCancelled counts tentative
+	// messages eventually annihilated.
+	LazyReused, LazyCancelled uint64
+	// GVTCycles is CPU cycles spent inside GVT computation, filled in
+	// by the GVT layer; GVTRounds counts completed rounds.
+	GVTCycles uint64
+	GVTRounds uint64
+}
+
+// Peer is one simulation thread's engine state: the set of LPs it
+// serves, its input queue, and its timestamp-ordered pending events.
+// It corresponds to a "PE"/worker thread in multi-threaded ROSS.
+type Peer struct {
+	// ID is the simulation thread id.
+	ID  int
+	eng *Engine
+
+	lps     []*LP
+	kps     []*KP
+	inq     []*Event
+	pending pq.Queue[*Event]
+
+	// acc accumulates cycles (sends, anti-messages) charged at the end
+	// of the enclosing operation.
+	acc uint64
+	// minSent tracks the smallest timestamp sent since the last GVT
+	// cut; +Inf when none.
+	minSent VT
+
+	// Stats is exported for the harness; do not mutate externally.
+	Stats PeerStats
+}
+
+func newPeer(id int, eng *Engine) *Peer {
+	less := func(a, b *Event) bool { return a.before(b) }
+	prio := func(e *Event) float64 { return e.Ts }
+	return &Peer{
+		ID:      id,
+		eng:     eng,
+		pending: pq.New[*Event](eng.cfg.QueueKind, less, prio),
+		minSent: math.Inf(1),
+	}
+}
+
+// LPs returns the LPs served by this peer.
+func (p *Peer) LPs() []*LP { return p.lps }
+
+// KPs returns the peer's kernel processes.
+func (p *Peer) KPs() []*KP { return p.kps }
+
+// InputSize returns the number of entries in the input queue. Other
+// threads read it for activity detection (demand-driven scheduling) —
+// safe because machine execution is serialized.
+func (p *Peer) InputSize() int { return len(p.inq) }
+
+// HasWork reports whether the peer has any unconsumed input or live
+// pending events before the simulation end time, executable or not.
+func (p *Peer) HasWork() bool {
+	if len(p.inq) > 0 {
+		return true
+	}
+	return p.peekLive() != nil
+}
+
+// HasExecutableWork reports whether the peer could make progress right
+// now: input to drain, or a live pending event within the optimism
+// horizon. Demand-driven scheduling keys on this — a thread whose only
+// work lies beyond GVT + OptimismWindow can safely de-schedule, because
+// the pseudo-controller's activation scan wakes it once GVT advances
+// far enough.
+func (p *Peer) HasExecutableWork() bool {
+	if len(p.inq) > 0 {
+		return true
+	}
+	ev := p.peekLive()
+	return ev != nil && ev.Ts <= p.eng.horizon()
+}
+
+// peekLive returns the first pending event that is neither cancelled
+// nor at/after the simulation end time, lazily dropping cancelled
+// entries; nil if none.
+func (p *Peer) peekLive() *Event {
+	for {
+		ev, ok := p.pending.Peek()
+		if !ok {
+			return nil
+		}
+		if ev.state == StateCancelled {
+			p.pending.Pop()
+			continue
+		}
+		if ev.Ts >= p.eng.cfg.EndTime {
+			return nil
+		}
+		return ev
+	}
+}
+
+// Drain moves all input-queue entries into the pending set, handling
+// anti-messages and rolling back stragglers. It returns the number of
+// entries consumed and charges the corresponding CPU cycles.
+func (p *Peer) Drain(cpu CPU) int {
+	costs := &p.eng.cfg.Costs
+	cycles := costs.DrainBaseCycles
+	// Handling an anti-message can roll an LP back, whose unsends may
+	// append further anti-messages to our own input queue; iterate by
+	// index so entries appended mid-drain are consumed too.
+	n := 0
+	for i := 0; i < len(p.inq); i++ {
+		ev := p.inq[i]
+		p.inq[i] = nil
+		n++
+		cycles += costs.DrainPerEventCycles
+		p.Stats.Drained++
+		switch {
+		case ev.Anti:
+			p.handleAnti(ev)
+		case ev.state == StateCancelled:
+			// Annihilated while still in our queue; drop (already
+			// counted when the anti-message cancelled it).
+		default:
+			lp := p.eng.lps[ev.Dst]
+			if last := lp.kp.lastProcessed(); last != nil && ev.before(last) {
+				p.Stats.Stragglers++
+				p.rollback(lp.kp, ev)
+			}
+			ev.state = StatePending
+			p.pending.Push(ev)
+		}
+	}
+	p.inq = p.inq[:0]
+	cycles += p.takeAcc()
+	cpu.Work(cycles)
+	return n
+}
+
+// handleAnti annihilates the anti-message's target, rolling the
+// destination LP back first if the target was already executed.
+func (p *Peer) handleAnti(anti *Event) {
+	target := anti.Target
+	switch target.state {
+	case StateInQueue, StatePending:
+		if p.eng.cfg.LazyCancellation {
+			p.flushTentative(target)
+		}
+		target.state = StateCancelled
+		p.Stats.Annihilated++
+	case StateProcessed:
+		lp := p.eng.lps[target.Dst]
+		p.rollback(lp.kp, target)
+		// The rollback re-queued the target as pending; annihilate it.
+		if target.state != StatePending {
+			panic(fmt.Sprintf("tw: rollback did not requeue anti target %v", target))
+		}
+		if p.eng.cfg.LazyCancellation {
+			// The target will never re-execute: its deferred sends are
+			// definitively wrong and must be annihilated now.
+			p.flushTentative(target)
+		}
+		target.state = StateCancelled
+		p.Stats.Annihilated++
+	case StateCancelled, StateCommitted:
+		panic(fmt.Sprintf("tw: anti-message for %v in impossible state", target))
+	}
+}
+
+// rollback undoes every processed event of the kernel process at or
+// after upto, restoring each event's own LP snapshot in reverse order,
+// unsending their sends, and re-queueing them as pending. With KPs
+// larger than one LP this is coarser than strictly necessary — the
+// ROSS trade-off.
+func (p *Peer) rollback(kp *KP, upto *Event) int {
+	costs := &p.eng.cfg.Costs
+	count := 0
+	for {
+		last := kp.lastProcessed()
+		if last == nil || last.before(upto) {
+			break
+		}
+		kp.processed[len(kp.processed)-1] = nil
+		kp.processed = kp.processed[:len(kp.processed)-1]
+		lp := p.eng.lps[last.Dst]
+		if p.eng.cfg.LazyCancellation {
+			p.deferUnsend(last)
+		} else {
+			p.unsend(last)
+		}
+		if p.eng.cfg.StateSaving == SaveReverse {
+			rm := p.eng.cfg.Model.(ReverseModel)
+			rm.OnReverseEvent(&EventCtx{eng: p.eng, peer: p, lp: lp, ev: last})
+		} else {
+			lp.state = last.saved.state
+		}
+		lp.rand.Restore(last.saved.rng)
+		lp.lvt = last.saved.lvt
+		last.saved = Snapshot{}
+		last.state = StatePending
+		p.pending.Push(last)
+		count++
+		p.Stats.RolledBack++
+		p.eng.uncommitted--
+		p.acc += costs.RollbackPerEventCycles
+	}
+	if count > 0 {
+		p.Stats.Rollbacks++
+		if t := p.eng.cfg.Trace; t != nil {
+			t.Add(trace.KindRollback, p.ID, upto.Ts, int64(count))
+		}
+	}
+	return count
+}
+
+// deferUnsend parks ev's sends as tentative instead of annihilating
+// them (lazy cancellation). Any tentative leftovers from an earlier
+// rollback of the same event are annihilated now — the event is being
+// rolled back again before re-adopting them.
+func (p *Peer) deferUnsend(ev *Event) {
+	p.flushTentative(ev)
+	ev.tentative = ev.sent
+	ev.sent = nil
+}
+
+// flushTentative annihilates any remaining tentative sends of ev.
+func (p *Peer) flushTentative(ev *Event) {
+	for _, s := range ev.tentative {
+		if s == nil || s.state == StateCancelled {
+			continue
+		}
+		p.sendAnti(s, ev.Dst)
+		p.Stats.LazyCancelled++
+	}
+	ev.tentative = nil
+}
+
+// sendAnti issues one anti-message for s on behalf of LP src.
+func (p *Peer) sendAnti(s *Event, src int) {
+	eng := p.eng
+	anti := &Event{
+		Ts:     s.Ts,
+		Seq:    eng.nextSeq(),
+		Src:    src,
+		Dst:    s.Dst,
+		Anti:   true,
+		Target: s,
+	}
+	dst := eng.peers[eng.lps[s.Dst].Owner]
+	dst.inq = append(dst.inq, anti)
+	p.acc += eng.cfg.Costs.SendCycles
+	p.Stats.AntiSent++
+	p.noteSent(s.Ts)
+}
+
+// unsend issues anti-messages for every event ev's execution sent.
+func (p *Peer) unsend(ev *Event) {
+	for _, s := range ev.sent {
+		p.sendAnti(s, ev.Dst)
+	}
+	ev.sent = nil
+}
+
+// ProcessBatch speculatively executes up to the engine's batch size of
+// pending events and returns how many ran. With a configured optimism
+// window, events beyond GVT + window stay pending until GVT advances.
+func (p *Peer) ProcessBatch(cpu CPU) int {
+	eng := p.eng
+	costs := &eng.cfg.Costs
+	horizon := eng.horizon()
+	var cycles uint64
+	done := 0
+	for done < eng.cfg.BatchSize {
+		ev := p.peekLive()
+		if ev == nil || ev.Ts > horizon {
+			break
+		}
+		p.pending.Pop()
+		lp := eng.lps[ev.Dst]
+		if eng.gvt > ev.Ts {
+			panic(fmt.Sprintf("tw: event %v below GVT %.4f", ev, eng.gvt))
+		}
+		if last := lp.kp.lastProcessed(); last != nil && ev.before(last) {
+			panic(fmt.Sprintf("tw: out-of-order execution of %v after %v", ev, last))
+		}
+		if eng.cfg.StateSaving == SaveReverse {
+			ev.saved = Snapshot{rng: lp.rand.Save(), lvt: lp.lvt}
+			cycles += costs.EventCycles + costs.RngSaveCycles
+		} else {
+			ev.saved = Snapshot{state: lp.state.Clone(), rng: lp.rand.Save(), lvt: lp.lvt}
+			cycles += costs.EventCycles + costs.StateSaveCycles
+		}
+		ev.state = StateProcessed
+		lp.kp.processed = append(lp.kp.processed, ev)
+		lp.lvt = ev.Ts
+		eng.noteProcessed(1)
+		eng.cfg.Model.OnEvent(&EventCtx{eng: eng, peer: p, lp: lp, ev: ev})
+		if eng.cfg.LazyCancellation && ev.tentative != nil {
+			// Tentative sends the re-execution did not regenerate are
+			// genuinely wrong: annihilate them now.
+			p.flushTentative(ev)
+		}
+		p.Stats.Processed++
+		done++
+	}
+	cycles += p.takeAcc()
+	if cycles > 0 {
+		cpu.Work(cycles)
+	}
+	return done
+}
+
+// LocalMin returns the smallest unprocessed timestamp known to this
+// peer: live pending events plus everything still in the input queue.
+// +Inf when it has none.
+func (p *Peer) LocalMin(cpu CPU) VT {
+	costs := &p.eng.cfg.Costs
+	cycles := costs.LocalMinCycles
+	min := math.Inf(1)
+	if ev := p.peekLive(); ev != nil {
+		min = ev.Ts
+	}
+	for _, ev := range p.inq {
+		cycles += costs.DrainPerEventCycles / 2
+		if !ev.Anti && ev.state == StateCancelled {
+			continue
+		}
+		if ev.Ts < min {
+			min = ev.Ts
+		}
+	}
+	cpu.Work(cycles)
+	return min
+}
+
+// RemoteMin returns the peer's smallest unprocessed timestamp (pending
+// set plus input queue) without charging this peer — the GVT
+// pseudo-controller scans threads that did not contribute a cut
+// (de-scheduled or freshly reactivated) on their behalf and pays for
+// the walk itself. +Inf when the peer holds nothing live.
+func (p *Peer) RemoteMin() VT {
+	min := math.Inf(1)
+	if ev := p.peekLive(); ev != nil {
+		min = ev.Ts
+	}
+	for _, ev := range p.inq {
+		if !ev.Anti && ev.state == StateCancelled {
+			continue
+		}
+		if ev.Ts < min {
+			min = ev.Ts
+		}
+	}
+	return min
+}
+
+// noteSent folds a sent timestamp into the GVT transit-minimum window.
+func (p *Peer) noteSent(ts VT) {
+	if ts < p.minSent {
+		p.minSent = ts
+	}
+}
+
+// TakeMinSent returns the smallest timestamp sent since the previous
+// call and resets the window; used by GVT cuts.
+func (p *Peer) TakeMinSent() VT {
+	v := p.minSent
+	p.minSent = math.Inf(1)
+	return v
+}
+
+// PeekMinSent returns the window without resetting it. The GVT
+// pseudo-controller folds it in for threads that contribute no cut this
+// round (reactivated threads processing before their subscription takes
+// effect): their sends after a receiver's cut would otherwise be
+// invisible to the round.
+func (p *Peer) PeekMinSent() VT { return p.minSent }
+
+// FossilCollect commits and frees all processed events strictly below
+// gvt, returning the number committed.
+func (p *Peer) FossilCollect(cpu CPU, gvt VT) int {
+	costs := &p.eng.cfg.Costs
+	cycles := costs.FossilBaseCycles
+	total := 0
+	for _, kp := range p.kps {
+		k := 0
+		for k < len(kp.processed) && kp.processed[k].Ts < gvt {
+			kp.processed[k].state = StateCommitted
+			kp.processed[k].saved = Snapshot{}
+			kp.processed[k].sent = nil
+			k++
+		}
+		if k == 0 {
+			continue
+		}
+		total += k
+		p.eng.uncommitted -= k
+		cycles += uint64(k) * costs.FossilPerEventCycles
+		rest := len(kp.processed) - k
+		copy(kp.processed, kp.processed[k:])
+		for i := rest; i < len(kp.processed); i++ {
+			kp.processed[i] = nil
+		}
+		kp.processed = kp.processed[:rest]
+	}
+	p.Stats.Committed += uint64(total)
+	cpu.Work(cycles)
+	return total
+}
+
+// takeAcc returns and clears cycles accumulated by sends/rollbacks.
+func (p *Peer) takeAcc() uint64 {
+	v := p.acc
+	p.acc = 0
+	return v
+}

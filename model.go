@@ -1,0 +1,146 @@
+package ggpdes
+
+import (
+	"fmt"
+
+	"ggpdes/internal/models"
+	"ggpdes/internal/tw"
+)
+
+// Model is a simulation workload. The three implementations mirror the
+// paper's applications: PHOLD, Epidemics, Traffic.
+type Model interface {
+	// Name identifies the model in reports.
+	Name() string
+	// build instantiates the internal model for a thread count and end
+	// time.
+	build(threads int, endTime float64) (tw.Model, error)
+}
+
+// PHOLD is the classical synthetic benchmark (§2.3.1). The zero value
+// is the balanced model with the paper's 128 LPs per thread.
+type PHOLD struct {
+	// LPsPerThread is LPs served per thread (0 = 128, the paper's
+	// setting — large; examples and benches use smaller values).
+	LPsPerThread int
+	// Imbalance selects the 1-K imbalanced variant (0 or 1 = balanced).
+	Imbalance int
+	// NonLinear makes the active thread groups non-consecutive
+	// (Figure 7b's pathological case for constant affinity).
+	NonLinear bool
+	// StartEventsPerLP is each LP's initial event count (0 = 1).
+	StartEventsPerLP int
+}
+
+// Name implements Model.
+func (p PHOLD) Name() string {
+	tag := "phold"
+	if p.Imbalance > 1 {
+		tag = fmt.Sprintf("phold-1-%d", p.Imbalance)
+	}
+	if p.NonLinear {
+		tag += "-nonlinear"
+	}
+	return tag
+}
+
+func (p PHOLD) build(threads int, endTime float64) (tw.Model, error) {
+	lps := p.LPsPerThread
+	if lps == 0 {
+		lps = 128
+	}
+	return models.NewPHOLD(models.PHOLDConfig{
+		Threads:          threads,
+		LPsPerThread:     lps,
+		Imbalance:        p.Imbalance,
+		NonLinear:        p.NonLinear,
+		EndTime:          endTime,
+		StartEventsPerLP: p.StartEventsPerLP,
+	})
+}
+
+// Epidemics is the location-aware SEIR model (§2.3.2). The zero value
+// uses the paper's 4 agents per household under a 3/4 lock-down.
+type Epidemics struct {
+	// LPsPerThread is households per thread (0 = 4096, the paper's
+	// setting — very large; examples and benches use smaller values).
+	LPsPerThread int
+	// LockdownGroups is K for a (K-1)/K lock-down: 4 = 3/4, 8 = 7/8
+	// (0 = 4).
+	LockdownGroups int
+	// AgentsPerHousehold is the household size (0 = 4).
+	AgentsPerHousehold int
+	// ContactRate is contact events per infectious agent per unit time
+	// (0 = 2).
+	ContactRate float64
+	// TransmissionProb is exposure probability per contact (0 = 0.35).
+	TransmissionProb float64
+	// SeedsPerWindow is the number of exogenous importations at each
+	// lock-down window start (0 = 3). Scale with the unlocked
+	// population to keep activity dense.
+	SeedsPerWindow int
+}
+
+// Name implements Model.
+func (e Epidemics) Name() string {
+	k := e.LockdownGroups
+	if k == 0 {
+		k = 4
+	}
+	return fmt.Sprintf("epidemics-%d-%d", k-1, k)
+}
+
+func (e Epidemics) build(threads int, endTime float64) (tw.Model, error) {
+	lps := e.LPsPerThread
+	if lps == 0 {
+		lps = 4096
+	}
+	k := e.LockdownGroups
+	if k == 0 {
+		k = 4
+	}
+	return models.NewEpidemics(models.EpidemicsConfig{
+		Threads:            threads,
+		LPsPerThread:       lps,
+		AgentsPerHousehold: e.AgentsPerHousehold,
+		LockdownGroups:     k,
+		EndTime:            endTime,
+		ContactRate:        e.ContactRate,
+		TransmissionProb:   e.TransmissionProb,
+		SeedsPerWindow:     e.SeedsPerWindow,
+	})
+}
+
+// Traffic is the intersection-grid vehicular model (§2.3.3). The zero
+// value uses the paper's gradient 0.35 and 24 centre start events.
+type Traffic struct {
+	// LPsPerThread is intersections per thread (0 = 96, the paper's
+	// setting); Threads × LPsPerThread must be a perfect square.
+	LPsPerThread int
+	// DensityGradient is the inverse-power exponent (0 = 0.35).
+	DensityGradient float64
+	// CenterStartEvents is the centre LP's initial vehicles (0 = 24).
+	CenterStartEvents int
+}
+
+// Name implements Model.
+func (t Traffic) Name() string {
+	g := t.DensityGradient
+	if g == 0 {
+		g = 0.35
+	}
+	return fmt.Sprintf("traffic-%.2f", g)
+}
+
+func (t Traffic) build(threads int, endTime float64) (tw.Model, error) {
+	lps := t.LPsPerThread
+	if lps == 0 {
+		lps = 96
+	}
+	return models.NewTraffic(models.TrafficConfig{
+		Threads:           threads,
+		LPsPerThread:      lps,
+		DensityGradient:   t.DensityGradient,
+		CenterStartEvents: t.CenterStartEvents,
+	})
+}
