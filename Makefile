@@ -1,0 +1,33 @@
+# Developer entry points. Everything is stdlib-only Go; no tools to
+# install beyond the toolchain itself.
+
+GO ?= go
+
+.PHONY: all build vet test test-race fuzz bench ci
+
+all: ci
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The race detector cannot see the simulated machine's cooperative
+# scheduling (goroutines hand off via channels, one runnable at a
+# time), but it guards the harness, CLIs, and test plumbing.
+test-race:
+	$(GO) test -race ./...
+
+# Short fuzz pass over the trace CSV reader; extend FUZZTIME locally.
+FUZZTIME ?= 10s
+fuzz:
+	$(GO) test -run=^$$ -fuzz=FuzzReadCSV -fuzztime=$(FUZZTIME) ./internal/trace
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ ./...
+
+ci: build vet test test-race

@@ -9,8 +9,10 @@
 package main
 
 import (
+	"expvar"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"strings"
 
@@ -40,6 +42,13 @@ func main() {
 		optimism  = flag.Float64("optimism", 0, "optimism window in virtual time (0 = unbounded)")
 		saving    = flag.String("statesaving", "copy", "rollback mechanism: copy | reverse")
 		traceFile = flag.String("trace", "", "write a CSV trace of the run to this file")
+		traceRing = flag.Bool("trace-ring", false, "keep only the newest -trace-limit trace records (ring buffer)")
+		traceLim  = flag.Int("trace-limit", 0, "trace record cap (0 = default)")
+		perfetto  = flag.String("perfetto", "", "write a Perfetto/Chrome trace JSON of the run to this file")
+		progress  = flag.Bool("progress", false, "print live progress lines to stderr as GVT advances")
+		progEvery = flag.Float64("progress-every", 0, "virtual-time interval between progress lines (0 = 10% of -end)")
+		expvarAt  = flag.String("expvar", "", "serve live run metrics over expvar at this address (e.g. :8123)")
+		hist      = flag.Bool("hist", false, "print every run histogram (implies -v percentile lines)")
 		lazy      = flag.Bool("lazy", false, "lazy cancellation (defer anti-messages across rollbacks)")
 		verbose   = flag.Bool("v", false, "print the full metric set")
 	)
@@ -118,7 +127,10 @@ func main() {
 		fatalf("unknown queue %q", *queue)
 	}
 
-	var traceOut *os.File
+	var traceOut, perfettoOut *os.File
+	if *traceFile != "" || *perfetto != "" || *traceRing || *traceLim > 0 {
+		cfg.Trace = &ggpdes.TraceOptions{Ring: *traceRing, Limit: *traceLim}
+	}
 	if *traceFile != "" {
 		f, err := os.Create(*traceFile)
 		if err != nil {
@@ -126,7 +138,29 @@ func main() {
 		}
 		defer f.Close()
 		traceOut = f
-		cfg.Trace = &ggpdes.TraceOptions{CSV: f}
+		cfg.Trace.CSV = f
+	}
+	if *perfetto != "" {
+		f, err := os.Create(*perfetto)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer f.Close()
+		perfettoOut = f
+		cfg.Trace.Perfetto = f
+	}
+
+	if *progress || *expvarAt != "" {
+		cfg.Progress = &ggpdes.ProgressOptions{Every: *progEvery / cfg.EndTime}
+		if *progEvery <= 0 {
+			cfg.Progress.Every = 0 // Run() defaults to 10% of EndTime.
+		}
+		if *progress {
+			cfg.Progress.W = os.Stderr
+		}
+		if *expvarAt != "" {
+			cfg.Progress.Func = publishExpvar(*expvarAt)
+		}
 	}
 
 	res, err := ggpdes.Run(cfg)
@@ -135,6 +169,9 @@ func main() {
 	}
 	if traceOut != nil {
 		fmt.Printf("trace written to %s\n", traceOut.Name())
+	}
+	if perfettoOut != nil {
+		fmt.Printf("perfetto trace written to %s (open in ui.perfetto.dev)\n", perfettoOut.Name())
 	}
 	if res.TraceSummary != "" {
 		fmt.Println(res.TraceSummary)
@@ -161,6 +198,50 @@ func main() {
 			fmt.Printf("lazy cancellation    : %d sends re-adopted, %d annihilated late\n",
 				res.LazyReused, res.LazyCancelled)
 		}
+	}
+	if *verbose || *hist {
+		fmt.Printf("rollback depth       : %s\n", res.RollbackDepth)
+		fmt.Printf("gvt round latency    : %s cycles\n", res.GVTRoundLatencyCycles)
+		fmt.Printf("commit batch         : %s events\n", res.CommitBatch)
+		fmt.Printf("deschedule span      : %s cycles\n", res.DescheduleSpanCycles)
+	}
+	if *hist {
+		fmt.Println()
+		fmt.Print(res.HistogramsText())
+	}
+}
+
+// publishExpvar starts an HTTP server exposing run progress under
+// /debug/vars and returns the ProgressInfo callback that feeds it.
+// The server goroutine dies with the process; ggsim is a one-shot
+// tool, so there is nothing to tear down.
+func publishExpvar(addr string) func(ggpdes.ProgressInfo) {
+	gvt := new(expvar.Float)
+	committed := new(expvar.Int)
+	rate := new(expvar.Float)
+	efficiency := new(expvar.Float)
+	active := new(expvar.Int)
+	rounds := new(expvar.Int)
+	m := new(expvar.Map).Init()
+	m.Set("gvt", gvt)
+	m.Set("committed_events", committed)
+	m.Set("committed_event_rate", rate)
+	m.Set("efficiency", efficiency)
+	m.Set("active_threads", active)
+	m.Set("gvt_rounds", rounds)
+	expvar.Publish("ggsim", m)
+	go func() {
+		if err := http.ListenAndServe(addr, nil); err != nil {
+			fmt.Fprintf(os.Stderr, "ggsim: expvar server: %v\n", err)
+		}
+	}()
+	return func(p ggpdes.ProgressInfo) {
+		gvt.Set(p.GVT)
+		committed.Set(int64(p.CommittedEvents))
+		rate.Set(p.CommittedEventRate)
+		efficiency.Set(p.Efficiency)
+		active.Set(int64(p.ActiveThreads))
+		rounds.Set(int64(p.GVTRounds))
 	}
 }
 

@@ -1,9 +1,12 @@
 // Command ggtrace analyzes a run trace produced by ggsim -trace (or
 // the ggpdes.TraceOptions.CSV writer): prints the summary, the GVT
-// progression, and the per-thread activity timeline.
+// progression, offline percentiles, and the per-thread activity
+// timeline. It can also convert the CSV into a Perfetto/Chrome trace
+// JSON for ui.perfetto.dev.
 //
 //	ggsim -model phold -imbalance 4 -threads 16 -trace run.csv
 //	ggtrace run.csv
+//	ggtrace -perfetto run.json run.csv
 package main
 
 import (
@@ -12,6 +15,7 @@ import (
 	"os"
 
 	"ggpdes/internal/stats"
+	"ggpdes/internal/telemetry"
 	"ggpdes/internal/trace"
 )
 
@@ -20,6 +24,8 @@ func main() {
 		width    = flag.Int("width", 80, "timeline width in columns")
 		maxRows  = flag.Int("rows", 64, "maximum timeline rows before eliding")
 		gvtSteps = flag.Int("gvt", 10, "number of GVT progression samples to print (0 = none)")
+		perfetto = flag.String("perfetto", "", "also convert the trace to Perfetto JSON at this path")
+		freqHz   = flag.Float64("freq", 0, "machine frequency for Perfetto timestamps (0 = raw cycles as microseconds)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -42,21 +48,99 @@ func main() {
 	fmt.Println()
 
 	if *gvtSteps > 0 {
-		cycles, gvt := rec.GVTSeries()
-		if len(gvt) > 0 {
-			fmt.Println("GVT progression (wall cycles -> gvt):")
-			stride := len(gvt) / *gvtSteps
-			if stride < 1 {
-				stride = 1
-			}
-			for i := 0; i < len(gvt); i += stride {
-				fmt.Printf("  %12s  %10.4f\n", stats.Count(cycles[i]), gvt[i])
-			}
-			fmt.Println()
-		}
+		printGVTProgression(rec, *gvtSteps)
 	}
+	printPercentiles(rec)
 
 	fmt.Print(rec.RenderTimeline(threads, end, *width, *maxRows))
+
+	if *perfetto != "" {
+		out, err := os.Create(*perfetto)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		err = rec.WritePerfetto(out, trace.PerfettoOptions{
+			FreqHz:    *freqHz,
+			Threads:   threads,
+			EndCycles: end,
+		})
+		if cerr := out.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("\nperfetto trace written to %s (open in ui.perfetto.dev)\n", *perfetto)
+	}
+}
+
+// printGVTProgression samples the GVT series at a regular stride. The
+// final sample always prints, even when the series length is not a
+// multiple of the stride — the end value is the one readers care about.
+func printGVTProgression(rec *trace.Recorder, steps int) {
+	cycles, gvt := rec.GVTSeries()
+	if len(gvt) == 0 {
+		return
+	}
+	fmt.Println("GVT progression (wall cycles -> gvt):")
+	stride := len(gvt) / steps
+	if stride < 1 {
+		stride = 1
+	}
+	last := len(gvt) - 1
+	for i := 0; i < len(gvt); i += stride {
+		fmt.Printf("  %12s  %10.4f\n", stats.Count(cycles[i]), gvt[i])
+		if i == last {
+			last = -1
+		}
+	}
+	if last >= 0 {
+		fmt.Printf("  %12s  %10.4f\n", stats.Count(cycles[last]), gvt[last])
+	}
+	fmt.Println()
+}
+
+// printPercentiles recomputes the run's key distributions offline from
+// the raw records: rollback depth (KindRollback aux), commit batch
+// size (KindCommit aux), and GVT round latency (deltas between
+// consecutive GVT samples' wall cycles).
+func printPercentiles(rec *trace.Recorder) {
+	var depth, batch, latency telemetry.Histogram
+	for _, r := range rec.Records() {
+		switch r.Kind {
+		case trace.KindRollback:
+			depth.Observe(float64(r.Aux))
+		case trace.KindCommit:
+			batch.Observe(float64(r.Aux))
+		}
+	}
+	cycles, _ := rec.GVTSeries()
+	for i := 1; i < len(cycles); i++ {
+		latency.Observe(float64(cycles[i] - cycles[i-1]))
+	}
+	any := false
+	for _, h := range []struct {
+		name string
+		hist *telemetry.Histogram
+	}{
+		{"rollback depth", &depth},
+		{"commit batch", &batch},
+		{"gvt round latency", &latency},
+	} {
+		s := h.hist.Summary()
+		if s.Count == 0 {
+			continue
+		}
+		if !any {
+			fmt.Println("offline percentiles:")
+			any = true
+		}
+		fmt.Printf("  %-18s n=%-8d p50=%-10.1f p95=%-10.1f p99=%-10.1f max=%.1f\n",
+			h.name, s.Count, s.P50, s.P95, s.P99, s.Max)
+	}
+	if any {
+		fmt.Println()
+	}
 }
 
 func fatalf(format string, args ...any) {

@@ -28,11 +28,14 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sort"
+	"strings"
 
 	"ggpdes/internal/core"
 	"ggpdes/internal/gvt"
 	"ggpdes/internal/machine"
 	"ggpdes/internal/pq"
+	"ggpdes/internal/telemetry"
 	"ggpdes/internal/trace"
 	"ggpdes/internal/tw"
 )
@@ -227,6 +230,8 @@ type Config struct {
 	AdaptiveGVT *AdaptiveGVT
 	// Trace enables run instrumentation when non-nil.
 	Trace *TraceOptions
+	// Progress enables live progress reporting when non-nil.
+	Progress *ProgressOptions
 	// OptimismWindow bounds speculation to GVT + window virtual time
 	// units (ROSS's max_opt_lookahead); 0 means unbounded optimism.
 	// Bounding is recommended for deep over-subscription, where
@@ -246,10 +251,15 @@ type AdaptiveGVT struct {
 }
 
 // TraceOptions configures run instrumentation: GVT progression,
-// rollbacks, scheduling transitions, affinity repins.
+// rollbacks, commits, anti-messages, scheduling transitions, affinity
+// repins, machine migrations and preemptions.
 type TraceOptions struct {
 	// Limit caps retained records (0 = 1<<20).
 	Limit int
+	// Ring retains the newest Limit records instead of the oldest —
+	// long runs keep the tail, where the interesting behaviour usually
+	// is. Dropped counts stay accurate either way.
+	Ring bool
 	// CSV, when non-nil, receives all records as CSV after the run.
 	CSV io.Writer
 	// Timeline, when non-nil, receives an ASCII per-thread activity
@@ -257,6 +267,77 @@ type TraceOptions struct {
 	Timeline io.Writer
 	// TimelineWidth is the Gantt width in columns (0 = 80).
 	TimelineWidth int
+	// Perfetto, when non-nil, receives the run as Chrome trace-event
+	// JSON after the run — open it in ui.perfetto.dev: one track per
+	// simulation thread (de-scheduled spans as slices; repins,
+	// rollbacks, migrations, preemptions as instants) plus GVT and
+	// committed-event counter tracks.
+	Perfetto io.Writer
+}
+
+// ProgressOptions configures live progress reporting during Run.
+type ProgressOptions struct {
+	// Every is the GVT fraction of EndTime between reports (0 = 0.1,
+	// i.e. ten reports per run).
+	Every float64
+	// W, when non-nil, receives one formatted progress line per report.
+	W io.Writer
+	// Func, when non-nil, receives each progress sample; use it to feed
+	// expvar or custom dashboards.
+	Func func(ProgressInfo)
+}
+
+// ProgressInfo is one live progress sample, taken at a GVT publication.
+type ProgressInfo struct {
+	// GVT and EndTime position the run in virtual time.
+	GVT, EndTime float64
+	// CommittedEvents and ProcessedEvents are cumulative counts;
+	// CommittedEventRate is committed events per machine wall second so
+	// far; Efficiency is committed/processed.
+	CommittedEvents, ProcessedEvents uint64
+	CommittedEventRate               float64
+	Efficiency                       float64
+	// ActiveThreads of Threads are currently scheduled in.
+	ActiveThreads, Threads int
+	// GVTRounds is completed rounds; WallSeconds is machine wall time.
+	GVTRounds   uint64
+	WallSeconds float64
+}
+
+// String renders the sample as a one-line progress report.
+func (p ProgressInfo) String() string {
+	pct := 0.0
+	if p.EndTime > 0 {
+		pct = 100 * p.GVT / p.EndTime
+	}
+	return fmt.Sprintf("gvt %.2f/%.2f (%3.0f%%)  committed %d (%.3g ev/s)  eff %.1f%%  active %d/%d  rounds %d",
+		p.GVT, p.EndTime, pct, p.CommittedEvents, p.CommittedEventRate,
+		100*p.Efficiency, p.ActiveThreads, p.Threads, p.GVTRounds)
+}
+
+// HistSummary is a percentile digest of a run histogram. Count, Mean,
+// Min and Max are exact; P50/P95/P99 interpolate within log2 buckets
+// (exact to a factor of two).
+type HistSummary struct {
+	Count          uint64
+	Mean, Min, Max float64
+	P50, P95, P99  float64
+}
+
+// String renders the digest on one line ("n=0" when empty).
+func (h HistSummary) String() string {
+	if h.Count == 0 {
+		return "n=0"
+	}
+	return fmt.Sprintf("n=%d mean=%.1f p50=%.1f p95=%.1f p99=%.1f max=%.1f",
+		h.Count, h.Mean, h.P50, h.P95, h.P99, h.Max)
+}
+
+func histSummary(s telemetry.Summary) HistSummary {
+	return HistSummary{
+		Count: s.Count, Mean: s.Mean, Min: s.Min, Max: s.Max,
+		P50: s.P50, P95: s.P95, P99: s.P99,
+	}
 }
 
 // Results reports everything the paper's evaluation measures.
@@ -290,9 +371,11 @@ type Results struct {
 	LockContention             uint64
 	Repins                     uint64
 	// ContextSwitches and Migrations are machine scheduler counters;
-	// CrossNodeMigrations is the NUMA-crossing subset.
+	// CrossNodeMigrations is the NUMA-crossing subset; Preempts counts
+	// involuntary context losses.
 	ContextSwitches, Migrations uint64
 	CrossNodeMigrations         uint64
+	Preempts                    uint64
 	// PeakUncommittedEvents is the high-water mark of processed events
 	// awaiting fossil collection — the state-saving memory demand the
 	// GVT computation frequency trades off against (§2.1).
@@ -306,6 +389,21 @@ type Results struct {
 	// InactiveFraction is the share of thread-time spent de-scheduled.
 	TraceSummary     string
 	InactiveFraction float64
+	// RollbackDepth digests events undone per rollback episode;
+	// GVTRoundLatencyCycles digests wall cycles between consecutive GVT
+	// round completions; CommitBatch digests events committed per
+	// fossil-collection pass; DescheduleSpanCycles digests wall cycles
+	// threads spent de-scheduled per episode.
+	RollbackDepth         HistSummary
+	GVTRoundLatencyCycles HistSummary
+	CommitBatch           HistSummary
+	DescheduleSpanCycles  HistSummary
+	// Counters, Gauges and Histograms snapshot the full telemetry
+	// registry by metric name (e.g. "tw.rollback_depth",
+	// "machine.runq_depth").
+	Counters   map[string]uint64
+	Gauges     map[string]float64
+	Histograms map[string]HistSummary
 }
 
 // GVTCPUSecondsPerRound is the paper's "average CPU time spent for a
@@ -315,6 +413,21 @@ func (r *Results) GVTCPUSecondsPerRound() float64 {
 		return 0
 	}
 	return r.GVTCPUSeconds / float64(r.GVTRounds)
+}
+
+// HistogramsText renders every run histogram as one "name summary"
+// line per metric, sorted by name.
+func (r *Results) HistogramsText() string {
+	names := make([]string, 0, len(r.Histograms))
+	for name := range r.Histograms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, name := range names {
+		fmt.Fprintf(&b, "%-32s %s\n", name, r.Histograms[name])
+	}
+	return b.String()
 }
 
 // Efficiency is the fraction of processed events that committed.
@@ -357,14 +470,34 @@ func Run(cfg Config) (*Results, error) {
 	}
 	var rec *trace.Recorder
 	if cfg.Trace != nil {
-		rec = trace.New(cfg.Trace.Limit)
+		if cfg.Trace.Ring {
+			rec = trace.NewRing(cfg.Trace.Limit)
+		} else {
+			rec = trace.New(cfg.Trace.Limit)
+		}
 		rec.Clock = m.NowCycles
+		m.SetTrace(rec)
 	}
+	reg := telemetry.NewRegistry()
+	m.SetTelemetry(reg)
 	model, err := cfg.Model.build(cfg.Threads, cfg.EndTime)
 	if err != nil {
 		return nil, err
 	}
-	eng, err := tw.NewEngine(tw.Config{
+	// The progress hook closes over eng/runner, which exist only after
+	// construction; indirect through a late-bound function.
+	var eng *tw.Engine
+	var runner *core.Runner
+	var progress func(tw.VT)
+	var onGVT func(tw.VT)
+	if cfg.Progress != nil {
+		onGVT = func(v tw.VT) {
+			if progress != nil {
+				progress(v)
+			}
+		}
+	}
+	eng, err = tw.NewEngine(tw.Config{
 		NumThreads:       cfg.Threads,
 		Model:            model,
 		EndTime:          cfg.EndTime,
@@ -375,11 +508,13 @@ func Run(cfg Config) (*Results, error) {
 		LazyCancellation: cfg.LazyCancellation,
 		OptimismWindow:   cfg.OptimismWindow,
 		Trace:            rec,
+		Telemetry:        reg,
+		OnGVT:            onGVT,
 	})
 	if err != nil {
 		return nil, err
 	}
-	runner, err := core.NewRunner(core.Config{
+	runner, err = core.NewRunner(core.Config{
 		Machine:              m,
 		Engine:               eng,
 		System:               core.System(cfg.System),
@@ -389,9 +524,50 @@ func Run(cfg Config) (*Results, error) {
 		Affinity:             core.Affinity(cfg.Affinity),
 		Trace:                rec,
 		GVTAdaptive:          adaptive,
+		Telemetry:            reg,
 	})
 	if err != nil {
 		return nil, err
+	}
+	if p := cfg.Progress; p != nil {
+		every := p.Every
+		if every <= 0 {
+			every = 0.1
+		}
+		step := every * cfg.EndTime
+		next := step
+		progress = func(v tw.VT) {
+			g := float64(v)
+			if g < next && g < cfg.EndTime {
+				return
+			}
+			for next <= g {
+				next += step
+			}
+			s := eng.TotalStats()
+			info := ProgressInfo{
+				GVT:             g,
+				EndTime:         cfg.EndTime,
+				CommittedEvents: s.Committed,
+				ProcessedEvents: s.Processed,
+				ActiveThreads:   runner.NumActive(),
+				Threads:         cfg.Threads,
+				GVTRounds:       runner.Algorithm().Rounds(),
+				WallSeconds:     m.WallSeconds(),
+			}
+			if info.WallSeconds > 0 {
+				info.CommittedEventRate = float64(info.CommittedEvents) / info.WallSeconds
+			}
+			if info.ProcessedEvents > 0 {
+				info.Efficiency = float64(info.CommittedEvents) / float64(info.ProcessedEvents)
+			}
+			if p.W != nil {
+				fmt.Fprintln(p.W, info)
+			}
+			if p.Func != nil {
+				p.Func(info)
+			}
+		}
 	}
 	if err := m.Run(); err != nil {
 		return nil, fmt.Errorf("ggpdes: %s/%s run failed: %w", cfg.System, cfg.GVT, err)
@@ -421,6 +597,8 @@ func Run(cfg Config) (*Results, error) {
 		Repins:                ss.Repins,
 		ContextSwitches:       ms.CtxSwitches,
 		Migrations:            ms.Migrations,
+		CrossNodeMigrations:   ms.CrossNodeMigrations,
+		Preempts:              ms.Preempts,
 		FinalGVT:              eng.GVT(),
 		FinalGVTFrequency:     runner.Algorithm().Frequency(),
 		PeakUncommittedEvents: eng.PeakUncommittedEvents(),
@@ -428,6 +606,17 @@ func Run(cfg Config) (*Results, error) {
 	if res.WallClockSeconds > 0 {
 		res.CommittedEventRate = float64(res.CommittedEvents) / res.WallClockSeconds
 	}
+	res.Counters = reg.Counters()
+	res.Gauges = reg.Gauges()
+	hists := reg.Histograms()
+	res.Histograms = make(map[string]HistSummary, len(hists))
+	for name, s := range hists {
+		res.Histograms[name] = histSummary(s)
+	}
+	res.RollbackDepth = res.Histograms[tw.MetricRollbackDepth]
+	res.GVTRoundLatencyCycles = res.Histograms[gvt.MetricRoundLatency]
+	res.CommitBatch = res.Histograms[tw.MetricCommitBatch]
+	res.DescheduleSpanCycles = res.Histograms[core.MetricDescheduleSpan]
 	if rec != nil {
 		res.TraceSummary = rec.Summary(cfg.Threads, m.NowCycles())
 		res.InactiveFraction = rec.InactiveFraction(cfg.Threads, m.NowCycles())
@@ -440,6 +629,16 @@ func Run(cfg Config) (*Results, error) {
 			if _, err := io.WriteString(cfg.Trace.Timeline,
 				rec.RenderTimeline(cfg.Threads, m.NowCycles(), cfg.Trace.TimelineWidth, 64)); err != nil {
 				return nil, fmt.Errorf("ggpdes: writing timeline: %w", err)
+			}
+		}
+		if cfg.Trace.Perfetto != nil {
+			err := rec.WritePerfetto(cfg.Trace.Perfetto, trace.PerfettoOptions{
+				FreqHz:    mcfg.FreqHz,
+				Threads:   cfg.Threads,
+				EndCycles: m.NowCycles(),
+			})
+			if err != nil {
+				return nil, fmt.Errorf("ggpdes: writing perfetto trace: %w", err)
 			}
 		}
 	}

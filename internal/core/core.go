@@ -29,8 +29,22 @@ import (
 
 	"ggpdes/internal/gvt"
 	"ggpdes/internal/machine"
+	"ggpdes/internal/telemetry"
 	"ggpdes/internal/trace"
 	"ggpdes/internal/tw"
+)
+
+// Metric names the scheduling layer registers.
+const (
+	// MetricDescheduleSpan is a histogram of wall cycles each
+	// de-scheduled thread spent blocked before reactivation.
+	MetricDescheduleSpan = "core.deschedule_span_cycles"
+	// MetricDeactivations and MetricActivations count de-schedule and
+	// re-schedule operations.
+	MetricDeactivations = "core.deactivations"
+	MetricActivations   = "core.activations"
+	// MetricRepins counts dynamic-affinity SetAffinity operations.
+	MetricRepins = "core.repins"
 )
 
 // System selects the thread-scheduling design.
@@ -146,6 +160,9 @@ type Config struct {
 	Trace *trace.Recorder
 	// GVTAdaptive, when non-nil, enables adaptive GVT frequency tuning.
 	GVTAdaptive *gvt.Adaptive
+	// Telemetry, when non-nil, receives scheduler metrics (see the
+	// Metric constants) and is forwarded to the GVT layer.
+	Telemetry *telemetry.Registry
 }
 
 // Runner wires a machine, an engine, a GVT algorithm, a scheduler and
@@ -156,8 +173,16 @@ type Runner struct {
 	alg   gvt.Algorithm
 	sched scheduler
 	aff   affinity
+	tel   coreTelemetry
 
 	shutdownDone bool
+}
+
+// coreTelemetry caches metric handles for the scheduling hot paths.
+type coreTelemetry struct {
+	descheduleSpan             *telemetry.Histogram
+	deactivations, activations *telemetry.Counter
+	repins                     *telemetry.Counter
 }
 
 // scheduler is the demand-driven scheduling behaviour, invoked from the
@@ -198,6 +223,12 @@ func NewRunner(cfg Config) (*Runner, error) {
 		return nil, errors.New("core: AffinityDynamic requires the GGPDES system")
 	}
 	r := &Runner{cfg: cfg}
+	r.tel = coreTelemetry{
+		descheduleSpan: cfg.Telemetry.Histogram(MetricDescheduleSpan),
+		deactivations:  cfg.Telemetry.Counter(MetricDeactivations),
+		activations:    cfg.Telemetry.Counter(MetricActivations),
+		repins:         cfg.Telemetry.Counter(MetricRepins),
+	}
 
 	n := len(cfg.Engine.Peers())
 	mcfg := cfg.Machine.Config()
@@ -245,6 +276,7 @@ func NewRunner(cfg Config) (*Runner, error) {
 		Hooks:     r.sched,
 		Costs:     cfg.GVTCosts,
 		Adaptive:  cfg.GVTAdaptive,
+		Telemetry: cfg.Telemetry,
 	})
 	if err != nil {
 		return nil, err
@@ -299,6 +331,20 @@ func (r *Runner) SchedulingStats() SchedulingStats {
 
 // System returns the configured scheduling system.
 func (r *Runner) System() System { return r.cfg.System }
+
+// NumActive returns the number of currently scheduled-in simulation
+// threads; for Baseline every thread always counts as active. Live
+// progress reporting reads it mid-run — safe because machine execution
+// is serialized.
+func (r *Runner) NumActive() int {
+	switch sched := r.sched.(type) {
+	case *ggSched:
+		return sched.numActive
+	case *ddSched:
+		return sched.numActive
+	}
+	return len(r.cfg.Engine.Peers())
+}
 
 // idleFlushEvery batches the cycle charges of consecutive do-nothing
 // loop iterations into one machine interaction; idle iterations have no

@@ -90,6 +90,7 @@ func (g *ggSched) OnAware(p *machine.Proc, acc *machine.Acc, tid int) {
 		if !g.activeThreads[i] && !g.posted[i] && eng.Peer(i).HasExecutableWork() {
 			g.posted[i] = true
 			g.Activations++
+			g.r.tel.activations.Inc()
 			acc.Flush()
 			p.SemPost(g.semLocks[i])
 		}
@@ -119,13 +120,16 @@ func (g *ggSched) OnEnd(p *machine.Proc, acc *machine.Acc, tid int) {
 	g.activeThreads[tid] = false
 	g.numActive--
 	g.Deactivations++
+	g.r.tel.deactivations.Inc()
 	if t := g.r.cfg.Trace; t != nil {
 		t.Add(trace.KindDeactivate, tid, 0, 0)
 	}
 	g.r.alg.Leave(tid)
 	acc.Flush()
+	blockedAt := p.NowCycles()
 	p.SemWait(g.semLocks[tid])
 	// Lines 14-17: woken by the pseudo-controller (or shutdown).
+	g.r.tel.descheduleSpan.Observe(float64(p.NowCycles() - blockedAt))
 	g.posted[tid] = false
 	g.activeThreads[tid] = true
 	g.numActive++

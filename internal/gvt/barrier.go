@@ -41,6 +41,7 @@ type barrierGVT struct {
 	roundSize        int
 	endCount         int
 	rounds           uint64
+	rt               roundTelemetry
 	// pendingJoins holds reactivated threads whose subscription must
 	// wait for a safe point: growing the barriers mid-round would make
 	// in-flight generations wait for a thread that re-enters at bar1.
@@ -62,6 +63,7 @@ func newBarrier(cfg Config) *barrierGVT {
 		subscribed:   make([]bool, n),
 		participants: n,
 		roundSize:    n,
+		rt:           newRoundTelemetry(&cfg),
 	}
 	for i := range b.subscribed {
 		b.subscribed[i] = true
@@ -154,6 +156,7 @@ func (b *barrierGVT) Step(p *machine.Proc, acc *machine.Acc, tid int) {
 	if b.endCount >= b.roundSize {
 		b.endCount = 0
 		b.rounds++
+		b.rt.roundComplete()
 		if ad := b.cfg.Adaptive; ad != nil {
 			b.freq = ad.adapt(b.freq, b.eng.PeakUncommittedSinceMark(), len(b.eng.Peers()))
 			b.eng.MarkUncommitted()

@@ -15,8 +15,43 @@ import (
 	"fmt"
 
 	"ggpdes/internal/machine"
+	"ggpdes/internal/telemetry"
 	"ggpdes/internal/tw"
 )
+
+// Metric names the GVT layer registers.
+const (
+	// MetricRoundLatency is a histogram of wall cycles between
+	// consecutive GVT round completions.
+	MetricRoundLatency = "gvt.round_latency_cycles"
+	// MetricRounds counts completed GVT rounds.
+	MetricRounds = "gvt.rounds"
+)
+
+// roundTelemetry observes round-completion latency for both algorithms.
+type roundTelemetry struct {
+	clock   func() uint64
+	latency *telemetry.Histogram
+	rounds  *telemetry.Counter
+	last    uint64
+}
+
+func newRoundTelemetry(cfg *Config) roundTelemetry {
+	return roundTelemetry{
+		clock:   cfg.Machine.NowCycles,
+		latency: cfg.Telemetry.Histogram(MetricRoundLatency),
+		rounds:  cfg.Telemetry.Counter(MetricRounds),
+	}
+}
+
+// roundComplete records the wall-cycle gap since the previous round
+// (the run start, for the first one).
+func (rt *roundTelemetry) roundComplete() {
+	now := rt.clock()
+	rt.latency.Observe(float64(now - rt.last))
+	rt.last = now
+	rt.rounds.Inc()
+}
 
 // Kind selects a GVT algorithm.
 type Kind int
@@ -183,6 +218,9 @@ type Config struct {
 	// Adaptive, when non-nil, lets the algorithm tune Frequency within
 	// the given bounds based on speculative memory growth.
 	Adaptive *Adaptive
+	// Telemetry, when non-nil, receives round-latency metrics (see the
+	// Metric constants).
+	Telemetry *telemetry.Registry
 }
 
 // New builds the requested algorithm over all engine threads.

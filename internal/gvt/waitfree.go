@@ -56,6 +56,7 @@ type waitFree struct {
 	countEnd          int
 	awareTaken        bool
 	rounds            uint64
+	rt                roundTelemetry
 }
 
 func newWaitFree(cfg Config) *waitFree {
@@ -75,6 +76,7 @@ func newWaitFree(cfg Config) *waitFree {
 		freq:              cfg.Frequency,
 		roundParticipants: n,
 		participants:      n,
+		rt:                newRoundTelemetry(&cfg),
 	}
 	for i := range w.subscribed {
 		w.subscribed[i] = true
@@ -211,6 +213,7 @@ func (w *waitFree) stepAwareEnd(p *machine.Proc, acc *machine.Acc, tid int, peer
 func (w *waitFree) resetRound() {
 	w.round++
 	w.rounds++
+	w.rt.roundComplete()
 	if ad := w.cfg.Adaptive; ad != nil {
 		w.freq = ad.adapt(w.freq, w.eng.PeakUncommittedSinceMark(), len(w.eng.Peers()))
 		w.eng.MarkUncommitted()

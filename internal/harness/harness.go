@@ -238,6 +238,7 @@ func sweep(s Scale, id, title, claim string, model func(threads int) ggpdes.Mode
 		tbl.Add(row...)
 	}
 	r.Tables = append(r.Tables, tbl)
+	r.Tables = append(r.Tables, percentileTable(r, title))
 	r.Charts = append(r.Charts, chart)
 	if s := Summary(r); s != "" {
 		r.Notes = append(r.Notes, "headline ratios: "+s)
@@ -246,6 +247,22 @@ func sweep(s Scale, id, title, claim string, model func(threads int) ggpdes.Mode
 		r.Notes = append(r.Notes, "shape vs paper: "+v)
 	}
 	return r, nil
+}
+
+// percentileTable reports the tail behaviour behind each figure's
+// rates: rollback depth and GVT round latency at p50/p95/p99. The
+// medians say what the steady state looks like; the p99s expose the
+// rollback cascades and straggler rounds averages hide.
+func percentileTable(r *Result, title string) *stats.Table {
+	tbl := stats.NewTable(title+" — tail percentiles (p50/p95/p99)",
+		"threads", "system", "rollback depth", "gvt round cycles")
+	for _, p := range r.Points {
+		rb, gl := p.Res.RollbackDepth, p.Res.GVTRoundLatencyCycles
+		tbl.Add(fmt.Sprint(p.Threads), p.Label,
+			fmt.Sprintf("%.1f/%.1f/%.1f", rb.P50, rb.P95, rb.P99),
+			fmt.Sprintf("%.3g/%.3g/%.3g", gl.P50, gl.P95, gl.P99))
+	}
+	return tbl
 }
 
 func labels(systems []SystemSpec) []string {

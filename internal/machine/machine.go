@@ -4,6 +4,9 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"ggpdes/internal/telemetry"
+	"ggpdes/internal/trace"
 )
 
 // Machine is a simulated many-core processor. Create one with New,
@@ -17,7 +20,47 @@ type Machine struct {
 	started bool
 
 	stats Stats
+	tr    *trace.Recorder
+	tel   telemetryHandles
 }
+
+// Metric names the machine registers. Histograms are sampled every
+// telemetrySampleTicks quanta per core.
+const (
+	MetricMigrations   = "machine.migrations"
+	MetricPreempts     = "machine.preempts"
+	MetricCtxSwitches  = "machine.ctx_switches"
+	MetricRunqDepth    = "machine.runq_depth"
+	MetricSMTOccupancy = "machine.smt_occupancy"
+)
+
+// telemetrySampleTicks is the per-core occupancy sampling period.
+const telemetrySampleTicks = 16
+
+// telemetryHandles caches metric handles so the hot scheduling paths
+// never do registry lookups.
+type telemetryHandles struct {
+	migrations, preempts, ctxSwitches *telemetry.Counter
+	runqDepth, smtOccupancy           *telemetry.Histogram
+}
+
+func (m *Machine) bindTelemetry(reg *telemetry.Registry) {
+	m.tel = telemetryHandles{
+		migrations:   reg.Counter(MetricMigrations),
+		preempts:     reg.Counter(MetricPreempts),
+		ctxSwitches:  reg.Counter(MetricCtxSwitches),
+		runqDepth:    reg.Histogram(MetricRunqDepth),
+		smtOccupancy: reg.Histogram(MetricSMTOccupancy),
+	}
+}
+
+// SetTrace attaches a trace recorder; the machine emits migration and
+// preemption records. Call before Run.
+func (m *Machine) SetTrace(r *trace.Recorder) { m.tr = r }
+
+// SetTelemetry points the machine's metrics at reg (nil detaches them
+// again). Call before Run.
+func (m *Machine) SetTelemetry(reg *telemetry.Registry) { m.bindTelemetry(reg) }
 
 type coreState struct {
 	// runq holds runnable threads not currently on a context, ordered
@@ -45,6 +88,9 @@ type Stats struct {
 	SemWaits, SemPosts, BarrierWaits uint64
 	// Wakeups counts threads woken from blocking calls.
 	Wakeups uint64
+	// Preempts counts involuntary context losses to a lower-vruntime
+	// waiter.
+	Preempts uint64
 }
 
 // New creates a machine from cfg.
@@ -54,6 +100,9 @@ func New(cfg Config) (*Machine, error) {
 	}
 	m := &Machine{cfg: cfg}
 	m.cores = make([]coreState, cfg.Cores)
+	// Bind against a nil registry so instrumentation sites always have
+	// live (if unreported) handles.
+	m.bindTelemetry(nil)
 	return m, nil
 }
 
@@ -211,6 +260,9 @@ func (m *Machine) Run() (err error) {
 		}
 		m.tick++
 		m.stats.Ticks = m.tick
+		if m.tick%telemetrySampleTicks == 0 {
+			m.sampleOccupancy()
+		}
 		if m.cfg.LoadBalancePeriodTicks > 0 && m.tick%uint64(m.cfg.LoadBalancePeriodTicks) == 0 {
 			m.loadBalance()
 		}
@@ -303,6 +355,11 @@ func (m *Machine) reselect(core int) {
 			return
 		}
 		// Swap: r back to the queue, cand onto the context.
+		m.stats.Preempts++
+		m.tel.preempts.Inc()
+		if m.tr != nil {
+			m.tr.Add(trace.KindPreempt, r.id, 0, int64(core))
+		}
 		c.runq = c.runq[1:]
 		r.state = StateRunnable
 		c.running[worst] = c.running[len(c.running)-1]
@@ -319,6 +376,7 @@ func (m *Machine) switchIn(c *coreState, t *Thread) {
 	if t.everRan {
 		t.penalty += m.cfg.CtxSwitchCycles
 		m.stats.CtxSwitches++
+		m.tel.ctxSwitches.Inc()
 	}
 	t.everRan = true
 }
@@ -328,6 +386,10 @@ func (m *Machine) enqueue(t *Thread, core int) {
 	if t.core != core {
 		t.penalty += m.cfg.MigrationCycles
 		m.stats.Migrations++
+		m.tel.migrations.Inc()
+		if m.tr != nil {
+			m.tr.Add(trace.KindMigration, t.id, 0, int64(core))
+		}
 		if m.cfg.NodeOf(t.core) != m.cfg.NodeOf(core) {
 			t.penalty += m.cfg.CrossNodeMigrationCycles
 			m.stats.CrossNodeMigrations++
@@ -572,8 +634,22 @@ func (m *Machine) applyAffinity(c *coreState, caller, target *Thread, newPin int
 		target.core = newPin
 		target.penalty += m.cfg.MigrationCycles
 		m.stats.Migrations++
+		m.tel.migrations.Inc()
+		if m.tr != nil {
+			m.tr.Add(trace.KindMigration, target.id, 0, int64(newPin))
+		}
 	case StateExited:
 		// Nothing to do.
+	}
+}
+
+// sampleOccupancy records per-core run-queue depth and SMT-context
+// occupancy into the telemetry histograms. Pure observation — no cycle
+// charges, so determinism is unaffected.
+func (m *Machine) sampleOccupancy() {
+	for i := range m.cores {
+		m.tel.runqDepth.Observe(float64(len(m.cores[i].runq)))
+		m.tel.smtOccupancy.Observe(float64(len(m.cores[i].running)))
 	}
 }
 

@@ -1,0 +1,307 @@
+// Package telemetry is the run-time metrics layer: counters, gauges
+// and log-bucketed histograms collected in a Registry. Every subsystem
+// (the Time Warp engine, the schedulers, the simulated machine)
+// registers its metrics here; the public API surfaces percentile
+// summaries through Results and the commands dump or export them.
+//
+// Recording is allocation-free after registration and safe on the
+// simulated machine because execution is serialized. All accessors are
+// nil-receiver safe: a producer constructed without a registry still
+// gets working (but unreported) metric handles, so instrumentation
+// sites never need nil checks.
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/bits"
+	"sort"
+	"strings"
+)
+
+// Counter is a monotonically increasing event count.
+type Counter struct {
+	v uint64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) { c.v += n }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v++ }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v }
+
+// Gauge is a last-value-wins instantaneous measurement.
+type Gauge struct {
+	v   float64
+	set bool
+}
+
+// Set records the gauge's current value.
+func (g *Gauge) Set(v float64) { g.v, g.set = v, true }
+
+// Max records v only if it exceeds the current value (high-water mark).
+func (g *Gauge) Max(v float64) {
+	if !g.set || v > g.v {
+		g.Set(v)
+	}
+}
+
+// Value returns the last recorded value (0 before any Set).
+func (g *Gauge) Value() float64 { return g.v }
+
+// histBuckets is the bucket count: bucket k holds values in
+// [2^(k-1), 2^k) for k >= 1 and bucket 0 holds values below 1, covering
+// the full uint64 range with one comparison per observation.
+const histBuckets = 65
+
+// Histogram is a log2-bucketed distribution of non-negative values
+// (cycle counts, event counts). Percentiles interpolate linearly within
+// the hit bucket, which is exact to a factor of two — ample for the
+// order-of-magnitude questions run telemetry answers.
+type Histogram struct {
+	counts   [histBuckets]uint64
+	count    uint64
+	sum      float64
+	min, max float64
+}
+
+// bucketOf maps a value to its bucket index.
+func bucketOf(v float64) int {
+	if v < 1 {
+		return 0
+	}
+	u := uint64(v)
+	if u == 0 {
+		return 0
+	}
+	return bits.Len64(u)
+}
+
+// Observe records one value. Negative values are clamped to zero.
+func (h *Histogram) Observe(v float64) {
+	if v < 0 || math.IsNaN(v) {
+		v = 0
+	}
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.counts[bucketOf(v)]++
+	h.count++
+	h.sum += v
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return h.sum }
+
+// Mean returns the average observed value (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / float64(h.count)
+}
+
+// Quantile returns the q-th quantile (q in [0,1]) by linear
+// interpolation within the containing log bucket, clamped to the
+// observed min/max. It returns 0 for an empty histogram.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.min
+	}
+	if q >= 1 {
+		return h.max
+	}
+	target := q * float64(h.count)
+	var cum float64
+	for b, n := range h.counts {
+		if n == 0 {
+			continue
+		}
+		next := cum + float64(n)
+		if next >= target {
+			lo, hi := bucketBounds(b)
+			frac := (target - cum) / float64(n)
+			v := lo + frac*(hi-lo)
+			if v < h.min {
+				v = h.min
+			}
+			if v > h.max {
+				v = h.max
+			}
+			return v
+		}
+		cum = next
+	}
+	return h.max
+}
+
+// bucketBounds returns the value range [lo, hi) of bucket b.
+func bucketBounds(b int) (lo, hi float64) {
+	if b == 0 {
+		return 0, 1
+	}
+	return math.Ldexp(1, b-1), math.Ldexp(1, b)
+}
+
+// Summary is a compact digest of a histogram.
+type Summary struct {
+	// Count is the number of observations; Sum their total.
+	Count uint64
+	Sum   float64
+	// Mean, Min and Max are exact; P50/P95/P99 are log-bucket
+	// interpolations.
+	Mean, Min, Max float64
+	P50, P95, P99  float64
+}
+
+// Summary digests the histogram.
+func (h *Histogram) Summary() Summary {
+	return Summary{
+		Count: h.count,
+		Sum:   h.sum,
+		Mean:  h.Mean(),
+		Min:   h.min,
+		Max:   h.max,
+		P50:   h.Quantile(0.50),
+		P95:   h.Quantile(0.95),
+		P99:   h.Quantile(0.99),
+	}
+}
+
+// String renders the summary on one line.
+func (s Summary) String() string {
+	if s.Count == 0 {
+		return "n=0"
+	}
+	return fmt.Sprintf("n=%d mean=%.1f p50=%.1f p95=%.1f p99=%.1f max=%.1f",
+		s.Count, s.Mean, s.P50, s.P95, s.P99, s.Max)
+}
+
+// Registry is a named collection of metrics. Names are flat,
+// dot-separated strings ("tw.rollback_depth"). Accessors get-or-create,
+// so independent subsystems can share a metric by name.
+type Registry struct {
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   map[string]*Counter{},
+		gauges:     map[string]*Gauge{},
+		histograms: map[string]*Histogram{},
+	}
+}
+
+// Counter returns the named counter, creating it on first use. On a nil
+// registry it returns a fresh unregistered counter.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return &Counter{}
+	}
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use. On a nil
+// registry it returns a fresh unregistered gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return &Gauge{}
+	}
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use. On a
+// nil registry it returns a fresh unregistered histogram.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return &Histogram{}
+	}
+	h, ok := r.histograms[name]
+	if !ok {
+		h = &Histogram{}
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Counters returns a name -> value snapshot of all counters.
+func (r *Registry) Counters() map[string]uint64 {
+	if r == nil {
+		return nil
+	}
+	out := make(map[string]uint64, len(r.counters))
+	for name, c := range r.counters {
+		out[name] = c.Value()
+	}
+	return out
+}
+
+// Gauges returns a name -> value snapshot of all gauges.
+func (r *Registry) Gauges() map[string]float64 {
+	if r == nil {
+		return nil
+	}
+	out := make(map[string]float64, len(r.gauges))
+	for name, g := range r.gauges {
+		out[name] = g.Value()
+	}
+	return out
+}
+
+// Histograms returns a name -> summary snapshot of all histograms.
+func (r *Registry) Histograms() map[string]Summary {
+	if r == nil {
+		return nil
+	}
+	out := make(map[string]Summary, len(r.histograms))
+	for name, h := range r.histograms {
+		out[name] = h.Summary()
+	}
+	return out
+}
+
+// WriteText dumps every metric in name order, one per line.
+func (r *Registry) WriteText(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	var lines []string
+	for name, c := range r.counters {
+		lines = append(lines, fmt.Sprintf("counter   %-32s %d", name, c.Value()))
+	}
+	for name, g := range r.gauges {
+		lines = append(lines, fmt.Sprintf("gauge     %-32s %g", name, g.Value()))
+	}
+	for name, h := range r.histograms {
+		lines = append(lines, fmt.Sprintf("histogram %-32s %s", name, h.Summary()))
+	}
+	sort.Strings(lines)
+	_, err := io.WriteString(w, strings.Join(lines, "\n")+"\n")
+	return err
+}

@@ -23,6 +23,14 @@ func kindFromString(s string) (Kind, error) {
 		return KindActivate, nil
 	case "repin":
 		return KindRepin, nil
+	case "commit":
+		return KindCommit, nil
+	case "antimessage":
+		return KindAntiMessage, nil
+	case "migration":
+		return KindMigration, nil
+	case "preempt":
+		return KindPreempt, nil
 	default:
 		return 0, fmt.Errorf("trace: unknown record kind %q", s)
 	}

@@ -1,0 +1,39 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV checks that arbitrary input never panics the parser and
+// that everything it accepts survives a write/read round trip.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("kind,wall_cycles,thread,value,aux\ngvt,10,-1,1.5,0\n")
+	f.Add("kind,wall_cycles,thread,value,aux\nrollback,20,3,0,7\ncommit,30,0,5,100\n")
+	f.Add("kind,wall_cycles,thread,value,aux\nantimessage,1,2,3.25,4\nmigration,2,0,0,1\npreempt,3,1,0,0\n")
+	f.Add("kind,wall_cycles,thread,value,aux\n\n\n")
+	f.Add("not,a,header\n")
+	f.Add("kind,wall_cycles,thread,value,aux\ngvt,NaN,0,Inf,9999999999999999999999\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		rec, err := ReadCSV(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := rec.WriteCSV(&buf); err != nil {
+			t.Fatalf("WriteCSV after accept: %v", err)
+		}
+		back, err := ReadCSV(&buf)
+		if err != nil {
+			t.Fatalf("re-read rejected own output: %v\n%s", err, buf.String())
+		}
+		if len(back.Records()) != len(rec.Records()) {
+			t.Fatalf("round trip lost records: %d != %d", len(back.Records()), len(rec.Records()))
+		}
+		// Derived views must not panic on accepted input.
+		_ = rec.Summary(back.MaxThread()+1, back.EndCycles())
+		_, _ = rec.GVTSeries()
+		_ = rec.InactiveIntervals(back.MaxThread()+1, back.EndCycles())
+	})
+}

@@ -1,0 +1,153 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// goldenRecorder builds a small deterministic trace exercising every
+// event family the exporter emits.
+func goldenRecorder() *Recorder {
+	r := New(0)
+	tick := uint64(0)
+	r.Clock = func() uint64 { return tick }
+	tick = 100
+	r.Add(KindGVT, -1, 0, 0)
+	tick = 150
+	r.Add(KindDeactivate, 1, 0, 0)
+	tick = 200
+	r.Add(KindRollback, 0, 40, 6)
+	tick = 250
+	r.Add(KindRepin, 0, 0, 2)
+	tick = 300
+	r.Add(KindActivate, 1, 0, 0)
+	tick = 350
+	r.Add(KindMigration, 1, 0, 3)
+	tick = 400
+	r.Add(KindPreempt, 0, 0, 1)
+	tick = 450
+	r.Add(KindCommit, 0, 80, 120)
+	tick = 500
+	r.Add(KindGVT, -1, 90, 0)
+	tick = 550
+	r.Add(KindCommit, 0, 90, 30)
+	tick = 600
+	r.Add(KindDeactivate, 0, 0, 0) // open at end of run
+	return r
+}
+
+func TestPerfettoGolden(t *testing.T) {
+	r := goldenRecorder()
+	var buf bytes.Buffer
+	if err := r.WritePerfetto(&buf, PerfettoOptions{Threads: 2, EndCycles: 700}); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "perfetto_golden.json")
+	if *updateGolden {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to regenerate): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("perfetto output differs from golden:\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+func TestPerfettoStructure(t *testing.T) {
+	r := goldenRecorder()
+	var buf bytes.Buffer
+	if err := r.WritePerfetto(&buf, PerfettoOptions{Threads: 2, EndCycles: 700}); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Pid  int            `json:"pid"`
+			Tid  int            `json:"tid"`
+			Ts   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit == "" {
+		t.Fatal("missing displayTimeUnit")
+	}
+	byPh := map[string]int{}
+	slices, counters := 0, map[string]int{}
+	for _, ev := range doc.TraceEvents {
+		byPh[ev.Ph]++
+		switch ev.Ph {
+		case "M":
+			if ev.Args["name"] == nil {
+				t.Fatalf("metadata without name: %+v", ev)
+			}
+		case "X":
+			slices++
+			if ev.Name != "descheduled" || ev.Dur <= 0 {
+				t.Fatalf("bad slice: %+v", ev)
+			}
+		case "C":
+			counters[ev.Name]++
+		case "i":
+			if ev.Tid < 0 || ev.Tid > 1 {
+				t.Fatalf("instant off-track: %+v", ev)
+			}
+		}
+	}
+	// process_name + 2 thread_name entries.
+	if byPh["M"] != 3 {
+		t.Fatalf("metadata events = %d", byPh["M"])
+	}
+	// Thread 1's closed span and thread 0's open-at-end span.
+	if slices != 2 {
+		t.Fatalf("descheduled slices = %d", slices)
+	}
+	if counters["GVT"] != 2 || counters["committed events"] != 2 {
+		t.Fatalf("counter tracks = %v", counters)
+	}
+	// rollback, repin, migrate, preempt.
+	if byPh["i"] != 4 {
+		t.Fatalf("instants = %d", byPh["i"])
+	}
+}
+
+func TestPerfettoFreqConversion(t *testing.T) {
+	r := New(0)
+	tick := uint64(2_000_000)
+	r.Clock = func() uint64 { return tick }
+	r.Add(KindGVT, -1, 5, 0)
+	var buf bytes.Buffer
+	// 1 GHz: 2e6 cycles = 2000 us.
+	if err := r.WritePerfetto(&buf, PerfettoOptions{FreqHz: 1e9, Threads: 1, EndCycles: tick}); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ts   float64 `json:"ts"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range doc.TraceEvents {
+		if ev.Name == "GVT" && ev.Ts != 2000 {
+			t.Fatalf("ts = %v, want 2000", ev.Ts)
+		}
+	}
+}

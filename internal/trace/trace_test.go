@@ -124,12 +124,168 @@ func TestKindString(t *testing.T) {
 	names := map[Kind]string{
 		KindGVT: "gvt", KindRound: "round", KindRollback: "rollback",
 		KindDeactivate: "deactivate", KindActivate: "activate", KindRepin: "repin",
+		KindCommit: "commit", KindAntiMessage: "antimessage",
+		KindMigration: "migration", KindPreempt: "preempt",
 		Kind(99): "unknown",
 	}
 	for k, want := range names {
 		if k.String() != want {
 			t.Errorf("kind %d = %q, want %q", k, k.String(), want)
 		}
+	}
+	// Every defined kind must have a name and parse back (guards against
+	// adding a kind without extending String/kindFromString).
+	for k := Kind(0); k < NumKinds; k++ {
+		name := k.String()
+		if name == "unknown" {
+			t.Fatalf("kind %d has no name", k)
+		}
+		back, err := kindFromString(name)
+		if err != nil || back != k {
+			t.Fatalf("kindFromString(%q) = %v, %v", name, back, err)
+		}
+	}
+}
+
+func TestRingKeepsNewest(t *testing.T) {
+	r := NewRing(3)
+	if !r.Ring() {
+		t.Fatal("Ring() false on ring recorder")
+	}
+	for i := 0; i < 7; i++ {
+		r.Add(KindRound, i, float64(i), 0)
+	}
+	recs := r.Records()
+	if len(recs) != 3 || r.Len() != 3 {
+		t.Fatalf("len = %d", len(recs))
+	}
+	if r.Dropped() != 4 {
+		t.Fatalf("dropped = %d, want 4", r.Dropped())
+	}
+	// Newest three, in recording order.
+	for i, want := range []int{4, 5, 6} {
+		if recs[i].Thread != want {
+			t.Fatalf("recs = %+v", recs)
+		}
+	}
+}
+
+func TestRingOrderAcrossWrap(t *testing.T) {
+	r := NewRing(4)
+	tick := uint64(0)
+	r.Clock = func() uint64 { tick++; return tick }
+	for i := 0; i < 10; i++ {
+		r.Add(KindGVT, -1, float64(i), 0)
+	}
+	cycles, gvt := r.GVTSeries()
+	if len(gvt) != 4 {
+		t.Fatalf("series len = %d", len(gvt))
+	}
+	for i := 1; i < len(cycles); i++ {
+		if cycles[i] <= cycles[i-1] || gvt[i] <= gvt[i-1] {
+			t.Fatalf("ring series out of order: %v %v", cycles, gvt)
+		}
+	}
+	// forEach-backed consumers see wrap order too.
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 5 || !strings.HasPrefix(lines[1], "gvt,7,") {
+		t.Fatalf("csv:\n%s", buf.String())
+	}
+}
+
+func TestRingSummaryMentionsOverwritten(t *testing.T) {
+	r := NewRing(1)
+	r.Add(KindGVT, -1, 1, 0)
+	r.Add(KindGVT, -1, 2, 0)
+	if s := r.Summary(0, 0); !strings.Contains(s, "ring, 1 overwritten") {
+		t.Fatalf("summary = %q", s)
+	}
+}
+
+func TestInactiveIntervalsDoubleDeactivate(t *testing.T) {
+	r := New(0)
+	tick := uint64(0)
+	r.Clock = func() uint64 { return tick }
+	tick = 100
+	r.Add(KindDeactivate, 0, 0, 0)
+	tick = 200
+	r.Add(KindDeactivate, 0, 0, 0) // duplicate: earliest start wins
+	tick = 300
+	r.Add(KindActivate, 0, 0, 0)
+	iv := r.InactiveIntervals(1, 1000)[0]
+	if len(iv) != 1 || iv[0] != (Interval{100, 300}) {
+		t.Fatalf("intervals = %v", iv)
+	}
+}
+
+func TestInactiveIntervalsOrphanActivate(t *testing.T) {
+	r := New(0)
+	tick := uint64(50)
+	r.Clock = func() uint64 { return tick }
+	r.Add(KindActivate, 0, 0, 0) // no matching deactivate (ring truncation)
+	tick = 100
+	r.Add(KindDeactivate, 0, 0, 0)
+	tick = 200
+	r.Add(KindActivate, 0, 0, 0)
+	iv := r.InactiveIntervals(1, 1000)[0]
+	if len(iv) != 1 || iv[0] != (Interval{100, 200}) {
+		t.Fatalf("intervals = %v", iv)
+	}
+}
+
+func TestInactiveIntervalsBackwardsStamps(t *testing.T) {
+	r := New(0)
+	tick := uint64(500)
+	r.Clock = func() uint64 { return tick }
+	r.Add(KindDeactivate, 0, 0, 0)
+	tick = 100 // clock runs backwards (edited CSV)
+	r.Add(KindActivate, 0, 0, 0)
+	if iv := r.InactiveIntervals(1, 1000)[0]; len(iv) != 0 {
+		t.Fatalf("backwards pair kept: %v", iv)
+	}
+	// An open interval past endCycles is dropped too.
+	r2 := New(0)
+	tick2 := uint64(900)
+	r2.Clock = func() uint64 { return tick2 }
+	r2.Add(KindDeactivate, 0, 0, 0)
+	if iv := r2.InactiveIntervals(1, 500)[0]; len(iv) != 0 {
+		t.Fatalf("open interval past end kept: %v", iv)
+	}
+}
+
+func TestInactiveIntervalsOutOfRangeThread(t *testing.T) {
+	r := New(0)
+	r.Add(KindDeactivate, 7, 0, 0)
+	r.Add(KindActivate, -1, 0, 0)
+	iv := r.InactiveIntervals(2, 100)
+	if len(iv[0]) != 0 || len(iv[1]) != 0 {
+		t.Fatalf("out-of-range threads leaked: %v", iv)
+	}
+}
+
+func TestNormalizeIntervalsOverlap(t *testing.T) {
+	got := normalizeIntervals([]Interval{{50, 80}, {10, 60}, {55, 58}})
+	for i, in := range got {
+		if in.End < in.Start {
+			t.Fatalf("reversed interval %v", in)
+		}
+		if i > 0 && in.Start < got[i-1].End {
+			t.Fatalf("overlap: %v", got)
+		}
+	}
+}
+
+func TestSumAux(t *testing.T) {
+	r := New(0)
+	r.Add(KindCommit, 0, 10, 100)
+	r.Add(KindCommit, 1, 20, 50)
+	r.Add(KindRollback, 0, 0, 9)
+	if got := r.SumAux(KindCommit); got != 150 {
+		t.Fatalf("SumAux = %d", got)
 	}
 }
 
@@ -205,13 +361,13 @@ func TestRenderTimelineEmpty(t *testing.T) {
 }
 
 func TestCSVRoundTrip(t *testing.T) {
+	// One record of every defined kind, with distinctive field values.
 	r := New(0)
 	tick := uint64(0)
 	r.Clock = func() uint64 { tick += 7; return tick }
-	r.Add(KindGVT, -1, 1.25, 0)
-	r.Add(KindRollback, 3, 9.5, 12)
-	r.Add(KindDeactivate, 5, 0, 0)
-	r.Add(KindRepin, 2, 0, 6)
+	for k := Kind(0); k < NumKinds; k++ {
+		r.Add(k, int(k)-1, 1.25*float64(k), int64(k)*3)
+	}
 	var buf bytes.Buffer
 	if err := r.WriteCSV(&buf); err != nil {
 		t.Fatal(err)
@@ -228,7 +384,7 @@ func TestCSVRoundTrip(t *testing.T) {
 			t.Fatalf("record %d = %+v, want %+v", i, back.Records()[i], want)
 		}
 	}
-	if back.MaxThread() != 5 || back.EndCycles() != 28 {
+	if back.MaxThread() != int(NumKinds)-2 || back.EndCycles() != 7*NumKinds {
 		t.Fatalf("MaxThread=%d EndCycles=%d", back.MaxThread(), back.EndCycles())
 	}
 }

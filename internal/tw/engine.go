@@ -7,7 +7,27 @@ import (
 
 	"ggpdes/internal/pq"
 	"ggpdes/internal/rng"
+	"ggpdes/internal/telemetry"
 	"ggpdes/internal/trace"
+)
+
+// Metric names the engine registers.
+const (
+	// MetricRollbackDepth is a histogram of events undone per rollback
+	// episode.
+	MetricRollbackDepth = "tw.rollback_depth"
+	// MetricCommitBatch is a histogram of events committed per
+	// fossil-collection pass — the per-thread commit granularity.
+	MetricCommitBatch = "tw.commit_batch"
+	// MetricAntiMessages counts anti-messages sent.
+	MetricAntiMessages = "tw.anti_messages"
+	// MetricRollbacks counts rollback episodes.
+	MetricRollbacks = "tw.rollbacks"
+	// MetricCommittedEvents counts fossil-collected events.
+	MetricCommittedEvents = "tw.committed_events"
+	// MetricUncommittedPeak gauges the high-water mark of
+	// processed-but-uncommitted events (state-saving memory demand).
+	MetricUncommittedPeak = "tw.uncommitted_peak"
 )
 
 // CostModel gives the CPU cycle cost of engine operations on the
@@ -87,8 +107,15 @@ type Config struct {
 	// what gets sent (pure timing stragglers), loses a little
 	// bookkeeping otherwise — the classic Time Warp trade-off.
 	LazyCancellation bool
-	// Trace, when non-nil, records GVT publications and rollbacks.
+	// Trace, when non-nil, records GVT publications, rollbacks, commits
+	// and anti-messages.
 	Trace *trace.Recorder
+	// Telemetry, when non-nil, receives the engine's metrics (see the
+	// Metric constants).
+	Telemetry *telemetry.Registry
+	// OnGVT, when non-nil, is invoked after every GVT publication —
+	// the hook live progress reporting hangs off.
+	OnGVT func(VT)
 	// OptimismWindow bounds speculation: events beyond GVT +
 	// OptimismWindow are not executed until GVT catches up (ROSS's
 	// max_opt_lookahead). Zero means unbounded optimism. Bounding
@@ -145,6 +172,19 @@ type Engine struct {
 	uncommitted     int
 	peakUncommitted int
 	peakSinceMark   int
+
+	tel engineTelemetry
+}
+
+// engineTelemetry caches metric handles so hot paths skip registry
+// lookups; handles from a nil registry record but report nothing.
+type engineTelemetry struct {
+	rollbackDepth   *telemetry.Histogram
+	commitBatch     *telemetry.Histogram
+	antiSent        *telemetry.Counter
+	rollbacks       *telemetry.Counter
+	committed       *telemetry.Counter
+	uncommittedPeak *telemetry.Gauge
 }
 
 // NewEngine builds LPs and peers, asks the model to initialize every
@@ -154,6 +194,14 @@ func NewEngine(cfg Config) (*Engine, error) {
 		return nil, err
 	}
 	eng := &Engine{cfg: cfg}
+	eng.tel = engineTelemetry{
+		rollbackDepth:   cfg.Telemetry.Histogram(MetricRollbackDepth),
+		commitBatch:     cfg.Telemetry.Histogram(MetricCommitBatch),
+		antiSent:        cfg.Telemetry.Counter(MetricAntiMessages),
+		rollbacks:       cfg.Telemetry.Counter(MetricRollbacks),
+		committed:       cfg.Telemetry.Counter(MetricCommittedEvents),
+		uncommittedPeak: cfg.Telemetry.Gauge(MetricUncommittedPeak),
+	}
 	perThread := cfg.Model.LPsPerThread()
 	if perThread <= 0 {
 		return nil, errors.New("tw: model reports non-positive LPsPerThread")
@@ -221,6 +269,7 @@ func (e *Engine) noteProcessed(n int) {
 	e.uncommitted += n
 	if e.uncommitted > e.peakUncommitted {
 		e.peakUncommitted = e.uncommitted
+		e.tel.uncommittedPeak.Set(float64(e.uncommitted))
 	}
 	if e.uncommitted > e.peakSinceMark {
 		e.peakSinceMark = e.uncommitted
@@ -247,6 +296,9 @@ func (e *Engine) SetGVT(gvt VT) {
 	e.gvt = gvt
 	if e.cfg.Trace != nil {
 		e.cfg.Trace.Add(trace.KindGVT, -1, gvt, 0)
+	}
+	if e.cfg.OnGVT != nil {
+		e.cfg.OnGVT(gvt)
 	}
 }
 

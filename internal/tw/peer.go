@@ -231,6 +231,8 @@ func (p *Peer) rollback(kp *KP, upto *Event) int {
 	}
 	if count > 0 {
 		p.Stats.Rollbacks++
+		p.eng.tel.rollbacks.Inc()
+		p.eng.tel.rollbackDepth.Observe(float64(count))
 		if t := p.eng.cfg.Trace; t != nil {
 			t.Add(trace.KindRollback, p.ID, upto.Ts, int64(count))
 		}
@@ -275,6 +277,10 @@ func (p *Peer) sendAnti(s *Event, src int) {
 	dst.inq = append(dst.inq, anti)
 	p.acc += eng.cfg.Costs.SendCycles
 	p.Stats.AntiSent++
+	eng.tel.antiSent.Inc()
+	if t := eng.cfg.Trace; t != nil {
+		t.Add(trace.KindAntiMessage, p.ID, s.Ts, int64(s.Dst))
+	}
 	p.noteSent(s.Ts)
 }
 
@@ -429,6 +435,13 @@ func (p *Peer) FossilCollect(cpu CPU, gvt VT) int {
 		kp.processed = kp.processed[:rest]
 	}
 	p.Stats.Committed += uint64(total)
+	if total > 0 {
+		p.eng.tel.committed.Add(uint64(total))
+		p.eng.tel.commitBatch.Observe(float64(total))
+		if t := p.eng.cfg.Trace; t != nil {
+			t.Add(trace.KindCommit, p.ID, gvt, int64(total))
+		}
+	}
 	cpu.Work(cycles)
 	return total
 }
