@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-race fuzz bench ci
+.PHONY: all build vet test test-race fuzz bench serve-smoke ci
 
 all: ci
 
@@ -30,4 +30,9 @@ fuzz:
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./...
 
-ci: build vet test test-race
+# End-to-end serving smoke: ggserved on an ephemeral port, one PHOLD
+# job to completion, identical resubmit served from cache, clean drain.
+serve-smoke:
+	GO="$(GO)" sh scripts/serve_smoke.sh
+
+ci: build vet test test-race serve-smoke

@@ -1,0 +1,89 @@
+package ggpdes
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strings"
+)
+
+// cacheKeyVersion tags the canonical serialization format. Bump it
+// whenever the meaning of any serialized field changes, so stale
+// cached results can never be served for a semantically different
+// configuration.
+const cacheKeyVersion = "ggpdes-config-v1"
+
+// CanonicalString renders every Run-relevant field of the Config —
+// defaults applied — as a stable multi-line text. Two configs with the
+// same canonical string produce bit-identical Results: runs are
+// deterministic functions of this string. Observability settings
+// (Trace, Progress) are deliberately excluded; they do not affect the
+// simulation trajectory.
+//
+// It returns an error for configs Validate rejects, since those have
+// no defined run semantics.
+func (c Config) CanonicalString() (string, error) {
+	if err := c.Validate(); err != nil {
+		return "", err
+	}
+	mc, err := c.Machine.build()
+	if err != nil {
+		return "", err
+	}
+	model, err := c.Model.canon(c.Threads, c.EndTime)
+	if err != nil {
+		return "", err
+	}
+	seed := c.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	or := func(v, def int) int {
+		if v == 0 {
+			return def
+		}
+		return v
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", cacheKeyVersion)
+	fmt.Fprintf(&b, "model=%s\n", model)
+	fmt.Fprintf(&b, "threads=%d\n", c.Threads)
+	fmt.Fprintf(&b, "system=%s\n", c.System)
+	fmt.Fprintf(&b, "gvt=%s\n", c.GVT)
+	fmt.Fprintf(&b, "affinity=%s\n", c.Affinity)
+	fmt.Fprintf(&b, "endtime=%g\n", c.EndTime)
+	fmt.Fprintf(&b, "seed=%d\n", seed)
+	fmt.Fprintf(&b, "machine{cores=%d smt=%d freq=%g tick=%d agg=%v op=%d ctxsw=%d mig=%d numa=%d xnode=%d wake=%d barwake=%d preempt=%d lb=%d maxticks=%d}\n",
+		mc.Cores, mc.SMTWidth, mc.FreqHz, mc.TickCycles, mc.SMTAggregate,
+		mc.OpCycles, mc.CtxSwitchCycles, mc.MigrationCycles, mc.NUMANodes,
+		mc.CrossNodeMigrationCycles, mc.WakeCycles, mc.BarrierWakePerWaiterCycles,
+		mc.PreemptGranularityTicks, mc.LoadBalancePeriodTicks, mc.MaxTicks)
+	fmt.Fprintf(&b, "gvtfreq=%d\n", or(c.GVTFrequency, 200))
+	fmt.Fprintf(&b, "zerothreshold=%d\n", or(c.ZeroCounterThreshold, 2000))
+	fmt.Fprintf(&b, "batch=%d\n", or(c.BatchSize, 8))
+	fmt.Fprintf(&b, "lpsperkp=%d\n", or(c.LPsPerKP, 1))
+	fmt.Fprintf(&b, "queue=%s\n", c.Queue)
+	fmt.Fprintf(&b, "statesaving=%s\n", c.StateSaving)
+	fmt.Fprintf(&b, "lazy=%t\n", c.LazyCancellation)
+	fmt.Fprintf(&b, "optimism=%g\n", c.OptimismWindow)
+	if a := c.AdaptiveGVT; a != nil {
+		fmt.Fprintf(&b, "adaptive{min=%d max=%d target=%d}\n",
+			a.MinFrequency, a.MaxFrequency, a.TargetUncommittedPerThread)
+	} else {
+		fmt.Fprintf(&b, "adaptive=nil\n")
+	}
+	return b.String(), nil
+}
+
+// CacheKey hashes the canonical serialization into a content-addressed
+// key ("sha256:<hex>"). Because runs are deterministic, a result
+// computed for one Config may be served for any other Config with the
+// same key — the contract the serving layer's result cache relies on.
+func (c Config) CacheKey() (string, error) {
+	s, err := c.CanonicalString()
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256([]byte(s))
+	return "sha256:" + hex.EncodeToString(sum[:]), nil
+}

@@ -1,0 +1,169 @@
+package ggpdes
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCacheKeyDeterministic(t *testing.T) {
+	a, err := quickCfg().CacheKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := quickCfg().CacheKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("same config, different keys: %s vs %s", a, b)
+	}
+	if !strings.HasPrefix(a, "sha256:") || len(a) != len("sha256:")+64 {
+		t.Fatalf("malformed key %q", a)
+	}
+}
+
+// Defaults applied explicitly must hash identically to zero values, so
+// equivalent submissions share a cache entry.
+func TestCacheKeyNormalizesDefaults(t *testing.T) {
+	zero := quickCfg()
+	explicit := quickCfg()
+	explicit.Seed = 1
+	explicit.BatchSize = 8
+	explicit.LPsPerKP = 1
+	a, err := zero.CacheKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := explicit.CacheKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("explicit defaults changed the key")
+	}
+}
+
+// Every semantically meaningful field must perturb the key.
+func TestCacheKeyFieldSensitivity(t *testing.T) {
+	base, err := quickCfg().CacheKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	perturbations := map[string]func(*Config){
+		"seed":          func(c *Config) { c.Seed = 2 },
+		"threads":       func(c *Config) { c.Threads = 16 },
+		"system":        func(c *Config) { c.System = Baseline },
+		"gvt":           func(c *Config) { c.GVT = Barrier },
+		"affinity":      func(c *Config) { c.Affinity = ConstantAffinity },
+		"endtime":       func(c *Config) { c.EndTime = 31 },
+		"model-lps":     func(c *Config) { c.Model = PHOLD{LPsPerThread: 8, Imbalance: 2} },
+		"model-imb":     func(c *Config) { c.Model = PHOLD{LPsPerThread: 4, Imbalance: 4} },
+		"model-kind":    func(c *Config) { c.Model = Traffic{LPsPerThread: 8} },
+		"machine-cores": func(c *Config) { c.Machine.Cores = 8 },
+		"machine-smt":   func(c *Config) { c.Machine.SMTWidth = 4 },
+		"machine-numa":  func(c *Config) { c.Machine.NUMANodes = 2 },
+		"gvtfreq":       func(c *Config) { c.GVTFrequency = 40 },
+		"zerothr":       func(c *Config) { c.ZeroCounterThreshold = 100 },
+		"batch":         func(c *Config) { c.BatchSize = 16 },
+		"lpsperkp":      func(c *Config) { c.LPsPerKP = 2 },
+		"queue":         func(c *Config) { c.Queue = HeapQueue },
+		"statesaving":   func(c *Config) { c.StateSaving = ReverseComputation },
+		"lazy":          func(c *Config) { c.LazyCancellation = true },
+		"optimism":      func(c *Config) { c.OptimismWindow = 10 },
+		"adaptive":      func(c *Config) { c.AdaptiveGVT = &AdaptiveGVT{MinFrequency: 4, MaxFrequency: 64} },
+	}
+	seen := map[string]string{}
+	for name, mutate := range perturbations {
+		cfg := quickCfg()
+		mutate(&cfg)
+		key, err := cfg.CacheKey()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if key == base {
+			t.Errorf("perturbing %s did not change the key", name)
+		}
+		if prev, dup := seen[key]; dup {
+			t.Errorf("perturbations %s and %s collide", name, prev)
+		}
+		seen[key] = name
+	}
+}
+
+// Observability options must NOT perturb the key: they do not change
+// the simulation trajectory, and serve-layer hits should not depend on
+// them.
+func TestCacheKeyIgnoresObservability(t *testing.T) {
+	base, err := quickCfg().CacheKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := quickCfg()
+	cfg.Trace = &TraceOptions{Limit: 100, Ring: true}
+	cfg.Progress = &ProgressOptions{Every: 0.5}
+	key, err := cfg.CacheKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if key != base {
+		t.Fatal("observability options changed the key")
+	}
+}
+
+func TestCacheKeyRejectsInvalid(t *testing.T) {
+	if _, err := (Config{}).CacheKey(); err == nil {
+		t.Fatal("invalid config produced a key")
+	}
+}
+
+// Golden keys: if these change, the canonical serialization changed
+// and every deployed result cache silently invalidates. That can be
+// intentional (bump cacheKeyVersion when semantics change), but never
+// accidental — update the constants only with a matching version bump
+// or a conscious format change.
+func TestCacheKeyGolden(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		want string
+	}{
+		{
+			name: "quick-phold",
+			cfg:  quickCfg(),
+			want: "sha256:0aef7e63f1e9b5d5b5e7646a24484e72da4090d5993bfdb5469af056c6eca2c9",
+		},
+		{
+			name: "paper-default",
+			cfg: Config{
+				Model:   PHOLD{},
+				Threads: 256,
+				System:  GGPDES,
+				GVT:     WaitFree,
+				EndTime: 50,
+			},
+			want: "sha256:1a0d9b2525a285c7b9f061ef5a0dd391b82bc0f03bfc7aa085135d24fbbc82f5",
+		},
+		{
+			name: "epidemics-sync",
+			cfg: Config{
+				Model:   Epidemics{LPsPerThread: 8},
+				Threads: 4,
+				System:  DDPDES,
+				GVT:     Barrier,
+				EndTime: 20,
+				Machine: SmallMachine(),
+			},
+			want: "sha256:8dd67d81c6c4e23ed5e8a402868ab3349f4ee3a00ea0557a110bcc6c74267f2d",
+		},
+	}
+	for _, tc := range cases {
+		got, err := tc.cfg.CacheKey()
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if got != tc.want {
+			canon, _ := tc.cfg.CanonicalString()
+			t.Errorf("%s: key %s, want %s\ncanonical:\n%s", tc.name, got, tc.want, canon)
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package ggpdes
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+// longCfg returns a configuration that would run for a very long time,
+// so cancellation is guaranteed to land mid-simulation.
+func longCfg() Config {
+	cfg := quickCfg()
+	cfg.EndTime = 1e12
+	cfg.Machine.MaxTicks = 1 << 40
+	return cfg
+}
+
+func TestRunContextAlreadyCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := RunContext(ctx, longCfg())
+	if err == nil || res != nil {
+		t.Fatalf("cancelled run returned res=%v err=%v", res, err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v does not wrap context.Canceled", err)
+	}
+}
+
+func TestRunContextCancelMidRun(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := RunContext(ctx, longCfg())
+		done <- err
+	}()
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("error %v does not wrap context.Canceled", err)
+		}
+		if !strings.Contains(err.Error(), "cancelled") {
+			t.Fatalf("error %v does not mention cancellation", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("run did not stop after cancellation")
+	}
+}
+
+func TestRunContextDeadline(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := RunContext(ctx, longCfg())
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("error %v does not wrap context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Fatalf("deadline ignored for %v", elapsed)
+	}
+}
+
+// A finished context must not poison a run that completes normally:
+// RunContext with a background context equals Run.
+func TestRunContextBackgroundMatchesRun(t *testing.T) {
+	a, err := Run(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunContext(context.Background(), quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.CommittedEvents != b.CommittedEvents || a.TotalCycles != b.TotalCycles {
+		t.Fatal("RunContext(Background) diverged from Run")
+	}
+}
+
+func TestValidateCatchesBadConfigs(t *testing.T) {
+	good := quickCfg()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	bad := []func(*Config){
+		func(c *Config) { c.Model = nil },
+		func(c *Config) { c.Threads = 0 },
+		func(c *Config) { c.EndTime = 0 },
+		func(c *Config) { c.System = System(99) },
+		func(c *Config) { c.GVT = GVT(99) },
+		func(c *Config) { c.Affinity = Affinity(99) },
+		func(c *Config) { c.Queue = Queue(99) },
+		func(c *Config) { c.StateSaving = StateSaving(99) },
+		func(c *Config) { c.System = Baseline; c.Affinity = DynamicAffinity },
+		func(c *Config) { c.GVTFrequency = -1 },
+		func(c *Config) { c.ZeroCounterThreshold = -1 },
+		func(c *Config) { c.BatchSize = -1 },
+		func(c *Config) { c.OptimismWindow = -1 },
+		func(c *Config) { c.Machine.Cores = -1 },
+		func(c *Config) { c.Model = PHOLD{LPsPerThread: 1, Imbalance: 3} },
+		func(c *Config) { c.AdaptiveGVT = &AdaptiveGVT{MinFrequency: 10, MaxFrequency: 5} },
+	}
+	for i, mutate := range bad {
+		cfg := quickCfg()
+		mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}

@@ -1,0 +1,326 @@
+// Command ggload drives a ggserved instance: a closed-loop or
+// open-loop load generator that doubles as a serving benchmark, plus a
+// -smoke mode used by `make serve-smoke`.
+//
+//	ggload -addr localhost:8347 -concurrency 16 -jobs 200        # closed loop
+//	ggload -addr localhost:8347 -rate 50 -duration 30s           # open loop
+//	ggload -addr localhost:8347 -smoke                           # CI smoke test
+//
+// Closed loop keeps -concurrency submissions in flight, each polled to
+// a terminal state before the next is issued — the sweep axis for the
+// EXPERIMENTS.md throughput-vs-concurrency curve. Open loop submits at
+// a fixed -rate regardless of completions, exercising the 429
+// backpressure path.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", "localhost:8347", "ggserved host:port")
+		concurrency = flag.Int("concurrency", 8, "closed-loop in-flight submissions")
+		jobs        = flag.Int("jobs", 64, "closed-loop total jobs")
+		rate        = flag.Float64("rate", 0, "open-loop submissions per second (0 = closed loop)")
+		duration    = flag.Duration("duration", 10*time.Second, "open-loop run length")
+		model       = flag.String("model", "phold", "workload: phold | epidemics | traffic")
+		threads     = flag.Int("threads", 4, "simulation threads per job")
+		lps         = flag.Int("lps", 4, "LPs per thread")
+		endTime     = flag.Float64("end", 20, "virtual end time per job")
+		cores       = flag.Int("cores", 8, "simulated cores per job")
+		smt         = flag.Int("smt", 2, "SMT contexts per core")
+		seedBase    = flag.Uint64("seed-base", 1, "first seed; each job gets seed-base+i unless -same-config")
+		sameConfig  = flag.Bool("same-config", false, "submit identical configs (measures the cache path)")
+		jobTimeout  = flag.Float64("job-timeout", 120, "timeout_seconds sent with each job")
+		pollEvery   = flag.Duration("poll", 20*time.Millisecond, "status poll interval")
+		smoke       = flag.Bool("smoke", false, "run the deterministic smoke sequence and exit 0/1")
+	)
+	flag.Parse()
+
+	base := "http://" + *addr
+	if *smoke {
+		if err := runSmoke(base); err != nil {
+			fmt.Fprintf(os.Stderr, "ggload: smoke FAILED: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("ggload: smoke OK")
+		return
+	}
+
+	spec := func(i int) map[string]any {
+		seed := *seedBase
+		if !*sameConfig {
+			seed += uint64(i)
+		}
+		return map[string]any{
+			"model":           *model,
+			"threads":         *threads,
+			"lps_per_thread":  *lps,
+			"end_time":        *endTime,
+			"cores":           *cores,
+			"smt":             *smt,
+			"seed":            seed,
+			"timeout_seconds": *jobTimeout,
+		}
+	}
+
+	var (
+		mu        sync.Mutex
+		latencies []time.Duration
+		states    = map[string]int{}
+		rejected  atomic.Uint64
+		failures  atomic.Uint64
+	)
+	record := func(state string, d time.Duration) {
+		mu.Lock()
+		states[state]++
+		latencies = append(latencies, d)
+		mu.Unlock()
+	}
+
+	runOne := func(i int) {
+		start := time.Now()
+		st, code, err := submit(base, spec(i))
+		if err != nil {
+			failures.Add(1)
+			return
+		}
+		if code == http.StatusTooManyRequests {
+			rejected.Add(1)
+			return
+		}
+		if code != http.StatusAccepted && code != http.StatusOK {
+			failures.Add(1)
+			return
+		}
+		final, err := pollTerminal(base, st.ID, *pollEvery)
+		if err != nil {
+			failures.Add(1)
+			return
+		}
+		state := final.State
+		if final.Cached {
+			state = "cached"
+		}
+		record(state, time.Since(start))
+	}
+
+	wallStart := time.Now()
+	if *rate > 0 {
+		var wg sync.WaitGroup
+		tick := time.NewTicker(time.Duration(float64(time.Second) / *rate))
+		defer tick.Stop()
+		stop := time.After(*duration)
+		i := 0
+	open:
+		for {
+			select {
+			case <-stop:
+				break open
+			case <-tick.C:
+				wg.Add(1)
+				go func(i int) { defer wg.Done(); runOne(i) }(i)
+				i++
+			}
+		}
+		wg.Wait()
+	} else {
+		var wg sync.WaitGroup
+		next := make(chan int)
+		for w := 0; w < *concurrency; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					runOne(i)
+				}
+			}()
+		}
+		for i := 0; i < *jobs; i++ {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
+	}
+	wall := time.Since(wallStart)
+
+	mu.Lock()
+	defer mu.Unlock()
+	sort.Slice(latencies, func(a, b int) bool { return latencies[a] < latencies[b] })
+	q := func(p float64) time.Duration {
+		if len(latencies) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(latencies)-1))
+		return latencies[i]
+	}
+	fmt.Printf("wall            : %s\n", wall.Round(time.Millisecond))
+	fmt.Printf("completed       : %d (%.1f jobs/s)\n", len(latencies), float64(len(latencies))/wall.Seconds())
+	for state, n := range states {
+		fmt.Printf("  %-14s: %d\n", state, n)
+	}
+	fmt.Printf("rejected (429)  : %d\n", rejected.Load())
+	fmt.Printf("errors          : %d\n", failures.Load())
+	if len(latencies) > 0 {
+		fmt.Printf("latency p50     : %s\n", q(0.50).Round(time.Millisecond))
+		fmt.Printf("latency p90     : %s\n", q(0.90).Round(time.Millisecond))
+		fmt.Printf("latency p99     : %s\n", q(0.99).Round(time.Millisecond))
+		fmt.Printf("latency max     : %s\n", latencies[len(latencies)-1].Round(time.Millisecond))
+	}
+	if failures.Load() > 0 {
+		os.Exit(1)
+	}
+}
+
+// status mirrors the server's job snapshot; only the fields ggload
+// reads.
+type status struct {
+	ID     string `json:"id"`
+	State  string `json:"state"`
+	Cached bool   `json:"cached"`
+	Error  string `json:"error"`
+}
+
+func terminal(state string) bool {
+	return state == "done" || state == "failed" || state == "cancelled"
+}
+
+func submit(base string, spec any) (status, int, error) {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return status{}, 0, err
+	}
+	resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return status{}, 0, err
+	}
+	defer resp.Body.Close()
+	var st status
+	if resp.StatusCode < 300 {
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			return status{}, resp.StatusCode, err
+		}
+	} else {
+		io.Copy(io.Discard, resp.Body)
+	}
+	return st, resp.StatusCode, nil
+}
+
+func getStatus(base, id string) (status, int, error) {
+	resp, err := http.Get(base + "/v1/jobs/" + id)
+	if err != nil {
+		return status{}, 0, err
+	}
+	defer resp.Body.Close()
+	var st status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return status{}, resp.StatusCode, err
+	}
+	return st, resp.StatusCode, nil
+}
+
+func pollTerminal(base, id string, every time.Duration) (status, error) {
+	deadline := time.Now().Add(10 * time.Minute)
+	for {
+		st, code, err := getStatus(base, id)
+		if err != nil {
+			return status{}, err
+		}
+		if code != http.StatusOK {
+			return status{}, fmt.Errorf("poll %s: HTTP %d", id, code)
+		}
+		if terminal(st.State) {
+			return st, nil
+		}
+		if time.Now().After(deadline) {
+			return status{}, fmt.Errorf("job %s stuck in %s", id, st.State)
+		}
+		time.Sleep(every)
+	}
+}
+
+// runSmoke is the deterministic CI sequence behind `make serve-smoke`:
+// healthz, submit a small PHOLD job, poll it to done, fetch the
+// result, resubmit the identical spec and require a cache hit backed
+// by the server's hit counter.
+func runSmoke(base string) error {
+	resp, err := http.Get(base + "/v1/healthz")
+	if err != nil {
+		return fmt.Errorf("healthz: %w", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("healthz: HTTP %d", resp.StatusCode)
+	}
+
+	spec := map[string]any{
+		"model": "phold", "threads": 4, "lps_per_thread": 4,
+		"end_time": 20, "cores": 8, "smt": 2, "seed": 424242,
+		"timeout_seconds": 120,
+	}
+	st, code, err := submit(base, spec)
+	if err != nil || code != http.StatusAccepted {
+		return fmt.Errorf("submit: HTTP %d, err %v", code, err)
+	}
+	final, err := pollTerminal(base, st.ID, 10*time.Millisecond)
+	if err != nil {
+		return err
+	}
+	if final.State != "done" {
+		return fmt.Errorf("job %s finished %s (%s)", st.ID, final.State, final.Error)
+	}
+
+	resp, err = http.Get(base + "/v1/jobs/" + st.ID + "/result")
+	if err != nil {
+		return fmt.Errorf("result: %w", err)
+	}
+	var result struct {
+		Results struct {
+			CommittedEvents uint64
+		} `json:"results"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&result)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("result: HTTP %d, err %v", resp.StatusCode, err)
+	}
+	if result.Results.CommittedEvents == 0 {
+		return fmt.Errorf("result has zero committed events")
+	}
+
+	st2, code, err := submit(base, spec)
+	if err != nil || code != http.StatusOK {
+		return fmt.Errorf("resubmit: HTTP %d (want 200 cache hit), err %v", code, err)
+	}
+	if !st2.Cached || st2.State != "done" {
+		return fmt.Errorf("resubmit not served from cache: %+v", st2)
+	}
+
+	resp, err = http.Get(base + "/v1/stats")
+	if err != nil {
+		return fmt.Errorf("stats: %w", err)
+	}
+	var stats struct {
+		Counters map[string]uint64 `json:"counters"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&stats)
+	resp.Body.Close()
+	if err != nil {
+		return fmt.Errorf("stats: %w", err)
+	}
+	if stats.Counters["serve.cache_hits"] == 0 {
+		return fmt.Errorf("server reports zero cache hits after a hit: %v", stats.Counters)
+	}
+	return nil
+}

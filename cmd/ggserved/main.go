@@ -1,0 +1,104 @@
+// Command ggserved serves simulations over HTTP: a bounded job queue
+// with 429 backpressure, a GOMAXPROCS worker pool, and a deterministic
+// content-addressed result cache.
+//
+//	ggserved -addr :8347
+//	curl -s localhost:8347/v1/jobs -d '{"model":"phold","threads":8,"end_time":30}'
+//	curl -s localhost:8347/v1/jobs/job-00000001
+//
+// SIGTERM/SIGINT drains gracefully: admission stops (503), running
+// jobs finish, then the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"expvar"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ggpdes/internal/serve"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8347", "listen address (use :0 for an ephemeral port)")
+		addrFile   = flag.String("addr-file", "", "write the bound address to this file once listening (for scripts using :0)")
+		workers    = flag.Int("workers", 0, "concurrent simulation runs (0 = GOMAXPROCS)")
+		queueDepth = flag.Int("queue-depth", 64, "jobs admitted but not yet running before 429s")
+		cacheSize  = flag.Int("cache-entries", 256, "result cache bound (negative disables)")
+		retainJobs = flag.Int("retain-jobs", 4096, "finished jobs kept queryable (negative = unlimited)")
+		defTimeout = flag.Duration("default-timeout", 0, "per-job real-time deadline unless the spec sets one (0 = none)")
+		drainGrace = flag.Duration("drain-timeout", 5*time.Minute, "how long to wait for in-flight jobs on shutdown")
+	)
+	flag.Parse()
+
+	mgr := serve.New(serve.Options{
+		Workers:        *workers,
+		QueueDepth:     *queueDepth,
+		CacheEntries:   *cacheSize,
+		RetainJobs:     *retainJobs,
+		DefaultTimeout: *defTimeout,
+	})
+
+	// Publish the serve registry under expvar so one scrape covers the
+	// Go runtime vars and the service counters.
+	expvar.Publish("ggserved", expvar.Func(func() any {
+		reg := mgr.Registry()
+		return map[string]any{
+			"counters":   reg.Counters(),
+			"gauges":     reg.Gauges(),
+			"histograms": reg.Histograms(),
+		}
+	}))
+
+	mux := http.NewServeMux()
+	mux.Handle("/v1/", mgr.Handler())
+	mux.Handle("/debug/vars", expvar.Handler())
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(ln.Addr().String()+"\n"), 0o644); err != nil {
+			fatalf("%v", err)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "ggserved: listening on %s (%d workers, queue %d, cache %d)\n",
+		ln.Addr(), mgr.Workers(), mgr.QueueDepth(), *cacheSize)
+
+	srv := &http.Server{Handler: mux}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case s := <-sig:
+		fmt.Fprintf(os.Stderr, "ggserved: %s, draining (up to %s)\n", s, *drainGrace)
+	case err := <-done:
+		fatalf("serve: %v", err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainGrace)
+	defer cancel()
+	if err := mgr.Drain(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "ggserved: drain incomplete: %v\n", err)
+	}
+	if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintf(os.Stderr, "ggserved: shutdown: %v\n", err)
+	}
+	fmt.Fprintln(os.Stderr, "ggserved: bye")
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "ggserved: "+format+"\n", args...)
+	os.Exit(2)
+}

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"expvar"
 	"flag"
 	"fmt"
@@ -50,6 +51,7 @@ func main() {
 		expvarAt  = flag.String("expvar", "", "serve live run metrics over expvar at this address (e.g. :8123)")
 		hist      = flag.Bool("hist", false, "print every run histogram (implies -v percentile lines)")
 		lazy      = flag.Bool("lazy", false, "lazy cancellation (defer anti-messages across rollbacks)")
+		timeout   = flag.Duration("timeout", 0, "abort the run after this much real time (0 = no limit)")
 		verbose   = flag.Bool("v", false, "print the full metric set")
 	)
 	flag.Parse()
@@ -76,55 +78,24 @@ func main() {
 		fatalf("unknown model %q", *modelName)
 	}
 
-	switch strings.ToLower(*system) {
-	case "baseline":
-		cfg.System = ggpdes.Baseline
-	case "dd", "dd-pdes":
-		cfg.System = ggpdes.DDPDES
-	case "gg", "gg-pdes":
-		cfg.System = ggpdes.GGPDES
-	default:
-		fatalf("unknown system %q", *system)
+	var err error
+	if cfg.System, err = ggpdes.ParseSystem(*system); err != nil {
+		fatalf("%v", err)
 	}
-
-	switch strings.ToLower(*gvtAlg) {
-	case "sync", "barrier":
-		cfg.GVT = ggpdes.Barrier
-	case "async", "waitfree", "wait-free":
-		cfg.GVT = ggpdes.WaitFree
-	default:
-		fatalf("unknown gvt algorithm %q", *gvtAlg)
+	if cfg.GVT, err = ggpdes.ParseGVT(*gvtAlg); err != nil {
+		fatalf("%v", err)
 	}
-
-	switch strings.ToLower(*affinity) {
-	case "none":
-		cfg.Affinity = ggpdes.NoAffinity
-	case "constant":
-		cfg.Affinity = ggpdes.ConstantAffinity
-	case "dynamic":
-		cfg.Affinity = ggpdes.DynamicAffinity
-	default:
-		fatalf("unknown affinity %q", *affinity)
+	if cfg.Affinity, err = ggpdes.ParseAffinity(*affinity); err != nil {
+		fatalf("%v", err)
 	}
-
-	switch strings.ToLower(*saving) {
-	case "copy":
-		cfg.StateSaving = ggpdes.CopyState
-	case "reverse":
-		cfg.StateSaving = ggpdes.ReverseComputation
-	default:
-		fatalf("unknown state saving %q", *saving)
+	if cfg.StateSaving, err = ggpdes.ParseStateSaving(*saving); err != nil {
+		fatalf("%v", err)
 	}
-
-	switch strings.ToLower(*queue) {
-	case "splay":
-		cfg.Queue = ggpdes.SplayQueue
-	case "heap":
-		cfg.Queue = ggpdes.HeapQueue
-	case "calendar":
-		cfg.Queue = ggpdes.CalendarQueue
-	default:
-		fatalf("unknown queue %q", *queue)
+	if cfg.Queue, err = ggpdes.ParseQueue(*queue); err != nil {
+		fatalf("%v", err)
+	}
+	if err := cfg.Validate(); err != nil {
+		fatalf("%v", err)
 	}
 
 	var traceOut, perfettoOut *os.File
@@ -163,8 +134,17 @@ func main() {
 		}
 	}
 
-	res, err := ggpdes.Run(cfg)
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	res, err := ggpdes.RunContext(ctx, cfg)
 	if err != nil {
+		if ctx.Err() != nil {
+			fatalf("timed out after %s: %v", *timeout, err)
+		}
 		fatalf("%v", err)
 	}
 	if traceOut != nil {

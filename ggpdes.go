@@ -25,6 +25,7 @@
 package ggpdes
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -148,6 +149,9 @@ func KNL7230SNC4() Machine {
 func SmallMachine() Machine { return Machine{Cores: 4, SMTWidth: 2, FreqHz: 1.3e9} }
 
 func (m Machine) build() (machine.Config, error) {
+	if m.Cores < 0 || m.SMTWidth < 0 || m.FreqHz < 0 || m.NUMANodes < 0 {
+		return machine.Config{}, errors.New("ggpdes: Machine fields must be non-negative")
+	}
 	cfg := machine.KNL7230()
 	if m.Cores > 0 {
 		cfg.Cores = m.Cores
@@ -438,16 +442,86 @@ func (r *Results) Efficiency() float64 {
 	return float64(r.CommittedEvents) / float64(r.ProcessedEvents)
 }
 
+// Validate checks cfg for the errors Run would reject it with, without
+// running anything: missing or malformed fields, out-of-range enum
+// values, impossible machine shapes, and model parameter errors.
+// Commands call it to fail fast with a one-line diagnostic; the
+// serving layer calls it at admission time.
+func (c Config) Validate() error {
+	if c.Model == nil {
+		return errors.New("ggpdes: Config.Model is required")
+	}
+	if c.Threads <= 0 {
+		return errors.New("ggpdes: Config.Threads must be positive")
+	}
+	if c.EndTime <= 0 {
+		return errors.New("ggpdes: Config.EndTime must be positive")
+	}
+	if c.System < Baseline || c.System > GGPDES {
+		return fmt.Errorf("ggpdes: unknown System %d", int(c.System))
+	}
+	if c.GVT < Barrier || c.GVT > WaitFree {
+		return fmt.Errorf("ggpdes: unknown GVT algorithm %d", int(c.GVT))
+	}
+	if c.Affinity < NoAffinity || c.Affinity > DynamicAffinity {
+		return fmt.Errorf("ggpdes: unknown Affinity %d", int(c.Affinity))
+	}
+	if c.Queue < SplayQueue || c.Queue > CalendarQueue {
+		return fmt.Errorf("ggpdes: unknown Queue %d", int(c.Queue))
+	}
+	if c.StateSaving < CopyState || c.StateSaving > ReverseComputation {
+		return fmt.Errorf("ggpdes: unknown StateSaving %d", int(c.StateSaving))
+	}
+	if c.Affinity == DynamicAffinity && c.System != GGPDES {
+		return errors.New("ggpdes: DynamicAffinity requires the GGPDES system")
+	}
+	if c.GVTFrequency < 0 {
+		return errors.New("ggpdes: GVTFrequency must be non-negative")
+	}
+	if c.ZeroCounterThreshold < 0 {
+		return errors.New("ggpdes: ZeroCounterThreshold must be non-negative")
+	}
+	if c.BatchSize < 0 {
+		return errors.New("ggpdes: BatchSize must be non-negative")
+	}
+	if c.LPsPerKP < 0 {
+		return errors.New("ggpdes: LPsPerKP must be non-negative")
+	}
+	if c.OptimismWindow < 0 {
+		return errors.New("ggpdes: OptimismWindow must be non-negative")
+	}
+	if a := c.AdaptiveGVT; a != nil {
+		if a.MinFrequency < 0 || a.MaxFrequency < 0 || a.MinFrequency > a.MaxFrequency {
+			return errors.New("ggpdes: AdaptiveGVT frequency bounds are invalid")
+		}
+	}
+	if _, err := c.Machine.build(); err != nil {
+		return err
+	}
+	model, err := c.Model.build(c.Threads, c.EndTime)
+	if err != nil {
+		return err
+	}
+	if c.StateSaving == ReverseComputation {
+		if _, ok := model.(tw.ReverseModel); !ok {
+			return errors.New("ggpdes: ReverseComputation requires a reversible model")
+		}
+	}
+	return nil
+}
+
 // Run executes one simulation to completion and returns its metrics.
-func Run(cfg Config) (*Results, error) {
-	if cfg.Model == nil {
-		return nil, errors.New("ggpdes: Config.Model is required")
-	}
-	if cfg.Threads <= 0 {
-		return nil, errors.New("ggpdes: Config.Threads must be positive")
-	}
-	if cfg.EndTime <= 0 {
-		return nil, errors.New("ggpdes: Config.EndTime must be positive")
+func Run(cfg Config) (*Results, error) { return RunContext(context.Background(), cfg) }
+
+// RunContext executes one simulation like Run, stopping early if ctx
+// is cancelled or its deadline passes. Cancellation is observed in
+// real time by the machine loop, which asks the engine to wind down;
+// simulation threads notice within one main-loop iteration, well
+// inside a GVT round. A cancelled run returns no Results and an error
+// wrapping ctx.Err().
+func RunContext(ctx context.Context, cfg Config) (*Results, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	if cfg.Seed == 0 {
 		cfg.Seed = 1
@@ -569,7 +643,11 @@ func Run(cfg Config) (*Results, error) {
 			}
 		}
 	}
-	if err := m.Run(); err != nil {
+	m.SetOnCancel(eng.Cancel)
+	if err := m.RunContext(ctx); err != nil {
+		if ctx.Err() != nil && errors.Is(err, ctx.Err()) {
+			return nil, fmt.Errorf("ggpdes: run cancelled: %w", err)
+		}
 		return nil, fmt.Errorf("ggpdes: %s/%s run failed: %w", cfg.System, cfg.GVT, err)
 	}
 	if err := eng.CheckInvariants(); err != nil {

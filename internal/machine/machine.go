@@ -1,6 +1,7 @@
 package machine
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -19,9 +20,10 @@ type Machine struct {
 	live    int
 	started bool
 
-	stats Stats
-	tr    *trace.Recorder
-	tel   telemetryHandles
+	stats    Stats
+	tr       *trace.Recorder
+	tel      telemetryHandles
+	onCancel func()
 }
 
 // Metric names the machine registers. Histograms are sampled every
@@ -61,6 +63,12 @@ func (m *Machine) SetTrace(r *trace.Recorder) { m.tr = r }
 // SetTelemetry points the machine's metrics at reg (nil detaches them
 // again). Call before Run.
 func (m *Machine) SetTelemetry(reg *telemetry.Registry) { m.bindTelemetry(reg) }
+
+// SetOnCancel registers a hook RunContext invokes once, from the
+// driving goroutine, when its context is cancelled — the place to ask
+// the workload to wind itself down (e.g. tw.Engine.Cancel). Call
+// before Run.
+func (m *Machine) SetOnCancel(f func()) { m.onCancel = f }
 
 type coreState struct {
 	// runq holds runnable threads not currently on a context, ordered
@@ -214,7 +222,22 @@ func (e *DeadlockError) Error() string {
 // Run drives the machine until every thread has exited. It returns a
 // *DeadlockError if all live threads block, or an error when MaxTicks
 // is exceeded or a thread body panics.
-func (m *Machine) Run() (err error) {
+func (m *Machine) Run() error { return m.RunContext(context.Background()) }
+
+// cancelGraceTicks bounds how long a cancelled run may keep ticking
+// while its threads wind down before the machine aborts them outright.
+// Threads observing a cancellation flag exit within one main-loop
+// iteration (a handful of ticks), so this is generous.
+const cancelGraceTicks = 1 << 16
+
+// RunContext drives the machine like Run, polling ctx once per tick
+// (real time, not simulated time). On cancellation it invokes the
+// SetOnCancel hook so the workload can wind down cooperatively, keeps
+// ticking for a bounded grace period, and returns ctx's error — also
+// swallowing any deadlock or MaxTicks failure that the teardown
+// itself provokes (threads parked on barriers or semaphores when the
+// flag flips never get their partners back).
+func (m *Machine) RunContext(ctx context.Context) (err error) {
 	if m.started {
 		return fmt.Errorf("machine: Run called twice")
 	}
@@ -240,8 +263,28 @@ func (m *Machine) Run() (err error) {
 		m.sortRunq(&m.cores[c])
 	}
 
+	done := ctx.Done()
+	cancelled := false
+	var cancelTick uint64
 	for m.live > 0 {
+		if done != nil && !cancelled {
+			select {
+			case <-done:
+				cancelled = true
+				cancelTick = m.tick
+				if m.onCancel != nil {
+					m.onCancel()
+				}
+			default:
+			}
+		}
+		if cancelled && m.tick-cancelTick > cancelGraceTicks {
+			return ctx.Err()
+		}
 		if m.cfg.MaxTicks > 0 && m.tick >= m.cfg.MaxTicks {
+			if cancelled {
+				return ctx.Err()
+			}
 			return fmt.Errorf("machine: exceeded MaxTicks=%d with %d live thread(s): %s",
 				m.cfg.MaxTicks, m.live, m.describeThreads())
 		}
@@ -253,6 +296,9 @@ func (m *Machine) Run() (err error) {
 			}
 		}
 		if !anyRunning {
+			if cancelled {
+				return ctx.Err()
+			}
 			return m.deadlock()
 		}
 		if perr := m.advanceTick(); perr != nil {
@@ -266,6 +312,9 @@ func (m *Machine) Run() (err error) {
 		if m.cfg.LoadBalancePeriodTicks > 0 && m.tick%uint64(m.cfg.LoadBalancePeriodTicks) == 0 {
 			m.loadBalance()
 		}
+	}
+	if cancelled {
+		return ctx.Err()
 	}
 	return nil
 }

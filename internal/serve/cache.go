@@ -1,0 +1,93 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+
+	"ggpdes"
+	"ggpdes/internal/telemetry"
+)
+
+// resultCache is a bounded LRU mapping Config.CacheKey values to
+// completed Results. Runs are deterministic functions of the canonical
+// config, so a hit is exactly the result a fresh run would produce.
+// Entries are immutable once inserted: readers share the *Results
+// pointer and must not mutate it.
+type resultCache struct {
+	mu    sync.Mutex
+	max   int
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+
+	hits      *telemetry.Counter
+	misses    *telemetry.Counter
+	evictions *telemetry.Counter
+	entries   *telemetry.Gauge
+}
+
+type cacheEntry struct {
+	key string
+	res *ggpdes.Results
+}
+
+// newResultCache builds a cache holding at most max entries. max <= 0
+// disables caching: every lookup misses and puts are dropped.
+func newResultCache(max int, reg *telemetry.Registry) *resultCache {
+	return &resultCache{
+		max:   max,
+		ll:    list.New(),
+		items: make(map[string]*list.Element),
+		hits:      reg.Counter("serve.cache_hits"),
+		misses:    reg.Counter("serve.cache_misses"),
+		evictions: reg.Counter("serve.cache_evictions"),
+		entries:   reg.Gauge("serve.cache_entries"),
+	}
+}
+
+// get returns the cached result for key, recording a hit or miss.
+func (c *resultCache) get(key string) (*ggpdes.Results, bool) {
+	if c.max <= 0 {
+		c.misses.Inc()
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses.Inc()
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	c.hits.Inc()
+	return el.Value.(*cacheEntry).res, true
+}
+
+// put stores a completed result, evicting the least recently used
+// entry past the bound.
+func (c *resultCache) put(key string, res *ggpdes.Results) {
+	if c.max <= 0 || res == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*cacheEntry).res = res
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, res: res})
+	for c.ll.Len() > c.max {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+		c.evictions.Inc()
+	}
+	c.entries.Set(float64(c.ll.Len()))
+}
+
+// len reports the current entry count.
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

@@ -1,0 +1,157 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strings"
+)
+
+// Handler returns the service's HTTP API:
+//
+//	POST   /v1/jobs            submit a JobSpec; 202 queued, 200 cache hit,
+//	                           400 invalid, 429 queue full (Retry-After),
+//	                           503 draining
+//	GET    /v1/jobs/{id}       job status; 404 unknown
+//	GET    /v1/jobs/{id}/result  200 results when done, 202 still in
+//	                           flight, 409 failed/cancelled, 404 unknown
+//	DELETE /v1/jobs/{id}       cancel; 200 with post-cancel status
+//	GET    /v1/healthz         200 ok, 503 draining
+//	GET    /v1/stats           telemetry counters/gauges/histograms
+func (m *Manager) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", m.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", m.handleStatus)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", m.handleResult)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", m.handleCancel)
+	mux.HandleFunc("GET /v1/healthz", m.handleHealthz)
+	mux.HandleFunc("GET /v1/stats", m.handleStats)
+	return mux
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func (m *Manager) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "invalid JSON body: " + err.Error()})
+		return
+	}
+	st, err := m.Submit(spec)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		// Queue depth × typical service time is the natural drain
+		// horizon; 1s is a conservative client backoff hint.
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests, errorBody{Error: err.Error()})
+	case errors.Is(err, ErrDraining):
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
+	case err != nil:
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+	case st.Cached:
+		writeJSON(w, http.StatusOK, st)
+	default:
+		writeJSON(w, http.StatusAccepted, st)
+	}
+}
+
+func (m *Manager) handleStatus(w http.ResponseWriter, r *http.Request) {
+	st, ok := m.Get(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "unknown job"})
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// resultBody wraps a completed job's results with its identity, so a
+// client can tell which submission (and whether the cache) produced
+// them.
+type resultBody struct {
+	Status
+	Results any `json:"results"`
+}
+
+func (m *Manager) handleResult(w http.ResponseWriter, r *http.Request) {
+	res, st, ok := m.Result(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "unknown job"})
+		return
+	}
+	switch st.State {
+	case StateDone:
+		writeJSON(w, http.StatusOK, resultBody{Status: st, Results: res})
+	case StateFailed, StateCancelled:
+		writeJSON(w, http.StatusConflict, st)
+	default:
+		writeJSON(w, http.StatusAccepted, st)
+	}
+}
+
+func (m *Manager) handleCancel(w http.ResponseWriter, r *http.Request) {
+	st, ok := m.Cancel(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "unknown job"})
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// healthBody is the /v1/healthz payload.
+type healthBody struct {
+	Status     string `json:"status"`
+	Workers    int    `json:"workers"`
+	QueueDepth int    `json:"queue_depth"`
+	Queued     int    `json:"queued"`
+	Running    int    `json:"running"`
+}
+
+func (m *Manager) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	queued, running := m.Counts()
+	body := healthBody{
+		Status:     "ok",
+		Workers:    m.Workers(),
+		QueueDepth: m.QueueDepth(),
+		Queued:     queued,
+		Running:    running,
+	}
+	code := http.StatusOK
+	if m.Draining() {
+		body.Status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, body)
+}
+
+// statsBody is the /v1/stats payload: a full registry snapshot.
+type statsBody struct {
+	Counters   map[string]uint64  `json:"counters"`
+	Gauges     map[string]float64 `json:"gauges"`
+	Histograms any                `json:"histograms"`
+}
+
+func (m *Manager) handleStats(w http.ResponseWriter, r *http.Request) {
+	reg := m.Registry()
+	if strings.Contains(r.Header.Get("Accept"), "text/plain") {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_ = reg.WriteText(w)
+		return
+	}
+	writeJSON(w, http.StatusOK, statsBody{
+		Counters:   reg.Counters(),
+		Gauges:     reg.Gauges(),
+		Histograms: reg.Histograms(),
+	})
+}

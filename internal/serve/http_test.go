@@ -1,0 +1,261 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func startServer(t *testing.T, opts Options) (*Manager, *httptest.Server) {
+	t.Helper()
+	m := New(opts)
+	srv := httptest.NewServer(m.Handler())
+	t.Cleanup(func() {
+		srv.Close()
+		drain(t, m)
+	})
+	return m, srv
+}
+
+func postJob(t *testing.T, srv *httptest.Server, spec JobSpec) (*http.Response, Status) {
+	t.Helper()
+	body, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(srv.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st Status
+	if resp.StatusCode < 300 {
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp, st
+}
+
+func getJSON(t *testing.T, url string, v any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if v != nil {
+		if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// The happy path over the wire: submit → 202, poll → done, result →
+// 200 with payload, resubmit → 200 cache hit.
+func TestHTTPSubmitPollResult(t *testing.T) {
+	_, srv := startServer(t, Options{Workers: 2, QueueDepth: 4})
+
+	resp, st := postJob(t, srv, quickSpec(1))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d, want 202", resp.StatusCode)
+	}
+	if st.ID == "" || st.State != StateQueued && st.State != StateRunning && st.State != StateDone {
+		t.Fatalf("submit body: %+v", st)
+	}
+
+	deadline := time.Now().Add(60 * time.Second)
+	var polled Status
+	for {
+		if code := getJSON(t, srv.URL+"/v1/jobs/"+st.ID, &polled); code != http.StatusOK {
+			t.Fatalf("poll status %d", code)
+		}
+		if polled.State.Terminal() {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %s", polled.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if polled.State != StateDone {
+		t.Fatalf("job finished %s (%s)", polled.State, polled.Error)
+	}
+
+	var result struct {
+		Status
+		Results struct {
+			CommittedEvents uint64
+		} `json:"results"`
+	}
+	if code := getJSON(t, srv.URL+"/v1/jobs/"+st.ID+"/result", &result); code != http.StatusOK {
+		t.Fatalf("result status %d", code)
+	}
+	if result.Results.CommittedEvents == 0 {
+		t.Fatal("result payload has zero committed events")
+	}
+
+	resp2, st2 := postJob(t, srv, quickSpec(1))
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("cache-hit submit status %d, want 200", resp2.StatusCode)
+	}
+	if !st2.Cached || st2.State != StateDone {
+		t.Fatalf("cache-hit body: %+v", st2)
+	}
+}
+
+func TestHTTPBadRequests(t *testing.T) {
+	_, srv := startServer(t, Options{Workers: 1})
+
+	resp, err := http.Post(srv.URL+"/v1/jobs", "application/json", strings.NewReader("{not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed JSON: status %d, want 400", resp.StatusCode)
+	}
+
+	resp, err = http.Post(srv.URL+"/v1/jobs", "application/json",
+		strings.NewReader(`{"model":"phold","threads":2,"end_time":10,"bogus_field":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown field: status %d, want 400", resp.StatusCode)
+	}
+
+	if resp, _ := postJob(t, srv, JobSpec{Model: "phold", Threads: 2}); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("invalid spec: status %d, want 400", resp.StatusCode)
+	}
+
+	for _, url := range []string{"/v1/jobs/job-nope", "/v1/jobs/job-nope/result"} {
+		if code := getJSON(t, srv.URL+url, nil); code != http.StatusNotFound {
+			t.Fatalf("GET %s: status %d, want 404", url, code)
+		}
+	}
+}
+
+// Past the admission bound the API answers 429 with a Retry-After hint
+// rather than hanging the client.
+func TestHTTPQueueFull429(t *testing.T) {
+	m, srv := startServer(t, Options{Workers: 1, QueueDepth: 1})
+
+	_, running := postJob(t, srv, longSpec())
+	waitRunning(t, m, running.ID)
+	queuedSpec := longSpec()
+	queuedSpec.Seed = 2
+	_, queued := postJob(t, srv, queuedSpec)
+
+	overflow := longSpec()
+	overflow.Seed = 3
+	resp, _ := postJob(t, srv, overflow)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overflow status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+
+	for _, id := range []string{queued.ID, running.ID} {
+		req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/v1/jobs/"+id, nil)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("cancel %s: status %d", id, resp.StatusCode)
+		}
+	}
+	waitState(t, m, running.ID, StateCancelled)
+	waitState(t, m, queued.ID, StateCancelled)
+
+	// A cancelled job's result endpoint reports the conflict.
+	if code := getJSON(t, srv.URL+"/v1/jobs/"+running.ID+"/result", nil); code != http.StatusConflict {
+		t.Fatalf("cancelled result status %d, want 409", code)
+	}
+}
+
+func TestHTTPHealthzAndStats(t *testing.T) {
+	m, srv := startServer(t, Options{Workers: 2, QueueDepth: 4})
+
+	var health healthBody
+	if code := getJSON(t, srv.URL+"/v1/healthz", &health); code != http.StatusOK {
+		t.Fatalf("healthz status %d", code)
+	}
+	if health.Status != "ok" || health.Workers != 2 || health.QueueDepth != 4 {
+		t.Fatalf("healthz body: %+v", health)
+	}
+
+	_, st := postJob(t, srv, quickSpec(1))
+	waitState(t, m, st.ID, StateDone)
+
+	var stats statsBody
+	if code := getJSON(t, srv.URL+"/v1/stats", &stats); code != http.StatusOK {
+		t.Fatalf("stats status %d", code)
+	}
+	if stats.Counters["serve.jobs_completed"] != 1 {
+		t.Fatalf("stats counters: %v", stats.Counters)
+	}
+
+	req, _ := http.NewRequest(http.MethodGet, srv.URL+"/v1/stats", nil)
+	req.Header.Set("Accept", "text/plain")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "serve.jobs_completed") {
+		t.Fatal("text stats missing serve.jobs_completed")
+	}
+}
+
+// After Drain begins, submissions get 503 and healthz flips to
+// draining so load balancers stop routing here.
+func TestHTTPDraining503(t *testing.T) {
+	m := New(Options{Workers: 1, QueueDepth: 1})
+	srv := httptest.NewServer(m.Handler())
+	defer srv.Close()
+
+	drain(t, m)
+	resp, _ := postJob(t, srv, quickSpec(1))
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining submit status %d, want 503", resp.StatusCode)
+	}
+	var health healthBody
+	if code := getJSON(t, srv.URL+"/v1/healthz", &health); code != http.StatusServiceUnavailable {
+		t.Fatalf("draining healthz status %d, want 503", code)
+	}
+	if health.Status != "draining" {
+		t.Fatalf("draining healthz body: %+v", health)
+	}
+}
+
+// The result endpoint reports 202 for a job still in flight.
+func TestHTTPResultInFlight(t *testing.T) {
+	m, srv := startServer(t, Options{Workers: 1, QueueDepth: 1})
+
+	_, st := postJob(t, srv, longSpec())
+	waitRunning(t, m, st.ID)
+	if code := getJSON(t, srv.URL+"/v1/jobs/"+st.ID+"/result", nil); code != http.StatusAccepted {
+		t.Fatalf("in-flight result status %d, want 202", code)
+	}
+	req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/v1/jobs/"+st.ID, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	waitState(t, m, st.ID, StateCancelled)
+}

@@ -1,0 +1,491 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"ggpdes"
+	"ggpdes/internal/telemetry"
+)
+
+// State is a job's position in its lifecycle.
+type State string
+
+const (
+	// StateQueued: admitted, waiting for a worker.
+	StateQueued State = "queued"
+	// StateRunning: a worker is simulating it.
+	StateRunning State = "running"
+	// StateDone: finished successfully; the result is available.
+	StateDone State = "done"
+	// StateFailed: the run returned an error (including deadline
+	// expiry).
+	StateFailed State = "failed"
+	// StateCancelled: cancelled by the client before completion.
+	StateCancelled State = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// Errors returned by Submit. The HTTP layer maps ErrQueueFull to 429
+// with Retry-After and ErrDraining to 503.
+var (
+	ErrQueueFull = errors.New("serve: admission queue full")
+	ErrDraining  = errors.New("serve: server is draining")
+)
+
+// Options configures a Manager. The zero value is usable: workers
+// sized to GOMAXPROCS, a 64-deep admission queue, a 256-entry cache,
+// no default deadline.
+type Options struct {
+	// Workers is the number of concurrent simulation runs (0 =
+	// GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds jobs admitted but not yet running; a submit
+	// past the bound is rejected with ErrQueueFull (0 = 64).
+	QueueDepth int
+	// CacheEntries bounds the result cache (0 = 256, negative =
+	// disabled).
+	CacheEntries int
+	// DefaultTimeout bounds each job's real-time execution unless the
+	// spec sets its own; 0 means no default deadline.
+	DefaultTimeout time.Duration
+	// RetainJobs bounds how many terminal jobs stay queryable; the
+	// oldest are forgotten past the bound (0 = 4096, negative =
+	// unlimited).
+	RetainJobs int
+	// Registry receives the serve.* metrics (nil = a fresh registry).
+	Registry *telemetry.Registry
+}
+
+// Job is one submitted simulation. All mutable fields are guarded by
+// the owning Manager's mutex; handlers read consistent snapshots via
+// Status.
+type Job struct {
+	id     string
+	spec   JobSpec
+	cfg    ggpdes.Config
+	key    string
+	cached bool
+
+	state     State
+	err       string
+	result    *ggpdes.Results
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+	cancel    context.CancelFunc
+	done      chan struct{}
+}
+
+// Status is an immutable snapshot of a job, shaped for JSON.
+type Status struct {
+	ID    string `json:"id"`
+	State State  `json:"state"`
+	// Key is the config's content-addressed cache key.
+	Key string `json:"key"`
+	// Cached is true when the result was served from the cache without
+	// a run.
+	Cached bool   `json:"cached,omitempty"`
+	Error  string `json:"error,omitempty"`
+
+	SubmittedAt time.Time `json:"submitted_at"`
+	StartedAt   time.Time `json:"started_at,omitempty"`
+	FinishedAt  time.Time `json:"finished_at,omitempty"`
+	// QueueSeconds and RunSeconds break down where the job spent its
+	// wall-clock time so far.
+	QueueSeconds float64 `json:"queue_seconds"`
+	RunSeconds   float64 `json:"run_seconds"`
+}
+
+// Manager owns the admission queue, the worker pool, the job table and
+// the result cache. Create one with New and shut it down with Drain.
+type Manager struct {
+	opts  Options
+	reg   *telemetry.Registry
+	cache *resultCache
+
+	queue chan *Job
+	wg    sync.WaitGroup
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	terminal []string // terminal job IDs, oldest first, for retention
+	seq      uint64
+	draining bool
+
+	submitted *telemetry.Counter
+	completed *telemetry.Counter
+	failed    *telemetry.Counter
+	cancelled *telemetry.Counter
+	rejected  *telemetry.Counter
+	queueWait *telemetry.Histogram
+	runWall   *telemetry.Histogram
+	inFlight  *telemetry.Gauge
+}
+
+// New starts a manager and its worker pool.
+func New(opts Options) *Manager {
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	if opts.QueueDepth <= 0 {
+		opts.QueueDepth = 64
+	}
+	if opts.CacheEntries == 0 {
+		opts.CacheEntries = 256
+	}
+	if opts.RetainJobs == 0 {
+		opts.RetainJobs = 4096
+	}
+	reg := opts.Registry
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	m := &Manager{
+		opts:      opts,
+		reg:       reg,
+		cache:     newResultCache(opts.CacheEntries, reg),
+		queue:     make(chan *Job, opts.QueueDepth),
+		jobs:      make(map[string]*Job),
+		submitted: reg.Counter("serve.jobs_submitted"),
+		completed: reg.Counter("serve.jobs_completed"),
+		failed:    reg.Counter("serve.jobs_failed"),
+		cancelled: reg.Counter("serve.jobs_cancelled"),
+		rejected:  reg.Counter("serve.jobs_rejected"),
+		queueWait: reg.Histogram("serve.queue_wait_ms"),
+		runWall:   reg.Histogram("serve.run_wall_ms"),
+		inFlight:  reg.Gauge("serve.jobs_in_flight"),
+	}
+	for i := 0; i < opts.Workers; i++ {
+		m.wg.Add(1)
+		go m.worker()
+	}
+	return m
+}
+
+// Registry exposes the manager's metrics for the HTTP stats endpoint
+// and expvar.
+func (m *Manager) Registry() *telemetry.Registry { return m.reg }
+
+// Workers reports the worker pool size.
+func (m *Manager) Workers() int { return m.opts.Workers }
+
+// QueueDepth reports the admission queue bound.
+func (m *Manager) QueueDepth() int { return m.opts.QueueDepth }
+
+// Submit validates the spec and either answers it from the result
+// cache (job born StateDone, Cached=true) or admits it to the queue.
+// It fails fast with ErrQueueFull when the queue is at bound and
+// ErrDraining after Drain has begun; spec errors are returned verbatim
+// for the client.
+func (m *Manager) Submit(spec JobSpec) (Status, error) {
+	cfg, err := spec.Config()
+	if err != nil {
+		return Status{}, err
+	}
+	key, err := cfg.CacheKey()
+	if err != nil {
+		return Status{}, err
+	}
+
+	j := &Job{
+		spec:      spec,
+		cfg:       cfg,
+		key:       key,
+		submitted: time.Now(),
+		done:      make(chan struct{}),
+	}
+
+	if !spec.NoCache {
+		if res, ok := m.cache.get(key); ok {
+			j.cached = true
+			j.result = res
+			j.state = StateDone
+			j.finished = j.submitted
+			close(j.done)
+			m.mu.Lock()
+			if m.draining {
+				m.mu.Unlock()
+				return Status{}, ErrDraining
+			}
+			m.register(j)
+			m.mu.Unlock()
+			m.submitted.Inc()
+			m.completed.Inc()
+			return j.status(), nil
+		}
+	} else {
+		// Count the bypass as a miss so hit-rate math stays honest.
+		m.cache.misses.Inc()
+	}
+
+	j.state = StateQueued
+	m.mu.Lock()
+	if m.draining {
+		m.mu.Unlock()
+		return Status{}, ErrDraining
+	}
+	select {
+	case m.queue <- j:
+	default:
+		m.mu.Unlock()
+		m.rejected.Inc()
+		return Status{}, ErrQueueFull
+	}
+	m.register(j)
+	st := j.status()
+	m.mu.Unlock()
+	m.submitted.Inc()
+	m.inFlight.Set(float64(m.countInFlight()))
+	return st, nil
+}
+
+// register assigns an ID and records the job. Caller holds m.mu.
+func (m *Manager) register(j *Job) {
+	m.seq++
+	j.id = fmt.Sprintf("job-%08x", m.seq)
+	m.jobs[j.id] = j
+	if j.state.Terminal() {
+		m.retainLocked(j.id)
+	}
+}
+
+// retainLocked appends a terminal job and forgets the oldest past the
+// retention bound. Caller holds m.mu.
+func (m *Manager) retainLocked(id string) {
+	m.terminal = append(m.terminal, id)
+	if m.opts.RetainJobs < 0 {
+		return
+	}
+	for len(m.terminal) > m.opts.RetainJobs {
+		delete(m.jobs, m.terminal[0])
+		m.terminal = m.terminal[1:]
+	}
+}
+
+// Get returns a snapshot of the job.
+func (m *Manager) Get(id string) (Status, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return Status{}, false
+	}
+	return j.status(), true
+}
+
+// Result returns the job's results if it finished successfully. The
+// returned Results is shared and must not be mutated.
+func (m *Manager) Result(id string) (*ggpdes.Results, Status, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return nil, Status{}, false
+	}
+	return j.result, j.status(), true
+}
+
+// Cancel stops a job: a queued job is marked cancelled immediately and
+// skipped by its worker; a running job has its context cancelled,
+// which the engine observes within one GVT round. Terminal jobs are
+// left as-is. The returned Status reflects the state after the call.
+func (m *Manager) Cancel(id string) (Status, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return Status{}, false
+	}
+	switch j.state {
+	case StateQueued:
+		j.state = StateCancelled
+		j.finished = time.Now()
+		close(j.done)
+		m.retainLocked(j.id)
+		m.cancelled.Inc()
+	case StateRunning:
+		// The worker observes the context and finishes the lifecycle.
+		j.cancel()
+	}
+	return j.status(), true
+}
+
+// Wait blocks until the job reaches a terminal state or the context
+// expires.
+func (m *Manager) Wait(ctx context.Context, id string) (Status, error) {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	m.mu.Unlock()
+	if !ok {
+		return Status{}, fmt.Errorf("serve: unknown job %q", id)
+	}
+	select {
+	case <-j.done:
+	case <-ctx.Done():
+		return Status{}, ctx.Err()
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return j.status(), nil
+}
+
+// Draining reports whether Drain has begun.
+func (m *Manager) Draining() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.draining
+}
+
+// Counts reports the number of queued and running jobs.
+func (m *Manager) Counts() (queued, running int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, j := range m.jobs {
+		switch j.state {
+		case StateQueued:
+			queued++
+		case StateRunning:
+			running++
+		}
+	}
+	return queued, running
+}
+
+func (m *Manager) countInFlight() int {
+	q, r := m.Counts()
+	return q + r
+}
+
+// Drain stops admission (Submit returns ErrDraining), lets already
+// admitted jobs finish, and waits for the worker pool to exit or the
+// context to expire. It is idempotent; concurrent calls all wait.
+func (m *Manager) Drain(ctx context.Context) error {
+	m.mu.Lock()
+	first := !m.draining
+	m.draining = true
+	m.mu.Unlock()
+	if first {
+		// Safe: Submit checks draining under m.mu before sending, so no
+		// send can race this close.
+		m.mu.Lock()
+		close(m.queue)
+		m.mu.Unlock()
+	}
+	idle := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		close(idle)
+	}()
+	select {
+	case <-idle:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// worker pulls admitted jobs until the queue is closed and drained.
+func (m *Manager) worker() {
+	defer m.wg.Done()
+	for j := range m.queue {
+		m.run(j)
+	}
+}
+
+// run executes one job end to end.
+func (m *Manager) run(j *Job) {
+	m.mu.Lock()
+	if j.state != StateQueued { // cancelled while waiting
+		m.mu.Unlock()
+		return
+	}
+	j.state = StateRunning
+	j.started = time.Now()
+	timeout := m.opts.DefaultTimeout
+	if j.spec.TimeoutSeconds > 0 {
+		timeout = time.Duration(j.spec.TimeoutSeconds * float64(time.Second))
+	}
+	var ctx context.Context
+	var cancel context.CancelFunc
+	if timeout > 0 {
+		ctx, cancel = context.WithTimeout(context.Background(), timeout)
+	} else {
+		ctx, cancel = context.WithCancel(context.Background())
+	}
+	j.cancel = cancel
+	cfg := j.cfg
+	m.mu.Unlock()
+	defer cancel()
+
+	m.queueWait.Observe(float64(j.started.Sub(j.submitted).Milliseconds()))
+	m.inFlight.Set(float64(m.countInFlight()))
+
+	res, err := ggpdes.RunContext(ctx, cfg)
+
+	m.mu.Lock()
+	j.finished = time.Now()
+	switch {
+	case err == nil:
+		j.state = StateDone
+		j.result = res
+		m.completed.Inc()
+		m.cache.put(j.key, res)
+	case errors.Is(err, context.Canceled):
+		j.state = StateCancelled
+		j.err = "cancelled"
+		m.cancelled.Inc()
+	case errors.Is(err, context.DeadlineExceeded):
+		j.state = StateFailed
+		j.err = fmt.Sprintf("deadline exceeded after %s", timeout)
+		m.failed.Inc()
+	default:
+		j.state = StateFailed
+		j.err = err.Error()
+		m.failed.Inc()
+	}
+	close(j.done)
+	m.retainLocked(j.id)
+	runMS := float64(j.finished.Sub(j.started).Milliseconds())
+	m.mu.Unlock()
+
+	m.runWall.Observe(runMS)
+	m.inFlight.Set(float64(m.countInFlight()))
+}
+
+// status builds a snapshot. Caller holds m.mu (or exclusively owns j).
+func (j *Job) status() Status {
+	st := Status{
+		ID:          j.id,
+		State:       j.state,
+		Key:         j.key,
+		Cached:      j.cached,
+		Error:       j.err,
+		SubmittedAt: j.submitted,
+		StartedAt:   j.started,
+		FinishedAt:  j.finished,
+	}
+	switch {
+	case j.state == StateQueued:
+		st.QueueSeconds = time.Since(j.submitted).Seconds()
+	case !j.started.IsZero():
+		st.QueueSeconds = j.started.Sub(j.submitted).Seconds()
+	case !j.finished.IsZero():
+		st.QueueSeconds = j.finished.Sub(j.submitted).Seconds()
+	}
+	switch {
+	case j.state == StateRunning:
+		st.RunSeconds = time.Since(j.started).Seconds()
+	case !j.started.IsZero() && !j.finished.IsZero():
+		st.RunSeconds = j.finished.Sub(j.started).Seconds()
+	}
+	return st
+}

@@ -4,11 +4,14 @@
 // registers its metrics here; the public API surfaces percentile
 // summaries through Results and the commands dump or export them.
 //
-// Recording is allocation-free after registration and safe on the
-// simulated machine because execution is serialized. All accessors are
-// nil-receiver safe: a producer constructed without a registry still
-// gets working (but unreported) metric handles, so instrumentation
-// sites never need nil checks.
+// Recording is allocation-free after registration and goroutine-safe:
+// counters are atomic and gauges/histograms take a short uncontended
+// mutex, so a registry may be shared across concurrent simulations
+// (the serving layer's job metrics) as well as used from the
+// serialized simulated machine. All accessors are nil-receiver safe:
+// a producer constructed without a registry still gets working (but
+// unreported) metric handles, so instrumentation sites never need nil
+// checks.
 package telemetry
 
 import (
@@ -18,40 +21,53 @@ import (
 	"math/bits"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 )
 
 // Counter is a monotonically increasing event count.
 type Counter struct {
-	v uint64
+	v atomic.Uint64
 }
 
 // Add increments the counter by n.
-func (c *Counter) Add(n uint64) { c.v += n }
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
 
 // Inc increments the counter by one.
-func (c *Counter) Inc() { c.v++ }
+func (c *Counter) Inc() { c.v.Add(1) }
 
 // Value returns the current count.
-func (c *Counter) Value() uint64 { return c.v }
+func (c *Counter) Value() uint64 { return c.v.Load() }
 
 // Gauge is a last-value-wins instantaneous measurement.
 type Gauge struct {
+	mu  sync.Mutex
 	v   float64
 	set bool
 }
 
 // Set records the gauge's current value.
-func (g *Gauge) Set(v float64) { g.v, g.set = v, true }
+func (g *Gauge) Set(v float64) {
+	g.mu.Lock()
+	g.v, g.set = v, true
+	g.mu.Unlock()
+}
 
 // Max records v only if it exceeds the current value (high-water mark).
 func (g *Gauge) Max(v float64) {
+	g.mu.Lock()
 	if !g.set || v > g.v {
-		g.Set(v)
+		g.v, g.set = v, true
 	}
+	g.mu.Unlock()
 }
 
 // Value returns the last recorded value (0 before any Set).
-func (g *Gauge) Value() float64 { return g.v }
+func (g *Gauge) Value() float64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.v
+}
 
 // histBuckets is the bucket count: bucket k holds values in
 // [2^(k-1), 2^k) for k >= 1 and bucket 0 holds values below 1, covering
@@ -63,6 +79,7 @@ const histBuckets = 65
 // the hit bucket, which is exact to a factor of two — ample for the
 // order-of-magnitude questions run telemetry answers.
 type Histogram struct {
+	mu       sync.Mutex
 	counts   [histBuckets]uint64
 	count    uint64
 	sum      float64
@@ -86,6 +103,7 @@ func (h *Histogram) Observe(v float64) {
 	if v < 0 || math.IsNaN(v) {
 		v = 0
 	}
+	h.mu.Lock()
 	if h.count == 0 || v < h.min {
 		h.min = v
 	}
@@ -95,16 +113,31 @@ func (h *Histogram) Observe(v float64) {
 	h.counts[bucketOf(v)]++
 	h.count++
 	h.sum += v
+	h.mu.Unlock()
 }
 
 // Count returns the number of observations.
-func (h *Histogram) Count() uint64 { return h.count }
+func (h *Histogram) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
 
 // Sum returns the sum of all observed values.
-func (h *Histogram) Sum() float64 { return h.sum }
+func (h *Histogram) Sum() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
 
 // Mean returns the average observed value (0 when empty).
 func (h *Histogram) Mean() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.mean()
+}
+
+func (h *Histogram) mean() float64 {
 	if h.count == 0 {
 		return 0
 	}
@@ -115,6 +148,12 @@ func (h *Histogram) Mean() float64 {
 // interpolation within the containing log bucket, clamped to the
 // observed min/max. It returns 0 for an empty histogram.
 func (h *Histogram) Quantile(q float64) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.quantile(q)
+}
+
+func (h *Histogram) quantile(q float64) float64 {
 	if h.count == 0 {
 		return 0
 	}
@@ -169,15 +208,17 @@ type Summary struct {
 
 // Summary digests the histogram.
 func (h *Histogram) Summary() Summary {
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	return Summary{
 		Count: h.count,
 		Sum:   h.sum,
-		Mean:  h.Mean(),
+		Mean:  h.mean(),
 		Min:   h.min,
 		Max:   h.max,
-		P50:   h.Quantile(0.50),
-		P95:   h.Quantile(0.95),
-		P99:   h.Quantile(0.99),
+		P50:   h.quantile(0.50),
+		P95:   h.quantile(0.95),
+		P99:   h.quantile(0.99),
 	}
 }
 
@@ -194,6 +235,7 @@ func (s Summary) String() string {
 // dot-separated strings ("tw.rollback_depth"). Accessors get-or-create,
 // so independent subsystems can share a metric by name.
 type Registry struct {
+	mu         sync.RWMutex
 	counters   map[string]*Counter
 	gauges     map[string]*Gauge
 	histograms map[string]*Histogram
@@ -214,6 +256,8 @@ func (r *Registry) Counter(name string) *Counter {
 	if r == nil {
 		return &Counter{}
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	c, ok := r.counters[name]
 	if !ok {
 		c = &Counter{}
@@ -228,6 +272,8 @@ func (r *Registry) Gauge(name string) *Gauge {
 	if r == nil {
 		return &Gauge{}
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	g, ok := r.gauges[name]
 	if !ok {
 		g = &Gauge{}
@@ -242,6 +288,8 @@ func (r *Registry) Histogram(name string) *Histogram {
 	if r == nil {
 		return &Histogram{}
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	h, ok := r.histograms[name]
 	if !ok {
 		h = &Histogram{}
@@ -255,6 +303,8 @@ func (r *Registry) Counters() map[string]uint64 {
 	if r == nil {
 		return nil
 	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	out := make(map[string]uint64, len(r.counters))
 	for name, c := range r.counters {
 		out[name] = c.Value()
@@ -267,6 +317,8 @@ func (r *Registry) Gauges() map[string]float64 {
 	if r == nil {
 		return nil
 	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	out := make(map[string]float64, len(r.gauges))
 	for name, g := range r.gauges {
 		out[name] = g.Value()
@@ -279,6 +331,8 @@ func (r *Registry) Histograms() map[string]Summary {
 	if r == nil {
 		return nil
 	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	out := make(map[string]Summary, len(r.histograms))
 	for name, h := range r.histograms {
 		out[name] = h.Summary()
@@ -291,6 +345,7 @@ func (r *Registry) WriteText(w io.Writer) error {
 	if r == nil {
 		return nil
 	}
+	r.mu.RLock()
 	var lines []string
 	for name, c := range r.counters {
 		lines = append(lines, fmt.Sprintf("counter   %-32s %d", name, c.Value()))
@@ -301,6 +356,7 @@ func (r *Registry) WriteText(w io.Writer) error {
 	for name, h := range r.histograms {
 		lines = append(lines, fmt.Sprintf("histogram %-32s %s", name, h.Summary()))
 	}
+	r.mu.RUnlock()
 	sort.Strings(lines)
 	_, err := io.WriteString(w, strings.Join(lines, "\n")+"\n")
 	return err

@@ -3,6 +3,7 @@ package telemetry
 import (
 	"math"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -146,5 +147,37 @@ func TestWriteText(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Fatalf("dump %q missing %q", out, want)
 		}
+	}
+}
+
+// The serving layer shares one registry across worker goroutines, so
+// every metric type must tolerate concurrent recording and snapshots.
+func TestConcurrentRegistryAccess(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter("c").Inc()
+				r.Gauge("g").Max(float64(j))
+				r.Histogram("h").Observe(float64(j))
+				if j%100 == 0 {
+					r.Counters()
+					r.Histograms()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("c").Value(); got != 8000 {
+		t.Fatalf("counter = %d, want 8000", got)
+	}
+	if got := r.Histogram("h").Count(); got != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", got)
+	}
+	if got := r.Gauge("g").Value(); got != 999 {
+		t.Fatalf("gauge = %v, want 999", got)
 	}
 }

@@ -172,6 +172,9 @@ type Engine struct {
 	uncommitted     int
 	peakUncommitted int
 	peakSinceMark   int
+	// cancelled makes Done report true regardless of GVT, winding the
+	// simulation threads down at their next loop iteration.
+	cancelled bool
 
 	tel engineTelemetry
 }
@@ -303,8 +306,18 @@ func (e *Engine) SetGVT(gvt VT) {
 }
 
 // Done reports whether the simulation has completed (GVT has reached
-// the end time).
-func (e *Engine) Done() bool { return e.gvt >= e.cfg.EndTime }
+// the end time) or has been cancelled.
+func (e *Engine) Done() bool { return e.cancelled || e.gvt >= e.cfg.EndTime }
+
+// Cancel requests early termination: Done becomes true immediately, so
+// every simulation thread exits its main loop within one iteration —
+// well inside one GVT round. The write is safe from the machine's
+// driving goroutine because simulated threads only observe it between
+// their serialized execution segments.
+func (e *Engine) Cancel() { e.cancelled = true }
+
+// Cancelled reports whether Cancel was called.
+func (e *Engine) Cancelled() bool { return e.cancelled }
 
 // EndTime returns the simulation end time.
 func (e *Engine) EndTime() VT { return e.cfg.EndTime }

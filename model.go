@@ -15,6 +15,10 @@ type Model interface {
 	// build instantiates the internal model for a thread count and end
 	// time.
 	build(threads int, endTime float64) (tw.Model, error)
+	// canon renders the model's full parameter set, defaults applied,
+	// as a stable one-line string for Config.CacheKey. Two models with
+	// the same canon string simulate identically.
+	canon(threads int, endTime float64) (string, error)
 }
 
 // PHOLD is the classical synthetic benchmark (§2.3.1). The zero value
@@ -57,6 +61,17 @@ func (p PHOLD) build(threads int, endTime float64) (tw.Model, error) {
 		EndTime:          endTime,
 		StartEventsPerLP: p.StartEventsPerLP,
 	})
+}
+
+func (p PHOLD) canon(threads int, endTime float64) (string, error) {
+	m, err := p.build(threads, endTime)
+	if err != nil {
+		return "", err
+	}
+	c := m.(*models.PHOLD).Config()
+	return fmt.Sprintf("phold{lps=%d imbalance=%d nonlinear=%t start=%d lamin=%g lamean=%g}",
+		c.LPsPerThread, c.Imbalance, c.NonLinear, c.StartEventsPerLP,
+		c.LookaheadMin, c.LookaheadMean), nil
 }
 
 // Epidemics is the location-aware SEIR model (§2.3.2). The zero value
@@ -111,6 +126,18 @@ func (e Epidemics) build(threads int, endTime float64) (tw.Model, error) {
 	})
 }
 
+func (e Epidemics) canon(threads int, endTime float64) (string, error) {
+	m, err := e.build(threads, endTime)
+	if err != nil {
+		return "", err
+	}
+	c := m.(*models.Epidemics).Config()
+	return fmt.Sprintf("epidemics{lps=%d agents=%d lockdown=%d incubation=%g infectious=%g contact=%g transmission=%g radius=%d seeds=%d}",
+		c.LPsPerThread, c.AgentsPerHousehold, c.LockdownGroups,
+		c.IncubationMean, c.InfectiousMean, c.ContactRate,
+		c.TransmissionProb, c.NeighborhoodRadius, c.SeedsPerWindow), nil
+}
+
 // Traffic is the intersection-grid vehicular model (§2.3.3). The zero
 // value uses the paper's gradient 0.35 and 24 centre start events.
 type Traffic struct {
@@ -143,4 +170,15 @@ func (t Traffic) build(threads int, endTime float64) (tw.Model, error) {
 		DensityGradient:   t.DensityGradient,
 		CenterStartEvents: t.CenterStartEvents,
 	})
+}
+
+func (t Traffic) canon(threads int, endTime float64) (string, error) {
+	m, err := t.build(threads, endTime)
+	if err != nil {
+		return "", err
+	}
+	c := m.(*models.Traffic).Config()
+	return fmt.Sprintf("traffic{lps=%d gradient=%g center=%d service=%g burrc=%g burrk=%g bias=%g}",
+		c.LPsPerThread, c.DensityGradient, c.CenterStartEvents,
+		c.ServiceMean, c.BurrC, c.BurrK, c.CenterBias), nil
 }

@@ -1,0 +1,70 @@
+package ggpdes
+
+import (
+	"sync"
+	"testing"
+)
+
+// trajectory is the part of Results that pins down the committed-event
+// history of a run; two runs with equal trajectories executed the same
+// simulation.
+type trajectory struct {
+	committed   uint64
+	processed   uint64
+	rolledBack  uint64
+	rollbacks   uint64
+	gvtRounds   uint64
+	totalCycles uint64
+	wallClock   float64
+	finalGVT    float64
+}
+
+func trajectoryOf(r *Results) trajectory {
+	return trajectory{
+		committed:   r.CommittedEvents,
+		processed:   r.ProcessedEvents,
+		rolledBack:  r.RolledBackEvents,
+		rollbacks:   r.Rollbacks,
+		gvtRounds:   r.GVTRounds,
+		totalCycles: r.TotalCycles,
+		wallClock:   r.WallClockSeconds,
+		finalGVT:    r.FinalGVT,
+	}
+}
+
+// Engine instances must share no hidden state: 8 concurrent Run calls
+// (the serving layer's worker pool shape) must each reproduce the
+// serial trajectory exactly. Run under -race this also proves the
+// engine is data-race free across instances.
+func TestParallelRunsMatchSerial(t *testing.T) {
+	serial, err := Run(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := trajectoryOf(serial)
+	if want.committed == 0 {
+		t.Fatal("serial run committed no events")
+	}
+
+	const n = 8
+	results := make([]*Results, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = Run(quickCfg())
+		}(i)
+	}
+	wg.Wait()
+
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("parallel run %d: %v", i, errs[i])
+		}
+		if got := trajectoryOf(results[i]); got != want {
+			t.Errorf("parallel run %d diverged from serial:\n got %+v\nwant %+v", i, got, want)
+		}
+	}
+}

@@ -1,0 +1,77 @@
+package ggpdes
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ParseSystem converts a user-facing system name ("baseline", "dd",
+// "dd-pdes", "gg", "gg-pdes") to its enum value.
+func ParseSystem(s string) (System, error) {
+	switch strings.ToLower(s) {
+	case "baseline":
+		return Baseline, nil
+	case "dd", "dd-pdes", "ddpdes":
+		return DDPDES, nil
+	case "gg", "gg-pdes", "ggpdes":
+		return GGPDES, nil
+	default:
+		return 0, fmt.Errorf("ggpdes: unknown system %q (want baseline | dd | gg)", s)
+	}
+}
+
+// ParseGVT converts a GVT algorithm name ("sync"/"barrier",
+// "async"/"waitfree") to its enum value.
+func ParseGVT(s string) (GVT, error) {
+	switch strings.ToLower(s) {
+	case "sync", "barrier":
+		return Barrier, nil
+	case "async", "waitfree", "wait-free":
+		return WaitFree, nil
+	default:
+		return 0, fmt.Errorf("ggpdes: unknown gvt algorithm %q (want sync | async)", s)
+	}
+}
+
+// ParseAffinity converts an affinity algorithm name ("none",
+// "constant", "dynamic") to its enum value.
+func ParseAffinity(s string) (Affinity, error) {
+	switch strings.ToLower(s) {
+	case "none":
+		return NoAffinity, nil
+	case "constant":
+		return ConstantAffinity, nil
+	case "dynamic":
+		return DynamicAffinity, nil
+	default:
+		return 0, fmt.Errorf("ggpdes: unknown affinity %q (want none | constant | dynamic)", s)
+	}
+}
+
+// ParseQueue converts a pending-queue kind name ("splay", "heap",
+// "calendar") to its enum value.
+func ParseQueue(s string) (Queue, error) {
+	switch strings.ToLower(s) {
+	case "splay":
+		return SplayQueue, nil
+	case "heap":
+		return HeapQueue, nil
+	case "calendar":
+		return CalendarQueue, nil
+	default:
+		return 0, fmt.Errorf("ggpdes: unknown queue %q (want splay | heap | calendar)", s)
+	}
+}
+
+// ParseStateSaving converts a rollback mechanism name ("copy",
+// "reverse") to its enum value.
+func ParseStateSaving(s string) (StateSaving, error) {
+	switch strings.ToLower(s) {
+	case "copy":
+		return CopyState, nil
+	case "reverse":
+		return ReverseComputation, nil
+	default:
+		return 0, fmt.Errorf("ggpdes: unknown state saving %q (want copy | reverse)", s)
+	}
+}

@@ -1,0 +1,35 @@
+package ggpdes
+
+import "testing"
+
+func TestParseEnums(t *testing.T) {
+	if s, err := ParseSystem("GG"); err != nil || s != GGPDES {
+		t.Fatalf("ParseSystem(GG) = %v, %v", s, err)
+	}
+	if s, err := ParseSystem("dd-pdes"); err != nil || s != DDPDES {
+		t.Fatalf("ParseSystem(dd-pdes) = %v, %v", s, err)
+	}
+	if g, err := ParseGVT("sync"); err != nil || g != Barrier {
+		t.Fatalf("ParseGVT(sync) = %v, %v", g, err)
+	}
+	if a, err := ParseAffinity("dynamic"); err != nil || a != DynamicAffinity {
+		t.Fatalf("ParseAffinity(dynamic) = %v, %v", a, err)
+	}
+	if q, err := ParseQueue("calendar"); err != nil || q != CalendarQueue {
+		t.Fatalf("ParseQueue(calendar) = %v, %v", q, err)
+	}
+	if ss, err := ParseStateSaving("reverse"); err != nil || ss != ReverseComputation {
+		t.Fatalf("ParseStateSaving(reverse) = %v, %v", ss, err)
+	}
+	for _, bad := range []func() error{
+		func() error { _, err := ParseSystem("cfs"); return err },
+		func() error { _, err := ParseGVT("mattern"); return err },
+		func() error { _, err := ParseAffinity("numa"); return err },
+		func() error { _, err := ParseQueue("ladder"); return err },
+		func() error { _, err := ParseStateSaving("periodic"); return err },
+	} {
+		if bad() == nil {
+			t.Fatal("unknown name accepted")
+		}
+	}
+}
