@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-race fuzz bench serve-smoke ci
+.PHONY: all build vet test test-race fuzz bench bench-smoke bench-diff bench-json serve-smoke ci
 
 all: ci
 
@@ -30,9 +30,26 @@ fuzz:
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./...
 
+# Allocation-regression tripwire: headline benchmark with pooling off
+# (GGPDES_NOPOOL=1) vs on; fails unless allocs/op still drop >= 2x
+# with ns/op inside budget. Complements TestSteadyStateAllocsPerEvent
+# (the marginal allocs/committed-event guard, part of `make test`).
+bench-smoke:
+	GO="$(GO)" sh scripts/bench_diff.sh -smoke
+
+# Benchstat-style before/after table against a base git ref:
+#   make bench-diff BASE=v0-seed
+BASE ?= HEAD
+bench-diff:
+	GO="$(GO)" sh scripts/bench_diff.sh $(BASE)
+
+# Regenerate the committed wall-clock benchmark record.
+bench-json:
+	GO="$(GO)" sh scripts/bench_json.sh
+
 # End-to-end serving smoke: ggserved on an ephemeral port, one PHOLD
 # job to completion, identical resubmit served from cache, clean drain.
 serve-smoke:
 	GO="$(GO)" sh scripts/serve_smoke.sh
 
-ci: build vet test test-race serve-smoke
+ci: build vet test test-race serve-smoke bench-smoke

@@ -11,6 +11,7 @@ package ggpdes
 //	go run ./cmd/ggbench -all
 import (
 	"fmt"
+	"os"
 	"testing"
 )
 
@@ -19,8 +20,20 @@ func benchMachine() Machine {
 	return Machine{Cores: 8, SMTWidth: 2, FreqHz: 1.3e9}
 }
 
+// benchEnv applies environment-driven benchmark switches: setting
+// GGPDES_NOPOOL=1 disables event/snapshot recycling, so one binary can
+// measure the before/after of pooling (scripts/bench_diff.sh -smoke).
+func benchEnv(b *testing.B, cfg *Config) {
+	b.Helper()
+	b.ReportAllocs()
+	if os.Getenv("GGPDES_NOPOOL") == "1" {
+		cfg.DisablePooling = true
+	}
+}
+
 func benchRun(b *testing.B, cfg Config) {
 	b.Helper()
+	benchEnv(b, &cfg)
 	if cfg.Machine.Cores == 0 {
 		cfg.Machine = benchMachine()
 	}
@@ -48,6 +61,50 @@ func benchRun(b *testing.B, cfg Config) {
 	}
 	b.ReportMetric(rate/float64(b.N), "ev/s(sim)")
 	b.ReportMetric(committed/float64(b.N), "committed/op")
+}
+
+// TestSteadyStateAllocsPerEvent is the allocation regression guard for
+// the pooled hot path: the *marginal* heap allocations per additional
+// committed event — measured by differencing two runs of the same
+// configuration at different end times, so engine construction and
+// pool warm-up cancel out — must stay below a small budget. Before
+// event/snapshot pooling this figure was ~15 allocs/event; with the
+// freelists warm it is ~0.3 (pool-capacity growth as the uncommitted
+// watermark wanders). The budget leaves slack for toolchain noise
+// while still catching any reintroduced per-event allocation.
+func TestSteadyStateAllocsPerEvent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation measurement is not meaningful under -short")
+	}
+	const budget = 2.0
+	cfg := Config{
+		Model: PHOLD{LPsPerThread: 4, Imbalance: 1}, Threads: 16,
+		System: GGPDES, GVT: WaitFree, Affinity: ConstantAffinity,
+		Machine: benchMachine(), GVTFrequency: 40, ZeroCounterThreshold: 400,
+		OptimismWindow: 10, Seed: 1,
+	}
+	probe := func(end float64) (allocs float64, committed uint64) {
+		cfg.EndTime = end
+		allocs = testing.AllocsPerRun(2, func() {
+			res, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			committed = res.CommittedEvents
+		})
+		return allocs, committed
+	}
+	shortAllocs, shortEvents := probe(20)
+	longAllocs, longEvents := probe(120)
+	if longEvents <= shortEvents {
+		t.Fatalf("longer run committed fewer events: %d vs %d", longEvents, shortEvents)
+	}
+	perEvent := (longAllocs - shortAllocs) / float64(longEvents-shortEvents)
+	t.Logf("steady-state allocations: %.3f allocs/committed event (budget %.1f)", perEvent, budget)
+	if perEvent > budget {
+		t.Fatalf("steady-state allocations regressed: %.3f allocs/event exceeds budget %.1f "+
+			"(pooled hot path should be allocation-free; see internal/tw/pool.go)", perEvent, budget)
+	}
 }
 
 // systemsSix mirrors the six lines of Figures 2-4.
@@ -209,6 +266,7 @@ func BenchmarkTblGVTTimes(b *testing.B) {
 				Machine: benchMachine(), EndTime: 40,
 				GVTFrequency: 40, ZeroCounterThreshold: 400,
 			}
+			benchEnv(b, &cfg)
 			for i := 0; i < b.N; i++ {
 				cfg.Seed = uint64(i + 1)
 				res, err := Run(cfg)
@@ -242,6 +300,7 @@ func BenchmarkTblInstructions(b *testing.B) {
 				Machine: benchMachine(), EndTime: 40,
 				GVTFrequency: 40, ZeroCounterThreshold: 400,
 			}
+			benchEnv(b, &cfg)
 			for i := 0; i < b.N; i++ {
 				cfg.Seed = uint64(i + 1)
 				res, err := Run(cfg)
@@ -276,6 +335,7 @@ func BenchmarkTblRollbacks(b *testing.B) {
 				Machine: benchMachine(), EndTime: 30,
 				GVTFrequency: 40, ZeroCounterThreshold: 400,
 			}
+			benchEnv(b, &cfg)
 			for i := 0; i < b.N; i++ {
 				cfg.Seed = uint64(i + 1)
 				res, err := Run(cfg)
@@ -377,6 +437,7 @@ func BenchmarkAblationAdaptiveGVT(b *testing.B) {
 		GVTFrequency: 256, ZeroCounterThreshold: 2560, OptimismWindow: 10,
 	}
 	run := func(b *testing.B, cfg Config) {
+		benchEnv(b, &cfg)
 		var peak float64
 		for i := 0; i < b.N; i++ {
 			cfg.Seed = uint64(i + 1)

@@ -16,9 +16,10 @@ const cacheKeyVersion = "ggpdes-config-v1"
 // CanonicalString renders every Run-relevant field of the Config —
 // defaults applied — as a stable multi-line text. Two configs with the
 // same canonical string produce bit-identical Results: runs are
-// deterministic functions of this string. Observability settings
-// (Trace, Progress) are deliberately excluded; they do not affect the
-// simulation trajectory.
+// deterministic functions of this string. Settings that cannot affect
+// the simulation trajectory — observability (Trace, Progress) and the
+// memory-recycling switch (DisablePooling) — are deliberately
+// excluded.
 //
 // It returns an error for configs Validate rejects, since those have
 // no defined run semantics.

@@ -101,6 +101,7 @@ func TestCacheKeyIgnoresObservability(t *testing.T) {
 	cfg := quickCfg()
 	cfg.Trace = &TraceOptions{Limit: 100, Ring: true}
 	cfg.Progress = &ProgressOptions{Every: 0.5}
+	cfg.DisablePooling = true
 	key, err := cfg.CacheKey()
 	if err != nil {
 		t.Fatal(err)

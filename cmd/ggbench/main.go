@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"ggpdes/internal/harness"
+	"ggpdes/internal/profiling"
 )
 
 func main() {
@@ -25,6 +26,8 @@ func main() {
 		md        = flag.Bool("md", false, "emit markdown (EXPERIMENTS.md body) instead of text")
 		scaleName = flag.String("scale", "default", "scale: tiny | default | paper")
 		quiet     = flag.Bool("q", false, "suppress per-run progress on stderr")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the experiment runs to this file (go tool pprof)")
+		memProf   = flag.String("memprofile", "", "write a heap profile after the runs to this file (go tool pprof)")
 	)
 	flag.Parse()
 
@@ -69,6 +72,11 @@ func main() {
 		os.Exit(2)
 	}
 
+	stopProf, err := profiling.Start(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ggbench: %v\n", err)
+		os.Exit(2)
+	}
 	start := time.Now()
 	var results []*harness.Result
 	for _, e := range exps {
@@ -81,6 +89,10 @@ func main() {
 			os.Exit(1)
 		}
 		results = append(results, r)
+	}
+	if err := stopProf(); err != nil {
+		fmt.Fprintf(os.Stderr, "ggbench: %v\n", err)
+		os.Exit(2)
 	}
 	if *md {
 		harness.WriteMarkdown(os.Stdout, scale, results, time.Since(start))

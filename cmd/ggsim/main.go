@@ -18,6 +18,7 @@ import (
 	"strings"
 
 	"ggpdes"
+	"ggpdes/internal/profiling"
 	"ggpdes/internal/stats"
 )
 
@@ -52,6 +53,9 @@ func main() {
 		hist      = flag.Bool("hist", false, "print every run histogram (implies -v percentile lines)")
 		lazy      = flag.Bool("lazy", false, "lazy cancellation (defer anti-messages across rollbacks)")
 		timeout   = flag.Duration("timeout", 0, "abort the run after this much real time (0 = no limit)")
+		nopool    = flag.Bool("nopool", false, "disable event/snapshot recycling (A/B allocation measurements)")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
+		memProf   = flag.String("memprofile", "", "write a heap profile after the run to this file (go tool pprof)")
 		verbose   = flag.Bool("v", false, "print the full metric set")
 	)
 	flag.Parse()
@@ -65,6 +69,7 @@ func main() {
 		ZeroCounterThreshold: *zeroThr,
 		OptimismWindow:       *optimism,
 		LazyCancellation:     *lazy,
+		DisablePooling:       *nopool,
 	}
 
 	switch strings.ToLower(*modelName) {
@@ -140,7 +145,14 @@ func main() {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
+	stopProf, err := profiling.Start(*cpuProf, *memProf)
+	if err != nil {
+		fatalf("%v", err)
+	}
 	res, err := ggpdes.RunContext(ctx, cfg)
+	if perr := stopProf(); perr != nil {
+		fatalf("%v", perr)
+	}
 	if err != nil {
 		if ctx.Err() != nil {
 			fatalf("timed out after %s: %v", *timeout, err)

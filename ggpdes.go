@@ -242,6 +242,12 @@ type Config struct {
 	// demand-driven scheduling hands freshly woken thread groups the
 	// whole machine and unbounded speculation triggers rollback thrash.
 	OptimismWindow float64
+	// DisablePooling turns off the engine's event and snapshot
+	// recycling, restoring per-event heap allocation. Pooling reuses
+	// memory, never logic, so results are identical either way; the
+	// switch exists for A/B allocation measurements and debugging, and
+	// — like Trace and Progress — is excluded from CacheKey.
+	DisablePooling bool
 }
 
 // AdaptiveGVT bounds the self-tuning GVT frequency.
@@ -581,6 +587,7 @@ func RunContext(ctx context.Context, cfg Config) (*Results, error) {
 		StateSaving:      tw.SavePolicy(cfg.StateSaving),
 		LazyCancellation: cfg.LazyCancellation,
 		OptimismWindow:   cfg.OptimismWindow,
+		DisablePooling:   cfg.DisablePooling,
 		Trace:            rec,
 		Telemetry:        reg,
 		OnGVT:            onGVT,
@@ -653,6 +660,7 @@ func RunContext(ctx context.Context, cfg Config) (*Results, error) {
 	if err := eng.CheckInvariants(); err != nil {
 		return nil, fmt.Errorf("ggpdes: engine invariant violated: %w", err)
 	}
+	eng.FlushPoolStats()
 	s := eng.TotalStats()
 	ms := m.Stats()
 	ss := runner.SchedulingStats()

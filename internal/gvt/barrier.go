@@ -46,6 +46,8 @@ type barrierGVT struct {
 	// wait for a safe point: growing the barriers mid-round would make
 	// in-flight generations wait for a thread that re-enters at bar1.
 	pendingJoins []int
+	// cpus holds the per-thread engine-charge adapters (see gvtCPU).
+	cpus []gvtCPU
 }
 
 func newBarrier(cfg Config) *barrierGVT {
@@ -61,6 +63,7 @@ func newBarrier(cfg Config) *barrierGVT {
 		iters:        make([]int, n),
 		localMin:     make([]tw.VT, n),
 		subscribed:   make([]bool, n),
+		cpus:         make([]gvtCPU, n),
 		participants: n,
 		roundSize:    n,
 		rt:           newRoundTelemetry(&cfg),
@@ -102,7 +105,8 @@ func (b *barrierGVT) Step(p *machine.Proc, acc *machine.Acc, tid int) {
 	}
 	b.iters[tid] = 0
 	peer := b.eng.Peer(tid)
-	cpu := gvtCPU{acc, peer}
+	cpu := &b.cpus[tid]
+	cpu.acc, cpu.peer = acc, peer
 
 	// Stop the world. Block-time is not CPU time; only the barrier op
 	// itself is charged (by the machine).

@@ -46,6 +46,8 @@ type waitFree struct {
 	// at Phase A entry, cleared at reset); Leave uses it to decide
 	// whether the open round must shrink.
 	inRound []bool
+	// cpus holds the per-thread engine-charge adapters (see gvtCPU).
+	cpus []gvtCPU
 
 	freq              int
 	round             uint64
@@ -73,6 +75,7 @@ func newWaitFree(cfg Config) *waitFree {
 		cutDone:           make([]bool, n),
 		subscribed:        make([]bool, n),
 		inRound:           make([]bool, n),
+		cpus:              make([]gvtCPU, n),
 		freq:              cfg.Frequency,
 		roundParticipants: n,
 		participants:      n,
@@ -103,15 +106,25 @@ func (w *waitFree) charge(acc *machine.Acc, tid int, cycles uint64) {
 	w.eng.Peer(tid).Stats.GVTCycles += cycles
 }
 
-// gvtCPU routes engine-operation charges into GVT accounting.
+// gvtCPU routes engine-operation charges into GVT accounting. The
+// algorithms keep one per thread and pass it by pointer: converting a
+// two-word struct value to the tw.CPU interface would heap-allocate on
+// every GVT phase step.
 type gvtCPU struct {
 	acc  *machine.Acc
 	peer *tw.Peer
 }
 
-func (g gvtCPU) Work(c uint64) {
+func (g *gvtCPU) Work(c uint64) {
 	g.acc.Work(c)
 	g.peer.Stats.GVTCycles += c
+}
+
+// cpu refreshes and returns the thread's charge adapter.
+func (w *waitFree) cpu(acc *machine.Acc, tid int, peer *tw.Peer) *gvtCPU {
+	c := &w.cpus[tid]
+	c.acc, c.peer = acc, peer
+	return c
 }
 
 // Step implements Algorithm.
@@ -125,7 +138,7 @@ func (w *waitFree) Step(p *machine.Proc, acc *machine.Acc, tid int) {
 			return
 		}
 		// Phase A: record the first cut.
-		w.localMinA[tid] = peer.LocalMin(gvtCPU{acc, peer})
+		w.localMinA[tid] = peer.LocalMin(w.cpu(acc, tid, peer))
 		w.charge(acc, tid, w.costs.PhaseAdvanceCycles)
 		w.countA++
 		w.inRound[tid] = true
@@ -150,7 +163,7 @@ func (w *waitFree) stepSend(p *machine.Proc, acc *machine.Acc, tid int, peer *tw
 	if ms := peer.TakeMinSent(); ms < min {
 		min = ms
 	}
-	if lm := peer.LocalMin(gvtCPU{acc, peer}); lm < min {
+	if lm := peer.LocalMin(w.cpu(acc, tid, peer)); lm < min {
 		min = lm
 	}
 	w.localMinB[tid] = min
@@ -195,7 +208,7 @@ func (w *waitFree) stepAwareEnd(p *machine.Proc, acc *machine.Acc, tid int, peer
 		w.cfg.Hooks.OnAware(p, acc, tid)
 	}
 	// Phase End: housekeeping with the freshly published GVT.
-	peer.FossilCollect(gvtCPU{acc, peer}, w.eng.GVT())
+	peer.FossilCollect(w.cpu(acc, tid, peer), w.eng.GVT())
 	peer.Stats.GVTRounds++
 	w.countEnd++
 	w.phase[tid] = wfIdle

@@ -76,6 +76,9 @@ type coreState struct {
 	runq []*Thread
 	// running holds the threads occupying SMT contexts this tick.
 	running []*Thread
+	// scratch is advanceTick's reusable iteration snapshot of running,
+	// so the per-core per-tick copy allocates nothing in steady state.
+	scratch []*Thread
 	// busy accumulates cycles actually consumed on this core.
 	busy uint64
 }
@@ -526,9 +529,11 @@ func (m *Machine) advanceTick() error {
 		if share == 0 {
 			share = 1
 		}
-		// Iterate over a snapshot: perform() mutates c.running.
-		snapshot := append([]*Thread(nil), c.running...)
-		for _, t := range snapshot {
+		// Iterate over a snapshot: perform() mutates c.running. The
+		// snapshot reuses a per-core scratch buffer across ticks.
+		c.scratch = append(c.scratch[:0], c.running...)
+		for i, t := range c.scratch {
+			c.scratch[i] = nil
 			if t.state != StateRunning {
 				continue // blocked/migrated by an earlier thread this tick
 			}

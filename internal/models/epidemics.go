@@ -54,6 +54,18 @@ func (s *HouseholdState) Clone() tw.State {
 	return c
 }
 
+// CopyFrom implements tw.StateCopier, reusing the receiver's Agents
+// backing array when its capacity suffices (household sizes are fixed,
+// so after the first copy it always does).
+func (s *HouseholdState) CopyFrom(src tw.State) {
+	o := src.(*HouseholdState)
+	s.Agents = append(s.Agents[:0], o.Agents...)
+	s.Exposures = o.Exposures
+	s.Infections = o.Infections
+	s.Recoveries = o.Recoveries
+	s.ContactsSeen = o.ContactsSeen
+}
+
 // Epidemics is the location-aware SEIR epidemiology model (§2.3.2):
 // each LP is a household of agents; infectious agents schedule contact
 // events against neighbouring households. A lock-down confines the

@@ -26,6 +26,12 @@ func (s *PHOLDState) Clone() tw.State {
 	return &c
 }
 
+// CopyFrom implements tw.StateCopier, letting the engine recycle
+// snapshot memory instead of cloning.
+func (s *PHOLDState) CopyFrom(src tw.State) {
+	*s = *src.(*PHOLDState)
+}
+
 // PHOLD is the classical hold-model benchmark: each received event
 // schedules exactly one new event at now + lookahead to a random
 // destination, so the event population stays constant.

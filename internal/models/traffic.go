@@ -39,6 +39,12 @@ func (s *IntersectionState) Clone() tw.State {
 	return &c
 }
 
+// CopyFrom implements tw.StateCopier, letting the engine recycle
+// snapshot memory instead of cloning.
+func (s *IntersectionState) CopyFrom(src tw.State) {
+	*s = *src.(*IntersectionState)
+}
+
 // Traffic is the ROSS traffic model variant of §2.3.3: vehicles move
 // through a grid of intersections via arrival, lane-selection and
 // departure events; each LP communicates with its four cardinal

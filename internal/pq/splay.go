@@ -9,6 +9,10 @@ type SplayTree[T any] struct {
 	root *splayNode[T]
 	less Less[T]
 	size int
+	// free is a singly linked node freelist (threaded through right
+	// pointers): Pop recycles its node here and Push takes from it, so
+	// a tree in steady state allocates no nodes.
+	free *splayNode[T]
 }
 
 type splayNode[T any] struct {
@@ -83,7 +87,14 @@ func (t *SplayTree[T]) splay(item T) {
 
 // Push inserts an item.
 func (t *SplayTree[T]) Push(item T) {
-	n := &splayNode[T]{item: item}
+	n := t.free
+	if n != nil {
+		t.free = n.right
+		n.item = item
+		n.right = nil
+	} else {
+		n = &splayNode[T]{item: item}
+	}
 	t.size++
 	if t.root == nil {
 		t.root = n
@@ -151,5 +162,13 @@ func (t *SplayTree[T]) Pop() (T, bool) {
 	n := t.root
 	t.root = n.right
 	t.size--
-	return n.item, true
+	item := n.item
+	// Recycle the node: clear the item so the tree does not retain the
+	// popped value, and thread it onto the freelist via right.
+	var zeroItem T
+	n.item = zeroItem
+	n.left = nil
+	n.right = t.free
+	t.free = n
+	return item, true
 }

@@ -122,6 +122,13 @@ type Config struct {
 	// tames rollback thrash when demand-driven scheduling hands a
 	// freshly woken thread group the whole machine.
 	OptimismWindow VT
+	// DisablePooling turns off event and snapshot recycling (see
+	// pool.go), restoring the historical allocate-and-drop behaviour.
+	// Pooling reuses memory, never logic, so this switch cannot change
+	// a trajectory; it exists for A/B allocation measurements and for
+	// bisecting suspected pool bugs, and like the other
+	// observability-only knobs it is excluded from cache keys.
+	DisablePooling bool
 }
 
 func (c *Config) fillDefaults() error {
@@ -188,6 +195,13 @@ type engineTelemetry struct {
 	rollbacks       *telemetry.Counter
 	committed       *telemetry.Counter
 	uncommittedPeak *telemetry.Gauge
+
+	poolEventHit      *telemetry.Counter
+	poolEventMiss     *telemetry.Counter
+	poolEventRecycled *telemetry.Counter
+	poolStateHit      *telemetry.Counter
+	poolStateMiss     *telemetry.Counter
+	poolStateRecycled *telemetry.Counter
 }
 
 // NewEngine builds LPs and peers, asks the model to initialize every
@@ -204,6 +218,13 @@ func NewEngine(cfg Config) (*Engine, error) {
 		rollbacks:       cfg.Telemetry.Counter(MetricRollbacks),
 		committed:       cfg.Telemetry.Counter(MetricCommittedEvents),
 		uncommittedPeak: cfg.Telemetry.Gauge(MetricUncommittedPeak),
+
+		poolEventHit:      cfg.Telemetry.Counter(MetricPoolEventHit),
+		poolEventMiss:     cfg.Telemetry.Counter(MetricPoolEventMiss),
+		poolEventRecycled: cfg.Telemetry.Counter(MetricPoolEventRecycled),
+		poolStateHit:      cfg.Telemetry.Counter(MetricPoolStateHit),
+		poolStateMiss:     cfg.Telemetry.Counter(MetricPoolStateMiss),
+		poolStateRecycled: cfg.Telemetry.Counter(MetricPoolStateRecycled),
 	}
 	perThread := cfg.Model.LPsPerThread()
 	if perThread <= 0 {
@@ -348,17 +369,17 @@ func (e *Engine) scheduleInit(src, dst int, ts VT, kind uint8, a, b int64) {
 	if ts < 0 {
 		panic("tw: initial event with negative timestamp")
 	}
-	ev := &Event{
-		Ts:    ts,
-		Seq:   e.nextSeq(),
-		Src:   src,
-		Dst:   dst,
-		Kind:  kind,
-		A:     a,
-		B:     b,
-		state: StatePending,
-	}
-	e.peers[e.lps[dst].Owner].pending.Push(ev)
+	p := e.peers[e.lps[dst].Owner]
+	ev := p.allocEvent()
+	ev.Ts = ts
+	ev.Seq = e.nextSeq()
+	ev.Src = src
+	ev.Dst = dst
+	ev.Kind = kind
+	ev.A = a
+	ev.B = b
+	ev.state = StatePending
+	p.pending.Push(ev)
 }
 
 // send delivers a model-generated event to the destination peer's
@@ -371,7 +392,13 @@ func (e *Engine) send(from *Peer, cause *Event, dst int, ts VT, kind uint8, a, b
 	}
 	if e.cfg.LazyCancellation && len(cause.tentative) > 0 {
 		for i, old := range cause.tentative {
-			if old != nil && old.Dst == dst && old.Ts == ts && old.Kind == kind &&
+			if old == nil {
+				continue
+			}
+			if old.state == statePooled {
+				panic("tw: tentative list holds recycled event " + old.String())
+			}
+			if old.Dst == dst && old.Ts == ts && old.Kind == kind &&
 				old.A == a && old.B == b && old.state != StateCancelled {
 				cause.tentative[i] = nil
 				cause.sent = append(cause.sent, old)
@@ -380,16 +407,14 @@ func (e *Engine) send(from *Peer, cause *Event, dst int, ts VT, kind uint8, a, b
 			}
 		}
 	}
-	ev := &Event{
-		Ts:    ts,
-		Seq:   e.nextSeq(),
-		Src:   cause.Dst,
-		Dst:   dst,
-		Kind:  kind,
-		A:     a,
-		B:     b,
-		state: StateInQueue,
-	}
+	ev := from.allocEvent()
+	ev.Ts = ts
+	ev.Seq = e.nextSeq()
+	ev.Src = cause.Dst
+	ev.Dst = dst
+	ev.Kind = kind
+	ev.A = a
+	ev.B = b
 	cause.sent = append(cause.sent, ev)
 	dstPeer := e.peers[e.lps[dst].Owner]
 	if dstPeer == from {
@@ -449,6 +474,39 @@ func (e *Engine) CheckInvariants() error {
 				if e.lps[ev.Dst].kp != kp {
 					return fmt.Errorf("kp %d/%d history holds foreign event %v", kp.Owner, kp.ID, ev)
 				}
+				// Sent/tentative entries of events that can still roll
+				// back (at or above GVT) must be live: a rollback would
+				// dereference them. Below GVT a dangling pointer to an
+				// already-recycled event is benign — the reference
+				// discipline guarantees it is only ever cleared.
+				if ev.Ts >= e.gvt {
+					for _, s := range ev.sent {
+						if s != nil && s.state == statePooled {
+							return fmt.Errorf("kp %d/%d event %v sent list holds recycled %v", kp.Owner, kp.ID, ev, s)
+						}
+					}
+					for _, t := range ev.tentative {
+						if t != nil && t.state == statePooled {
+							return fmt.Errorf("kp %d/%d event %v tentative list holds recycled %v", kp.Owner, kp.ID, ev, t)
+						}
+					}
+				}
+			}
+		}
+		// Pool sweep: the freelist must hold only recycled events, and no
+		// live container may hold one (use-after-recycle in either
+		// direction).
+		for i, ev := range p.freeEvents {
+			if ev == nil {
+				return fmt.Errorf("peer %d freelist entry %d is nil", p.ID, i)
+			}
+			if ev.state != statePooled {
+				return fmt.Errorf("peer %d freelist holds live event %v", p.ID, ev)
+			}
+		}
+		for _, ev := range p.inq {
+			if ev != nil && ev.state == statePooled {
+				return fmt.Errorf("peer %d input queue holds recycled event %v", p.ID, ev)
 			}
 		}
 	}

@@ -35,6 +35,12 @@ const (
 	// StateCommitted: the event's timestamp fell below GVT and it was
 	// fossil collected; it can never be rolled back.
 	StateCommitted
+	// statePooled: the event has been recycled into its peer's freelist
+	// and must not be referenced by any queue, history or send list.
+	// Observing it outside the pool is a use-after-recycle bug; the
+	// engine panics wherever a pooled event could flow in, and
+	// CheckInvariants sweeps every reachable container for leaks.
+	statePooled
 )
 
 // String returns the state name.
@@ -50,6 +56,8 @@ func (s EventState) String() string {
 		return "cancelled"
 	case StateCommitted:
 		return "committed"
+	case statePooled:
+		return "pooled"
 	default:
 		return "invalid"
 	}

@@ -42,6 +42,10 @@ type LP struct {
 	rand  *rng.Stream
 	lvt   VT
 	kp    *KP
+	// statePool recycles copy-state snapshots released by fossil
+	// collection and rollback (see pool.go); only populated when the
+	// model's state implements StateCopier.
+	statePool []State
 }
 
 // State returns the LP's current model state. Models must treat it as

@@ -9,6 +9,20 @@ type State interface {
 	Clone() State
 }
 
+// StateCopier is an optional extension of State that lets the engine
+// recycle snapshot memory: instead of Clone allocating a fresh copy per
+// event, a dead snapshot from the LP's freelist is overwritten in
+// place. CopyFrom must leave the receiver semantically identical to
+// Clone's result (a deep copy of src); it may reuse the receiver's own
+// backing storage (slices, maps) when capacities allow. src is always
+// the same concrete type as the receiver — snapshots never cross LPs.
+// Models that implement only Clone still work; they just allocate.
+type StateCopier interface {
+	State
+	// CopyFrom overwrites the receiver with a deep copy of src.
+	CopyFrom(src State)
+}
+
 // Snapshot couples an LP state copy with its RNG position; restoring
 // both makes re-execution after a rollback bit-identical.
 type Snapshot struct {
@@ -33,6 +47,8 @@ type Model interface {
 	InitLP(ictx *InitCtx, lp *LP)
 	// OnEvent executes one event against its destination LP. All state
 	// mutation must go through ctx (reads of lp.State() are fine).
+	// ctx is valid only for the duration of the call — the engine
+	// reuses it across events; models must not retain it.
 	OnEvent(ctx *EventCtx)
 }
 

@@ -48,6 +48,19 @@ type Peer struct {
 	inq     []*Event
 	pending pq.Queue[*Event]
 
+	// freeEvents is the peer's event freelist (see pool.go); pool
+	// accumulates its traffic counters between telemetry flushes.
+	freeEvents []*Event
+	pool       poolStats
+
+	// evCtx and rbCtx are the reusable model-callback contexts for
+	// forward execution and reverse computation. They are distinct
+	// because a send during OnEvent can trigger a same-peer rollback,
+	// nesting reverse handlers inside a live forward context. Models
+	// must not retain an EventCtx beyond the callback (documented on
+	// Model), so reuse is safe.
+	evCtx, rbCtx EventCtx
+
 	// acc accumulates cycles (sends, anti-messages) charged at the end
 	// of the enclosing operation.
 	acc uint64
@@ -105,8 +118,8 @@ func (p *Peer) HasExecutableWork() bool {
 }
 
 // peekLive returns the first pending event that is neither cancelled
-// nor at/after the simulation end time, lazily dropping cancelled
-// entries; nil if none.
+// nor at/after the simulation end time, lazily dropping (and
+// recycling) cancelled entries; nil if none.
 func (p *Peer) peekLive() *Event {
 	for {
 		ev, ok := p.pending.Peek()
@@ -115,6 +128,9 @@ func (p *Peer) peekLive() *Event {
 		}
 		if ev.state == StateCancelled {
 			p.pending.Pop()
+			// The annihilating anti has been consumed and the sender
+			// dropped its references; the queue held the last one.
+			p.freeEvent(ev)
 			continue
 		}
 		if ev.Ts >= p.eng.cfg.EndTime {
@@ -143,9 +159,13 @@ func (p *Peer) Drain(cpu CPU) int {
 		switch {
 		case ev.Anti:
 			p.handleAnti(ev)
+			// Nothing else ever references an anti-message; recycle it
+			// the moment it is consumed.
+			p.freeEvent(ev)
 		case ev.state == StateCancelled:
 			// Annihilated while still in our queue; drop (already
-			// counted when the anti-message cancelled it).
+			// counted when the anti-message cancelled it) and recycle.
+			p.freeEvent(ev)
 		default:
 			lp := p.eng.lps[ev.Dst]
 			if last := lp.kp.lastProcessed(); last != nil && ev.before(last) {
@@ -187,7 +207,9 @@ func (p *Peer) handleAnti(anti *Event) {
 		}
 		target.state = StateCancelled
 		p.Stats.Annihilated++
-	case StateCancelled, StateCommitted:
+	case StateCancelled, StateCommitted, statePooled:
+		// statePooled here means the target was recycled while an anti
+		// for it was still in flight — a use-after-recycle bug.
 		panic(fmt.Sprintf("tw: anti-message for %v in impossible state", target))
 	}
 }
@@ -215,8 +237,12 @@ func (p *Peer) rollback(kp *KP, upto *Event) int {
 		}
 		if p.eng.cfg.StateSaving == SaveReverse {
 			rm := p.eng.cfg.Model.(ReverseModel)
-			rm.OnReverseEvent(&EventCtx{eng: p.eng, peer: p, lp: lp, ev: last})
+			p.rbCtx = EventCtx{eng: p.eng, peer: p, lp: lp, ev: last}
+			rm.OnReverseEvent(&p.rbCtx)
 		} else {
+			// The snapshot becomes the live state; the displaced live
+			// state is dead and feeds the LP's snapshot freelist.
+			p.releaseSnapshot(lp, lp.state)
 			lp.state = last.saved.state
 		}
 		lp.rand.Restore(last.saved.rng)
@@ -243,36 +269,41 @@ func (p *Peer) rollback(kp *KP, upto *Event) int {
 // deferUnsend parks ev's sends as tentative instead of annihilating
 // them (lazy cancellation). Any tentative leftovers from an earlier
 // rollback of the same event are annihilated now — the event is being
-// rolled back again before re-adopting them.
+// rolled back again before re-adopting them. The flushed tentative
+// backing array becomes the new sent list, so re-execution appends
+// into recycled capacity.
 func (p *Peer) deferUnsend(ev *Event) {
 	p.flushTentative(ev)
-	ev.tentative = ev.sent
-	ev.sent = nil
+	ev.sent, ev.tentative = ev.tentative, ev.sent
 }
 
-// flushTentative annihilates any remaining tentative sends of ev.
+// flushTentative annihilates any remaining tentative sends of ev,
+// leaving the cleared backing array in place for reuse.
 func (p *Peer) flushTentative(ev *Event) {
-	for _, s := range ev.tentative {
+	for i, s := range ev.tentative {
+		ev.tentative[i] = nil
 		if s == nil || s.state == StateCancelled {
 			continue
+		}
+		if s.state == statePooled {
+			panic(fmt.Sprintf("tw: tentative list holds recycled event %v", s))
 		}
 		p.sendAnti(s, ev.Dst)
 		p.Stats.LazyCancelled++
 	}
-	ev.tentative = nil
+	ev.tentative = ev.tentative[:0]
 }
 
 // sendAnti issues one anti-message for s on behalf of LP src.
 func (p *Peer) sendAnti(s *Event, src int) {
 	eng := p.eng
-	anti := &Event{
-		Ts:     s.Ts,
-		Seq:    eng.nextSeq(),
-		Src:    src,
-		Dst:    s.Dst,
-		Anti:   true,
-		Target: s,
-	}
+	anti := p.allocEvent()
+	anti.Ts = s.Ts
+	anti.Seq = eng.nextSeq()
+	anti.Src = src
+	anti.Dst = s.Dst
+	anti.Anti = true
+	anti.Target = s
 	dst := eng.peers[eng.lps[s.Dst].Owner]
 	dst.inq = append(dst.inq, anti)
 	p.acc += eng.cfg.Costs.SendCycles
@@ -284,12 +315,14 @@ func (p *Peer) sendAnti(s *Event, src int) {
 	p.noteSent(s.Ts)
 }
 
-// unsend issues anti-messages for every event ev's execution sent.
+// unsend issues anti-messages for every event ev's execution sent,
+// leaving the cleared sent backing array in place for reuse.
 func (p *Peer) unsend(ev *Event) {
-	for _, s := range ev.sent {
+	for i, s := range ev.sent {
+		ev.sent[i] = nil
 		p.sendAnti(s, ev.Dst)
 	}
-	ev.sent = nil
+	ev.sent = ev.sent[:0]
 }
 
 // ProcessBatch speculatively executes up to the engine's batch size of
@@ -318,15 +351,16 @@ func (p *Peer) ProcessBatch(cpu CPU) int {
 			ev.saved = Snapshot{rng: lp.rand.Save(), lvt: lp.lvt}
 			cycles += costs.EventCycles + costs.RngSaveCycles
 		} else {
-			ev.saved = Snapshot{state: lp.state.Clone(), rng: lp.rand.Save(), lvt: lp.lvt}
+			ev.saved = Snapshot{state: p.acquireSnapshot(lp), rng: lp.rand.Save(), lvt: lp.lvt}
 			cycles += costs.EventCycles + costs.StateSaveCycles
 		}
 		ev.state = StateProcessed
 		lp.kp.processed = append(lp.kp.processed, ev)
 		lp.lvt = ev.Ts
 		eng.noteProcessed(1)
-		eng.cfg.Model.OnEvent(&EventCtx{eng: eng, peer: p, lp: lp, ev: ev})
-		if eng.cfg.LazyCancellation && ev.tentative != nil {
+		p.evCtx = EventCtx{eng: eng, peer: p, lp: lp, ev: ev}
+		eng.cfg.Model.OnEvent(&p.evCtx)
+		if eng.cfg.LazyCancellation && len(ev.tentative) > 0 {
 			// Tentative sends the re-execution did not regenerate are
 			// genuinely wrong: annihilate them now.
 			p.flushTentative(ev)
@@ -408,7 +442,10 @@ func (p *Peer) TakeMinSent() VT {
 func (p *Peer) PeekMinSent() VT { return p.minSent }
 
 // FossilCollect commits and frees all processed events strictly below
-// gvt, returning the number committed.
+// gvt, returning the number committed. Committed events and their
+// copy-state snapshots feed the freelists: fossil collection is where
+// the pools are fed, so a few GVT rounds after startup the send path
+// stops allocating.
 func (p *Peer) FossilCollect(cpu CPU, gvt VT) int {
 	costs := &p.eng.cfg.Costs
 	cycles := costs.FossilBaseCycles
@@ -416,9 +453,16 @@ func (p *Peer) FossilCollect(cpu CPU, gvt VT) int {
 	for _, kp := range p.kps {
 		k := 0
 		for k < len(kp.processed) && kp.processed[k].Ts < gvt {
-			kp.processed[k].state = StateCommitted
-			kp.processed[k].saved = Snapshot{}
-			kp.processed[k].sent = nil
+			ev := kp.processed[k]
+			ev.state = StateCommitted
+			if ev.saved.state != nil {
+				p.releaseSnapshot(p.eng.lps[ev.Dst], ev.saved.state)
+			}
+			ev.saved = Snapshot{}
+			// The event's own sent list and struct are recycled whole;
+			// a cause still holding a pointer to ev sits below GVT too
+			// and will only ever clear, never dereference, it.
+			p.freeEvent(ev)
 			k++
 		}
 		if k == 0 {
@@ -434,6 +478,7 @@ func (p *Peer) FossilCollect(cpu CPU, gvt VT) int {
 		}
 		kp.processed = kp.processed[:rest]
 	}
+	p.flushPoolStats()
 	p.Stats.Committed += uint64(total)
 	if total > 0 {
 		p.eng.tel.committed.Add(uint64(total))

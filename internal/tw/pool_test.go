@@ -1,0 +1,220 @@
+package tw
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"ggpdes/internal/pq"
+	"ggpdes/internal/telemetry"
+)
+
+// The pooling gold test: recycling event and snapshot memory must not
+// change a single bit of the committed trajectory, for every pending
+// queue kind, both state-saving modes, and both cancellation policies,
+// under a rollback-heavy interleaving.
+func TestPoolingPreservesTrajectories(t *testing.T) {
+	order := []int{0, 0, 0, 0, 0, 1, 3, 2}
+	type combo struct {
+		queue  pq.Kind
+		saving SavePolicy
+		lazy   bool
+	}
+	run := func(c combo, disable bool) (uint64, []int, []float64, PeerStats) {
+		eng, err := NewEngine(Config{
+			NumThreads:       4,
+			Model:            &reversibleRing{ringModel{lpsPerThread: 4, startPerLP: 2}},
+			EndTime:          25,
+			Seed:             777,
+			QueueKind:        c.queue,
+			StateSaving:      c.saving,
+			LazyCancellation: c.lazy,
+			DisablePooling:   disable,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		runQuiescent(t, eng, order)
+		if err := eng.CheckInvariants(); err != nil {
+			t.Fatalf("%+v disable=%v: %v", c, disable, err)
+		}
+		committed, counts, sums := collectResults(eng)
+		return committed, counts, sums, eng.TotalStats()
+	}
+	sawRollback, sawRecycle := false, false
+	for _, queue := range []pq.Kind{pq.Splay, pq.Heap, pq.Calendar} {
+		for _, saving := range []SavePolicy{SaveCopy, SaveReverse} {
+			for _, lazy := range []bool{false, true} {
+				c := combo{queue, saving, lazy}
+				t.Run(fmt.Sprintf("%v-%s-lazy%v", queue, saving, lazy), func(t *testing.T) {
+					onCommitted, onCounts, onSums, onStats := run(c, false)
+					offCommitted, offCounts, offSums, offStats := run(c, true)
+					if onStats.RolledBack > 0 {
+						sawRollback = true
+					}
+					if onCommitted != offCommitted {
+						t.Fatalf("pooled committed %d != unpooled %d", onCommitted, offCommitted)
+					}
+					for i := range onCounts {
+						if onCounts[i] != offCounts[i] || math.Abs(onSums[i]-offSums[i]) > 0 {
+							t.Fatalf("LP %d pooled state (%d, %v) != unpooled (%d, %v)",
+								i, onCounts[i], onSums[i], offCounts[i], offSums[i])
+						}
+					}
+					if onStats != offStats {
+						t.Fatalf("pooled stats %+v != unpooled %+v", onStats, offStats)
+					}
+					if onStats.RolledBack > 0 {
+						sawRecycle = true
+					}
+				})
+			}
+		}
+	}
+	if !sawRollback {
+		t.Fatal("matrix produced no rollbacks; test exercises nothing")
+	}
+	_ = sawRecycle
+}
+
+// Pool traffic must actually happen: after a run with rollbacks and
+// fossil collection, the telemetry counters show recycled events being
+// served back out of the freelists.
+func TestPoolCountersShowRecycling(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	eng, err := NewEngine(Config{
+		NumThreads: 4,
+		Model:      &ringModel{lpsPerThread: 4, startPerLP: 2},
+		EndTime:    50,
+		Seed:       42,
+		Telemetry:  reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runQuiescent(t, eng, []int{0, 1, 2, 3})
+	eng.FlushPoolStats()
+	c := reg.Counters()
+	if c[MetricPoolEventRecycled] == 0 {
+		t.Fatal("no events were recycled")
+	}
+	if c[MetricPoolEventHit] == 0 {
+		t.Fatal("no event allocation was served from a freelist")
+	}
+	if c[MetricPoolStateRecycled] == 0 || c[MetricPoolStateHit] == 0 {
+		t.Fatalf("no snapshot recycling: %v", c)
+	}
+	if c[MetricPoolEventMiss] == 0 {
+		t.Fatal("expected warm-up misses before the pools filled")
+	}
+}
+
+// With pooling disabled, nothing must enter the freelists and the
+// counters must stay zero — the A/B measurement baseline is honest.
+func TestDisablePoolingDisables(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	eng, err := NewEngine(Config{
+		NumThreads:     2,
+		Model:          &ringModel{lpsPerThread: 2, startPerLP: 2},
+		EndTime:        20,
+		Seed:           42,
+		Telemetry:      reg,
+		DisablePooling: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runQuiescent(t, eng, []int{0, 1})
+	eng.FlushPoolStats()
+	c := reg.Counters()
+	if c[MetricPoolEventHit] != 0 || c[MetricPoolEventRecycled] != 0 ||
+		c[MetricPoolStateHit] != 0 || c[MetricPoolStateRecycled] != 0 {
+		t.Fatalf("pooling traffic despite DisablePooling: %v", c)
+	}
+	for _, p := range eng.Peers() {
+		if len(p.freeEvents) != 0 {
+			t.Fatalf("peer %d freelist non-empty with pooling disabled", p.ID)
+		}
+	}
+}
+
+// Double-freeing an event must panic immediately — the poison state
+// catches lifecycle bugs at the free site, not at some later corrupted
+// reuse.
+func TestPoolDoubleFreePanics(t *testing.T) {
+	eng := newTestEngine(t, 1, 1, 1, 10)
+	p := eng.Peer(0)
+	ev := p.allocEvent()
+	p.freeEvent(ev)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double free did not panic")
+		}
+	}()
+	p.freeEvent(ev)
+}
+
+// A recycled event flowing back into a live structure must be caught:
+// allocEvent panics on a corrupted freelist, and CheckInvariants sweeps
+// the reachable containers in both directions.
+func TestPoolUseAfterRecycleDetected(t *testing.T) {
+	t.Run("corrupted-freelist", func(t *testing.T) {
+		eng := newTestEngine(t, 1, 1, 1, 10)
+		p := eng.Peer(0)
+		live := p.allocEvent()
+		p.freeEvents = append(p.freeEvents, live) // not via freeEvent: still live
+		if err := eng.CheckInvariants(); err == nil {
+			t.Fatal("CheckInvariants missed a live event on the freelist")
+		}
+		defer func() {
+			if recover() == nil {
+				t.Fatal("allocEvent accepted a live freelist entry")
+			}
+		}()
+		p.allocEvent()
+	})
+	t.Run("pooled-in-input-queue", func(t *testing.T) {
+		eng := newTestEngine(t, 1, 1, 1, 10)
+		p := eng.Peer(0)
+		ev := p.allocEvent()
+		p.freeEvent(ev)
+		p.inq = append(p.inq, ev)
+		if err := eng.CheckInvariants(); err == nil {
+			t.Fatal("CheckInvariants missed a recycled event in the input queue")
+		}
+	})
+}
+
+// Recycled events must come back fully reset: stale payload, undo
+// words, targets or send lists leaking across lifetimes would be a
+// silent correctness bug, so the pool poisons and clears everything.
+func TestPoolResetsRecycledEvents(t *testing.T) {
+	eng := newTestEngine(t, 1, 1, 1, 10)
+	p := eng.Peer(0)
+	ev := p.allocEvent()
+	ev.Ts, ev.Seq, ev.Src, ev.Dst, ev.Kind = 3.5, 99, 1, 2, 7
+	ev.A, ev.B, ev.undo = 11, 22, 33
+	ev.Anti = true
+	ev.Target = &Event{}
+	ev.sent = append(ev.sent, &Event{})
+	ev.tentative = append(ev.tentative, &Event{})
+	ev.state = StateInQueue
+	p.freeEvent(ev)
+	if ev.state != statePooled || !math.IsInf(ev.Ts, -1) {
+		t.Fatalf("freed event not poisoned: %v", ev)
+	}
+	got := p.allocEvent()
+	if got != ev {
+		t.Fatal("freelist did not return the recycled event")
+	}
+	if got.Seq != 0 || got.Src != 0 || got.Dst != 0 || got.Kind != 0 ||
+		got.A != 0 || got.B != 0 || got.undo != 0 || got.Anti || got.Target != nil {
+		t.Fatalf("recycled event carries stale fields: %+v", got)
+	}
+	if len(got.sent) != 0 || len(got.tentative) != 0 {
+		t.Fatal("recycled event carries stale send lists")
+	}
+	if cap(got.sent) == 0 || cap(got.tentative) == 0 {
+		t.Fatal("recycling dropped the send-list backing arrays")
+	}
+}

@@ -25,6 +25,8 @@ func (s *ringState) Clone() State {
 	return &c
 }
 
+func (s *ringState) CopyFrom(src State) { *s = *src.(*ringState) }
+
 type ringModel struct {
 	lpsPerThread int
 	startPerLP   int
