@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-race fuzz bench bench-smoke bench-diff bench-json serve-smoke ci
+.PHONY: all build vet test test-race fuzz bench bench-smoke bench-diff bench-json serve-smoke chaos-smoke ci
 
 all: ci
 
@@ -52,4 +52,10 @@ bench-json:
 serve-smoke:
 	GO="$(GO)" sh scripts/serve_smoke.sh
 
-ci: build vet test test-race serve-smoke bench-smoke
+# Fault-tolerance smoke: ggserved with 100% crash injection on
+# non-final attempts; every job must still complete by resuming from
+# checkpoints, and the retry counters must show it happened.
+chaos-smoke:
+	GO="$(GO)" sh scripts/chaos_smoke.sh
+
+ci: build vet test test-race serve-smoke chaos-smoke bench-smoke

@@ -11,7 +11,7 @@ import (
 // whenever the meaning of any serialized field changes, so stale
 // cached results can never be served for a semantically different
 // configuration.
-const cacheKeyVersion = "ggpdes-config-v1"
+const cacheKeyVersion = "ggpdes-config-v2"
 
 // CanonicalString renders every Run-relevant field of the Config —
 // defaults applied — as a stable multi-line text. Two configs with the
@@ -72,6 +72,29 @@ func (c Config) CanonicalString() (string, error) {
 			a.MinFrequency, a.MaxFrequency, a.TargetUncommittedPerThread)
 	} else {
 		fmt.Fprintf(&b, "adaptive=nil\n")
+	}
+	// Checkpoint segmentation quiesces the engine at round boundaries,
+	// which perturbs speculation — Every changes the trajectory. Dir is
+	// pure placement and excluded.
+	every := 0
+	if c.Checkpoint != nil {
+		every = c.Checkpoint.Every
+	}
+	fmt.Fprintf(&b, "checkpoint_every=%d\n", every)
+	if ch := c.Chaos; ch != nil {
+		cs := ch.Seed
+		if cs == 0 {
+			cs = seed
+		}
+		hold := ch.DelaySendHold
+		if hold == 0 && (ch.DropSendRate > 0 || ch.DelaySendRate > 0) {
+			hold = 64
+		}
+		fmt.Fprintf(&b, "chaos{seed=%d drop=%g delay=%g hold=%d stall=%g kill=%d@%d}\n",
+			cs, ch.DropSendRate, ch.DelaySendRate, hold, ch.StallRate,
+			ch.KillThread, ch.KillAtIter)
+	} else {
+		fmt.Fprintf(&b, "chaos=nil\n")
 	}
 	return b.String(), nil
 }

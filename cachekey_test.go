@@ -131,7 +131,7 @@ func TestCacheKeyGolden(t *testing.T) {
 		{
 			name: "quick-phold",
 			cfg:  quickCfg(),
-			want: "sha256:0aef7e63f1e9b5d5b5e7646a24484e72da4090d5993bfdb5469af056c6eca2c9",
+			want: "sha256:76aee2d72f08bccc9895397625b6717d4f4eabceabdeb0e35051dabd13a5c2aa",
 		},
 		{
 			name: "paper-default",
@@ -142,7 +142,7 @@ func TestCacheKeyGolden(t *testing.T) {
 				GVT:     WaitFree,
 				EndTime: 50,
 			},
-			want: "sha256:1a0d9b2525a285c7b9f061ef5a0dd391b82bc0f03bfc7aa085135d24fbbc82f5",
+			want: "sha256:54dd69aeadce5f971b021dce1541167e99fa2c7a601dd02fb2a107c2b2c6422b",
 		},
 		{
 			name: "epidemics-sync",
@@ -154,7 +154,7 @@ func TestCacheKeyGolden(t *testing.T) {
 				EndTime: 20,
 				Machine: SmallMachine(),
 			},
-			want: "sha256:8dd67d81c6c4e23ed5e8a402868ab3349f4ee3a00ea0557a110bcc6c74267f2d",
+			want: "sha256:79039c8a449f8250193d73ed4eb82da7d5ea34aa84642de4c2c5a6fbf20bc123",
 		},
 	}
 	for _, tc := range cases {

@@ -5,6 +5,7 @@
 //	ggload -addr localhost:8347 -concurrency 16 -jobs 200        # closed loop
 //	ggload -addr localhost:8347 -rate 50 -duration 30s           # open loop
 //	ggload -addr localhost:8347 -smoke                           # CI smoke test
+//	ggload -addr localhost:8347 -chaos-smoke                     # CI fault-tolerance test
 //
 // Closed loop keeps -concurrency submissions in flight, each polled to
 // a terminal state before the next is issued — the sweep axis for the
@@ -45,6 +46,7 @@ func main() {
 		jobTimeout  = flag.Float64("job-timeout", 120, "timeout_seconds sent with each job")
 		pollEvery   = flag.Duration("poll", 20*time.Millisecond, "status poll interval")
 		smoke       = flag.Bool("smoke", false, "run the deterministic smoke sequence and exit 0/1")
+		chaosSmoke  = flag.Bool("chaos-smoke", false, "run the fault-tolerance smoke sequence against a crash-injecting server and exit 0/1")
 	)
 	flag.Parse()
 
@@ -57,6 +59,14 @@ func main() {
 		fmt.Println("ggload: smoke OK")
 		return
 	}
+	if *chaosSmoke {
+		if err := runChaosSmoke(base); err != nil {
+			fmt.Fprintf(os.Stderr, "ggload: chaos smoke FAILED: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("ggload: chaos smoke OK")
+		return
+	}
 
 	spec := func(i int) map[string]any {
 		seed := *seedBase
@@ -64,13 +74,15 @@ func main() {
 			seed += uint64(i)
 		}
 		return map[string]any{
-			"model":           *model,
-			"threads":         *threads,
-			"lps_per_thread":  *lps,
-			"end_time":        *endTime,
-			"cores":           *cores,
-			"smt":             *smt,
-			"seed":            seed,
+			"config": map[string]any{
+				"model":    map[string]any{"name": *model, "lps_per_thread": *lps},
+				"threads":  *threads,
+				"system":   "gg",
+				"gvt":      "waitfree",
+				"machine":  map[string]any{"cores": *cores, "smt_width": *smt},
+				"end_time": *endTime,
+				"seed":     seed,
+			},
 			"timeout_seconds": *jobTimeout,
 		}
 	}
@@ -186,10 +198,12 @@ func main() {
 // status mirrors the server's job snapshot; only the fields ggload
 // reads.
 type status struct {
-	ID     string `json:"id"`
-	State  string `json:"state"`
-	Cached bool   `json:"cached"`
-	Error  string `json:"error"`
+	ID       string `json:"id"`
+	State    string `json:"state"`
+	Cached   bool   `json:"cached"`
+	Error    string `json:"error"`
+	Attempts int    `json:"attempts"`
+	Resumed  string `json:"resumed_from"`
 }
 
 func terminal(state string) bool {
@@ -265,8 +279,15 @@ func runSmoke(base string) error {
 	}
 
 	spec := map[string]any{
-		"model": "phold", "threads": 4, "lps_per_thread": 4,
-		"end_time": 20, "cores": 8, "smt": 2, "seed": 424242,
+		"config": map[string]any{
+			"model":    map[string]any{"name": "phold", "lps_per_thread": 4},
+			"threads":  4,
+			"system":   "gg",
+			"gvt":      "waitfree",
+			"machine":  map[string]any{"cores": 8, "smt_width": 2},
+			"end_time": 20,
+			"seed":     424242,
+		},
 		"timeout_seconds": 120,
 	}
 	st, code, err := submit(base, spec)
@@ -322,5 +343,101 @@ func runSmoke(base string) error {
 	if stats.Counters["serve.cache_hits"] == 0 {
 		return fmt.Errorf("server reports zero cache hits after a hit: %v", stats.Counters)
 	}
+	return nil
+}
+
+// runChaosSmoke is the CI sequence behind `make chaos-smoke`. It
+// expects a ggserved started with -crash-rate 1 -max-attempts 3
+// -checkpoint-every 2: every job's early attempts are crashed mid-run,
+// so completing all of them proves the checkpoint/resume/retry path
+// end to end.
+func runChaosSmoke(base string) error {
+	resp, err := http.Get(base + "/v1/version")
+	if err != nil {
+		return fmt.Errorf("version: %w", err)
+	}
+	var ver struct {
+		APIRevision int `json:"api_revision"`
+		MaxAttempts int `json:"max_attempts"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&ver)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("version: HTTP %d, err %v", resp.StatusCode, err)
+	}
+	if ver.APIRevision < 2 {
+		return fmt.Errorf("server API revision %d predates fault tolerance", ver.APIRevision)
+	}
+	if ver.MaxAttempts < 2 {
+		return fmt.Errorf("server has max_attempts %d; chaos smoke needs retries enabled", ver.MaxAttempts)
+	}
+
+	const jobs = 6
+	ids := make([]string, jobs)
+	for i := range ids {
+		spec := map[string]any{
+			"config": map[string]any{
+				"model":   map[string]any{"name": "phold", "lps_per_thread": 4},
+				"threads": 4,
+				"system":  "gg",
+				"gvt":     "waitfree",
+				"machine": map[string]any{"cores": 8, "smt_width": 2},
+				// Long enough to cross several GVT rounds, so crashed
+				// attempts have checkpoints to resume from.
+				"end_time":      40,
+				"gvt_frequency": 10,
+				"seed":          171717 + i,
+			},
+			"timeout_seconds": 120,
+		}
+		st, code, err := submit(base, spec)
+		if err != nil || code != http.StatusAccepted {
+			return fmt.Errorf("submit %d: HTTP %d, err %v", i, code, err)
+		}
+		ids[i] = st.ID
+	}
+
+	retried, resumed := 0, 0
+	for _, id := range ids {
+		final, err := pollTerminal(base, id, 10*time.Millisecond)
+		if err != nil {
+			return err
+		}
+		if final.State != "done" {
+			return fmt.Errorf("job %s finished %s (%s) — fault tolerance failed", id, final.State, final.Error)
+		}
+		if final.Attempts > 1 {
+			retried++
+		}
+		if final.Resumed != "" {
+			resumed++
+		}
+	}
+	if retried == 0 {
+		return fmt.Errorf("all %d jobs completed first try; is the server running with -crash-rate 1?", jobs)
+	}
+	if resumed == 0 {
+		return fmt.Errorf("no retried job resumed from a checkpoint")
+	}
+
+	resp, err = http.Get(base + "/v1/stats")
+	if err != nil {
+		return fmt.Errorf("stats: %w", err)
+	}
+	var stats struct {
+		Counters map[string]uint64 `json:"counters"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&stats)
+	resp.Body.Close()
+	if err != nil {
+		return fmt.Errorf("stats: %w", err)
+	}
+	for _, c := range []string{"serve.injected_crashes", "serve.retries", "serve.resumes"} {
+		if stats.Counters[c] == 0 {
+			return fmt.Errorf("counter %s is zero after chaos run: %v", c, stats.Counters)
+		}
+	}
+	fmt.Printf("ggload: %d/%d jobs done, %d retried, %d resumed from checkpoints (crashes=%d)\n",
+		jobs, jobs, retried, resumed, stats.Counters["serve.injected_crashes"])
 	return nil
 }

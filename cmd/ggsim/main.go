@@ -6,6 +6,8 @@
 //	ggsim -model phold -imbalance 4 -threads 64 -system gg -gvt async
 //	ggsim -model epidemics -lockdown 8 -threads 32 -system baseline
 //	ggsim -model traffic -gradient 0.5 -threads 16 -affinity dynamic
+//	ggsim -model phold -checkpoint-every 4 -checkpoint-dir /tmp/ck
+//	ggsim -resume /tmp/ck/ckpt-00000004.json
 package main
 
 import (
@@ -57,55 +59,86 @@ func main() {
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
 		memProf   = flag.String("memprofile", "", "write a heap profile after the run to this file (go tool pprof)")
 		verbose   = flag.Bool("v", false, "print the full metric set")
+
+		ckptEvery = flag.Int("checkpoint-every", 0, "checkpoint every N GVT rounds (0 = off)")
+		ckptDir   = flag.String("checkpoint-dir", "", "write checkpoint files to this directory")
+		resume    = flag.String("resume", "", "resume from this checkpoint file instead of starting a run (model/config flags are ignored)")
+
+		chaosSeed  = flag.Uint64("chaos-seed", 0, "fault injection seed (0 = run seed); any -chaos-* flag enables injection")
+		chaosDrop  = flag.Float64("chaos-drop", 0, "probability a cross-thread send is lost")
+		chaosDelay = flag.Float64("chaos-delay", 0, "probability a cross-thread send is withheld")
+		chaosHold  = flag.Int("chaos-delay-hold", 0, "sends to withhold a delayed event for (0 = 64)")
+		chaosStall = flag.Float64("chaos-stall", 0, "per-thread-iteration probability of burning the iteration")
+		chaosKill  = flag.Int("chaos-kill-thread", 0, "thread to kill at -chaos-kill-iter")
+		chaosIter  = flag.Uint64("chaos-kill-iter", 0, "main-loop iteration at which the thread dies (0 = never)")
 	)
 	flag.Parse()
 
-	cfg := ggpdes.Config{
-		Threads:              *threads,
-		EndTime:              *endTime,
-		Seed:                 *seed,
-		Machine:              ggpdes.Machine{Cores: *cores, SMTWidth: *smt, FreqHz: 1.3e9},
-		GVTFrequency:         *gvtFreq,
-		ZeroCounterThreshold: *zeroThr,
-		OptimismWindow:       *optimism,
-		LazyCancellation:     *lazy,
-		DisablePooling:       *nopool,
+	resuming := *resume != ""
+	var cfg ggpdes.Config
+	if !resuming {
+		cfg = ggpdes.Config{
+			Threads:              *threads,
+			EndTime:              *endTime,
+			Seed:                 *seed,
+			Machine:              ggpdes.Machine{Cores: *cores, SMTWidth: *smt, FreqHz: 1.3e9},
+			GVTFrequency:         *gvtFreq,
+			ZeroCounterThreshold: *zeroThr,
+			OptimismWindow:       *optimism,
+			LazyCancellation:     *lazy,
+			DisablePooling:       *nopool,
+		}
+
+		switch strings.ToLower(*modelName) {
+		case "phold":
+			cfg.Model = ggpdes.PHOLD{LPsPerThread: *lps, Imbalance: *imbalance, NonLinear: *nonLinear}
+		case "epidemics":
+			cfg.Model = ggpdes.Epidemics{LPsPerThread: *lps, LockdownGroups: *lockdown, ContactRate: 3, TransmissionProb: 0.5}
+		case "traffic":
+			cfg.Model = ggpdes.Traffic{LPsPerThread: *lps, DensityGradient: *gradient}
+		default:
+			fatalf("unknown model %q", *modelName)
+		}
+
+		var err error
+		if cfg.System, err = ggpdes.ParseSystem(*system); err != nil {
+			fatalf("%v", err)
+		}
+		if cfg.GVT, err = ggpdes.ParseGVT(*gvtAlg); err != nil {
+			fatalf("%v", err)
+		}
+		if cfg.Affinity, err = ggpdes.ParseAffinity(*affinity); err != nil {
+			fatalf("%v", err)
+		}
+		if cfg.StateSaving, err = ggpdes.ParseStateSaving(*saving); err != nil {
+			fatalf("%v", err)
+		}
+		if cfg.Queue, err = ggpdes.ParseQueue(*queue); err != nil {
+			fatalf("%v", err)
+		}
+		if *ckptEvery > 0 {
+			cfg.Checkpoint = &ggpdes.CheckpointOptions{Every: *ckptEvery, Dir: *ckptDir}
+		}
+		if *chaosDrop > 0 || *chaosDelay > 0 || *chaosStall > 0 || *chaosIter > 0 {
+			cfg.Chaos = &ggpdes.ChaosOptions{
+				Seed:          *chaosSeed,
+				DropSendRate:  *chaosDrop,
+				DelaySendRate: *chaosDelay,
+				DelaySendHold: *chaosHold,
+				StallRate:     *chaosStall,
+				KillThread:    *chaosKill,
+				KillAtIter:    *chaosIter,
+			}
+		}
+		if err := cfg.Validate(); err != nil {
+			fatalf("%v", err)
+		}
 	}
 
-	switch strings.ToLower(*modelName) {
-	case "phold":
-		cfg.Model = ggpdes.PHOLD{LPsPerThread: *lps, Imbalance: *imbalance, NonLinear: *nonLinear}
-	case "epidemics":
-		cfg.Model = ggpdes.Epidemics{LPsPerThread: *lps, LockdownGroups: *lockdown, ContactRate: 3, TransmissionProb: 0.5}
-	case "traffic":
-		cfg.Model = ggpdes.Traffic{LPsPerThread: *lps, DensityGradient: *gradient}
-	default:
-		fatalf("unknown model %q", *modelName)
-	}
-
-	var err error
-	if cfg.System, err = ggpdes.ParseSystem(*system); err != nil {
-		fatalf("%v", err)
-	}
-	if cfg.GVT, err = ggpdes.ParseGVT(*gvtAlg); err != nil {
-		fatalf("%v", err)
-	}
-	if cfg.Affinity, err = ggpdes.ParseAffinity(*affinity); err != nil {
-		fatalf("%v", err)
-	}
-	if cfg.StateSaving, err = ggpdes.ParseStateSaving(*saving); err != nil {
-		fatalf("%v", err)
-	}
-	if cfg.Queue, err = ggpdes.ParseQueue(*queue); err != nil {
-		fatalf("%v", err)
-	}
-	if err := cfg.Validate(); err != nil {
-		fatalf("%v", err)
-	}
-
+	var traceOpts *ggpdes.TraceOptions
 	var traceOut, perfettoOut *os.File
 	if *traceFile != "" || *perfetto != "" || *traceRing || *traceLim > 0 {
-		cfg.Trace = &ggpdes.TraceOptions{Ring: *traceRing, Limit: *traceLim}
+		traceOpts = &ggpdes.TraceOptions{Ring: *traceRing, Limit: *traceLim}
 	}
 	if *traceFile != "" {
 		f, err := os.Create(*traceFile)
@@ -114,7 +147,7 @@ func main() {
 		}
 		defer f.Close()
 		traceOut = f
-		cfg.Trace.CSV = f
+		traceOpts.CSV = f
 	}
 	if *perfetto != "" {
 		f, err := os.Create(*perfetto)
@@ -123,21 +156,26 @@ func main() {
 		}
 		defer f.Close()
 		perfettoOut = f
-		cfg.Trace.Perfetto = f
+		traceOpts.Perfetto = f
 	}
 
+	var progOpts *ggpdes.ProgressOptions
 	if *progress || *expvarAt != "" {
-		cfg.Progress = &ggpdes.ProgressOptions{Every: *progEvery / cfg.EndTime}
-		if *progEvery <= 0 {
-			cfg.Progress.Every = 0 // Run() defaults to 10% of EndTime.
+		progOpts = &ggpdes.ProgressOptions{}
+		if *progEvery > 0 && !resuming {
+			// A resumed run's EndTime lives in the snapshot, so the
+			// interval cannot be normalised here; the 10% default applies.
+			progOpts.Every = *progEvery / cfg.EndTime
 		}
 		if *progress {
-			cfg.Progress.W = os.Stderr
+			progOpts.W = os.Stderr
 		}
 		if *expvarAt != "" {
-			cfg.Progress.Func = publishExpvar(*expvarAt)
+			progOpts.Func = publishExpvar(*expvarAt)
 		}
 	}
+	cfg.Trace = traceOpts
+	cfg.Progress = progOpts
 
 	ctx := context.Background()
 	if *timeout > 0 {
@@ -149,7 +187,16 @@ func main() {
 	if err != nil {
 		fatalf("%v", err)
 	}
-	res, err := ggpdes.RunContext(ctx, cfg)
+	var res *ggpdes.Results
+	if resuming {
+		res, err = ggpdes.ResumeContext(ctx, *resume, &ggpdes.ResumeOptions{
+			Trace:         traceOpts,
+			Progress:      progOpts,
+			CheckpointDir: *ckptDir,
+		})
+	} else {
+		res, err = ggpdes.RunContext(ctx, cfg)
+	}
 	if perr := stopProf(); perr != nil {
 		fatalf("%v", perr)
 	}
@@ -169,8 +216,12 @@ func main() {
 		fmt.Println(res.TraceSummary)
 	}
 
-	fmt.Printf("%s | %s | %s GVT | %s affinity | %d threads on %dx%d contexts\n",
-		cfg.Model.Name(), cfg.System, cfg.GVT, cfg.Affinity, cfg.Threads, *cores, *smt)
+	if resuming {
+		fmt.Printf("resumed from %s\n", *resume)
+	} else {
+		fmt.Printf("%s | %s | %s GVT | %s affinity | %d threads on %dx%d contexts\n",
+			cfg.Model.Name(), cfg.System, cfg.GVT, cfg.Affinity, cfg.Threads, *cores, *smt)
+	}
 	fmt.Printf("committed event rate : %s\n", stats.Rate(res.CommittedEventRate))
 	fmt.Printf("committed events     : %s\n", stats.Count(res.CommittedEvents))
 	fmt.Printf("wall clock           : %s (simulated)\n", stats.Seconds(res.WallClockSeconds))

@@ -1,0 +1,269 @@
+package ggpdes
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Config's JSON codec — the single wire format for configurations. The
+// serving layer's job specs, the checkpoint files and the command-line
+// tools all speak it, built on the same Parse*/String pairs as the CLI
+// flags, so every enum accepts the same spellings everywhere.
+//
+// Only fields that define the run are serialized. Observability
+// attachments (Trace, Progress) hold writers and callbacks and are
+// excluded; re-attach them after decoding. Enums travel as their
+// String() names; the model travels as a tagged object selected by its
+// "name". Unknown fields are ignored for forward compatibility;
+// unknown enum or model names are errors.
+
+type configJSON struct {
+	Model                *modelJSON         `json:"model,omitempty"`
+	Threads              int                `json:"threads,omitempty"`
+	System               string             `json:"system"`
+	GVT                  string             `json:"gvt"`
+	Affinity             string             `json:"affinity"`
+	EndTime              float64            `json:"end_time,omitempty"`
+	Seed                 uint64             `json:"seed,omitempty"`
+	Machine              *machineJSON       `json:"machine,omitempty"`
+	GVTFrequency         int                `json:"gvt_frequency,omitempty"`
+	ZeroCounterThreshold int                `json:"zero_counter_threshold,omitempty"`
+	BatchSize            int                `json:"batch_size,omitempty"`
+	LPsPerKP             int                `json:"lps_per_kp,omitempty"`
+	Queue                string             `json:"queue"`
+	StateSaving          string             `json:"state_saving"`
+	LazyCancellation     bool               `json:"lazy_cancellation,omitempty"`
+	AdaptiveGVT          *adaptiveJSON      `json:"adaptive_gvt,omitempty"`
+	OptimismWindow       float64            `json:"optimism_window,omitempty"`
+	DisablePooling       bool               `json:"disable_pooling,omitempty"`
+	Checkpoint           *CheckpointOptions `json:"checkpoint,omitempty"`
+	Chaos                *ChaosOptions      `json:"chaos,omitempty"`
+}
+
+type machineJSON struct {
+	Cores     int     `json:"cores,omitempty"`
+	SMTWidth  int     `json:"smt_width,omitempty"`
+	FreqHz    float64 `json:"freq_hz,omitempty"`
+	NUMANodes int     `json:"numa_nodes,omitempty"`
+	MaxTicks  uint64  `json:"max_ticks,omitempty"`
+}
+
+type adaptiveJSON struct {
+	MinFrequency               int `json:"min_frequency"`
+	MaxFrequency               int `json:"max_frequency"`
+	TargetUncommittedPerThread int `json:"target_uncommitted_per_thread,omitempty"`
+}
+
+type modelJSON struct {
+	Name string `json:"name"`
+	// Shared by all models.
+	LPsPerThread int `json:"lps_per_thread,omitempty"`
+	// PHOLD.
+	Imbalance        int  `json:"imbalance,omitempty"`
+	NonLinear        bool `json:"nonlinear,omitempty"`
+	StartEventsPerLP int  `json:"start_events_per_lp,omitempty"`
+	// Epidemics.
+	LockdownGroups     int     `json:"lockdown_groups,omitempty"`
+	AgentsPerHousehold int     `json:"agents_per_household,omitempty"`
+	ContactRate        float64 `json:"contact_rate,omitempty"`
+	TransmissionProb   float64 `json:"transmission_prob,omitempty"`
+	SeedsPerWindow     int     `json:"seeds_per_window,omitempty"`
+	// Traffic.
+	DensityGradient   float64 `json:"density_gradient,omitempty"`
+	CenterStartEvents int     `json:"center_start_events,omitempty"`
+}
+
+func encodeModel(m Model) (*modelJSON, error) {
+	switch m := m.(type) {
+	case nil:
+		return nil, nil
+	case PHOLD:
+		return &modelJSON{
+			Name:             "phold",
+			LPsPerThread:     m.LPsPerThread,
+			Imbalance:        m.Imbalance,
+			NonLinear:        m.NonLinear,
+			StartEventsPerLP: m.StartEventsPerLP,
+		}, nil
+	case Epidemics:
+		return &modelJSON{
+			Name:               "epidemics",
+			LPsPerThread:       m.LPsPerThread,
+			LockdownGroups:     m.LockdownGroups,
+			AgentsPerHousehold: m.AgentsPerHousehold,
+			ContactRate:        m.ContactRate,
+			TransmissionProb:   m.TransmissionProb,
+			SeedsPerWindow:     m.SeedsPerWindow,
+		}, nil
+	case Traffic:
+		return &modelJSON{
+			Name:              "traffic",
+			LPsPerThread:      m.LPsPerThread,
+			DensityGradient:   m.DensityGradient,
+			CenterStartEvents: m.CenterStartEvents,
+		}, nil
+	}
+	return nil, fmt.Errorf("ggpdes: model %T has no wire form", m)
+}
+
+func decodeModel(mj *modelJSON) (Model, error) {
+	if mj == nil {
+		return nil, nil
+	}
+	switch mj.Name {
+	case "phold":
+		return PHOLD{
+			LPsPerThread:     mj.LPsPerThread,
+			Imbalance:        mj.Imbalance,
+			NonLinear:        mj.NonLinear,
+			StartEventsPerLP: mj.StartEventsPerLP,
+		}, nil
+	case "epidemics":
+		return Epidemics{
+			LPsPerThread:       mj.LPsPerThread,
+			LockdownGroups:     mj.LockdownGroups,
+			AgentsPerHousehold: mj.AgentsPerHousehold,
+			ContactRate:        mj.ContactRate,
+			TransmissionProb:   mj.TransmissionProb,
+			SeedsPerWindow:     mj.SeedsPerWindow,
+		}, nil
+	case "traffic":
+		return Traffic{
+			LPsPerThread:      mj.LPsPerThread,
+			DensityGradient:   mj.DensityGradient,
+			CenterStartEvents: mj.CenterStartEvents,
+		}, nil
+	}
+	return nil, fmt.Errorf("ggpdes: unknown model %q (want phold | epidemics | traffic)", mj.Name)
+}
+
+// MarshalJSON implements json.Marshaler.
+func (c Config) MarshalJSON() ([]byte, error) {
+	mj, err := encodeModel(c.Model)
+	if err != nil {
+		return nil, err
+	}
+	w := configJSON{
+		Model:                mj,
+		Threads:              c.Threads,
+		System:               c.System.String(),
+		GVT:                  c.GVT.String(),
+		Affinity:             c.Affinity.String(),
+		EndTime:              c.EndTime,
+		Seed:                 c.Seed,
+		GVTFrequency:         c.GVTFrequency,
+		ZeroCounterThreshold: c.ZeroCounterThreshold,
+		BatchSize:            c.BatchSize,
+		LPsPerKP:             c.LPsPerKP,
+		Queue:                c.Queue.String(),
+		StateSaving:          c.StateSaving.String(),
+		LazyCancellation:     c.LazyCancellation,
+		OptimismWindow:       c.OptimismWindow,
+		DisablePooling:       c.DisablePooling,
+	}
+	if c.Machine != (Machine{}) {
+		w.Machine = &machineJSON{
+			Cores:     c.Machine.Cores,
+			SMTWidth:  c.Machine.SMTWidth,
+			FreqHz:    c.Machine.FreqHz,
+			NUMANodes: c.Machine.NUMANodes,
+			MaxTicks:  c.Machine.MaxTicks,
+		}
+	}
+	if a := c.AdaptiveGVT; a != nil {
+		w.AdaptiveGVT = &adaptiveJSON{
+			MinFrequency:               a.MinFrequency,
+			MaxFrequency:               a.MaxFrequency,
+			TargetUncommittedPerThread: a.TargetUncommittedPerThread,
+		}
+	}
+	if ck := c.Checkpoint; ck != nil {
+		cp := *ck
+		w.Checkpoint = &cp
+	}
+	if ch := c.Chaos; ch != nil {
+		cp := *ch
+		w.Chaos = &cp
+	}
+	return json.Marshal(w)
+}
+
+// UnmarshalJSON implements json.Unmarshaler. It overwrites every wire
+// field of c (absent fields become their zero values) and leaves the
+// non-wire attachments Trace and Progress untouched.
+func (c *Config) UnmarshalJSON(data []byte) error {
+	var w configJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return fmt.Errorf("ggpdes: decoding config: %w", err)
+	}
+	model, err := decodeModel(w.Model)
+	if err != nil {
+		return err
+	}
+	out := Config{
+		Model:                model,
+		Threads:              w.Threads,
+		EndTime:              w.EndTime,
+		Seed:                 w.Seed,
+		GVTFrequency:         w.GVTFrequency,
+		ZeroCounterThreshold: w.ZeroCounterThreshold,
+		BatchSize:            w.BatchSize,
+		LPsPerKP:             w.LPsPerKP,
+		LazyCancellation:     w.LazyCancellation,
+		OptimismWindow:       w.OptimismWindow,
+		DisablePooling:       w.DisablePooling,
+		Trace:                c.Trace,
+		Progress:             c.Progress,
+	}
+	if w.System != "" {
+		if out.System, err = ParseSystem(w.System); err != nil {
+			return err
+		}
+	}
+	if w.GVT != "" {
+		if out.GVT, err = ParseGVT(w.GVT); err != nil {
+			return err
+		}
+	}
+	if w.Affinity != "" {
+		if out.Affinity, err = ParseAffinity(w.Affinity); err != nil {
+			return err
+		}
+	}
+	if w.Queue != "" {
+		if out.Queue, err = ParseQueue(w.Queue); err != nil {
+			return err
+		}
+	}
+	if w.StateSaving != "" {
+		if out.StateSaving, err = ParseStateSaving(w.StateSaving); err != nil {
+			return err
+		}
+	}
+	if m := w.Machine; m != nil {
+		out.Machine = Machine{
+			Cores:     m.Cores,
+			SMTWidth:  m.SMTWidth,
+			FreqHz:    m.FreqHz,
+			NUMANodes: m.NUMANodes,
+			MaxTicks:  m.MaxTicks,
+		}
+	}
+	if a := w.AdaptiveGVT; a != nil {
+		out.AdaptiveGVT = &AdaptiveGVT{
+			MinFrequency:               a.MinFrequency,
+			MaxFrequency:               a.MaxFrequency,
+			TargetUncommittedPerThread: a.TargetUncommittedPerThread,
+		}
+	}
+	if ck := w.Checkpoint; ck != nil {
+		cp := *ck
+		out.Checkpoint = &cp
+	}
+	if ch := w.Chaos; ch != nil {
+		cp := *ch
+		out.Chaos = &cp
+	}
+	*c = out
+	return nil
+}

@@ -1,0 +1,26 @@
+package ggpdes
+
+import (
+	"errors"
+
+	"ggpdes/internal/checkpoint"
+)
+
+// Sentinel errors classifying every failure mode of Run, RunContext and
+// Resume. Match with errors.Is; returned errors wrap both the sentinel
+// and the underlying cause, so errors.Is(err, context.Canceled) keeps
+// working alongside errors.Is(err, ErrCancelled). The serving layer
+// maps these onto HTTP statuses (400 / 409 / 410 / 504).
+var (
+	// ErrInvalidConfig wraps every Validate rejection: missing or
+	// malformed fields, out-of-range enums, impossible machine shapes,
+	// model parameter errors.
+	ErrInvalidConfig = errors.New("ggpdes: invalid config")
+	// ErrCancelled reports a run stopped by context cancellation.
+	ErrCancelled = errors.New("ggpdes: run cancelled")
+	// ErrDeadline reports a run stopped by a context deadline.
+	ErrDeadline = errors.New("ggpdes: run deadline exceeded")
+	// ErrCheckpointCorrupt reports an unreadable, truncated,
+	// checksum-mismatched or version-incompatible checkpoint file.
+	ErrCheckpointCorrupt = checkpoint.ErrCorrupt
+)

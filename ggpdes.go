@@ -25,7 +25,6 @@
 package ggpdes
 
 import (
-	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -37,7 +36,6 @@ import (
 	"ggpdes/internal/machine"
 	"ggpdes/internal/pq"
 	"ggpdes/internal/telemetry"
-	"ggpdes/internal/trace"
 	"ggpdes/internal/tw"
 )
 
@@ -248,6 +246,55 @@ type Config struct {
 	// switch exists for A/B allocation measurements and debugging, and
 	// — like Trace and Progress — is excluded from CacheKey.
 	DisablePooling bool
+	// Checkpoint, when non-nil, makes the run checkpointable: the
+	// engine quiesces onto its committed state every Every GVT rounds
+	// and a versioned snapshot is written to Dir. A checkpointed run
+	// executes as a chain of segments rebuilt from each snapshot —
+	// whether or not the process dies in between — so Resume from any
+	// snapshot reproduces the uninterrupted run's Results exactly.
+	// Segmentation perturbs speculation, so Checkpoint.Every is part of
+	// CacheKey; Checkpoint.Dir is not.
+	Checkpoint *CheckpointOptions
+	// Chaos, when non-nil, injects deterministic faults (see
+	// ChaosOptions). Chaos runs are for exercising fault tolerance and
+	// are not expected to match fault-free results — or, for killed
+	// threads, to complete at all.
+	Chaos *ChaosOptions
+}
+
+// CheckpointOptions configures deterministic checkpoint/restore.
+type CheckpointOptions struct {
+	// Every is the number of GVT rounds between checkpoints (>= 1).
+	Every int `json:"every"`
+	// Dir receives the numbered snapshot files ("ckpt-NNNNNNNN.json").
+	// Empty runs the segmented trajectory without persisting it —
+	// useful for testing; Resume obviously needs a directory.
+	Dir string `json:"dir,omitempty"`
+}
+
+// ChaosOptions injects deterministic, seeded faults into a run. All
+// injection decisions are functions of (Seed, position), so a chaos
+// run is exactly reproducible.
+type ChaosOptions struct {
+	// Seed drives all injection randomness (0 = the run's Seed).
+	Seed uint64 `json:"seed,omitempty"`
+	// DropSendRate and DelaySendRate are per-cross-thread-send
+	// probabilities of losing the event or withholding it until
+	// DelaySendHold further sends have happened (0 = 64). The rates
+	// must sum to at most 1. Delayed events that fall below GVT before
+	// release are dropped.
+	DropSendRate  float64 `json:"drop_send_rate,omitempty"`
+	DelaySendRate float64 `json:"delay_send_rate,omitempty"`
+	DelaySendHold int     `json:"delay_send_hold,omitempty"`
+	// StallRate is a per-thread-iteration probability of burning the
+	// iteration without doing any work.
+	StallRate float64 `json:"stall_rate,omitempty"`
+	// KillAtIter, when non-zero, kills thread KillThread at that
+	// main-loop iteration. The dead thread typically stalls GVT
+	// forever; the run then ends only via Machine.MaxTicks, context
+	// cancellation, or the serving layer's stall watchdog.
+	KillThread int    `json:"kill_thread,omitempty"`
+	KillAtIter uint64 `json:"kill_at_iter,omitempty"`
 }
 
 // AdaptiveGVT bounds the self-tuning GVT frequency.
@@ -450,283 +497,98 @@ func (r *Results) Efficiency() float64 {
 
 // Validate checks cfg for the errors Run would reject it with, without
 // running anything: missing or malformed fields, out-of-range enum
-// values, impossible machine shapes, and model parameter errors.
-// Commands call it to fail fast with a one-line diagnostic; the
-// serving layer calls it at admission time.
+// values, impossible machine shapes, and model parameter errors. Every
+// rejection wraps ErrInvalidConfig. Commands call it to fail fast with
+// a one-line diagnostic; the serving layer calls it at admission time
+// and maps the sentinel to HTTP 400.
 func (c Config) Validate() error {
+	fail := func(format string, args ...any) error {
+		return fmt.Errorf("%w: %s", ErrInvalidConfig, fmt.Sprintf(format, args...))
+	}
 	if c.Model == nil {
-		return errors.New("ggpdes: Config.Model is required")
+		return fail("Config.Model is required")
 	}
 	if c.Threads <= 0 {
-		return errors.New("ggpdes: Config.Threads must be positive")
+		return fail("Config.Threads must be positive")
 	}
 	if c.EndTime <= 0 {
-		return errors.New("ggpdes: Config.EndTime must be positive")
+		return fail("Config.EndTime must be positive")
 	}
 	if c.System < Baseline || c.System > GGPDES {
-		return fmt.Errorf("ggpdes: unknown System %d", int(c.System))
+		return fail("unknown System %d", int(c.System))
 	}
 	if c.GVT < Barrier || c.GVT > WaitFree {
-		return fmt.Errorf("ggpdes: unknown GVT algorithm %d", int(c.GVT))
+		return fail("unknown GVT algorithm %d", int(c.GVT))
 	}
 	if c.Affinity < NoAffinity || c.Affinity > DynamicAffinity {
-		return fmt.Errorf("ggpdes: unknown Affinity %d", int(c.Affinity))
+		return fail("unknown Affinity %d", int(c.Affinity))
 	}
 	if c.Queue < SplayQueue || c.Queue > CalendarQueue {
-		return fmt.Errorf("ggpdes: unknown Queue %d", int(c.Queue))
+		return fail("unknown Queue %d", int(c.Queue))
 	}
 	if c.StateSaving < CopyState || c.StateSaving > ReverseComputation {
-		return fmt.Errorf("ggpdes: unknown StateSaving %d", int(c.StateSaving))
+		return fail("unknown StateSaving %d", int(c.StateSaving))
 	}
 	if c.Affinity == DynamicAffinity && c.System != GGPDES {
-		return errors.New("ggpdes: DynamicAffinity requires the GGPDES system")
+		return fail("DynamicAffinity requires the GGPDES system")
 	}
 	if c.GVTFrequency < 0 {
-		return errors.New("ggpdes: GVTFrequency must be non-negative")
+		return fail("GVTFrequency must be non-negative")
 	}
 	if c.ZeroCounterThreshold < 0 {
-		return errors.New("ggpdes: ZeroCounterThreshold must be non-negative")
+		return fail("ZeroCounterThreshold must be non-negative")
 	}
 	if c.BatchSize < 0 {
-		return errors.New("ggpdes: BatchSize must be non-negative")
+		return fail("BatchSize must be non-negative")
 	}
 	if c.LPsPerKP < 0 {
-		return errors.New("ggpdes: LPsPerKP must be non-negative")
+		return fail("LPsPerKP must be non-negative")
 	}
 	if c.OptimismWindow < 0 {
-		return errors.New("ggpdes: OptimismWindow must be non-negative")
+		return fail("OptimismWindow must be non-negative")
 	}
 	if a := c.AdaptiveGVT; a != nil {
 		if a.MinFrequency < 0 || a.MaxFrequency < 0 || a.MinFrequency > a.MaxFrequency {
-			return errors.New("ggpdes: AdaptiveGVT frequency bounds are invalid")
+			return fail("AdaptiveGVT frequency bounds are invalid")
+		}
+	}
+	if ck := c.Checkpoint; ck != nil {
+		if ck.Every < 1 {
+			return fail("Checkpoint.Every must be at least 1")
+		}
+	}
+	if ch := c.Chaos; ch != nil {
+		if ch.DropSendRate < 0 || ch.DropSendRate > 1 ||
+			ch.DelaySendRate < 0 || ch.DelaySendRate > 1 ||
+			ch.DropSendRate+ch.DelaySendRate > 1 {
+			return fail("Chaos send-fault rates must be probabilities summing to at most 1")
+		}
+		if ch.StallRate < 0 || ch.StallRate > 1 {
+			return fail("Chaos.StallRate must be a probability")
+		}
+		if ch.DelaySendHold < 0 {
+			return fail("Chaos.DelaySendHold must be non-negative")
+		}
+		if ch.KillAtIter != 0 && (ch.KillThread < 0 || ch.KillThread >= c.Threads) {
+			return fail("Chaos.KillThread must name a simulation thread")
 		}
 	}
 	if _, err := c.Machine.build(); err != nil {
-		return err
+		return fmt.Errorf("%w: %v", ErrInvalidConfig, err)
 	}
 	model, err := c.Model.build(c.Threads, c.EndTime)
 	if err != nil {
-		return err
+		return fmt.Errorf("%w: %v", ErrInvalidConfig, err)
 	}
 	if c.StateSaving == ReverseComputation {
 		if _, ok := model.(tw.ReverseModel); !ok {
-			return errors.New("ggpdes: ReverseComputation requires a reversible model")
+			return fail("ReverseComputation requires a reversible model")
+		}
+	}
+	if c.Checkpoint != nil {
+		if _, ok := model.(tw.CheckpointModel); !ok {
+			return fail("Checkpoint requires a model with state codecs")
 		}
 	}
 	return nil
-}
-
-// Run executes one simulation to completion and returns its metrics.
-func Run(cfg Config) (*Results, error) { return RunContext(context.Background(), cfg) }
-
-// RunContext executes one simulation like Run, stopping early if ctx
-// is cancelled or its deadline passes. Cancellation is observed in
-// real time by the machine loop, which asks the engine to wind down;
-// simulation threads notice within one main-loop iteration, well
-// inside a GVT round. A cancelled run returns no Results and an error
-// wrapping ctx.Err().
-func RunContext(ctx context.Context, cfg Config) (*Results, error) {
-	if err := cfg.Validate(); err != nil {
-		return nil, err
-	}
-	if cfg.Seed == 0 {
-		cfg.Seed = 1
-	}
-	mcfg, err := cfg.Machine.build()
-	if err != nil {
-		return nil, err
-	}
-	m, err := machine.New(mcfg)
-	if err != nil {
-		return nil, err
-	}
-	var adaptive *gvt.Adaptive
-	if a := cfg.AdaptiveGVT; a != nil {
-		adaptive = &gvt.Adaptive{
-			MinFrequency:               a.MinFrequency,
-			MaxFrequency:               a.MaxFrequency,
-			TargetUncommittedPerThread: a.TargetUncommittedPerThread,
-		}
-	}
-	var rec *trace.Recorder
-	if cfg.Trace != nil {
-		if cfg.Trace.Ring {
-			rec = trace.NewRing(cfg.Trace.Limit)
-		} else {
-			rec = trace.New(cfg.Trace.Limit)
-		}
-		rec.Clock = m.NowCycles
-		m.SetTrace(rec)
-	}
-	reg := telemetry.NewRegistry()
-	m.SetTelemetry(reg)
-	model, err := cfg.Model.build(cfg.Threads, cfg.EndTime)
-	if err != nil {
-		return nil, err
-	}
-	// The progress hook closes over eng/runner, which exist only after
-	// construction; indirect through a late-bound function.
-	var eng *tw.Engine
-	var runner *core.Runner
-	var progress func(tw.VT)
-	var onGVT func(tw.VT)
-	if cfg.Progress != nil {
-		onGVT = func(v tw.VT) {
-			if progress != nil {
-				progress(v)
-			}
-		}
-	}
-	eng, err = tw.NewEngine(tw.Config{
-		NumThreads:       cfg.Threads,
-		Model:            model,
-		EndTime:          cfg.EndTime,
-		Seed:             cfg.Seed,
-		BatchSize:        cfg.BatchSize,
-		QueueKind:        pq.Kind(cfg.Queue),
-		StateSaving:      tw.SavePolicy(cfg.StateSaving),
-		LazyCancellation: cfg.LazyCancellation,
-		OptimismWindow:   cfg.OptimismWindow,
-		DisablePooling:   cfg.DisablePooling,
-		Trace:            rec,
-		Telemetry:        reg,
-		OnGVT:            onGVT,
-	})
-	if err != nil {
-		return nil, err
-	}
-	runner, err = core.NewRunner(core.Config{
-		Machine:              m,
-		Engine:               eng,
-		System:               core.System(cfg.System),
-		GVTKind:              gvt.Kind(cfg.GVT),
-		GVTFrequency:         cfg.GVTFrequency,
-		ZeroCounterThreshold: cfg.ZeroCounterThreshold,
-		Affinity:             core.Affinity(cfg.Affinity),
-		Trace:                rec,
-		GVTAdaptive:          adaptive,
-		Telemetry:            reg,
-	})
-	if err != nil {
-		return nil, err
-	}
-	if p := cfg.Progress; p != nil {
-		every := p.Every
-		if every <= 0 {
-			every = 0.1
-		}
-		step := every * cfg.EndTime
-		next := step
-		progress = func(v tw.VT) {
-			g := float64(v)
-			if g < next && g < cfg.EndTime {
-				return
-			}
-			for next <= g {
-				next += step
-			}
-			s := eng.TotalStats()
-			info := ProgressInfo{
-				GVT:             g,
-				EndTime:         cfg.EndTime,
-				CommittedEvents: s.Committed,
-				ProcessedEvents: s.Processed,
-				ActiveThreads:   runner.NumActive(),
-				Threads:         cfg.Threads,
-				GVTRounds:       runner.Algorithm().Rounds(),
-				WallSeconds:     m.WallSeconds(),
-			}
-			if info.WallSeconds > 0 {
-				info.CommittedEventRate = float64(info.CommittedEvents) / info.WallSeconds
-			}
-			if info.ProcessedEvents > 0 {
-				info.Efficiency = float64(info.CommittedEvents) / float64(info.ProcessedEvents)
-			}
-			if p.W != nil {
-				fmt.Fprintln(p.W, info)
-			}
-			if p.Func != nil {
-				p.Func(info)
-			}
-		}
-	}
-	m.SetOnCancel(eng.Cancel)
-	if err := m.RunContext(ctx); err != nil {
-		if ctx.Err() != nil && errors.Is(err, ctx.Err()) {
-			return nil, fmt.Errorf("ggpdes: run cancelled: %w", err)
-		}
-		return nil, fmt.Errorf("ggpdes: %s/%s run failed: %w", cfg.System, cfg.GVT, err)
-	}
-	if err := eng.CheckInvariants(); err != nil {
-		return nil, fmt.Errorf("ggpdes: engine invariant violated: %w", err)
-	}
-	eng.FlushPoolStats()
-	s := eng.TotalStats()
-	ms := m.Stats()
-	ss := runner.SchedulingStats()
-	res := &Results{
-		CommittedEvents:       s.Committed,
-		ProcessedEvents:       s.Processed,
-		RolledBackEvents:      s.RolledBack,
-		Rollbacks:             s.Rollbacks,
-		Stragglers:            s.Stragglers,
-		AntiMessages:          s.AntiSent,
-		LazyReused:            s.LazyReused,
-		LazyCancelled:         s.LazyCancelled,
-		WallClockSeconds:      m.WallSeconds(),
-		GVTCPUSeconds:         m.CyclesToSeconds(s.GVTCycles),
-		GVTRounds:             runner.Algorithm().Rounds(),
-		TotalCycles:           m.TotalCycles(),
-		Deactivations:         ss.Deactivations,
-		Activations:           ss.Activations,
-		LockContention:        ss.LockContention,
-		Repins:                ss.Repins,
-		ContextSwitches:       ms.CtxSwitches,
-		Migrations:            ms.Migrations,
-		CrossNodeMigrations:   ms.CrossNodeMigrations,
-		Preempts:              ms.Preempts,
-		FinalGVT:              eng.GVT(),
-		FinalGVTFrequency:     runner.Algorithm().Frequency(),
-		PeakUncommittedEvents: eng.PeakUncommittedEvents(),
-	}
-	if res.WallClockSeconds > 0 {
-		res.CommittedEventRate = float64(res.CommittedEvents) / res.WallClockSeconds
-	}
-	res.Counters = reg.Counters()
-	res.Gauges = reg.Gauges()
-	hists := reg.Histograms()
-	res.Histograms = make(map[string]HistSummary, len(hists))
-	for name, s := range hists {
-		res.Histograms[name] = histSummary(s)
-	}
-	res.RollbackDepth = res.Histograms[tw.MetricRollbackDepth]
-	res.GVTRoundLatencyCycles = res.Histograms[gvt.MetricRoundLatency]
-	res.CommitBatch = res.Histograms[tw.MetricCommitBatch]
-	res.DescheduleSpanCycles = res.Histograms[core.MetricDescheduleSpan]
-	if rec != nil {
-		res.TraceSummary = rec.Summary(cfg.Threads, m.NowCycles())
-		res.InactiveFraction = rec.InactiveFraction(cfg.Threads, m.NowCycles())
-		if cfg.Trace.CSV != nil {
-			if err := rec.WriteCSV(cfg.Trace.CSV); err != nil {
-				return nil, fmt.Errorf("ggpdes: writing trace: %w", err)
-			}
-		}
-		if cfg.Trace.Timeline != nil {
-			if _, err := io.WriteString(cfg.Trace.Timeline,
-				rec.RenderTimeline(cfg.Threads, m.NowCycles(), cfg.Trace.TimelineWidth, 64)); err != nil {
-				return nil, fmt.Errorf("ggpdes: writing timeline: %w", err)
-			}
-		}
-		if cfg.Trace.Perfetto != nil {
-			err := rec.WritePerfetto(cfg.Trace.Perfetto, trace.PerfettoOptions{
-				FreqHz:    mcfg.FreqHz,
-				Threads:   cfg.Threads,
-				EndCycles: m.NowCycles(),
-			})
-			if err != nil {
-				return nil, fmt.Errorf("ggpdes: writing perfetto trace: %w", err)
-			}
-		}
-	}
-	return res, nil
 }

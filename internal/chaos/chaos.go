@@ -1,0 +1,148 @@
+// Package chaos provides deterministic fault injectors for exercising
+// the fault-tolerance machinery: dropped and delayed inter-peer sends
+// (tw.SendFaultInjector), killed and stalled simulation threads
+// (core.ThreadFaultInjector), and planned serve-worker crashes.
+//
+// Every injector is seeded and decides faults from its own PCG streams,
+// so a given (seed, configuration) pair injects the exact same fault
+// sequence on every run — chaos tests are reproducible and failures
+// replayable. Injectors are scoped to a single run segment; the driver
+// rebuilds them per segment, which is itself deterministic because both
+// the in-process and resumed restore paths rebuild at the same
+// boundaries.
+package chaos
+
+import (
+	"errors"
+	"hash/fnv"
+
+	"ggpdes/internal/rng"
+)
+
+// ErrInjectedCrash is the cancellation cause of a serve-worker attempt
+// killed by crash injection; the retry loop classifies it as retryable.
+var ErrInjectedCrash = errors.New("chaos: injected worker crash")
+
+// SendFaults drops or delays positive cross-peer event sends. It
+// implements tw.SendFaultInjector.
+type SendFaults struct {
+	stream    *rng.Stream
+	dropRate  float64
+	delayRate float64
+	hold      uint64
+
+	// Dropped and Delayed count injected faults (read after the run).
+	Dropped uint64
+	Delayed uint64
+}
+
+// DefaultDelayHold is how many subsequent cross-peer sends a delayed
+// message waits for when no hold is configured.
+const DefaultDelayHold = 64
+
+// NewSendFaults builds an injector that drops each cross-peer send with
+// probability dropRate and delays it by hold subsequent sends with
+// probability delayRate (hold <= 0 selects DefaultDelayHold). Rates are
+// disjoint: a send is dropped, delayed or delivered.
+func NewSendFaults(seed uint64, dropRate, delayRate float64, hold int) *SendFaults {
+	if hold <= 0 {
+		hold = DefaultDelayHold
+	}
+	return &SendFaults{
+		stream:    rng.New(seed, 0x5e4d),
+		dropRate:  dropRate,
+		delayRate: delayRate,
+		hold:      uint64(hold),
+	}
+}
+
+// Outcome implements tw.SendFaultInjector. Machine execution serializes
+// engine sends, so drawing from one stream is deterministic.
+func (f *SendFaults) Outcome(n uint64) (drop bool, hold uint64) {
+	_ = n
+	u := f.stream.Float64()
+	switch {
+	case u < f.dropRate:
+		f.Dropped++
+		return true, 0
+	case u < f.dropRate+f.delayRate:
+		f.Delayed++
+		return false, f.hold
+	}
+	return false, 0
+}
+
+// ThreadFaults kills and stalls simulation threads. It implements
+// core.ThreadFaultInjector.
+type ThreadFaults struct {
+	stallRate  float64
+	killThread int
+	killAtIter uint64
+	streams    []*rng.Stream
+
+	// Stalls counts injected stall iterations.
+	Stalls uint64
+}
+
+// NewThreadFaults builds an injector for threads threads. Each thread
+// iteration stalls with probability stallRate (drawn from a per-thread
+// stream so decisions are independent of interleaving). When killAtIter
+// is non-zero, thread killThread dies at that main-loop iteration.
+func NewThreadFaults(seed uint64, threads int, stallRate float64, killThread int, killAtIter uint64) *ThreadFaults {
+	f := &ThreadFaults{
+		stallRate:  stallRate,
+		killThread: killThread,
+		killAtIter: killAtIter,
+		streams:    make([]*rng.Stream, threads),
+	}
+	for i := range f.streams {
+		f.streams[i] = rng.New(seed, 0xfa17+uint64(i))
+	}
+	return f
+}
+
+// Killed implements core.ThreadFaultInjector.
+func (f *ThreadFaults) Killed(tid int, iter uint64) bool {
+	return f.killAtIter != 0 && tid == f.killThread && iter >= f.killAtIter
+}
+
+// Stalled implements core.ThreadFaultInjector.
+func (f *ThreadFaults) Stalled(tid int, iter uint64) bool {
+	if f.stallRate <= 0 || tid >= len(f.streams) {
+		return false
+	}
+	if f.streams[tid].Float64() < f.stallRate {
+		f.Stalls++
+		return true
+	}
+	return false
+}
+
+// WorkerCrashes plans serve-worker crashes: for each (job, attempt) it
+// decides up front whether the attempt crashes and at which fraction of
+// simulated progress, so the serve layer can arm a cancellation trigger
+// before the run starts. Decisions depend only on (seed, jobKey,
+// attempt) — resubmitting a job replays its crash schedule.
+type WorkerCrashes struct {
+	seed uint64
+	rate float64
+}
+
+// NewWorkerCrashes builds a planner that crashes each attempt with
+// probability rate.
+func NewWorkerCrashes(seed uint64, rate float64) *WorkerCrashes {
+	return &WorkerCrashes{seed: seed, rate: rate}
+}
+
+// Plan returns whether the attempt crashes and, if so, the GVT fraction
+// (in (0, 1)) at which the crash fires.
+func (w *WorkerCrashes) Plan(jobKey string, attempt int) (crash bool, atFraction float64) {
+	h := fnv.New64a()
+	h.Write([]byte(jobKey))
+	h.Write([]byte{byte(attempt), byte(attempt >> 8), byte(attempt >> 16), byte(attempt >> 24)})
+	s := rng.New(w.seed, h.Sum64())
+	if s.Float64() >= w.rate {
+		return false, 0
+	}
+	return true, 0.05 + 0.9*s.Float64()
+}

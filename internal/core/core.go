@@ -163,6 +163,24 @@ type Config struct {
 	// Telemetry, when non-nil, receives scheduler metrics (see the
 	// Metric constants) and is forwarded to the GVT layer.
 	Telemetry *telemetry.Registry
+	// Faults, when non-nil, injects thread-level faults into the main
+	// loop (see internal/chaos). A killed thread exits immediately and
+	// never comes back, which typically stalls GVT; a stalled thread
+	// burns a loop iteration without doing work. Fault injection is for
+	// exercising the fault-tolerance machinery — injected runs are not
+	// expected to complete normally.
+	Faults ThreadFaultInjector
+}
+
+// ThreadFaultInjector decides per-thread, per-iteration faults.
+// Implementations must be deterministic in (tid, iter) given their
+// construction parameters so injected runs are reproducible.
+type ThreadFaultInjector interface {
+	// Killed reports whether thread tid dies at main-loop iteration
+	// iter (1-based). Once true it must stay true for all later iters.
+	Killed(tid int, iter uint64) bool
+	// Stalled reports whether thread tid wastes iteration iter.
+	Stalled(tid int, iter uint64) bool
 }
 
 // Runner wires a machine, an engine, a GVT algorithm, a scheduler and
@@ -359,8 +377,22 @@ func (r *Runner) threadBody(p *machine.Proc, tid int) {
 	acc := machine.NewAcc(p)
 	r.aff.Setup(p, acc, tid)
 	idle := 0
+	var iter uint64
 	for !eng.Done() {
 		acc.Work(r.cfg.Costs.LoopCycles)
+		if f := r.cfg.Faults; f != nil {
+			iter++
+			if f.Killed(tid, iter) {
+				// Die without fossil collection or shutdown wakeups —
+				// a crashed thread cleans nothing up.
+				acc.Flush()
+				return
+			}
+			if f.Stalled(tid, iter) {
+				acc.Flush()
+				continue
+			}
+		}
 		drained := peer.Drain(acc)
 		processed := peer.ProcessBatch(acc)
 		r.sched.ReadMessageCount(tid)

@@ -80,6 +80,11 @@ type Config struct {
 	LoadBalancePeriodTicks int
 	// MaxTicks aborts the run if exceeded; 0 means unlimited.
 	MaxTicks uint64
+	// StartTick offsets the machine wall-clock: the tick counter begins
+	// here instead of zero, so a machine resumed from a checkpoint
+	// reports cumulative NowCycles/WallSeconds. MaxTicks remains an
+	// absolute (cumulative) bound.
+	StartTick uint64
 }
 
 // KNL7230 returns the topology of the paper's evaluation platform: an

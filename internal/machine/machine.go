@@ -109,7 +109,7 @@ func New(cfg Config) (*Machine, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	m := &Machine{cfg: cfg}
+	m := &Machine{cfg: cfg, tick: cfg.StartTick}
 	m.cores = make([]coreState, cfg.Cores)
 	// Bind against a nil registry so instrumentation sites always have
 	// live (if unreported) handles.

@@ -1,0 +1,103 @@
+package models
+
+// Checkpoint codecs: every bundled model implements tw.CheckpointModel
+// with a fixed-layout little-endian encoding of its LP state. The
+// layouts are deliberately dumb — exported fields in declaration order
+// — because checkpoint portability matters more than compactness and
+// the envelope above this layer is versioned.
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"ggpdes/internal/tw"
+)
+
+func putI64(buf []byte, off int, v int64) int {
+	binary.LittleEndian.PutUint64(buf[off:], uint64(v))
+	return off + 8
+}
+
+func getI64(data []byte, off int) (int64, int) {
+	return int64(binary.LittleEndian.Uint64(data[off:])), off + 8
+}
+
+// EncodeState implements tw.CheckpointModel.
+func (m *PHOLD) EncodeState(s tw.State) ([]byte, error) {
+	st, ok := s.(*PHOLDState)
+	if !ok {
+		return nil, fmt.Errorf("models: phold cannot encode %T", s)
+	}
+	buf := make([]byte, 8)
+	putI64(buf, 0, st.Processed)
+	return buf, nil
+}
+
+// DecodeState implements tw.CheckpointModel.
+func (m *PHOLD) DecodeState(data []byte) (tw.State, error) {
+	if len(data) != 8 {
+		return nil, fmt.Errorf("models: phold state is %d bytes, want 8", len(data))
+	}
+	v, _ := getI64(data, 0)
+	return &PHOLDState{Processed: v}, nil
+}
+
+// EncodeState implements tw.CheckpointModel.
+func (m *Epidemics) EncodeState(s tw.State) ([]byte, error) {
+	st, ok := s.(*HouseholdState)
+	if !ok {
+		return nil, fmt.Errorf("models: epidemics cannot encode %T", s)
+	}
+	buf := make([]byte, 8+len(st.Agents)+4*8)
+	binary.LittleEndian.PutUint64(buf, uint64(len(st.Agents)))
+	off := 8 + copy(buf[8:], st.Agents)
+	off = putI64(buf, off, st.Exposures)
+	off = putI64(buf, off, st.Infections)
+	off = putI64(buf, off, st.Recoveries)
+	putI64(buf, off, st.ContactsSeen)
+	return buf, nil
+}
+
+// DecodeState implements tw.CheckpointModel.
+func (m *Epidemics) DecodeState(data []byte) (tw.State, error) {
+	if len(data) < 8 {
+		return nil, fmt.Errorf("models: epidemics state is %d bytes, want >= 8", len(data))
+	}
+	n := binary.LittleEndian.Uint64(data)
+	if uint64(len(data)) != 8+n+4*8 {
+		return nil, fmt.Errorf("models: epidemics state is %d bytes, want %d for %d agents", len(data), 8+n+4*8, n)
+	}
+	st := &HouseholdState{Agents: append([]uint8(nil), data[8:8+n]...)}
+	off := int(8 + n)
+	st.Exposures, off = getI64(data, off)
+	st.Infections, off = getI64(data, off)
+	st.Recoveries, off = getI64(data, off)
+	st.ContactsSeen, _ = getI64(data, off)
+	return st, nil
+}
+
+// EncodeState implements tw.CheckpointModel.
+func (m *Traffic) EncodeState(s tw.State) ([]byte, error) {
+	st, ok := s.(*IntersectionState)
+	if !ok {
+		return nil, fmt.Errorf("models: traffic cannot encode %T", s)
+	}
+	buf := make([]byte, 3*8)
+	off := putI64(buf, 0, st.Queued)
+	off = putI64(buf, off, st.Arrivals)
+	putI64(buf, off, st.Departures)
+	return buf, nil
+}
+
+// DecodeState implements tw.CheckpointModel.
+func (m *Traffic) DecodeState(data []byte) (tw.State, error) {
+	if len(data) != 3*8 {
+		return nil, fmt.Errorf("models: traffic state is %d bytes, want 24", len(data))
+	}
+	st := &IntersectionState{}
+	off := 0
+	st.Queued, off = getI64(data, off)
+	st.Arrivals, off = getI64(data, off)
+	st.Departures, _ = getI64(data, off)
+	return st, nil
+}

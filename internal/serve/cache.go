@@ -34,9 +34,9 @@ type cacheEntry struct {
 // disables caching: every lookup misses and puts are dropped.
 func newResultCache(max int, reg *telemetry.Registry) *resultCache {
 	return &resultCache{
-		max:   max,
-		ll:    list.New(),
-		items: make(map[string]*list.Element),
+		max:       max,
+		ll:        list.New(),
+		items:     make(map[string]*list.Element),
 		hits:      reg.Counter("serve.cache_hits"),
 		misses:    reg.Counter("serve.cache_misses"),
 		evictions: reg.Counter("serve.cache_evictions"),

@@ -4,18 +4,31 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+	"runtime"
 	"strings"
+
+	"ggpdes"
+	"ggpdes/internal/checkpoint"
 )
+
+// apiRevision identifies the /v1 wire contract. Revision 2 replaced
+// the flat job spec with an embedded ggpdes.Config ("config":{...})
+// and added attempts/last_error/resumed_from to job status; /v1 paths
+// are otherwise stable within a revision.
+const apiRevision = 2
 
 // Handler returns the service's HTTP API:
 //
 //	POST   /v1/jobs            submit a JobSpec; 202 queued, 200 cache hit,
-//	                           400 invalid, 429 queue full (Retry-After),
-//	                           503 draining
+//	                           400 invalid config, 429 queue full
+//	                           (Retry-After), 503 draining
 //	GET    /v1/jobs/{id}       job status; 404 unknown
 //	GET    /v1/jobs/{id}/result  200 results when done, 202 still in
-//	                           flight, 409 failed/cancelled, 404 unknown
+//	                           flight, 404 unknown; failures map the
+//	                           typed cause: 409 cancelled/failed, 410
+//	                           corrupt checkpoint, 504 deadline
 //	DELETE /v1/jobs/{id}       cancel; 200 with post-cancel status
+//	GET    /v1/version         API revision + checkpoint format
 //	GET    /v1/healthz         200 ok, 503 draining
 //	GET    /v1/stats           telemetry counters/gauges/histograms
 func (m *Manager) Handler() http.Handler {
@@ -24,6 +37,7 @@ func (m *Manager) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", m.handleStatus)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", m.handleResult)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", m.handleCancel)
+	mux.HandleFunc("GET /v1/version", m.handleVersion)
 	mux.HandleFunc("GET /v1/healthz", m.handleHealthz)
 	mux.HandleFunc("GET /v1/stats", m.handleStats)
 	return mux
@@ -41,6 +55,37 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	_ = enc.Encode(v)
 }
 
+// submitStatus maps a Submit error to its HTTP status via the typed
+// sentinels.
+func submitStatus(err error) int {
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrDraining):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, ggpdes.ErrInvalidConfig):
+		return http.StatusBadRequest
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+// failureStatus maps a terminal job's cause to the result endpoint's
+// HTTP status.
+func failureStatus(cause error) int {
+	switch {
+	case errors.Is(cause, ggpdes.ErrDeadline):
+		return http.StatusGatewayTimeout
+	case errors.Is(cause, ggpdes.ErrCheckpointCorrupt):
+		return http.StatusGone
+	case errors.Is(cause, ggpdes.ErrInvalidConfig):
+		return http.StatusBadRequest
+	default:
+		// Cancellations and unclassified failures.
+		return http.StatusConflict
+	}
+}
+
 func (m *Manager) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var spec JobSpec
 	dec := json.NewDecoder(r.Body)
@@ -55,11 +100,9 @@ func (m *Manager) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		// Queue depth × typical service time is the natural drain
 		// horizon; 1s is a conservative client backoff hint.
 		w.Header().Set("Retry-After", "1")
-		writeJSON(w, http.StatusTooManyRequests, errorBody{Error: err.Error()})
-	case errors.Is(err, ErrDraining):
-		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
+		writeJSON(w, submitStatus(err), errorBody{Error: err.Error()})
 	case err != nil:
-		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		writeJSON(w, submitStatus(err), errorBody{Error: err.Error()})
 	case st.Cached:
 		writeJSON(w, http.StatusOK, st)
 	default:
@@ -94,7 +137,7 @@ func (m *Manager) handleResult(w http.ResponseWriter, r *http.Request) {
 	case StateDone:
 		writeJSON(w, http.StatusOK, resultBody{Status: st, Results: res})
 	case StateFailed, StateCancelled:
-		writeJSON(w, http.StatusConflict, st)
+		writeJSON(w, failureStatus(st.failCause), st)
 	default:
 		writeJSON(w, http.StatusAccepted, st)
 	}
@@ -107,6 +150,32 @@ func (m *Manager) handleCancel(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, st)
+}
+
+// versionBody is the /v1/version payload: what a client needs to know
+// before speaking to this server.
+type versionBody struct {
+	Service string `json:"service"`
+	API     string `json:"api"`
+	// APIRevision bumps when the /v1 wire shapes change; see the
+	// compatibility note in the README.
+	APIRevision int `json:"api_revision"`
+	// CheckpointFormat is the snapshot file version this server reads
+	// and writes.
+	CheckpointFormat int    `json:"checkpoint_format"`
+	GoVersion        string `json:"go_version"`
+	MaxAttempts      int    `json:"max_attempts"`
+}
+
+func (m *Manager) handleVersion(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, versionBody{
+		Service:          "ggserved",
+		API:              "v1",
+		APIRevision:      apiRevision,
+		CheckpointFormat: checkpoint.Version,
+		GoVersion:        runtime.Version(),
+		MaxAttempts:      m.opts.MaxAttempts,
+	})
 }
 
 // healthBody is the /v1/healthz payload.

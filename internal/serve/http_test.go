@@ -121,17 +121,21 @@ func TestHTTPBadRequests(t *testing.T) {
 		t.Fatalf("malformed JSON: status %d, want 400", resp.StatusCode)
 	}
 
+	// A revision-1 flat spec is an unknown-field error now — the config
+	// lives under "config".
 	resp, err = http.Post(srv.URL+"/v1/jobs", "application/json",
-		strings.NewReader(`{"model":"phold","threads":2,"end_time":10,"bogus_field":1}`))
+		strings.NewReader(`{"model":"phold","threads":2,"end_time":10}`))
 	if err != nil {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusBadRequest {
-		t.Fatalf("unknown field: status %d, want 400", resp.StatusCode)
+		t.Fatalf("revision-1 spec: status %d, want 400", resp.StatusCode)
 	}
 
-	if resp, _ := postJob(t, srv, JobSpec{Model: "phold", Threads: 2}); resp.StatusCode != http.StatusBadRequest {
+	invalid := quickSpec(1)
+	invalid.Config.EndTime = 0
+	if resp, _ := postJob(t, srv, invalid); resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("invalid spec: status %d, want 400", resp.StatusCode)
 	}
 
@@ -150,11 +154,11 @@ func TestHTTPQueueFull429(t *testing.T) {
 	_, running := postJob(t, srv, longSpec())
 	waitRunning(t, m, running.ID)
 	queuedSpec := longSpec()
-	queuedSpec.Seed = 2
+	queuedSpec.Config.Seed = 2
 	_, queued := postJob(t, srv, queuedSpec)
 
 	overflow := longSpec()
-	overflow.Seed = 3
+	overflow.Config.Seed = 3
 	resp, _ := postJob(t, srv, overflow)
 	if resp.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("overflow status %d, want 429", resp.StatusCode)

@@ -4,11 +4,18 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ggpdes"
+	"ggpdes/internal/chaos"
+	"ggpdes/internal/checkpoint"
+	"ggpdes/internal/rng"
 	"ggpdes/internal/telemetry"
 )
 
@@ -23,7 +30,7 @@ const (
 	// StateDone: finished successfully; the result is available.
 	StateDone State = "done"
 	// StateFailed: the run returned an error (including deadline
-	// expiry).
+	// expiry) and exhausted its retry budget.
 	StateFailed State = "failed"
 	// StateCancelled: cancelled by the client before completion.
 	StateCancelled State = "cancelled"
@@ -41,9 +48,14 @@ var (
 	ErrDraining  = errors.New("serve: server is draining")
 )
 
+// ErrStalled marks an attempt killed by the GVT-stall watchdog: no GVT
+// progress for Options.StallTimeout of real time. Stalled attempts are
+// retried like injected crashes.
+var ErrStalled = errors.New("serve: GVT stall watchdog killed the attempt")
+
 // Options configures a Manager. The zero value is usable: workers
 // sized to GOMAXPROCS, a 64-deep admission queue, a 256-entry cache,
-// no default deadline.
+// no default deadline, no retries, no chaos.
 type Options struct {
 	// Workers is the number of concurrent simulation runs (0 =
 	// GOMAXPROCS).
@@ -54,8 +66,9 @@ type Options struct {
 	// CacheEntries bounds the result cache (0 = 256, negative =
 	// disabled).
 	CacheEntries int
-	// DefaultTimeout bounds each job's real-time execution unless the
-	// spec sets its own; 0 means no default deadline.
+	// DefaultTimeout bounds each job's real-time execution — across
+	// all its attempts — unless the spec sets its own; 0 means no
+	// default deadline.
 	DefaultTimeout time.Duration
 	// RetainJobs bounds how many terminal jobs stay queryable; the
 	// oldest are forgotten past the bound (0 = 4096, negative =
@@ -63,26 +76,61 @@ type Options struct {
 	RetainJobs int
 	// Registry receives the serve.* metrics (nil = a fresh registry).
 	Registry *telemetry.Registry
+
+	// MaxAttempts is the default retry budget per job: attempts killed
+	// by injected crashes or the stall watchdog are retried — resuming
+	// from the job's latest checkpoint — with exponential backoff
+	// until the budget is spent (0 or 1 = no retries).
+	MaxAttempts int
+	// RetryBackoff is the base delay before the first retry, doubled
+	// per retry up to 32x with deterministic ±50% jitter (0 = 25ms).
+	RetryBackoff time.Duration
+	// CheckpointEvery is the default checkpoint cadence, in GVT
+	// rounds, applied to jobs whose config doesn't set its own (0 =
+	// jobs run unsegmented and retries restart from scratch).
+	CheckpointEvery int
+	// CheckpointRoot is the directory holding per-job checkpoint
+	// subdirectories ("" = a temp directory created at New and removed
+	// at Drain).
+	CheckpointRoot string
+	// StallTimeout kills an attempt whose GVT has not advanced for
+	// this much real time, counting it against the retry budget (0 =
+	// watchdog disabled).
+	StallTimeout time.Duration
+
+	// CrashRate injects a simulated worker crash — the attempt's
+	// context is cancelled at a planned GVT fraction — with this
+	// probability per attempt, deterministic in (ChaosSeed, job key,
+	// attempt). The final budgeted attempt is never crashed, so a
+	// sufficient MaxAttempts guarantees completion. 0 disables.
+	CrashRate float64
+	// ChaosSeed seeds the crash plans (0 = 1).
+	ChaosSeed uint64
 }
 
 // Job is one submitted simulation. All mutable fields are guarded by
 // the owning Manager's mutex; handlers read consistent snapshots via
 // Status.
 type Job struct {
-	id     string
-	spec   JobSpec
-	cfg    ggpdes.Config
-	key    string
-	cached bool
+	id          string
+	spec        JobSpec
+	cfg         ggpdes.Config
+	key         string
+	cached      bool
+	maxAttempts int
 
-	state     State
-	err       string
-	result    *ggpdes.Results
-	submitted time.Time
-	started   time.Time
-	finished  time.Time
-	cancel    context.CancelFunc
-	done      chan struct{}
+	state       State
+	err         string
+	failCause   error
+	attempts    int
+	lastErr     string
+	resumedFrom string
+	result      *ggpdes.Results
+	submitted   time.Time
+	started     time.Time
+	finished    time.Time
+	cancel      context.CancelFunc
+	done        chan struct{}
 }
 
 // Status is an immutable snapshot of a job, shaped for JSON.
@@ -96,6 +144,14 @@ type Status struct {
 	Cached bool   `json:"cached,omitempty"`
 	Error  string `json:"error,omitempty"`
 
+	// Attempts counts run attempts so far (0 for cache hits).
+	Attempts int `json:"attempts,omitempty"`
+	// LastError is the most recent attempt failure that was retried.
+	LastError string `json:"last_error,omitempty"`
+	// ResumedFrom names the checkpoint file the latest attempt resumed
+	// from, when it did not start from scratch.
+	ResumedFrom string `json:"resumed_from,omitempty"`
+
 	SubmittedAt time.Time `json:"submitted_at"`
 	StartedAt   time.Time `json:"started_at,omitempty"`
 	FinishedAt  time.Time `json:"finished_at,omitempty"`
@@ -103,14 +159,22 @@ type Status struct {
 	// wall-clock time so far.
 	QueueSeconds float64 `json:"queue_seconds"`
 	RunSeconds   float64 `json:"run_seconds"`
+
+	// failCause carries the terminal error for HTTP status mapping;
+	// not serialized.
+	failCause error
 }
 
 // Manager owns the admission queue, the worker pool, the job table and
 // the result cache. Create one with New and shut it down with Drain.
 type Manager struct {
-	opts  Options
-	reg   *telemetry.Registry
-	cache *resultCache
+	opts    Options
+	reg     *telemetry.Registry
+	cache   *resultCache
+	crashes *chaos.WorkerCrashes
+
+	ckptRoot string
+	ownRoot  bool
 
 	queue chan *Job
 	wg    sync.WaitGroup
@@ -121,14 +185,18 @@ type Manager struct {
 	seq      uint64
 	draining bool
 
-	submitted *telemetry.Counter
-	completed *telemetry.Counter
-	failed    *telemetry.Counter
-	cancelled *telemetry.Counter
-	rejected  *telemetry.Counter
-	queueWait *telemetry.Histogram
-	runWall   *telemetry.Histogram
-	inFlight  *telemetry.Gauge
+	submitted      *telemetry.Counter
+	completed      *telemetry.Counter
+	failed         *telemetry.Counter
+	cancelled      *telemetry.Counter
+	rejected       *telemetry.Counter
+	retries        *telemetry.Counter
+	injectedCrash  *telemetry.Counter
+	stallsDetected *telemetry.Counter
+	resumes        *telemetry.Counter
+	queueWait      *telemetry.Histogram
+	runWall        *telemetry.Histogram
+	inFlight       *telemetry.Gauge
 }
 
 // New starts a manager and its worker pool.
@@ -150,19 +218,38 @@ func New(opts Options) *Manager {
 		reg = telemetry.NewRegistry()
 	}
 	m := &Manager{
-		opts:      opts,
-		reg:       reg,
-		cache:     newResultCache(opts.CacheEntries, reg),
-		queue:     make(chan *Job, opts.QueueDepth),
-		jobs:      make(map[string]*Job),
-		submitted: reg.Counter("serve.jobs_submitted"),
-		completed: reg.Counter("serve.jobs_completed"),
-		failed:    reg.Counter("serve.jobs_failed"),
-		cancelled: reg.Counter("serve.jobs_cancelled"),
-		rejected:  reg.Counter("serve.jobs_rejected"),
-		queueWait: reg.Histogram("serve.queue_wait_ms"),
-		runWall:   reg.Histogram("serve.run_wall_ms"),
-		inFlight:  reg.Gauge("serve.jobs_in_flight"),
+		opts:           opts,
+		reg:            reg,
+		cache:          newResultCache(opts.CacheEntries, reg),
+		queue:          make(chan *Job, opts.QueueDepth),
+		jobs:           make(map[string]*Job),
+		submitted:      reg.Counter("serve.jobs_submitted"),
+		completed:      reg.Counter("serve.jobs_completed"),
+		failed:         reg.Counter("serve.jobs_failed"),
+		cancelled:      reg.Counter("serve.jobs_cancelled"),
+		rejected:       reg.Counter("serve.jobs_rejected"),
+		retries:        reg.Counter("serve.retries"),
+		injectedCrash:  reg.Counter("serve.injected_crashes"),
+		stallsDetected: reg.Counter("serve.stalls_detected"),
+		resumes:        reg.Counter("serve.resumes"),
+		queueWait:      reg.Histogram("serve.queue_wait_ms"),
+		runWall:        reg.Histogram("serve.run_wall_ms"),
+		inFlight:       reg.Gauge("serve.jobs_in_flight"),
+	}
+	if opts.CrashRate > 0 {
+		seed := opts.ChaosSeed
+		if seed == 0 {
+			seed = 1
+		}
+		m.crashes = chaos.NewWorkerCrashes(seed, opts.CrashRate)
+	}
+	m.ckptRoot = opts.CheckpointRoot
+	if m.ckptRoot == "" {
+		// Best-effort: without a root, checkpointed jobs still segment
+		// (Dir stays empty) but retries restart from scratch.
+		if dir, err := os.MkdirTemp("", "ggpdes-serve-ckpt-"); err == nil {
+			m.ckptRoot, m.ownRoot = dir, true
+		}
 	}
 	for i := 0; i < opts.Workers; i++ {
 		m.wg.Add(1)
@@ -184,10 +271,10 @@ func (m *Manager) QueueDepth() int { return m.opts.QueueDepth }
 // Submit validates the spec and either answers it from the result
 // cache (job born StateDone, Cached=true) or admits it to the queue.
 // It fails fast with ErrQueueFull when the queue is at bound and
-// ErrDraining after Drain has begun; spec errors are returned verbatim
-// for the client.
+// ErrDraining after Drain has begun; spec errors wrap
+// ggpdes.ErrInvalidConfig.
 func (m *Manager) Submit(spec JobSpec) (Status, error) {
-	cfg, err := spec.Config()
+	cfg, err := spec.config(m.opts)
 	if err != nil {
 		return Status{}, err
 	}
@@ -197,11 +284,12 @@ func (m *Manager) Submit(spec JobSpec) (Status, error) {
 	}
 
 	j := &Job{
-		spec:      spec,
-		cfg:       cfg,
-		key:       key,
-		submitted: time.Now(),
-		done:      make(chan struct{}),
+		spec:        spec,
+		cfg:         cfg,
+		key:         key,
+		maxAttempts: spec.maxAttempts(m.opts),
+		submitted:   time.Now(),
+		done:        make(chan struct{}),
 	}
 
 	if !spec.NoCache {
@@ -296,7 +384,8 @@ func (m *Manager) Result(id string) (*ggpdes.Results, Status, bool) {
 
 // Cancel stops a job: a queued job is marked cancelled immediately and
 // skipped by its worker; a running job has its context cancelled,
-// which the engine observes within one GVT round. Terminal jobs are
+// which the engine observes within one GVT round. Cancellation covers
+// all attempts — a cancelled job is never retried. Terminal jobs are
 // left as-is. The returned Status reflects the state after the call.
 func (m *Manager) Cancel(id string) (Status, bool) {
 	m.mu.Lock()
@@ -387,6 +476,9 @@ func (m *Manager) Drain(ctx context.Context) error {
 	}()
 	select {
 	case <-idle:
+		if m.ownRoot {
+			_ = os.RemoveAll(m.ckptRoot)
+		}
 		return nil
 	case <-ctx.Done():
 		return ctx.Err()
@@ -401,7 +493,11 @@ func (m *Manager) worker() {
 	}
 }
 
-// run executes one job end to end.
+// run executes one job end to end: a bounded sequence of attempts,
+// each resuming from the job's latest checkpoint, with exponential
+// backoff between them. Only faults the harness injected — simulated
+// worker crashes and watchdog-detected GVT stalls — are retried;
+// client cancellation, the job deadline, and config errors are final.
 func (m *Manager) run(j *Job) {
 	m.mu.Lock()
 	if j.state != StateQueued { // cancelled while waiting
@@ -414,22 +510,50 @@ func (m *Manager) run(j *Job) {
 	if j.spec.TimeoutSeconds > 0 {
 		timeout = time.Duration(j.spec.TimeoutSeconds * float64(time.Second))
 	}
-	var ctx context.Context
+	var jobCtx context.Context
 	var cancel context.CancelFunc
 	if timeout > 0 {
-		ctx, cancel = context.WithTimeout(context.Background(), timeout)
+		jobCtx, cancel = context.WithTimeout(context.Background(), timeout)
 	} else {
-		ctx, cancel = context.WithCancel(context.Background())
+		jobCtx, cancel = context.WithCancel(context.Background())
 	}
 	j.cancel = cancel
 	cfg := j.cfg
+	maxAttempts := j.maxAttempts
 	m.mu.Unlock()
 	defer cancel()
+
+	// Give the job its own checkpoint directory so retries resume.
+	var ckptDir string
+	if cfg.Checkpoint != nil && m.ckptRoot != "" {
+		ckptDir = filepath.Join(m.ckptRoot, j.id)
+		cfg.Checkpoint = &ggpdes.CheckpointOptions{Every: cfg.Checkpoint.Every, Dir: ckptDir}
+	}
 
 	m.queueWait.Observe(float64(j.started.Sub(j.submitted).Milliseconds()))
 	m.inFlight.Set(float64(m.countInFlight()))
 
-	res, err := ggpdes.RunContext(ctx, cfg)
+	var res *ggpdes.Results
+	var err error
+	for attempt := 1; ; attempt++ {
+		m.mu.Lock()
+		j.attempts = attempt
+		m.mu.Unlock()
+		res, err = m.attempt(jobCtx, j, cfg, ckptDir, attempt)
+		if err == nil || attempt >= maxAttempts || !retryable(err) {
+			break
+		}
+		m.retries.Inc()
+		m.mu.Lock()
+		j.lastErr = err.Error()
+		m.mu.Unlock()
+		if !sleepCtx(jobCtx, backoff(m.opts.RetryBackoff, j.key, attempt)) {
+			// The job deadline or a client cancel ended the backoff;
+			// classify it below like any other attempt outcome.
+			err = fmt.Errorf("retry backoff interrupted: %w", context.Cause(jobCtx))
+			break
+		}
+	}
 
 	m.mu.Lock()
 	j.finished = time.Now()
@@ -439,17 +563,20 @@ func (m *Manager) run(j *Job) {
 		j.result = res
 		m.completed.Inc()
 		m.cache.put(j.key, res)
-	case errors.Is(err, context.Canceled):
-		j.state = StateCancelled
-		j.err = "cancelled"
-		m.cancelled.Inc()
-	case errors.Is(err, context.DeadlineExceeded):
+	case errors.Is(err, ggpdes.ErrDeadline) || errors.Is(err, context.DeadlineExceeded):
 		j.state = StateFailed
 		j.err = fmt.Sprintf("deadline exceeded after %s", timeout)
+		j.failCause = err
 		m.failed.Inc()
+	case errors.Is(err, ggpdes.ErrCancelled) || errors.Is(err, context.Canceled):
+		j.state = StateCancelled
+		j.err = "cancelled"
+		j.failCause = err
+		m.cancelled.Inc()
 	default:
 		j.state = StateFailed
 		j.err = err.Error()
+		j.failCause = err
 		m.failed.Inc()
 	}
 	close(j.done)
@@ -457,8 +584,133 @@ func (m *Manager) run(j *Job) {
 	runMS := float64(j.finished.Sub(j.started).Milliseconds())
 	m.mu.Unlock()
 
+	if err == nil && ckptDir != "" {
+		_ = os.RemoveAll(ckptDir) // completed jobs don't need their snapshots
+	}
 	m.runWall.Observe(runMS)
 	m.inFlight.Set(float64(m.countInFlight()))
+}
+
+// attempt executes one run attempt under its own cancellable context.
+// The engine's progress callback doubles as the fault-injection point
+// (a planned crash cancels the context at a GVT fraction) and as the
+// heartbeat the stall watchdog monitors. Attempts after the first
+// resume from the job's latest checkpoint when one exists.
+func (m *Manager) attempt(jobCtx context.Context, j *Job, cfg ggpdes.Config, ckptDir string, attempt int) (*ggpdes.Results, error) {
+	ctx, cancel := context.WithCancelCause(jobCtx)
+	defer cancel(nil)
+
+	// Plan the chaos for this attempt. The final budgeted attempt is
+	// never crashed: injection models recoverable faults, and a fault
+	// on the last attempt would make the budget a coin flip.
+	crashAt := -1.0
+	if m.crashes != nil && attempt < j.maxAttempts {
+		if crash, frac := m.crashes.Plan(j.key, attempt); crash {
+			crashAt = frac
+		}
+	}
+
+	var beat atomic.Int64
+	beat.Store(time.Now().UnixNano())
+	var crashed atomic.Bool
+	progress := &ggpdes.ProgressOptions{
+		// A near-zero interval fires the callback on every GVT
+		// publication: each one is a heartbeat and a crash check.
+		Every: 1e-9,
+		Func: func(p ggpdes.ProgressInfo) {
+			beat.Store(time.Now().UnixNano())
+			if crashAt >= 0 && p.GVT >= crashAt*p.EndTime && crashed.CompareAndSwap(false, true) {
+				m.injectedCrash.Inc()
+				cancel(chaos.ErrInjectedCrash)
+			}
+		},
+	}
+
+	if st := m.opts.StallTimeout; st > 0 {
+		stop := make(chan struct{})
+		defer close(stop)
+		go func() {
+			tick := time.NewTicker(st / 4)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-ctx.Done():
+					return
+				case <-tick.C:
+					if time.Since(time.Unix(0, beat.Load())) > st {
+						m.stallsDetected.Inc()
+						cancel(ErrStalled)
+						return
+					}
+				}
+			}
+		}()
+	}
+
+	resumeFrom := ""
+	if ckptDir != "" && attempt > 1 {
+		if path, err := checkpoint.Latest(ckptDir); err == nil {
+			resumeFrom = path
+		}
+	}
+	var res *ggpdes.Results
+	var err error
+	if resumeFrom != "" {
+		m.resumes.Inc()
+		m.mu.Lock()
+		j.resumedFrom = filepath.Base(resumeFrom)
+		m.mu.Unlock()
+		res, err = ggpdes.ResumeContext(ctx, resumeFrom, &ggpdes.ResumeOptions{Progress: progress})
+	} else {
+		cfg.Progress = progress
+		res, err = ggpdes.RunContext(ctx, cfg)
+	}
+	if err != nil {
+		// Surface the injected cause so retryable() can see it through
+		// the engine's cancellation wrapping.
+		if cause := context.Cause(ctx); errors.Is(cause, chaos.ErrInjectedCrash) || errors.Is(cause, ErrStalled) {
+			err = fmt.Errorf("attempt %d: %w (%v)", attempt, cause, err)
+		}
+	}
+	return res, err
+}
+
+// retryable reports whether an attempt failure was injected by the
+// harness (crash or stall) rather than requested by the client or
+// inherent to the config.
+func retryable(err error) bool {
+	return errors.Is(err, chaos.ErrInjectedCrash) || errors.Is(err, ErrStalled)
+}
+
+// backoff is the delay before retry number `attempt`: base doubled per
+// retry, capped at 32x, with ±50% jitter deterministic in (key,
+// attempt) so reruns of the same workload time out identically.
+func backoff(base time.Duration, key string, attempt int) time.Duration {
+	if base <= 0 {
+		base = 25 * time.Millisecond
+	}
+	d := base << uint(attempt-1)
+	if max := 32 * base; d > max {
+		d = max
+	}
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(key))
+	s := rng.New(h.Sum64(), uint64(attempt))
+	return time.Duration(float64(d) * (0.5 + s.Float64()))
+}
+
+// sleepCtx sleeps for d, returning false if ctx ended first.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
 }
 
 // status builds a snapshot. Caller holds m.mu (or exclusively owns j).
@@ -469,9 +721,13 @@ func (j *Job) status() Status {
 		Key:         j.key,
 		Cached:      j.cached,
 		Error:       j.err,
+		Attempts:    j.attempts,
+		LastError:   j.lastErr,
+		ResumedFrom: j.resumedFrom,
 		SubmittedAt: j.submitted,
 		StartedAt:   j.started,
 		FinishedAt:  j.finished,
+		failCause:   j.failCause,
 	}
 	switch {
 	case j.state == StateQueued:

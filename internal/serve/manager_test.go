@@ -7,28 +7,32 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"ggpdes"
 )
 
 // quickSpec is a sub-second PHOLD job; distinct seeds give distinct
 // cache keys.
 func quickSpec(seed uint64) JobSpec {
 	return JobSpec{
-		Model:                "phold",
-		LPsPerThread:         2,
-		Threads:              2,
-		EndTime:              10,
-		Seed:                 seed,
-		Cores:                4,
-		SMT:                  2,
-		GVTFrequency:         20,
-		ZeroCounterThreshold: 60,
+		Config: ggpdes.Config{
+			Model:                ggpdes.PHOLD{LPsPerThread: 2},
+			Threads:              2,
+			System:               ggpdes.GGPDES,
+			GVT:                  ggpdes.WaitFree,
+			EndTime:              10,
+			Seed:                 seed,
+			Machine:              ggpdes.Machine{Cores: 4, SMTWidth: 2},
+			GVTFrequency:         20,
+			ZeroCounterThreshold: 60,
+		},
 	}
 }
 
 // longSpec runs effectively forever; tests must cancel it.
 func longSpec() JobSpec {
 	s := quickSpec(1)
-	s.EndTime = 1e12
+	s.Config.EndTime = 1e12
 	return s
 }
 
@@ -102,18 +106,27 @@ func TestSubmitRunsToCompletion(t *testing.T) {
 func TestSubmitRejectsInvalidSpec(t *testing.T) {
 	m := New(Options{Workers: 1})
 	defer drain(t, m)
+	valid := quickSpec(1).Config
+	noModel := valid
+	noModel.Model = nil
+	noThreads := valid
+	noThreads.Threads = 0
+	noEnd := valid
+	noEnd.EndTime = 0
 	for name, spec := range map[string]JobSpec{
-		"no model":     {Threads: 2, EndTime: 10},
-		"bad model":    {Model: "queens", Threads: 2, EndTime: 10},
-		"no threads":   {Model: "phold", EndTime: 10},
-		"no end time":  {Model: "phold", Threads: 2},
-		"bad system":   {Model: "phold", Threads: 2, EndTime: 10, System: "cfs"},
-		"bad gvt":      {Model: "phold", Threads: 2, EndTime: 10, GVT: "mattern"},
-		"bad affinity": {Model: "phold", Threads: 2, EndTime: 10, Affinity: "numa"},
-		"bad timeout":  {Model: "phold", Threads: 2, EndTime: 10, TimeoutSeconds: -1},
+		"no model":         {Config: noModel},
+		"no threads":       {Config: noThreads},
+		"no end time":      {Config: noEnd},
+		"bad timeout":      {Config: valid, TimeoutSeconds: -1},
+		"bad max attempts": {Config: valid, MaxAttempts: -1},
 	} {
-		if _, err := m.Submit(spec); err == nil {
+		_, err := m.Submit(spec)
+		if err == nil {
 			t.Errorf("%s: accepted", name)
+			continue
+		}
+		if !errors.Is(err, ggpdes.ErrInvalidConfig) {
+			t.Errorf("%s: error %v does not wrap ErrInvalidConfig", name, err)
 		}
 	}
 	if got := m.Registry().Counters()["serve.jobs_submitted"]; got != 0 {
@@ -182,14 +195,14 @@ func TestQueueFullRejects(t *testing.T) {
 	waitRunning(t, m, running.ID)
 
 	queuedSpec := longSpec()
-	queuedSpec.Seed = 2
+	queuedSpec.Config.Seed = 2
 	queued, err := m.Submit(queuedSpec)
 	if err != nil {
 		t.Fatalf("queue-depth submission rejected: %v", err)
 	}
 
 	overflow := longSpec()
-	overflow.Seed = 3
+	overflow.Config.Seed = 3
 	start := time.Now()
 	if _, err := m.Submit(overflow); !errors.Is(err, ErrQueueFull) {
 		t.Fatalf("overflow submission: err = %v, want ErrQueueFull", err)

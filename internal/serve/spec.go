@@ -1,139 +1,67 @@
 // Package serve turns the ggpdes engine into a simulation service: a
 // bounded job queue with backpressure, a worker pool sized to the
-// host, a deterministic content-addressed result cache, and an HTTP
-// JSON API. The scheduling problem the source paper solves for
-// simulation threads on constrained cores reappears one level up —
-// concurrent jobs on a shared host — and this package is that level.
+// host, a deterministic content-addressed result cache, fault-tolerant
+// execution (checkpoint-resume retries, a GVT-stall watchdog, seeded
+// crash injection), and an HTTP JSON API. The scheduling problem the
+// source paper solves for simulation threads on constrained cores
+// reappears one level up — concurrent jobs on a shared host — and this
+// package is that level.
 package serve
 
 import (
-	"errors"
 	"fmt"
-	"strings"
 
 	"ggpdes"
 )
 
 // JobSpec is the wire-format description of one simulation job — the
-// JSON body of POST /v1/jobs. String enums use the same names as the
-// ggsim flags; zero values select the same defaults as the Go API.
+// JSON body of POST /v1/jobs. The simulation itself is described by
+// the embedded ggpdes.Config in its native JSON codec; the remaining
+// fields are serving policy. This is API revision 2: revision 1 spread
+// the config's fields across the top level with its own decoder, and
+// was removed when the Config codec became the single wire format.
 type JobSpec struct {
-	// Model selects the workload: "phold" | "epidemics" | "traffic".
-	Model string `json:"model"`
-	// LPsPerThread is LPs per simulation thread (0 = model default).
-	LPsPerThread int `json:"lps_per_thread,omitempty"`
-	// Imbalance is PHOLD's 1-K imbalance (0/1 = balanced).
-	Imbalance int `json:"imbalance,omitempty"`
-	// NonLinear selects PHOLD's non-consecutive active groups.
-	NonLinear bool `json:"nonlinear,omitempty"`
-	// Lockdown is the epidemics lock-down group count K.
-	Lockdown int `json:"lockdown,omitempty"`
-	// ContactRate and TransmissionProb tune epidemics.
-	ContactRate      float64 `json:"contact_rate,omitempty"`
-	TransmissionProb float64 `json:"transmission_prob,omitempty"`
-	// Gradient and CenterStartEvents tune traffic.
-	Gradient          float64 `json:"gradient,omitempty"`
-	CenterStartEvents int     `json:"center_start_events,omitempty"`
+	// Config is the simulation to run, in the ggpdes.Config wire
+	// format: enums by name ("system":"gg", "gvt":"async"), the model
+	// as a tagged object ({"name":"phold","lps_per_thread":4}), zero
+	// values selecting the same defaults as the Go API.
+	Config ggpdes.Config `json:"config"`
 
-	// Threads is the simulation thread count (required).
-	Threads int `json:"threads"`
-	// System is "baseline" | "dd" | "gg" (default "gg").
-	System string `json:"system,omitempty"`
-	// GVT is "sync" | "async" (default "async").
-	GVT string `json:"gvt,omitempty"`
-	// Affinity is "none" | "constant" | "dynamic" (default "none").
-	Affinity string `json:"affinity,omitempty"`
-	// EndTime is the virtual end time (required).
-	EndTime float64 `json:"end_time"`
-	// Seed drives model randomness (0 = 1).
-	Seed uint64 `json:"seed,omitempty"`
-
-	// Cores, SMT and NUMANodes shape the simulated machine (0 = the
-	// KNL 7230 defaults).
-	Cores     int `json:"cores,omitempty"`
-	SMT       int `json:"smt,omitempty"`
-	NUMANodes int `json:"numa_nodes,omitempty"`
-
-	// GVTFrequency, ZeroCounterThreshold, BatchSize and LPsPerKP are
-	// the engine tunables (0 = paper defaults).
-	GVTFrequency         int `json:"gvt_frequency,omitempty"`
-	ZeroCounterThreshold int `json:"zero_counter_threshold,omitempty"`
-	BatchSize            int `json:"batch_size,omitempty"`
-	LPsPerKP             int `json:"lps_per_kp,omitempty"`
-	// Queue is "splay" | "heap" | "calendar" (default "splay").
-	Queue string `json:"queue,omitempty"`
-	// StateSaving is "copy" | "reverse" (default "copy").
-	StateSaving string `json:"state_saving,omitempty"`
-	// LazyCancellation and OptimismWindow tune Time Warp optimism.
-	LazyCancellation bool    `json:"lazy_cancellation,omitempty"`
-	OptimismWindow   float64 `json:"optimism_window,omitempty"`
-
-	// TimeoutSeconds bounds the job's real-time execution; 0 uses the
-	// server's default deadline.
+	// TimeoutSeconds bounds the job's real-time execution across all
+	// attempts; 0 uses the server's default deadline.
 	TimeoutSeconds float64 `json:"timeout_seconds,omitempty"`
 	// NoCache bypasses the result cache for this submission (the run
 	// still populates it).
 	NoCache bool `json:"no_cache,omitempty"`
+	// MaxAttempts overrides the server's retry budget for this job
+	// (0 = server default, 1 = no retries).
+	MaxAttempts int `json:"max_attempts,omitempty"`
+	// CheckpointEvery sets the job's checkpoint cadence in GVT rounds
+	// so retries resume instead of restarting (0 = server default,
+	// negative = no checkpointing). Ignored when the config already
+	// carries its own Checkpoint settings.
+	CheckpointEvery int `json:"checkpoint_every,omitempty"`
 }
 
-// Config converts the spec to a validated ggpdes.Config.
-func (s JobSpec) Config() (ggpdes.Config, error) {
-	cfg := ggpdes.Config{
-		Threads:              s.Threads,
-		EndTime:              s.EndTime,
-		Seed:                 s.Seed,
-		Machine:              ggpdes.Machine{Cores: s.Cores, SMTWidth: s.SMT, NUMANodes: s.NUMANodes},
-		GVTFrequency:         s.GVTFrequency,
-		ZeroCounterThreshold: s.ZeroCounterThreshold,
-		BatchSize:            s.BatchSize,
-		LPsPerKP:             s.LPsPerKP,
-		LazyCancellation:     s.LazyCancellation,
-		OptimismWindow:       s.OptimismWindow,
-	}
-	switch strings.ToLower(s.Model) {
-	case "phold":
-		cfg.Model = ggpdes.PHOLD{
-			LPsPerThread: s.LPsPerThread,
-			Imbalance:    s.Imbalance,
-			NonLinear:    s.NonLinear,
-		}
-	case "epidemics":
-		cfg.Model = ggpdes.Epidemics{
-			LPsPerThread:     s.LPsPerThread,
-			LockdownGroups:   s.Lockdown,
-			ContactRate:      s.ContactRate,
-			TransmissionProb: s.TransmissionProb,
-		}
-	case "traffic":
-		cfg.Model = ggpdes.Traffic{
-			LPsPerThread:      s.LPsPerThread,
-			DensityGradient:   s.Gradient,
-			CenterStartEvents: s.CenterStartEvents,
-		}
-	case "":
-		return cfg, errors.New("serve: model is required")
-	default:
-		return cfg, fmt.Errorf("serve: unknown model %q (want phold | epidemics | traffic)", s.Model)
-	}
-
-	var err error
-	if cfg.System, err = parseOr(s.System, "gg", ggpdes.ParseSystem); err != nil {
-		return cfg, err
-	}
-	if cfg.GVT, err = parseOr(s.GVT, "async", ggpdes.ParseGVT); err != nil {
-		return cfg, err
-	}
-	if cfg.Affinity, err = parseOr(s.Affinity, "none", ggpdes.ParseAffinity); err != nil {
-		return cfg, err
-	}
-	if cfg.Queue, err = parseOr(s.Queue, "splay", ggpdes.ParseQueue); err != nil {
-		return cfg, err
-	}
-	if cfg.StateSaving, err = parseOr(s.StateSaving, "copy", ggpdes.ParseStateSaving); err != nil {
-		return cfg, err
-	}
+// config applies the server defaults and serving-policy fields to the
+// embedded config and validates it. Every rejection wraps
+// ggpdes.ErrInvalidConfig so the HTTP layer can map it to 400.
+func (s JobSpec) config(defaults Options) (ggpdes.Config, error) {
+	cfg := s.Config
 	if s.TimeoutSeconds < 0 {
-		return cfg, errors.New("serve: timeout_seconds must be non-negative")
+		return cfg, fmt.Errorf("%w: timeout_seconds must be non-negative", ggpdes.ErrInvalidConfig)
+	}
+	if s.MaxAttempts < 0 {
+		return cfg, fmt.Errorf("%w: max_attempts must be non-negative", ggpdes.ErrInvalidConfig)
+	}
+	every := s.CheckpointEvery
+	if every == 0 {
+		every = defaults.CheckpointEvery
+	}
+	if cfg.Checkpoint == nil && every > 0 {
+		// Dir is assigned per job when the run starts; Every alone is
+		// enough for the cache key (Dir is placement, not trajectory).
+		cfg.Checkpoint = &ggpdes.CheckpointOptions{Every: every}
 	}
 	if err := cfg.Validate(); err != nil {
 		return cfg, err
@@ -141,9 +69,15 @@ func (s JobSpec) Config() (ggpdes.Config, error) {
 	return cfg, nil
 }
 
-func parseOr[T any](s, def string, parse func(string) (T, error)) (T, error) {
-	if s == "" {
-		s = def
+// maxAttempts resolves the job's retry budget against the server
+// default.
+func (s JobSpec) maxAttempts(defaults Options) int {
+	n := s.MaxAttempts
+	if n == 0 {
+		n = defaults.MaxAttempts
 	}
-	return parse(s)
+	if n <= 0 {
+		n = 1
+	}
+	return n
 }

@@ -340,6 +340,107 @@ func (r *Registry) Histograms() map[string]Summary {
 	return out
 }
 
+// GaugeState is the raw serializable state of a Gauge.
+type GaugeState struct {
+	Value float64 `json:"value"`
+	Set   bool    `json:"set"`
+}
+
+// HistogramState is the raw serializable state of a Histogram. Counts
+// holds every log2 bucket, including zeros, so the import side never
+// guesses at the bucket layout.
+type HistogramState struct {
+	Counts []uint64 `json:"counts"`
+	Count  uint64   `json:"count"`
+	Sum    float64  `json:"sum"`
+	Min    float64  `json:"min"`
+	Max    float64  `json:"max"`
+}
+
+// MetricsState is a lossless export of a registry: unlike the Summary
+// snapshots it preserves raw bucket counts, so a registry restored from
+// it continues observing as if it had recorded every original value.
+// It is the telemetry half of a run checkpoint.
+type MetricsState struct {
+	Counters   map[string]uint64         `json:"counters,omitempty"`
+	Gauges     map[string]GaugeState     `json:"gauges,omitempty"`
+	Histograms map[string]HistogramState `json:"histograms,omitempty"`
+}
+
+// Export captures the registry's full raw state.
+func (r *Registry) Export() MetricsState {
+	if r == nil {
+		return MetricsState{}
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	st := MetricsState{
+		Counters:   make(map[string]uint64, len(r.counters)),
+		Gauges:     make(map[string]GaugeState, len(r.gauges)),
+		Histograms: make(map[string]HistogramState, len(r.histograms)),
+	}
+	for name, c := range r.counters {
+		st.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		g.mu.Lock()
+		st.Gauges[name] = GaugeState{Value: g.v, Set: g.set}
+		g.mu.Unlock()
+	}
+	for name, h := range r.histograms {
+		h.mu.Lock()
+		hs := HistogramState{
+			Counts: append([]uint64(nil), h.counts[:]...),
+			Count:  h.count,
+			Sum:    h.sum,
+			Min:    h.min,
+			Max:    h.max,
+		}
+		h.mu.Unlock()
+		st.Histograms[name] = hs
+	}
+	return st
+}
+
+// Import merges an exported state into the registry: counters add,
+// gauges adopt the imported value (if it was ever set), histograms
+// merge bucket-wise. Importing into a fresh registry reproduces the
+// exported one exactly; metrics recorded afterwards accumulate on top,
+// which is how a resumed run continues its predecessor's telemetry.
+func (r *Registry) Import(st MetricsState) {
+	if r == nil {
+		return
+	}
+	for name, v := range st.Counters {
+		r.Counter(name).Add(v)
+	}
+	for name, gs := range st.Gauges {
+		if gs.Set {
+			r.Gauge(name).Set(gs.Value)
+		}
+	}
+	for name, hs := range st.Histograms {
+		h := r.Histogram(name)
+		h.mu.Lock()
+		for i, n := range hs.Counts {
+			if i < histBuckets {
+				h.counts[i] += n
+			}
+		}
+		if hs.Count > 0 {
+			if h.count == 0 || hs.Min < h.min {
+				h.min = hs.Min
+			}
+			if hs.Max > h.max {
+				h.max = hs.Max
+			}
+			h.count += hs.Count
+			h.sum += hs.Sum
+		}
+		h.mu.Unlock()
+	}
+}
+
 // WriteText dumps every metric in name order, one per line.
 func (r *Registry) WriteText(w io.Writer) error {
 	if r == nil {

@@ -116,6 +116,13 @@ type Config struct {
 	// OnGVT, when non-nil, is invoked after every GVT publication —
 	// the hook live progress reporting hangs off.
 	OnGVT func(VT)
+	// SendFaults, when non-nil, is consulted on every cross-peer send:
+	// the chaos layer uses it to drop or delay inter-peer messages.
+	// Injected faults deliberately violate Time Warp's reliable-delivery
+	// assumption — runs may produce wrong trajectories or hang, which is
+	// what the fault-detection machinery above the engine is tested
+	// against. Nil means reliable delivery.
+	SendFaults SendFaultInjector
 	// OptimismWindow bounds speculation: events beyond GVT +
 	// OptimismWindow are not executed until GVT catches up (ROSS's
 	// max_opt_lookahead). Zero means unbounded optimism. Bounding
@@ -182,8 +189,31 @@ type Engine struct {
 	// cancelled makes Done report true regardless of GVT, winding the
 	// simulation threads down at their next loop iteration.
 	cancelled bool
+	// paused winds the threads down like cancelled, but marks a clean
+	// checkpoint boundary rather than an abort (see checkpoint.go).
+	paused bool
+
+	// crossSends counts cross-peer deliveries for the fault injector;
+	// heldSends holds injector-delayed events awaiting release.
+	crossSends uint64
+	heldSends  []heldSend
 
 	tel engineTelemetry
+}
+
+// SendFaultInjector decides the fate of cross-peer sends; implemented
+// by the chaos layer.
+type SendFaultInjector interface {
+	// Outcome classifies the nth cross-peer send (n counts from 1):
+	// drop loses the message; hold > 0 delays its delivery until hold
+	// further cross-peer sends have occurred.
+	Outcome(n uint64) (drop bool, hold uint64)
+}
+
+// heldSend is an injector-delayed event and its release point.
+type heldSend struct {
+	ev  *Event
+	due uint64
 }
 
 // engineTelemetry caches metric handles so hot paths skip registry
@@ -210,6 +240,23 @@ func NewEngine(cfg Config) (*Engine, error) {
 	if err := cfg.fillDefaults(); err != nil {
 		return nil, err
 	}
+	eng, err := newEngineShell(cfg)
+	if err != nil {
+		return nil, err
+	}
+	for _, lp := range eng.lps {
+		cfg.Model.InitLP(&InitCtx{eng: eng, lp: lp}, lp)
+		if lp.state == nil {
+			return nil, fmt.Errorf("tw: model left LP %d without state", lp.ID)
+		}
+	}
+	return eng, nil
+}
+
+// newEngineShell builds the LP/KP/peer topology for cfg (defaults
+// already filled) without running model initialization; NewEngine runs
+// InitLP on top, NewEngineFromState restores captured state instead.
+func newEngineShell(cfg Config) (*Engine, error) {
 	eng := &Engine{cfg: cfg}
 	eng.tel = engineTelemetry{
 		rollbackDepth:   cfg.Telemetry.Histogram(MetricRollbackDepth),
@@ -255,12 +302,6 @@ func NewEngine(cfg Config) (*Engine, error) {
 		}
 		lp.kp = p.kps[kpIdx]
 		p.lps = append(p.lps, lp)
-	}
-	for _, lp := range eng.lps {
-		cfg.Model.InitLP(&InitCtx{eng: eng, lp: lp}, lp)
-		if lp.state == nil {
-			return nil, fmt.Errorf("tw: model left LP %d without state", lp.ID)
-		}
 	}
 	return eng, nil
 }
@@ -327,8 +368,9 @@ func (e *Engine) SetGVT(gvt VT) {
 }
 
 // Done reports whether the simulation has completed (GVT has reached
-// the end time) or has been cancelled.
-func (e *Engine) Done() bool { return e.cancelled || e.gvt >= e.cfg.EndTime }
+// the end time), has been cancelled, or has been paused at a
+// checkpoint boundary.
+func (e *Engine) Done() bool { return e.cancelled || e.paused || e.gvt >= e.cfg.EndTime }
 
 // Cancel requests early termination: Done becomes true immediately, so
 // every simulation thread exits its main loop within one iteration —
@@ -430,10 +472,45 @@ func (e *Engine) send(from *Peer, cause *Event, dst int, ts VT, kind uint8, a, b
 		ev.state = StatePending
 		from.pending.Push(ev)
 	} else {
-		dstPeer.inq = append(dstPeer.inq, ev)
+		e.deliver(dstPeer, ev)
 	}
 	from.acc += e.cfg.Costs.SendCycles
 	from.noteSent(ts)
+}
+
+// deliver enqueues a cross-peer event, consulting the fault injector
+// when one is configured.
+func (e *Engine) deliver(dst *Peer, ev *Event) {
+	f := e.cfg.SendFaults
+	if f == nil {
+		dst.inq = append(dst.inq, ev)
+		return
+	}
+	e.crossSends++
+	drop, hold := f.Outcome(e.crossSends)
+	switch {
+	case drop:
+		// The message is lost. Its cause keeps the sent-list reference,
+		// so a rollback still issues a (harmless) anti-message for it.
+	case hold > 0:
+		e.heldSends = append(e.heldSends, heldSend{ev: ev, due: e.crossSends + hold})
+	default:
+		dst.inq = append(dst.inq, ev)
+	}
+	// Release delayed messages that have come due. A message whose
+	// timestamp has meanwhile fallen below GVT is dropped instead:
+	// delivering it would violate the fossil-collection invariant, and a
+	// network that late is indistinguishable from a lossy one.
+	kept := e.heldSends[:0]
+	for _, h := range e.heldSends {
+		switch {
+		case h.due > e.crossSends:
+			kept = append(kept, h)
+		case h.ev.Ts >= e.gvt && h.ev.state != StateCancelled:
+			e.peers[e.lps[h.ev.Dst].Owner].inq = append(e.peers[e.lps[h.ev.Dst].Owner].inq, h.ev)
+		}
+	}
+	e.heldSends = kept
 }
 
 // TotalStats sums peer statistics.

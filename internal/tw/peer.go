@@ -67,6 +67,9 @@ type Peer struct {
 	// minSent tracks the smallest timestamp sent since the last GVT
 	// cut; +Inf when none.
 	minSent VT
+	// quiesced receives the pending set, in pop order, when the engine
+	// is quiesced for a checkpoint capture (see checkpoint.go).
+	quiesced []*Event
 
 	// Stats is exported for the harness; do not mutate externally.
 	Stats PeerStats

@@ -1,0 +1,524 @@
+package ggpdes
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"ggpdes/internal/chaos"
+	"ggpdes/internal/checkpoint"
+	"ggpdes/internal/core"
+	"ggpdes/internal/gvt"
+	"ggpdes/internal/machine"
+	"ggpdes/internal/pq"
+	"ggpdes/internal/telemetry"
+	"ggpdes/internal/trace"
+	"ggpdes/internal/tw"
+)
+
+// Run executes one simulation to completion and returns its metrics.
+func Run(cfg Config) (*Results, error) { return RunContext(context.Background(), cfg) }
+
+// RunContext executes one simulation like Run, stopping early if ctx
+// is cancelled or its deadline passes. Cancellation is observed in
+// real time by the machine loop, which asks the engine to wind down;
+// simulation threads notice within one main-loop iteration, well
+// inside a GVT round. A cancelled run returns no Results and an error
+// wrapping both ctx.Err() and ErrCancelled (or ErrDeadline).
+//
+// When cfg.Checkpoint is set the run executes as a chain of segments:
+// every Checkpoint.Every GVT rounds the engine is paused, quiesced onto
+// its committed state, serialized into a snapshot (written to
+// Checkpoint.Dir when non-empty), and rebuilt from that snapshot — even
+// in-process. Because the continuation always passes through the
+// serialized form, killing the process at any checkpoint and calling
+// Resume yields byte-identical Results.
+func RunContext(ctx context.Context, cfg Config) (*Results, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	rs := &runState{cfg: cfg}
+	return rs.run(ctx)
+}
+
+// ResumeOptions re-attaches what a checkpoint cannot carry: run
+// observability and an override for where further checkpoints go.
+type ResumeOptions struct {
+	// Trace and Progress re-attach instrumentation; checkpoints never
+	// record them (they hold writers and callbacks).
+	Trace    *TraceOptions
+	Progress *ProgressOptions
+	// CheckpointDir, when non-empty, overrides the snapshot's recorded
+	// checkpoint directory for the rest of the run.
+	CheckpointDir string
+}
+
+// Resume continues a run from the snapshot at path to completion. The
+// returned Results are byte-identical to the run the snapshot came
+// from having finished uninterrupted.
+func Resume(path string) (*Results, error) {
+	return ResumeContext(context.Background(), path, nil)
+}
+
+// ResumeContext is Resume with cancellation and observability
+// re-attachment. Unreadable or corrupt snapshots return an error
+// wrapping ErrCheckpointCorrupt.
+func ResumeContext(ctx context.Context, path string, opts *ResumeOptions) (*Results, error) {
+	snap, err := checkpoint.Read(path)
+	if err != nil {
+		return nil, err
+	}
+	rs := &runState{}
+	if err := rs.loadSnapshot(snap); err != nil {
+		return nil, err
+	}
+	if opts != nil {
+		rs.cfg.Trace = opts.Trace
+		rs.cfg.Progress = opts.Progress
+		if opts.CheckpointDir != "" && rs.cfg.Checkpoint != nil {
+			rs.cfg.Checkpoint.Dir = opts.CheckpointDir
+		}
+	}
+	if err := rs.cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: snapshot config: %v", ErrCheckpointCorrupt, err)
+	}
+	return rs.run(ctx)
+}
+
+// runState carries a run across its segments: the serialized engine
+// state to rebuild from and every cumulative total that lives outside
+// the engine. For an uncheckpointed run there is exactly one segment
+// and the state stays zero.
+type runState struct {
+	cfg Config
+	rec *trace.Recorder
+
+	// Continuation state (set between segments / loaded from snapshot).
+	engine  *tw.EngineState
+	metrics *telemetry.MetricsState
+	// Cumulative totals.
+	startTick uint64
+	rounds    uint64 // GVT publications across all segments
+	segments  int
+	machCum   machine.Stats
+	schedCum  core.SchedulingStats
+	cyclesCum uint64
+	gvtFreq   int // next segment's base GVT frequency (0 = configured)
+}
+
+// segment is one engine+machine incarnation of the run.
+type segment struct {
+	mcfg   machine.Config
+	m      *machine.Machine
+	eng    *tw.Engine
+	runner *core.Runner
+	reg    *telemetry.Registry
+}
+
+func (rs *runState) checkpointing() bool {
+	return rs.cfg.Checkpoint != nil && rs.cfg.Checkpoint.Every > 0
+}
+
+func (rs *runState) run(ctx context.Context) (*Results, error) {
+	if t := rs.cfg.Trace; t != nil {
+		if t.Ring {
+			rs.rec = trace.NewRing(t.Limit)
+		} else {
+			rs.rec = trace.New(t.Limit)
+		}
+	}
+	for {
+		seg, err := rs.buildSegment()
+		if err != nil {
+			return nil, err
+		}
+		if err := seg.m.RunContext(ctx); err != nil {
+			if cerr := ctx.Err(); cerr != nil && errors.Is(err, cerr) {
+				if errors.Is(cerr, context.DeadlineExceeded) {
+					return nil, fmt.Errorf("%w: %w", ErrDeadline, err)
+				}
+				return nil, fmt.Errorf("%w: %w", ErrCancelled, err)
+			}
+			return nil, fmt.Errorf("ggpdes: %s/%s run failed: %w", rs.cfg.System, rs.cfg.GVT, err)
+		}
+		if seg.eng.Paused() {
+			if err := rs.checkpointAndReload(seg); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		return rs.finish(seg)
+	}
+}
+
+// buildSegment assembles a machine, engine (fresh or restored), runner
+// and telemetry registry for the next segment of the run.
+func (rs *runState) buildSegment() (*segment, error) {
+	cfg := rs.cfg
+	mcfg, err := cfg.Machine.build()
+	if err != nil {
+		return nil, err
+	}
+	mcfg.StartTick = rs.startTick
+	m, err := machine.New(mcfg)
+	if err != nil {
+		return nil, err
+	}
+	var adaptive *gvt.Adaptive
+	if a := cfg.AdaptiveGVT; a != nil {
+		adaptive = &gvt.Adaptive{
+			MinFrequency:               a.MinFrequency,
+			MaxFrequency:               a.MaxFrequency,
+			TargetUncommittedPerThread: a.TargetUncommittedPerThread,
+		}
+	}
+	if rs.rec != nil {
+		rs.rec.Clock = m.NowCycles
+		m.SetTrace(rs.rec)
+	}
+	reg := telemetry.NewRegistry()
+	if rs.metrics != nil {
+		reg.Import(*rs.metrics)
+		rs.metrics = nil
+	}
+	m.SetTelemetry(reg)
+	model, err := cfg.Model.build(cfg.Threads, cfg.EndTime)
+	if err != nil {
+		return nil, err
+	}
+
+	// Chaos injectors are rebuilt per segment; that is deterministic
+	// because the in-process and resumed paths rebuild at the same
+	// boundaries.
+	var sendFaults tw.SendFaultInjector
+	var threadFaults core.ThreadFaultInjector
+	if ch := cfg.Chaos; ch != nil {
+		seed := ch.Seed
+		if seed == 0 {
+			seed = cfg.Seed
+		}
+		if ch.DropSendRate > 0 || ch.DelaySendRate > 0 {
+			sendFaults = chaos.NewSendFaults(seed, ch.DropSendRate, ch.DelaySendRate, ch.DelaySendHold)
+		}
+		if ch.StallRate > 0 || ch.KillAtIter > 0 {
+			threadFaults = chaos.NewThreadFaults(seed, cfg.Threads, ch.StallRate, ch.KillThread, ch.KillAtIter)
+		}
+	}
+
+	// The progress hook closes over eng/runner, which exist only after
+	// construction; indirect through late-bound functions. The OnGVT
+	// wrapper additionally counts publications (the cross-segment round
+	// number) and pauses the engine at checkpoint boundaries.
+	var eng *tw.Engine
+	var runner *core.Runner
+	var progress func(tw.VT)
+	every := 0
+	if rs.checkpointing() {
+		every = rs.cfg.Checkpoint.Every
+	}
+	segPubs := 0
+	onGVT := func(v tw.VT) {
+		rs.rounds++
+		if progress != nil {
+			progress(v)
+		}
+		if every > 0 && float64(v) < cfg.EndTime {
+			segPubs++
+			if segPubs >= every {
+				eng.Pause()
+			}
+		}
+	}
+	twCfg := tw.Config{
+		NumThreads:       cfg.Threads,
+		Model:            model,
+		EndTime:          cfg.EndTime,
+		Seed:             cfg.Seed,
+		BatchSize:        cfg.BatchSize,
+		LPsPerKP:         cfg.LPsPerKP,
+		QueueKind:        pq.Kind(cfg.Queue),
+		StateSaving:      tw.SavePolicy(cfg.StateSaving),
+		LazyCancellation: cfg.LazyCancellation,
+		OptimismWindow:   cfg.OptimismWindow,
+		DisablePooling:   cfg.DisablePooling,
+		SendFaults:       sendFaults,
+		Trace:            rs.rec,
+		Telemetry:        reg,
+		OnGVT:            onGVT,
+	}
+	if rs.engine != nil {
+		eng, err = tw.NewEngineFromState(twCfg, rs.engine)
+		rs.engine = nil
+	} else {
+		eng, err = tw.NewEngine(twCfg)
+	}
+	if err != nil {
+		return nil, err
+	}
+	gvtFreq := cfg.GVTFrequency
+	if rs.gvtFreq > 0 {
+		gvtFreq = rs.gvtFreq
+	}
+	runner, err = core.NewRunner(core.Config{
+		Machine:              m,
+		Engine:               eng,
+		System:               core.System(cfg.System),
+		GVTKind:              gvt.Kind(cfg.GVT),
+		GVTFrequency:         gvtFreq,
+		ZeroCounterThreshold: cfg.ZeroCounterThreshold,
+		Affinity:             core.Affinity(cfg.Affinity),
+		Trace:                rs.rec,
+		GVTAdaptive:          adaptive,
+		Telemetry:            reg,
+		Faults:               threadFaults,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if p := cfg.Progress; p != nil {
+		pEvery := p.Every
+		if pEvery <= 0 {
+			pEvery = 0.1
+		}
+		step := pEvery * cfg.EndTime
+		next := step
+		progress = func(v tw.VT) {
+			g := float64(v)
+			if g < next && g < cfg.EndTime {
+				return
+			}
+			// Jump to the first threshold past g in one step — Every can
+			// be tiny (the serving layer uses progress as a per-round
+			// heartbeat), so advancing one step at a time is not an option.
+			next = step * (math.Floor(g/step) + 1)
+			s := eng.TotalStats()
+			info := ProgressInfo{
+				GVT:             g,
+				EndTime:         cfg.EndTime,
+				CommittedEvents: s.Committed,
+				ProcessedEvents: s.Processed,
+				ActiveThreads:   runner.NumActive(),
+				Threads:         cfg.Threads,
+				GVTRounds:       rs.gvtRounds(runner),
+				WallSeconds:     m.WallSeconds(),
+			}
+			if info.WallSeconds > 0 {
+				info.CommittedEventRate = float64(info.CommittedEvents) / info.WallSeconds
+			}
+			if info.ProcessedEvents > 0 {
+				info.Efficiency = float64(info.CommittedEvents) / float64(info.ProcessedEvents)
+			}
+			if p.W != nil {
+				fmt.Fprintln(p.W, info)
+			}
+			if p.Func != nil {
+				p.Func(info)
+			}
+		}
+	}
+	m.SetOnCancel(eng.Cancel)
+	return &segment{mcfg: mcfg, m: m, eng: eng, runner: runner, reg: reg}, nil
+}
+
+// gvtRounds is the run's round count. A checkpointed run counts GVT
+// publications across segments (the wait-free algorithm's own counter
+// can miss the boundary round — threads paused mid-phase never finish
+// it); an uncheckpointed run keeps the algorithm's counter.
+func (rs *runState) gvtRounds(runner *core.Runner) uint64 {
+	if rs.checkpointing() {
+		return rs.rounds
+	}
+	return runner.Algorithm().Rounds()
+}
+
+// accumulate folds a finished segment's per-incarnation totals into the
+// run totals. Machine ticks are already cumulative via StartTick; the
+// counter fields reset with each fresh machine and are summed.
+func (rs *runState) accumulate(seg *segment) {
+	ms := seg.m.Stats()
+	rs.machCum.Ticks = ms.Ticks
+	rs.machCum.CtxSwitches += ms.CtxSwitches
+	rs.machCum.Migrations += ms.Migrations
+	rs.machCum.CrossNodeMigrations += ms.CrossNodeMigrations
+	rs.machCum.SemWaits += ms.SemWaits
+	rs.machCum.SemPosts += ms.SemPosts
+	rs.machCum.BarrierWaits += ms.BarrierWaits
+	rs.machCum.Wakeups += ms.Wakeups
+	rs.machCum.Preempts += ms.Preempts
+	ss := seg.runner.SchedulingStats()
+	rs.schedCum.Deactivations += ss.Deactivations
+	rs.schedCum.Activations += ss.Activations
+	rs.schedCum.LockContention += ss.LockContention
+	rs.schedCum.Repins += ss.Repins
+	rs.cyclesCum += seg.m.TotalCycles()
+	rs.gvtFreq = seg.runner.Algorithm().Frequency()
+	rs.startTick = ms.Ticks
+}
+
+// checkpointAndReload quiesces the paused segment, serializes the run
+// into a snapshot, persists it when a directory is configured, and
+// reloads the continuation state from the serialized bytes. The reload
+// always round-trips through the encoded form — including the embedded
+// config — so an in-process continuation and a process restarted via
+// Resume execute identically by construction.
+func (rs *runState) checkpointAndReload(seg *segment) error {
+	est, err := seg.eng.Capture()
+	if err != nil {
+		return fmt.Errorf("ggpdes: checkpoint capture: %w", err)
+	}
+	seg.eng.FlushPoolStats()
+	rs.accumulate(seg)
+	rs.segments++
+	key, err := rs.cfg.CacheKey()
+	if err != nil {
+		return fmt.Errorf("ggpdes: checkpoint: %w", err)
+	}
+	cfgJSON, err := json.Marshal(rs.cfg)
+	if err != nil {
+		return fmt.Errorf("ggpdes: checkpoint: %w", err)
+	}
+	snap := &checkpoint.Snapshot{
+		Config:       cfgJSON,
+		CacheKey:     key,
+		Segments:     rs.segments,
+		Rounds:       rs.rounds,
+		MachineTicks: rs.machCum.Ticks,
+		MachineStats: rs.machCum,
+		SchedStats:   rs.schedCum,
+		TotalCycles:  rs.cyclesCum,
+		GVTFrequency: rs.gvtFreq,
+		Engine:       est,
+		Metrics:      seg.reg.Export(),
+	}
+	data, err := checkpoint.Encode(snap)
+	if err != nil {
+		return fmt.Errorf("ggpdes: %w", err)
+	}
+	if dir := rs.cfg.Checkpoint.Dir; dir != "" {
+		if _, err := checkpoint.WriteBytes(dir, rs.segments, data); err != nil {
+			return fmt.Errorf("ggpdes: %w", err)
+		}
+	}
+	decoded, err := checkpoint.Decode(data)
+	if err != nil {
+		return fmt.Errorf("ggpdes: %w", err)
+	}
+	trc, prog := rs.cfg.Trace, rs.cfg.Progress
+	if err := rs.loadSnapshot(decoded); err != nil {
+		return err
+	}
+	rs.cfg.Trace, rs.cfg.Progress = trc, prog
+	return nil
+}
+
+// loadSnapshot installs a decoded snapshot as the continuation state.
+// The embedded config must hash back to the recorded cache key — a
+// lossy config codec must never silently fork the trajectory.
+func (rs *runState) loadSnapshot(snap *checkpoint.Snapshot) error {
+	var cfg Config
+	if err := json.Unmarshal(snap.Config, &cfg); err != nil {
+		return fmt.Errorf("%w: embedded config: %v", ErrCheckpointCorrupt, err)
+	}
+	key, err := cfg.CacheKey()
+	if err != nil {
+		return fmt.Errorf("%w: embedded config: %v", ErrCheckpointCorrupt, err)
+	}
+	if key != snap.CacheKey {
+		return fmt.Errorf("%w: embedded config hashes to %s, snapshot recorded %s",
+			ErrCheckpointCorrupt, key, snap.CacheKey)
+	}
+	rs.cfg = cfg
+	rs.engine = snap.Engine
+	rs.metrics = &snap.Metrics
+	rs.startTick = snap.MachineTicks
+	rs.rounds = snap.Rounds
+	rs.segments = snap.Segments
+	rs.machCum = snap.MachineStats
+	rs.schedCum = snap.SchedStats
+	rs.cyclesCum = snap.TotalCycles
+	rs.gvtFreq = snap.GVTFrequency
+	return nil
+}
+
+// finish assembles Results from the final segment plus the accumulated
+// cross-segment totals.
+func (rs *runState) finish(seg *segment) (*Results, error) {
+	cfg := rs.cfg
+	if err := seg.eng.CheckInvariants(); err != nil {
+		return nil, fmt.Errorf("ggpdes: engine invariant violated: %w", err)
+	}
+	seg.eng.FlushPoolStats()
+	rs.accumulate(seg)
+	s := seg.eng.TotalStats()
+	res := &Results{
+		CommittedEvents:       s.Committed,
+		ProcessedEvents:       s.Processed,
+		RolledBackEvents:      s.RolledBack,
+		Rollbacks:             s.Rollbacks,
+		Stragglers:            s.Stragglers,
+		AntiMessages:          s.AntiSent,
+		LazyReused:            s.LazyReused,
+		LazyCancelled:         s.LazyCancelled,
+		WallClockSeconds:      seg.m.WallSeconds(),
+		GVTCPUSeconds:         seg.m.CyclesToSeconds(s.GVTCycles),
+		GVTRounds:             rs.gvtRounds(seg.runner),
+		TotalCycles:           rs.cyclesCum,
+		Deactivations:         rs.schedCum.Deactivations,
+		Activations:           rs.schedCum.Activations,
+		LockContention:        rs.schedCum.LockContention,
+		Repins:                rs.schedCum.Repins,
+		ContextSwitches:       rs.machCum.CtxSwitches,
+		Migrations:            rs.machCum.Migrations,
+		CrossNodeMigrations:   rs.machCum.CrossNodeMigrations,
+		Preempts:              rs.machCum.Preempts,
+		FinalGVT:              seg.eng.GVT(),
+		FinalGVTFrequency:     seg.runner.Algorithm().Frequency(),
+		PeakUncommittedEvents: seg.eng.PeakUncommittedEvents(),
+	}
+	if res.WallClockSeconds > 0 {
+		res.CommittedEventRate = float64(res.CommittedEvents) / res.WallClockSeconds
+	}
+	res.Counters = seg.reg.Counters()
+	res.Gauges = seg.reg.Gauges()
+	hists := seg.reg.Histograms()
+	res.Histograms = make(map[string]HistSummary, len(hists))
+	for name, hs := range hists {
+		res.Histograms[name] = histSummary(hs)
+	}
+	res.RollbackDepth = res.Histograms[tw.MetricRollbackDepth]
+	res.GVTRoundLatencyCycles = res.Histograms[gvt.MetricRoundLatency]
+	res.CommitBatch = res.Histograms[tw.MetricCommitBatch]
+	res.DescheduleSpanCycles = res.Histograms[core.MetricDescheduleSpan]
+	if rs.rec != nil {
+		res.TraceSummary = rs.rec.Summary(cfg.Threads, seg.m.NowCycles())
+		res.InactiveFraction = rs.rec.InactiveFraction(cfg.Threads, seg.m.NowCycles())
+		if cfg.Trace.CSV != nil {
+			if err := rs.rec.WriteCSV(cfg.Trace.CSV); err != nil {
+				return nil, fmt.Errorf("ggpdes: writing trace: %w", err)
+			}
+		}
+		if cfg.Trace.Timeline != nil {
+			if _, err := io.WriteString(cfg.Trace.Timeline,
+				rs.rec.RenderTimeline(cfg.Threads, seg.m.NowCycles(), cfg.Trace.TimelineWidth, 64)); err != nil {
+				return nil, fmt.Errorf("ggpdes: writing timeline: %w", err)
+			}
+		}
+		if cfg.Trace.Perfetto != nil {
+			err := rs.rec.WritePerfetto(cfg.Trace.Perfetto, trace.PerfettoOptions{
+				FreqHz:    seg.mcfg.FreqHz,
+				Threads:   cfg.Threads,
+				EndCycles: seg.m.NowCycles(),
+			})
+			if err != nil {
+				return nil, fmt.Errorf("ggpdes: writing perfetto trace: %w", err)
+			}
+		}
+	}
+	return res, nil
+}
