@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-race fuzz bench bench-smoke bench-diff bench-json serve-smoke chaos-smoke ci
+.PHONY: all build vet lint test test-race fuzz bench bench-smoke bench-diff bench-json serve-smoke chaos-smoke determinism-smoke ci
 
 all: ci
 
@@ -12,6 +12,13 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+# Static analysis: gofmt, go vet, and ggvet — the repo's own
+# domain-aware analyzer suite (internal/lint, cmd/ggvet) enforcing
+# determinism of the simulation core, event-pool hygiene, enum/codec
+# exhaustiveness, telemetry naming, and context plumbing.
+lint:
+	GO="$(GO)" sh scripts/lint.sh
 
 test:
 	$(GO) test ./...
@@ -22,10 +29,12 @@ test:
 test-race:
 	$(GO) test -race ./...
 
-# Short fuzz pass over the trace CSV reader; extend FUZZTIME locally.
+# Short fuzz pass over the external inputs — the trace CSV reader and
+# the Config JSON wire codec; extend FUZZTIME locally.
 FUZZTIME ?= 10s
 fuzz:
-	$(GO) test -run=^$$ -fuzz=FuzzReadCSV -fuzztime=$(FUZZTIME) ./internal/trace
+	$(GO) test -run=^$$ -fuzz='^FuzzReadCSV$$' -fuzztime=$(FUZZTIME) ./internal/trace
+	$(GO) test -run=^$$ -fuzz='^FuzzConfigJSON$$' -fuzztime=$(FUZZTIME) .
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./...
@@ -58,4 +67,10 @@ serve-smoke:
 chaos-smoke:
 	GO="$(GO)" sh scripts/chaos_smoke.sh
 
-ci: build vet test test-race serve-smoke chaos-smoke bench-smoke
+# Determinism smoke: the same seeded PHOLD config twice; the full
+# verbose report (results + telemetry histograms) must be
+# byte-identical — the end-to-end form of ggvet's determinism pass.
+determinism-smoke:
+	GO="$(GO)" sh scripts/determinism_smoke.sh
+
+ci: build lint test test-race determinism-smoke serve-smoke chaos-smoke bench-smoke

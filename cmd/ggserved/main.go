@@ -47,7 +47,12 @@ func main() {
 	)
 	flag.Parse()
 
-	mgr := serve.New(serve.Options{
+	// Every job context derives from procCtx, so cancelling it after an
+	// incomplete drain hard-stops stragglers instead of abandoning them.
+	procCtx, stopJobs := context.WithCancel(context.Background())
+	defer stopJobs()
+
+	mgr := serve.NewContext(procCtx, serve.Options{
 		Workers:         *workers,
 		QueueDepth:      *queueDepth,
 		CacheEntries:    *cacheSize,
@@ -105,7 +110,8 @@ func main() {
 	ctx, cancel := context.WithTimeout(context.Background(), *drainGrace)
 	defer cancel()
 	if err := mgr.Drain(ctx); err != nil {
-		fmt.Fprintf(os.Stderr, "ggserved: drain incomplete: %v\n", err)
+		fmt.Fprintf(os.Stderr, "ggserved: drain incomplete: %v, cancelling in-flight jobs\n", err)
+		stopJobs()
 	}
 	if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		fmt.Fprintf(os.Stderr, "ggserved: shutdown: %v\n", err)

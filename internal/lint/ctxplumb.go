@@ -1,0 +1,123 @@
+package lint
+
+// ctxplumb: the engine and the serving layer expose blocking entry
+// points (runs that take minutes, drains that wait on workers). Those
+// must accept a context.Context and actually thread it — a
+// context.Background conjured below the API boundary detaches the work
+// from its caller's cancellation, which is exactly how a drain timeout
+// fails to stop a stuck job. The pass checks, inside the configured
+// packages:
+//
+//   - no context.Background/context.TODO, except in a boundary
+//     wrapper: a function whose whole body is a single return
+//     statement (the `Run(cfg) { return RunContext(ctx.Background(),
+//     cfg) }` convenience shape);
+//   - an exported function or method that accepts a context.Context
+//     must use it somewhere in its body — accepting and ignoring ctx
+//     advertises cancellation it does not deliver.
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+var ctxPlumbPass = &Pass{
+	Name: "ctxplumb",
+	Doc:  "no context.Background/TODO below the API boundary; exported functions taking a Context must thread it",
+	Run: func(c *Checker) {
+		for _, pkg := range c.Prog.Packages {
+			if !matchRel(pkg.Rel, c.Cfg.CtxPkgs) {
+				continue
+			}
+			c.ctxPkg(pkg)
+		}
+	},
+}
+
+func (c *Checker) ctxPkg(pkg *Package) {
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			c.ctxFunc(pkg, fd)
+		}
+	}
+}
+
+func (c *Checker) ctxFunc(pkg *Package, fd *ast.FuncDecl) {
+	wrapper := len(fd.Body.List) == 1 && isReturn(fd.Body.List[0])
+
+	// Background/TODO below the boundary. Function literals inside the
+	// body are part of the same function for this purpose: a goroutine
+	// closure minting its own Background is the classic leak.
+	if !wrapper {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := pkg.Info.Uses[sel.Sel]
+			if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "context" {
+				return true
+			}
+			switch obj.Name() {
+			case "Background", "TODO":
+				c.Report(sel.Pos(), "context.%s below the API boundary: derive from the caller's Context so cancellation reaches this work", obj.Name())
+			}
+			return true
+		})
+	}
+
+	// Exported entry points accepting a Context must use it.
+	if !fd.Name.IsExported() || fd.Type.Params == nil {
+		return
+	}
+	for _, field := range fd.Type.Params.List {
+		t := pkg.Info.TypeOf(field.Type)
+		if !isContextType(t) {
+			continue
+		}
+		for _, name := range field.Names {
+			if name.Name == "_" {
+				continue
+			}
+			obj := pkg.Info.Defs[name]
+			if obj == nil {
+				continue
+			}
+			if !identUsed(pkg, fd.Body, obj) {
+				c.Report(name.Pos(), "exported %s accepts Context %s but never uses it: cancellation is advertised and not delivered", fd.Name.Name, name.Name)
+			}
+		}
+	}
+}
+
+func isReturn(st ast.Stmt) bool {
+	_, ok := st.(*ast.ReturnStmt)
+	return ok
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+func identUsed(pkg *Package, body *ast.BlockStmt, obj types.Object) bool {
+	used := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if used {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && pkg.Info.Uses[id] == obj {
+			used = true
+		}
+		return true
+	})
+	return used
+}

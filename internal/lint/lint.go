@@ -1,0 +1,197 @@
+// Package lint is ggvet: a domain-aware static-analysis suite that
+// mechanically enforces the invariants the engine's guarantees rest on
+// — determinism of the simulation core, event/snapshot pool hygiene,
+// enum/codec exhaustiveness, telemetry naming, and context plumbing.
+// The passes are deliberately repo-shaped: they know which packages
+// form the deterministic core, which types are pool-recycled, and
+// which file owns the recycling discipline, so a future change that
+// silently breaks byte-identical trajectories fails `make lint`
+// instead of surviving until an unreproducible run.
+//
+// Intentional exceptions carry a //ggvet:allow(<reason>) annotation on
+// the offending line or the line above; the reason is mandatory and
+// its absence is itself a diagnostic.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding, formatted file:line:col: [pass] message —
+// the shape editors jump to.
+type Diagnostic struct {
+	Position token.Position
+	Pass     string
+	Message  string
+}
+
+// String renders the diagnostic for terminals and editors.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Position.Filename, d.Position.Line, d.Position.Column, d.Pass, d.Message)
+}
+
+// Pass is one analysis. Run inspects every package and reports through
+// the Checker; cross-package checks see the whole Program.
+type Pass struct {
+	Name string
+	Doc  string
+	Run  func(c *Checker)
+}
+
+// Checker carries one analysis run: the loaded program, the
+// repo-shape configuration, the allow-annotation index and the
+// accumulated diagnostics.
+type Checker struct {
+	Prog *Program
+	Cfg  Config
+
+	pass   string
+	diags  []Diagnostic
+	allows map[string]map[int]string // filename -> line -> reason
+}
+
+var allowRe = regexp.MustCompile(`^//ggvet:allow\((.*)\)\s*$`)
+
+// NewChecker indexes allow annotations and returns a checker ready to
+// run passes. Malformed annotations (no parentheses, empty reason) are
+// reported immediately under the pseudo-pass "allow".
+func NewChecker(prog *Program, cfg Config) *Checker {
+	c := &Checker{Prog: prog, Cfg: cfg, allows: map[string]map[int]string{}}
+	c.pass = "allow"
+	for _, pkg := range prog.Packages {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, cm := range cg.List {
+					text := cm.Text
+					if !strings.HasPrefix(text, "//ggvet:allow") {
+						continue
+					}
+					m := allowRe.FindStringSubmatch(text)
+					if m == nil || strings.TrimSpace(m[1]) == "" {
+						c.Report(cm.Pos(), "ggvet:allow needs a reason: //ggvet:allow(<reason>)")
+						continue
+					}
+					pos := prog.Fset.Position(cm.Pos())
+					lines := c.allows[pos.Filename]
+					if lines == nil {
+						lines = map[int]string{}
+						c.allows[pos.Filename] = lines
+					}
+					lines[pos.Line] = strings.TrimSpace(m[1])
+				}
+			}
+		}
+	}
+	return c
+}
+
+// Run executes the passes and returns all diagnostics sorted by
+// position.
+func (c *Checker) Run(passes []*Pass) []Diagnostic {
+	for _, p := range passes {
+		c.pass = p.Name
+		p.Run(c)
+	}
+	sort.Slice(c.diags, func(i, j int) bool {
+		a, b := c.diags[i], c.diags[j]
+		if a.Position.Filename != b.Position.Filename {
+			return a.Position.Filename < b.Position.Filename
+		}
+		if a.Position.Line != b.Position.Line {
+			return a.Position.Line < b.Position.Line
+		}
+		if a.Position.Column != b.Position.Column {
+			return a.Position.Column < b.Position.Column
+		}
+		return a.Message < b.Message
+	})
+	return c.diags
+}
+
+// Report records a diagnostic at pos unless an allow annotation covers
+// that line (same line, or the line immediately above).
+func (c *Checker) Report(pos token.Pos, format string, args ...any) {
+	position := c.Prog.Fset.Position(pos)
+	if lines, ok := c.allows[position.Filename]; ok {
+		if _, ok := lines[position.Line]; ok {
+			return
+		}
+		if _, ok := lines[position.Line-1]; ok {
+			return
+		}
+	}
+	c.diags = append(c.diags, Diagnostic{Position: position, Pass: c.pass, Message: fmt.Sprintf(format, args...)})
+}
+
+// Passes returns the full suite in a stable order.
+func Passes() []*Pass {
+	return []*Pass{
+		determinismPass,
+		pooledEscapePass,
+		enumExhaustivePass,
+		telemetryNamePass,
+		ctxPlumbPass,
+	}
+}
+
+// resolveNamed maps fully qualified "pkgpath.Name" strings to their
+// type-name objects in the loaded module. Unknown names are skipped:
+// a config can mention types a partial load does not contain.
+func (c *Checker) resolveNamed(qualified []string) map[*types.TypeName]bool {
+	out := map[*types.TypeName]bool{}
+	for _, q := range qualified {
+		i := strings.LastIndex(q, ".")
+		if i < 0 {
+			continue
+		}
+		pkgPath, name := q[:i], q[i+1:]
+		pk, ok := c.Prog.byPath[pkgPath]
+		if !ok || pk.Types == nil {
+			continue
+		}
+		if tn, ok := pk.Types.Scope().Lookup(name).(*types.TypeName); ok {
+			out[tn] = true
+		}
+	}
+	return out
+}
+
+// relFile returns the module-relative slash path of pos's file.
+func (c *Checker) relFile(pos token.Pos) string {
+	name := c.Prog.Fset.Position(pos).Filename
+	rel, err := filepath.Rel(c.Prog.Root, name)
+	if err != nil {
+		return name
+	}
+	return filepath.ToSlash(rel)
+}
+
+// inspect walks every file of pkg with ast.Inspect.
+func inspect(pkg *Package, fn func(ast.Node) bool) {
+	for _, f := range pkg.Files {
+		ast.Inspect(f, fn)
+	}
+}
+
+// matchRel reports whether a module-relative package path is listed.
+// Entries match exactly, or as a prefix when they end in "/...".
+func matchRel(rel string, list []string) bool {
+	for _, e := range list {
+		if e == rel {
+			return true
+		}
+		if p, ok := strings.CutSuffix(e, "/..."); ok {
+			if rel == p || strings.HasPrefix(rel, p+"/") {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,249 @@
+package lint
+
+// Stdlib-only package loading. ggvet deliberately avoids
+// golang.org/x/tools (the repo has no dependencies and CI must not
+// fetch any), so this file re-implements the small slice of go/packages
+// it needs: walk the module, parse every non-test file, and type-check
+// each package with go/types. Imports inside the module resolve
+// recursively through the same loader; everything else (the standard
+// library) resolves through the go/importer source importer, which
+// type-checks GOROOT sources directly and therefore works without
+// compiled export data.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked package of the module under analysis.
+type Package struct {
+	// Path is the full import path; Rel is the module-relative path
+	// ("." for the module root package).
+	Path string
+	Rel  string
+	// Dir is the absolute directory the files were read from.
+	Dir   string
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+
+	checking bool
+}
+
+// Program is a loaded, type-checked module: every non-test package
+// under the module root, in import-path order.
+type Program struct {
+	ModulePath string
+	Root       string
+	Fset       *token.FileSet
+	Packages   []*Package
+
+	byPath map[string]*Package
+	std    types.Importer
+	errs   []error
+}
+
+// Load walks the module rooted at root, parses every package outside
+// testdata directories, and type-checks the lot. modulePath overrides
+// the module path for trees without a go.mod (the fixture packages);
+// pass "" to read it from root/go.mod. Type errors are collected and
+// returned together — ggvet only analyzes trees that compile.
+func Load(root, modulePath string) (*Program, error) {
+	root, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	if modulePath == "" {
+		modulePath, err = readModulePath(filepath.Join(root, "go.mod"))
+		if err != nil {
+			return nil, err
+		}
+	}
+	// The source importer consults build.Default. Cgo-tagged stdlib
+	// variants cannot be type-checked from source alone, so resolve the
+	// pure-Go fallbacks instead; the API surface is identical.
+	build.Default.CgoEnabled = false
+	prog := &Program{
+		ModulePath: modulePath,
+		Root:       root,
+		Fset:       token.NewFileSet(),
+		byPath:     map[string]*Package{},
+	}
+	prog.std = importer.ForCompiler(prog.Fset, "source", nil)
+
+	dirs, err := packageDirs(root)
+	if err != nil {
+		return nil, err
+	}
+	for _, dir := range dirs {
+		rel, err := filepath.Rel(root, dir)
+		if err != nil {
+			return nil, err
+		}
+		rel = filepath.ToSlash(rel)
+		path := modulePath
+		if rel != "." {
+			path = modulePath + "/" + rel
+		}
+		if _, err := prog.loadModulePkg(path); err != nil {
+			prog.errs = append(prog.errs, err)
+		}
+	}
+	if len(prog.errs) > 0 {
+		max := len(prog.errs)
+		if max > 10 {
+			max = 10
+		}
+		msgs := make([]string, 0, max)
+		for _, e := range prog.errs[:max] {
+			msgs = append(msgs, e.Error())
+		}
+		return nil, fmt.Errorf("lint: the tree does not type-check:\n\t%s", strings.Join(msgs, "\n\t"))
+	}
+	for _, pk := range prog.byPath {
+		prog.Packages = append(prog.Packages, pk)
+	}
+	sort.Slice(prog.Packages, func(i, j int) bool { return prog.Packages[i].Path < prog.Packages[j].Path })
+	return prog, nil
+}
+
+// Import implements types.Importer: module-internal paths load through
+// this Program, everything else through the GOROOT source importer.
+func (p *Program) Import(path string) (*types.Package, error) {
+	if path == p.ModulePath || strings.HasPrefix(path, p.ModulePath+"/") {
+		pk, err := p.loadModulePkg(path)
+		if err != nil {
+			return nil, err
+		}
+		return pk.Types, nil
+	}
+	return p.std.Import(path)
+}
+
+func (p *Program) loadModulePkg(path string) (*Package, error) {
+	if pk, ok := p.byPath[path]; ok {
+		if pk.checking {
+			return nil, fmt.Errorf("lint: import cycle through %s", path)
+		}
+		return pk, nil
+	}
+	rel := "."
+	if path != p.ModulePath {
+		rel = strings.TrimPrefix(path, p.ModulePath+"/")
+	}
+	dir := filepath.Join(p.Root, filepath.FromSlash(rel))
+	files, err := parseDir(p.Fset, dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	pk := &Package{Path: path, Rel: rel, Dir: dir, Files: files, checking: true}
+	p.byPath[path] = pk
+
+	pk.Info = &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+	var tcErrs []error
+	conf := types.Config{
+		Importer:    p,
+		FakeImportC: true,
+		Error:       func(err error) { tcErrs = append(tcErrs, err) },
+	}
+	tpkg, _ := conf.Check(path, p.Fset, files, pk.Info)
+	pk.Types = tpkg
+	pk.checking = false
+	if len(tcErrs) > 0 {
+		return nil, fmt.Errorf("lint: %s: %v", path, tcErrs[0])
+	}
+	return pk, nil
+}
+
+// packageDirs returns every directory under root holding non-test Go
+// files, skipping testdata, hidden and underscore-prefixed directories.
+func packageDirs(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		ents, err := os.ReadDir(path)
+		if err != nil {
+			return err
+		}
+		for _, e := range ents {
+			if isSourceFile(e.Name()) {
+				dirs = append(dirs, path)
+				break
+			}
+		}
+		return nil
+	})
+	return dirs, err
+}
+
+func isSourceFile(name string) bool {
+	return strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go")
+}
+
+// parseDir parses the directory's non-test Go files in name order (so
+// positions, and therefore diagnostics, are stable).
+func parseDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		if !e.IsDir() && isSourceFile(e.Name()) {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	files := make([]*ast.File, 0, len(names))
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+func readModulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module directive in %s", gomod)
+}

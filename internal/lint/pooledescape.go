@@ -1,0 +1,216 @@
+package lint
+
+// pooledescape: internal/tw recycles *Event and snapshot memory
+// through per-peer freelists (internal/tw/pool.go). The discipline —
+// who may still hold a pointer when an event is freed — is audited by
+// hand inside the owning packages and documented there, but nothing
+// stops code *outside* them from squirreling an event away in a
+// struct field, a global, or a long-lived closure and reading it after
+// the pool has reused the memory. The runtime poison panics catch some
+// of those at great distance from the bug; this pass catches the
+// retention itself, at compile time.
+//
+// Outside the owner packages (internal/tw and the generic queue
+// containers in internal/pq) the pass flags:
+//
+//   - package-level variables whose type can reach a pooled pointer;
+//   - stores of pooled values into struct fields, globals, or
+//     elements reachable from them;
+//   - composite literals that embed a pooled value in a struct;
+//   - closures that capture a pooled variable from an enclosing scope
+//     without being immediately invoked.
+//
+// Handling an event inside a call chain (parameters, locals, returns)
+// stays free: the hazard is retention, not access.
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+var pooledEscapePass = &Pass{
+	Name: "pooledescape",
+	Doc:  "flag retention of pool-recycled event/snapshot pointers outside the pool owner packages",
+	Run: func(c *Checker) {
+		pooled := c.resolveNamed(c.Cfg.PooledTypes)
+		if len(pooled) == 0 {
+			return
+		}
+		pe := &poolEscape{c: c, pooled: pooled}
+		for _, pkg := range c.Prog.Packages {
+			owner := matchRel(pkg.Rel, c.Cfg.PoolOwnerPkgs)
+			pe.pkg(pkg, owner)
+		}
+	},
+}
+
+type poolEscape struct {
+	c      *Checker
+	pooled map[*types.TypeName]bool
+}
+
+// containsPooled reports whether a value of type t can hold a pooled
+// pointer: a pointer to a pooled type, or a slice/array/map/chan
+// reaching one.
+func (pe *poolEscape) containsPooled(t types.Type) bool {
+	return pe.contains(t, 0)
+}
+
+func (pe *poolEscape) contains(t types.Type, depth int) bool {
+	if t == nil || depth > 4 {
+		return false
+	}
+	switch t := t.(type) {
+	case *types.Pointer:
+		if n, ok := t.Elem().(*types.Named); ok && pe.pooled[n.Obj()] {
+			return true
+		}
+		return false
+	case *types.Slice:
+		return pe.contains(t.Elem(), depth+1)
+	case *types.Array:
+		return pe.contains(t.Elem(), depth+1)
+	case *types.Map:
+		return pe.contains(t.Key(), depth+1) || pe.contains(t.Elem(), depth+1)
+	case *types.Chan:
+		return pe.contains(t.Elem(), depth+1)
+	case *types.Named:
+		return pe.contains(t.Underlying(), depth+1)
+	}
+	return false
+}
+
+func (pe *poolEscape) pkg(pkg *Package, owner bool) {
+	c := pe.c
+	// Globals of pooled-capable type are a hazard everywhere, owners
+	// included: nothing ties their lifetime to a GVT round.
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					obj := pkg.Info.Defs[name]
+					if v, ok := obj.(*types.Var); ok && !v.IsField() &&
+						v.Parent() == pkg.Types.Scope() && pe.containsPooled(v.Type()) {
+						c.Report(name.Pos(), "package-level variable %s can retain a pool-recycled pointer past its recycle point", name.Name)
+					}
+				}
+			}
+		}
+	}
+	if owner {
+		return
+	}
+	immediate := immediateFuncLits(pkg)
+	inspect(pkg, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if !pe.containsPooled(pkg.Info.TypeOf(lhs)) {
+					continue
+				}
+				if tgt := escapeTarget(pkg, lhs); tgt != "" {
+					c.Report(lhs.Pos(), "store of a pool-recycled pointer into %s outside the pool owner packages: the pool may recycle it while this reference lives", tgt)
+				}
+			}
+		case *ast.CompositeLit:
+			t := pkg.Info.TypeOf(n)
+			if t == nil {
+				return true
+			}
+			if _, ok := t.Underlying().(*types.Struct); !ok {
+				return true
+			}
+			for _, el := range n.Elts {
+				v := el
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					v = kv.Value
+				}
+				if pe.containsPooled(pkg.Info.TypeOf(v)) {
+					c.Report(v.Pos(), "pool-recycled pointer embedded in a struct literal outside the pool owner packages")
+				}
+			}
+		case *ast.FuncLit:
+			if immediate[n] {
+				return true
+			}
+			ast.Inspect(n.Body, func(m ast.Node) bool {
+				id, ok := m.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				v, ok := pkg.Info.Uses[id].(*types.Var)
+				if !ok || v.IsField() || v.Parent() == pkg.Types.Scope() {
+					return true
+				}
+				if !pe.containsPooled(v.Type()) {
+					return true
+				}
+				if v.Pos() < n.Pos() || v.Pos() > n.End() {
+					c.Report(id.Pos(), "closure captures pool-recycled pointer %s: if the closure outlives the event's lifecycle this is a use-after-recycle", id.Name)
+				}
+				return true
+			})
+			return false // the inner walk handled the body
+		}
+		return true
+	})
+}
+
+// escapeTarget classifies an assignment destination that retains its
+// value: a struct field, a package-level variable, or an element
+// reachable from one. It returns "" for locals.
+func escapeTarget(pkg *Package, lhs ast.Expr) string {
+	switch lhs := lhs.(type) {
+	case *ast.SelectorExpr:
+		if sel, ok := pkg.Info.Selections[lhs]; ok && sel.Kind() == types.FieldVal {
+			return "struct field " + lhs.Sel.Name
+		}
+		if v, ok := pkg.Info.Uses[lhs.Sel].(*types.Var); ok && !v.IsField() {
+			return "package-level variable " + lhs.Sel.Name
+		}
+	case *ast.Ident:
+		if v, ok := pkg.Info.Uses[lhs].(*types.Var); ok && !v.IsField() && v.Parent() == pkg.Types.Scope() {
+			return "package-level variable " + lhs.Name
+		}
+	case *ast.IndexExpr:
+		if t := escapeTarget(pkg, lhs.X); t != "" {
+			return "element of " + t
+		}
+	case *ast.StarExpr:
+		return "" // writes through pointers stay the callee's business
+	}
+	return ""
+}
+
+// immediateFuncLits returns the function literals that are invoked on
+// the spot — (func(){...})() — and therefore cannot retain captures.
+func immediateFuncLits(pkg *Package) map[*ast.FuncLit]bool {
+	out := map[*ast.FuncLit]bool{}
+	inspect(pkg, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fun := call.Fun
+		for {
+			if p, ok := fun.(*ast.ParenExpr); ok {
+				fun = p.X
+				continue
+			}
+			break
+		}
+		if lit, ok := fun.(*ast.FuncLit); ok {
+			out[lit] = true
+		}
+		return true
+	})
+	return out
+}

@@ -1,0 +1,12 @@
+// Package allowfx exercises the allow-annotation grammar itself: a
+// reason is mandatory, so a bare or empty annotation is a diagnostic.
+package allowfx
+
+//ggvet:allow() // want `ggvet:allow needs a reason`
+var empty = 1
+
+//ggvet:allow bare, no parens // want `ggvet:allow needs a reason`
+var bare = 2
+
+//ggvet:allow(a real reason, nested (parens) included)
+var fine = empty + bare

@@ -1,0 +1,17 @@
+package sim
+
+import "math/rand"
+
+// Draw demonstrates the global math/rand hazard: randomness must flow
+// through the engine's seeded, rollback-restorable streams.
+func Draw() int {
+	return rand.Int() // want `global math/rand in the deterministic core`
+}
+
+// Shuffle shows that even seeded use of the package is flagged: the
+// global source is process-wide state a rollback cannot restore.
+func Shuffle(xs []int) {
+	rand.Seed(1) // want `global math/rand in the deterministic core`
+	//ggvet:allow(fixture: demonstrating that an annotated site is suppressed)
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+}

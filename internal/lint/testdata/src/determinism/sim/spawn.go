@@ -1,0 +1,10 @@
+package sim
+
+// spawn.go stands in for the simulated machine's cooperative-scheduler
+// launch site; the fixture config lists it in GoAllowedFiles, so the
+// go statement below is legitimate.
+
+// Spawn launches a cooperatively scheduled thread body.
+func Spawn(body func()) {
+	go body()
+}

@@ -1,0 +1,81 @@
+// Package enumfx is the enumexhaustive fixture: a closed enum with a
+// name table, switches in every coverage state, and a model interface
+// whose encode/decode tag tables have drifted.
+package enumfx
+
+// Color is the closed enum under test.
+type Color int
+
+// The variants.
+const (
+	Red Color = iota
+	Green
+	Blue
+)
+
+// ParseColor is the name table; it has drifted: Blue is unreachable.
+func ParseColor(s string) (Color, bool) { // want `ParseColor never returns Blue`
+	switch s {
+	case "red":
+		return Red, true
+	case "green":
+		return Green, true
+	}
+	return Red, false
+}
+
+// Describe misses a variant and has no default at all.
+func Describe(c Color) string {
+	switch c { // want `switch over Color misses Blue with no default`
+	case Red:
+		return "red"
+	case Green:
+		return "green"
+	}
+	return ""
+}
+
+// Quiet misses variants and its default swallows them.
+func Quiet(c Color) string {
+	switch c { // want `switch over Color misses Green, Blue with a default that does not fail loudly`
+	case Red:
+		return "red"
+	default:
+		return ""
+	}
+}
+
+// Hex is partial but fails loudly: allowed.
+func Hex(c Color) string {
+	switch c {
+	case Red:
+		return "#f00"
+	case Green:
+		return "#0f0"
+	default:
+		panic("enumfx: unknown color")
+	}
+}
+
+// Name covers every variant: allowed.
+func Name(c Color) string {
+	switch c {
+	case Red:
+		return "red"
+	case Green:
+		return "green"
+	case Blue:
+		return "blue"
+	}
+	return ""
+}
+
+// Warmth is partial by design and carries the annotation.
+func Warmth(c Color) string {
+	//ggvet:allow(partial mapping by design: every non-red color reads as cold)
+	switch c {
+	case Red:
+		return "warm"
+	}
+	return "cold"
+}

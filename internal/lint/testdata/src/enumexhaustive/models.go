@@ -1,0 +1,37 @@
+package enumfx
+
+// Model is the workload-model interface; the encode/decode tag tables
+// below must cover every implementation.
+type Model interface {
+	Step()
+}
+
+// PHold is fully wired: tag tables and state codec all know it.
+type PHold struct{}
+
+// Step implements Model.
+func (*PHold) Step() {}
+
+// Traffic implements Model but the tables have not caught up.
+type Traffic struct{} // want `model Traffic has no counterpart type in state`
+
+// Step implements Model.
+func (*Traffic) Step() {}
+
+// encodeModel is the wire tag table; Traffic is missing.
+func encodeModel(m Model) string { // want `encodeModel has no case for model Traffic`
+	switch m.(type) {
+	case *PHold:
+		return "phold"
+	}
+	return ""
+}
+
+// decodeModel is the inverse table; Traffic is missing here too.
+func decodeModel(name string) Model { // want `decodeModel never constructs model Traffic`
+	switch name {
+	case "phold":
+		return &PHold{}
+	}
+	return nil
+}

@@ -1,0 +1,13 @@
+// Package state is the fixture's checkpoint codec package: PHold has
+// its per-model state codec, Traffic's is missing entirely (the
+// diagnostic lands on the model declaration).
+package state
+
+// PHold mirrors the root model for checkpointing.
+type PHold struct{}
+
+// EncodeState serializes the LP state.
+func (*PHold) EncodeState() []byte { return nil }
+
+// DecodeState restores the LP state.
+func (*PHold) DecodeState(b []byte) error { return nil }

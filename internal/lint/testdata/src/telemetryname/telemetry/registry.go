@@ -1,0 +1,76 @@
+// Package telemetry is the fixture's miniature metric registry: the
+// same Counter/Gauge/Histogram get-or-create surface as the real one,
+// including the dynamic Import path that makes this package exempt.
+package telemetry
+
+// Counter is a monotonic metric.
+type Counter struct{ v int64 }
+
+// Inc bumps the counter.
+func (c *Counter) Inc() { c.v++ }
+
+// Gauge is a point-in-time metric.
+type Gauge struct{ v float64 }
+
+// Set overwrites the gauge.
+func (g *Gauge) Set(v float64) { g.v = v }
+
+// Histogram is a distribution metric.
+type Histogram struct{ n int64 }
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) { h.n++; _ = v }
+
+// Registry hands out metrics by dotted name, get-or-create.
+type Registry struct {
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	if r.counters == nil {
+		r.counters = map[string]*Counter{}
+	}
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r.gauges == nil {
+		r.gauges = map[string]*Gauge{}
+	}
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r.histograms == nil {
+		r.histograms = map[string]*Histogram{}
+	}
+	h, ok := r.histograms[name]
+	if !ok {
+		h = &Histogram{}
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Import re-registers names arriving off the wire — inherently
+// dynamic, which is why the registry's own package is exempt.
+func (r *Registry) Import(names []string) {
+	for _, n := range names {
+		r.Counter(n).Inc()
+	}
+}

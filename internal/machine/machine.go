@@ -372,6 +372,7 @@ func threadLess(a, b *Thread) bool {
 }
 
 func (m *Machine) sortRunq(c *coreState) {
+	//ggvet:allow(threadLess is a total order — vruntime with id tiebreak — so the unstable sort cannot permute equal elements)
 	sort.Slice(c.runq, func(i, j int) bool { return threadLess(c.runq[i], c.runq[j]) })
 }
 

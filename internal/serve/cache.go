@@ -37,10 +37,10 @@ func newResultCache(max int, reg *telemetry.Registry) *resultCache {
 		max:       max,
 		ll:        list.New(),
 		items:     make(map[string]*list.Element),
-		hits:      reg.Counter("serve.cache_hits"),
-		misses:    reg.Counter("serve.cache_misses"),
-		evictions: reg.Counter("serve.cache_evictions"),
-		entries:   reg.Gauge("serve.cache_entries"),
+		hits:      reg.Counter(MetricCacheHits),
+		misses:    reg.Counter(MetricCacheMisses),
+		evictions: reg.Counter(MetricCacheEvictions),
+		entries:   reg.Gauge(MetricCacheEntries),
 	}
 }
 

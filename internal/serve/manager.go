@@ -173,6 +173,11 @@ type Manager struct {
 	cache   *resultCache
 	crashes *chaos.WorkerCrashes
 
+	// baseCtx parents every job context: cancelling it (the caller's
+	// process-lifetime context) reaches all in-flight runs, so a drain
+	// deadline can hard-stop stragglers instead of abandoning them.
+	baseCtx context.Context
+
 	ckptRoot string
 	ownRoot  bool
 
@@ -199,8 +204,18 @@ type Manager struct {
 	inFlight       *telemetry.Gauge
 }
 
-// New starts a manager and its worker pool.
+// New starts a manager and its worker pool with a background base
+// context; jobs then only stop via their own deadline or Cancel. Use
+// NewContext when the caller has a process-lifetime context that
+// should be able to hard-stop in-flight jobs.
 func New(opts Options) *Manager {
+	return NewContext(context.Background(), opts)
+}
+
+// NewContext starts a manager and its worker pool. Every job context
+// derives from ctx: cancelling it aborts all in-flight runs at their
+// next GVT round.
+func NewContext(ctx context.Context, opts Options) *Manager {
 	if opts.Workers <= 0 {
 		opts.Workers = runtime.GOMAXPROCS(0)
 	}
@@ -220,21 +235,22 @@ func New(opts Options) *Manager {
 	m := &Manager{
 		opts:           opts,
 		reg:            reg,
+		baseCtx:        ctx,
 		cache:          newResultCache(opts.CacheEntries, reg),
 		queue:          make(chan *Job, opts.QueueDepth),
 		jobs:           make(map[string]*Job),
-		submitted:      reg.Counter("serve.jobs_submitted"),
-		completed:      reg.Counter("serve.jobs_completed"),
-		failed:         reg.Counter("serve.jobs_failed"),
-		cancelled:      reg.Counter("serve.jobs_cancelled"),
-		rejected:       reg.Counter("serve.jobs_rejected"),
-		retries:        reg.Counter("serve.retries"),
-		injectedCrash:  reg.Counter("serve.injected_crashes"),
-		stallsDetected: reg.Counter("serve.stalls_detected"),
-		resumes:        reg.Counter("serve.resumes"),
-		queueWait:      reg.Histogram("serve.queue_wait_ms"),
-		runWall:        reg.Histogram("serve.run_wall_ms"),
-		inFlight:       reg.Gauge("serve.jobs_in_flight"),
+		submitted:      reg.Counter(MetricJobsSubmitted),
+		completed:      reg.Counter(MetricJobsCompleted),
+		failed:         reg.Counter(MetricJobsFailed),
+		cancelled:      reg.Counter(MetricJobsCancelled),
+		rejected:       reg.Counter(MetricJobsRejected),
+		retries:        reg.Counter(MetricRetries),
+		injectedCrash:  reg.Counter(MetricInjectedCrashes),
+		stallsDetected: reg.Counter(MetricStallsDetected),
+		resumes:        reg.Counter(MetricResumes),
+		queueWait:      reg.Histogram(MetricQueueWaitMS),
+		runWall:        reg.Histogram(MetricRunWallMS),
+		inFlight:       reg.Gauge(MetricJobsInFlight),
 	}
 	if opts.CrashRate > 0 {
 		seed := opts.ChaosSeed
@@ -513,9 +529,9 @@ func (m *Manager) run(j *Job) {
 	var jobCtx context.Context
 	var cancel context.CancelFunc
 	if timeout > 0 {
-		jobCtx, cancel = context.WithTimeout(context.Background(), timeout)
+		jobCtx, cancel = context.WithTimeout(m.baseCtx, timeout)
 	} else {
-		jobCtx, cancel = context.WithCancel(context.Background())
+		jobCtx, cancel = context.WithCancel(m.baseCtx)
 	}
 	j.cancel = cancel
 	cfg := j.cfg

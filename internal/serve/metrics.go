@@ -1,0 +1,31 @@
+package serve
+
+// Metric names registered by the serving layer. Single-sourced here so
+// ggvet's telemetryname pass can hold the registration sites and the
+// checked-in inventory (internal/telemetry/inventory.txt) to one set
+// of spellings.
+const (
+	// Job lifecycle.
+	MetricJobsSubmitted = "serve.jobs_submitted"
+	MetricJobsCompleted = "serve.jobs_completed"
+	MetricJobsFailed    = "serve.jobs_failed"
+	MetricJobsCancelled = "serve.jobs_cancelled"
+	MetricJobsRejected  = "serve.jobs_rejected"
+	MetricJobsInFlight  = "serve.jobs_in_flight"
+
+	// Fault handling.
+	MetricRetries         = "serve.retries"
+	MetricInjectedCrashes = "serve.injected_crashes"
+	MetricStallsDetected  = "serve.stalls_detected"
+	MetricResumes         = "serve.resumes"
+
+	// Latency breakdown.
+	MetricQueueWaitMS = "serve.queue_wait_ms"
+	MetricRunWallMS   = "serve.run_wall_ms"
+
+	// Result cache.
+	MetricCacheHits      = "serve.cache_hits"
+	MetricCacheMisses    = "serve.cache_misses"
+	MetricCacheEvictions = "serve.cache_evictions"
+	MetricCacheEntries   = "serve.cache_entries"
+)
