@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test test-race fuzz bench bench-smoke bench-diff bench-json serve-smoke chaos-smoke determinism-smoke ci
+.PHONY: all build vet lint test test-race fuzz bench bench-smoke bench-diff bench-json serve-smoke chaos-smoke determinism-smoke obs-smoke inventory ci
 
 all: ci
 
@@ -67,10 +67,23 @@ serve-smoke:
 chaos-smoke:
 	GO="$(GO)" sh scripts/chaos_smoke.sh
 
+# Observability smoke: ggserved + pprof on ephemeral ports, one PHOLD
+# job, then the whole surface end to end — /metrics covers every
+# inventoried name, the series endpoint reports the horizon stats, and
+# ggtop -once strictly re-parses the OpenMetrics page while rendering.
+obs-smoke:
+	GO="$(GO)" sh scripts/obs_smoke.sh
+
+# Regenerate internal/telemetry/inventory.txt from the metric-name
+# string literals ggvet's telemetryname pass collects. `make lint`
+# fails if the committed file is stale.
+inventory:
+	$(GO) run ./cmd/ggvet -write-inventory
+
 # Determinism smoke: the same seeded PHOLD config twice; the full
 # verbose report (results + telemetry histograms) must be
 # byte-identical — the end-to-end form of ggvet's determinism pass.
 determinism-smoke:
 	GO="$(GO)" sh scripts/determinism_smoke.sh
 
-ci: build lint test test-race determinism-smoke serve-smoke chaos-smoke bench-smoke
+ci: build lint test test-race determinism-smoke serve-smoke chaos-smoke obs-smoke bench-smoke

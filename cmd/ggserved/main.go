@@ -7,6 +7,12 @@
 //	curl -s localhost:8347/v1/jobs -d '{"config":{"model":{"name":"phold"},"threads":8,"end_time":30}}'
 //	curl -s localhost:8347/v1/jobs/job-00000001
 //
+// Observability: GET /metrics serves the OpenMetrics exposition of
+// the serve.* plane plus the engine metrics of every completed job;
+// GET /v1/jobs/{id}/series streams a job's per-GVT-round time series;
+// -pprof-addr opens net/http/pprof on a separate listener so profiling
+// never shares a port with the public API.
+//
 // SIGTERM/SIGINT drains gracefully: admission stops (503), running
 // jobs finish, then the process exits.
 package main
@@ -19,6 +25,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -44,6 +51,8 @@ func main() {
 		stallAfter = flag.Duration("stall-timeout", 0, "kill an attempt whose GVT has not advanced for this long (0 = off)")
 		crashRate  = flag.Float64("crash-rate", 0, "chaos: probability a non-final attempt is crashed mid-run")
 		chaosSeed  = flag.Uint64("chaos-seed", 0, "chaos: crash-injection seed (0 = 1)")
+		seriesLim  = flag.Int("series-limit", 0, "per-job live series ring size in GVT rounds (0 = default, negative disables)")
+		pprofAddr  = flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty = disabled)")
 	)
 	flag.Parse()
 
@@ -65,6 +74,7 @@ func main() {
 		StallTimeout:    *stallAfter,
 		CrashRate:       *crashRate,
 		ChaosSeed:       *chaosSeed,
+		SeriesLimit:     *seriesLim,
 	})
 
 	// Publish the serve registry under expvar so one scrape covers the
@@ -80,7 +90,25 @@ func main() {
 
 	mux := http.NewServeMux()
 	mux.Handle("/v1/", mgr.Handler())
+	mux.Handle("/metrics", mgr.MetricsHandler())
 	mux.Handle("/debug/vars", expvar.Handler())
+
+	// pprof goes on its own listener: profiling endpoints expose heap
+	// contents and should never ride on the public API port by accident.
+	if *pprofAddr != "" {
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			fatalf("pprof listen: %v", err)
+		}
+		pmux := http.NewServeMux()
+		pmux.HandleFunc("/debug/pprof/", pprof.Index)
+		pmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		fmt.Fprintf(os.Stderr, "ggserved: pprof on %s\n", pln.Addr())
+		go func() { _ = http.Serve(pln, pmux) }()
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

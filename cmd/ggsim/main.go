@@ -26,39 +26,42 @@ import (
 
 func main() {
 	var (
-		modelName = flag.String("model", "phold", "workload: phold | epidemics | traffic")
-		threads   = flag.Int("threads", 32, "simulation threads (POSIX threads in the paper)")
-		system    = flag.String("system", "gg", "scheduling system: baseline | dd | gg")
-		gvtAlg    = flag.String("gvt", "async", "GVT algorithm: sync (barrier) | async (wait-free)")
-		affinity  = flag.String("affinity", "constant", "CPU affinity: none | constant | dynamic")
-		endTime   = flag.Float64("end", 60, "virtual end time")
-		seed      = flag.Uint64("seed", 1, "random seed")
-		lps       = flag.Int("lps", 8, "LPs per thread")
-		imbalance = flag.Int("imbalance", 1, "PHOLD 1-K imbalance (1 = balanced)")
-		nonLinear = flag.Bool("nonlinear", false, "PHOLD non-linear locality groups")
-		lockdown  = flag.Int("lockdown", 4, "epidemics lock-down groups K ((K-1)/K locked)")
-		gradient  = flag.Float64("gradient", 0.35, "traffic density gradient")
-		cores     = flag.Int("cores", 16, "simulated cores")
-		smt       = flag.Int("smt", 2, "SMT contexts per core")
-		gvtFreq   = flag.Int("gvt-freq", 40, "loop iterations per GVT round")
-		zeroThr   = flag.Int("zero-threshold", 400, "empty-queue iterations before deactivation")
-		queue     = flag.String("queue", "splay", "pending queue: splay | heap | calendar")
-		optimism  = flag.Float64("optimism", 0, "optimism window in virtual time (0 = unbounded)")
-		saving    = flag.String("statesaving", "copy", "rollback mechanism: copy | reverse")
-		traceFile = flag.String("trace", "", "write a CSV trace of the run to this file")
-		traceRing = flag.Bool("trace-ring", false, "keep only the newest -trace-limit trace records (ring buffer)")
-		traceLim  = flag.Int("trace-limit", 0, "trace record cap (0 = default)")
-		perfetto  = flag.String("perfetto", "", "write a Perfetto/Chrome trace JSON of the run to this file")
-		progress  = flag.Bool("progress", false, "print live progress lines to stderr as GVT advances")
-		progEvery = flag.Float64("progress-every", 0, "virtual-time interval between progress lines (0 = 10% of -end)")
-		expvarAt  = flag.String("expvar", "", "serve live run metrics over expvar at this address (e.g. :8123)")
-		hist      = flag.Bool("hist", false, "print every run histogram (implies -v percentile lines)")
-		lazy      = flag.Bool("lazy", false, "lazy cancellation (defer anti-messages across rollbacks)")
-		timeout   = flag.Duration("timeout", 0, "abort the run after this much real time (0 = no limit)")
-		nopool    = flag.Bool("nopool", false, "disable event/snapshot recycling (A/B allocation measurements)")
-		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
-		memProf   = flag.String("memprofile", "", "write a heap profile after the run to this file (go tool pprof)")
-		verbose   = flag.Bool("v", false, "print the full metric set")
+		modelName  = flag.String("model", "phold", "workload: phold | epidemics | traffic")
+		threads    = flag.Int("threads", 32, "simulation threads (POSIX threads in the paper)")
+		system     = flag.String("system", "gg", "scheduling system: baseline | dd | gg")
+		gvtAlg     = flag.String("gvt", "async", "GVT algorithm: sync (barrier) | async (wait-free)")
+		affinity   = flag.String("affinity", "constant", "CPU affinity: none | constant | dynamic")
+		endTime    = flag.Float64("end", 60, "virtual end time")
+		seed       = flag.Uint64("seed", 1, "random seed")
+		lps        = flag.Int("lps", 8, "LPs per thread")
+		imbalance  = flag.Int("imbalance", 1, "PHOLD 1-K imbalance (1 = balanced)")
+		nonLinear  = flag.Bool("nonlinear", false, "PHOLD non-linear locality groups")
+		lockdown   = flag.Int("lockdown", 4, "epidemics lock-down groups K ((K-1)/K locked)")
+		gradient   = flag.Float64("gradient", 0.35, "traffic density gradient")
+		cores      = flag.Int("cores", 16, "simulated cores")
+		smt        = flag.Int("smt", 2, "SMT contexts per core")
+		gvtFreq    = flag.Int("gvt-freq", 40, "loop iterations per GVT round")
+		zeroThr    = flag.Int("zero-threshold", 400, "empty-queue iterations before deactivation")
+		queue      = flag.String("queue", "splay", "pending queue: splay | heap | calendar")
+		optimism   = flag.Float64("optimism", 0, "optimism window in virtual time (0 = unbounded)")
+		saving     = flag.String("statesaving", "copy", "rollback mechanism: copy | reverse")
+		traceFile  = flag.String("trace", "", "write a CSV trace of the run to this file")
+		seriesOut  = flag.String("series", "", "write the per-GVT-round time series CSV to this file (- = stdout)")
+		seriesLim  = flag.Int("series-limit", 0, "series ring size in GVT rounds (0 = default)")
+		seriesPlot = flag.Bool("series-plot", false, "print horizon-width and rollback sparklines from the series")
+		traceRing  = flag.Bool("trace-ring", false, "keep only the newest -trace-limit trace records (ring buffer)")
+		traceLim   = flag.Int("trace-limit", 0, "trace record cap (0 = default)")
+		perfetto   = flag.String("perfetto", "", "write a Perfetto/Chrome trace JSON of the run to this file")
+		progress   = flag.Bool("progress", false, "print live progress lines to stderr as GVT advances")
+		progEvery  = flag.Float64("progress-every", 0, "virtual-time interval between progress lines (0 = 10% of -end)")
+		expvarAt   = flag.String("expvar", "", "serve live run metrics over expvar at this address (e.g. :8123)")
+		hist       = flag.Bool("hist", false, "print every run histogram (implies -v percentile lines)")
+		lazy       = flag.Bool("lazy", false, "lazy cancellation (defer anti-messages across rollbacks)")
+		timeout    = flag.Duration("timeout", 0, "abort the run after this much real time (0 = no limit)")
+		nopool     = flag.Bool("nopool", false, "disable event/snapshot recycling (A/B allocation measurements)")
+		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
+		memProf    = flag.String("memprofile", "", "write a heap profile after the run to this file (go tool pprof)")
+		verbose    = flag.Bool("v", false, "print the full metric set")
 
 		ckptEvery = flag.Int("checkpoint-every", 0, "checkpoint every N GVT rounds (0 = off)")
 		ckptDir   = flag.String("checkpoint-dir", "", "write checkpoint files to this directory")
@@ -174,8 +177,27 @@ func main() {
 			progOpts.Func = publishExpvar(*expvarAt)
 		}
 	}
+	var seriesOpts *ggpdes.SeriesOptions
+	var seriesFile *os.File
+	if *seriesOut != "" || *seriesPlot || *seriesLim > 0 {
+		seriesOpts = &ggpdes.SeriesOptions{Limit: *seriesLim}
+	}
+	if *seriesOut != "" {
+		if *seriesOut == "-" {
+			seriesOpts.CSV = os.Stdout
+		} else {
+			f, err := os.Create(*seriesOut)
+			if err != nil {
+				fatalf("%v", err)
+			}
+			defer f.Close()
+			seriesFile = f
+			seriesOpts.CSV = f
+		}
+	}
 	cfg.Trace = traceOpts
 	cfg.Progress = progOpts
+	cfg.Series = seriesOpts
 
 	ctx := context.Background()
 	if *timeout > 0 {
@@ -192,6 +214,7 @@ func main() {
 		res, err = ggpdes.ResumeContext(ctx, *resume, &ggpdes.ResumeOptions{
 			Trace:         traceOpts,
 			Progress:      progOpts,
+			Series:        seriesOpts,
 			CheckpointDir: *ckptDir,
 		})
 	} else {
@@ -214,6 +237,22 @@ func main() {
 	}
 	if res.TraceSummary != "" {
 		fmt.Println(res.TraceSummary)
+	}
+	if seriesFile != nil {
+		fmt.Printf("series written to %s (%d rounds)\n", seriesFile.Name(), len(res.Series))
+	}
+	if *seriesPlot && len(res.Series) > 0 {
+		width := make([]float64, len(res.Series))
+		rough := make([]float64, len(res.Series))
+		rolled := make([]float64, len(res.Series))
+		for i, pt := range res.Series {
+			width[i] = pt.HorizonWidth
+			rough[i] = pt.HorizonRoughness
+			rolled[i] = float64(pt.Rollbacks)
+		}
+		fmt.Printf("horizon width  w     : %s\n", stats.Sparkline(width, 60))
+		fmt.Printf("roughness      w^2   : %s\n", stats.Sparkline(rough, 60))
+		fmt.Printf("rollbacks (cum)      : %s\n", stats.Sparkline(rolled, 60))
 	}
 
 	if resuming {

@@ -6,14 +6,19 @@
 // Usage:
 //
 //	ggvet [./...]
+//	ggvet -write-inventory
 //
 // ggvet always analyzes the whole module containing the working
 // directory (the passes are cross-package by nature), so the pattern
 // argument is accepted for muscle-memory compatibility with go vet and
-// ignored. Exit status: 0 clean, 1 diagnostics, 2 load failure.
+// ignored. -write-inventory regenerates the checked-in metric
+// inventory from the registration sites instead of linting (the file
+// `make lint` then audits both directions). Exit status: 0 clean, 1
+// diagnostics, 2 load failure.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -22,6 +27,9 @@ import (
 )
 
 func main() {
+	writeInv := flag.Bool("write-inventory", false, "regenerate the metric inventory file from registration sites, then exit")
+	flag.Parse()
+
 	root, err := moduleRoot()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ggvet:", err)
@@ -32,7 +40,22 @@ func main() {
 		fmt.Fprintln(os.Stderr, "ggvet:", err)
 		os.Exit(2)
 	}
-	checker := lint.NewChecker(prog, lint.DefaultConfig(prog.ModulePath))
+	cfg := lint.DefaultConfig(prog.ModulePath)
+	checker := lint.NewChecker(prog, cfg)
+	if *writeInv {
+		text, ok := checker.InventoryText()
+		if !ok {
+			fmt.Fprintln(os.Stderr, "ggvet: cannot resolve the telemetry registry type")
+			os.Exit(2)
+		}
+		path := filepath.Join(root, filepath.FromSlash(cfg.InventoryFile))
+		if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "ggvet:", err)
+			os.Exit(2)
+		}
+		fmt.Printf("ggvet: wrote %s\n", cfg.InventoryFile)
+		return
+	}
 	diags := checker.Run(lint.Passes())
 	for _, d := range diags {
 		// Print module-relative paths: stable across machines and

@@ -190,7 +190,8 @@ func (c Config) MarshalJSON() ([]byte, error) {
 
 // UnmarshalJSON implements json.Unmarshaler. It overwrites every wire
 // field of c (absent fields become their zero values) and leaves the
-// non-wire attachments Trace and Progress untouched.
+// non-wire attachments — Trace, Progress, Series, Telemetry —
+// untouched.
 func (c *Config) UnmarshalJSON(data []byte) error {
 	var w configJSON
 	if err := json.Unmarshal(data, &w); err != nil {
@@ -214,6 +215,8 @@ func (c *Config) UnmarshalJSON(data []byte) error {
 		DisablePooling:       w.DisablePooling,
 		Trace:                c.Trace,
 		Progress:             c.Progress,
+		Series:               c.Series,
+		Telemetry:            c.Telemetry,
 	}
 	if w.System != "" {
 		if out.System, err = ParseSystem(w.System); err != nil {

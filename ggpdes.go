@@ -246,6 +246,20 @@ type Config struct {
 	// switch exists for A/B allocation measurements and debugging, and
 	// — like Trace and Progress — is excluded from CacheKey.
 	DisablePooling bool
+	// Series, when non-nil, records a per-GVT-round time series of the
+	// run (GVT advance rate, virtual-time-horizon width and roughness,
+	// rollback and commit totals, pool hit rate, queue depths).
+	// Sampling only reads state — it charges zero simulated cycles —
+	// so the trajectory is identical with and without it; like the
+	// other observability knobs it is excluded from CacheKey.
+	Series *SeriesOptions
+	// Telemetry, when non-nil, routes the run's metrics into the given
+	// registry instead of a private one — the serving layer's way of
+	// letting concurrent jobs share one scrape target. Metrics from
+	// all runs sharing the registry commingle (counters add; per-run
+	// attribution needs per-run registries). Observability-only:
+	// excluded from CacheKey and from checkpoint snapshots.
+	Telemetry *Registry
 	// Checkpoint, when non-nil, makes the run checkpointable: the
 	// engine quiesces onto its committed state every Every GVT rounds
 	// and a versioned snapshot is written to Dir. A checkpointed run
@@ -342,6 +356,39 @@ type ProgressOptions struct {
 	// Func, when non-nil, receives each progress sample; use it to feed
 	// expvar or custom dashboards.
 	Func func(ProgressInfo)
+}
+
+// Registry, Series, SeriesPoint and MetricsState re-export the
+// telemetry layer's types so callers outside the module can name them
+// (internal packages are not importable from outside).
+type (
+	Registry     = telemetry.Registry
+	Series       = telemetry.Series
+	SeriesPoint  = telemetry.SeriesPoint
+	MetricsState = telemetry.MetricsState
+)
+
+// NewRegistry returns an empty telemetry registry, for sharing one
+// scrape target across runs via Config.Telemetry.
+func NewRegistry() *Registry { return telemetry.NewRegistry() }
+
+// NewSeries returns a ring buffer retaining the last limit series
+// points (a default when limit <= 0), for live sampling via
+// SeriesOptions.Buffer.
+func NewSeries(limit int) *Series { return telemetry.NewSeries(limit) }
+
+// SeriesOptions configures per-GVT-round time-series recording.
+type SeriesOptions struct {
+	// Limit bounds the number of retained points (ring buffer; 0
+	// selects a default). Ignored when Buffer is set.
+	Limit int
+	// CSV, when non-nil, receives the retained points as CSV when the
+	// run finishes (ggsim -series).
+	CSV io.Writer
+	// Buffer, when non-nil, is sampled into directly, so a concurrent
+	// reader (the serving layer's live series endpoint) can watch the
+	// run mid-flight. The caller owns the buffer's lifecycle.
+	Buffer *Series
 }
 
 // ProgressInfo is one live progress sample, taken at a GVT publication.
@@ -457,10 +504,20 @@ type Results struct {
 	DescheduleSpanCycles  HistSummary
 	// Counters, Gauges and Histograms snapshot the full telemetry
 	// registry by metric name (e.g. "tw.rollback_depth",
-	// "machine.runq_depth").
+	// "machine.runq_depth"). Gauges holds only gauges that were
+	// actually set during the run; Metrics carries the set flag for
+	// the rest.
 	Counters   map[string]uint64
 	Gauges     map[string]float64
 	Histograms map[string]HistSummary
+	// Series holds the per-GVT-round time series when Config.Series
+	// was set (oldest first, ring-bounded). Excluded from the JSON
+	// form — the serving layer exposes it through its own endpoint.
+	Series []SeriesPoint `json:"-"`
+	// Metrics is the lossless raw telemetry export (bucket counts,
+	// gauge set flags); the serving layer folds it into its shared
+	// registry. Excluded from the JSON form.
+	Metrics MetricsState `json:"-"`
 }
 
 // GVTCPUSecondsPerRound is the paper's "average CPU time spent for a

@@ -196,11 +196,14 @@ type Runner struct {
 	shutdownDone bool
 }
 
-// coreTelemetry caches metric handles for the scheduling hot paths.
+// coreTelemetry caches metric handles for the scheduling hot paths,
+// one registry shard per thread so recording never shares a cache
+// line across threads. Handles are indexed by the tid the operation
+// concerns (the thread being activated, deactivated or repinned).
 type coreTelemetry struct {
-	descheduleSpan             *telemetry.Histogram
-	deactivations, activations *telemetry.Counter
-	repins                     *telemetry.Counter
+	descheduleSpan             []*telemetry.Histogram
+	deactivations, activations []*telemetry.Counter
+	repins                     []*telemetry.Counter
 }
 
 // scheduler is the demand-driven scheduling behaviour, invoked from the
@@ -241,14 +244,21 @@ func NewRunner(cfg Config) (*Runner, error) {
 		return nil, errors.New("core: AffinityDynamic requires the GGPDES system")
 	}
 	r := &Runner{cfg: cfg}
-	r.tel = coreTelemetry{
-		descheduleSpan: cfg.Telemetry.Histogram(MetricDescheduleSpan),
-		deactivations:  cfg.Telemetry.Counter(MetricDeactivations),
-		activations:    cfg.Telemetry.Counter(MetricActivations),
-		repins:         cfg.Telemetry.Counter(MetricRepins),
-	}
 
 	n := len(cfg.Engine.Peers())
+	r.tel = coreTelemetry{
+		descheduleSpan: make([]*telemetry.Histogram, n),
+		deactivations:  make([]*telemetry.Counter, n),
+		activations:    make([]*telemetry.Counter, n),
+		repins:         make([]*telemetry.Counter, n),
+	}
+	for tid := 0; tid < n; tid++ {
+		sh := cfg.Telemetry.Shard(tid)
+		r.tel.descheduleSpan[tid] = sh.Histogram(MetricDescheduleSpan)
+		r.tel.deactivations[tid] = sh.Counter(MetricDeactivations)
+		r.tel.activations[tid] = sh.Counter(MetricActivations)
+		r.tel.repins[tid] = sh.Counter(MetricRepins)
+	}
 	mcfg := cfg.Machine.Config()
 	usableCores := mcfg.Cores
 	if cfg.System == DDPDES {

@@ -160,7 +160,7 @@ func (b *barrierGVT) Step(p *machine.Proc, acc *machine.Acc, tid int) {
 	if b.endCount >= b.roundSize {
 		b.endCount = 0
 		b.rounds++
-		b.rt.roundComplete()
+		b.rt.roundComplete(tid)
 		if ad := b.cfg.Adaptive; ad != nil {
 			b.freq = ad.adapt(b.freq, b.eng.PeakUncommittedSinceMark(), len(b.eng.Peers()))
 			b.eng.MarkUncommitted()

@@ -28,29 +28,41 @@ const (
 	MetricRounds = "gvt.rounds"
 )
 
-// roundTelemetry observes round-completion latency for both algorithms.
+// roundTelemetry observes round-completion latency for both
+// algorithms. Handles are per-thread registry shards, indexed by the
+// tid that closes the round, so recording never contends with another
+// thread's cells; the round timestamp itself is shared because round
+// completion is a global event (machine-serialized, like everything
+// here).
 type roundTelemetry struct {
 	clock   func() uint64
-	latency *telemetry.Histogram
-	rounds  *telemetry.Counter
+	latency []*telemetry.Histogram
+	rounds  []*telemetry.Counter
 	last    uint64
 }
 
 func newRoundTelemetry(cfg *Config) roundTelemetry {
-	return roundTelemetry{
+	n := len(cfg.Engine.Peers())
+	rt := roundTelemetry{
 		clock:   cfg.Machine.NowCycles,
-		latency: cfg.Telemetry.Histogram(MetricRoundLatency),
-		rounds:  cfg.Telemetry.Counter(MetricRounds),
+		latency: make([]*telemetry.Histogram, n),
+		rounds:  make([]*telemetry.Counter, n),
 	}
+	for tid := 0; tid < n; tid++ {
+		sh := cfg.Telemetry.Shard(tid)
+		rt.latency[tid] = sh.Histogram(MetricRoundLatency)
+		rt.rounds[tid] = sh.Counter(MetricRounds)
+	}
+	return rt
 }
 
 // roundComplete records the wall-cycle gap since the previous round
-// (the run start, for the first one).
-func (rt *roundTelemetry) roundComplete() {
+// (the run start, for the first one) on the closing thread's shard.
+func (rt *roundTelemetry) roundComplete(tid int) {
 	now := rt.clock()
-	rt.latency.Observe(float64(now - rt.last))
+	rt.latency[tid].Observe(float64(now - rt.last))
 	rt.last = now
-	rt.rounds.Inc()
+	rt.rounds[tid].Inc()
 }
 
 // Kind selects a GVT algorithm.

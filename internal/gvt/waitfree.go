@@ -216,17 +216,17 @@ func (w *waitFree) stepAwareEnd(p *machine.Proc, acc *machine.Acc, tid int, peer
 	// Completed this round; only the next one may be entered.
 	w.allowedRound[tid] = w.round + 1
 	if w.countEnd == w.roundParticipants {
-		w.resetRound()
+		w.resetRound(tid)
 		w.cfg.Hooks.OnRoundComplete(p, acc, tid)
 	}
 	// Deactivation point (may block inside; Leave is called first).
 	w.cfg.Hooks.OnEnd(p, acc, tid)
 }
 
-func (w *waitFree) resetRound() {
+func (w *waitFree) resetRound(tid int) {
 	w.round++
 	w.rounds++
-	w.rt.roundComplete()
+	w.rt.roundComplete(tid)
 	if ad := w.cfg.Adaptive; ad != nil {
 		w.freq = ad.adapt(w.freq, w.eng.PeakUncommittedSinceMark(), len(w.eng.Peers()))
 		w.eng.MarkUncommitted()

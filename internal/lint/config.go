@@ -45,6 +45,10 @@ type Config struct {
 	// RegistryType is the fully qualified telemetry registry type whose
 	// Counter/Gauge/Histogram arguments are metric names.
 	RegistryType string
+	// ShardType is the fully qualified per-thread shard handle type
+	// whose Counter/Gauge/Histogram calls register the same names ("" =
+	// registry only).
+	ShardType string
 	// InventoryFile is the checked-in metric inventory, one
 	// "kind name" pair per line, relative to the module root.
 	InventoryFile string
@@ -82,6 +86,7 @@ func DefaultConfig(modulePath string) Config {
 		ModelCodecPkg: "internal/models",
 
 		RegistryType:  modulePath + "/internal/telemetry.Registry",
+		ShardType:     modulePath + "/internal/telemetry.Shard",
 		InventoryFile: "internal/telemetry/inventory.txt",
 
 		CtxPkgs: []string{".", "internal/serve", "internal/machine"},

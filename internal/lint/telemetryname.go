@@ -5,8 +5,9 @@ package lint
 // dashboards, the serve API) joins on those strings. A typo'd or
 // restyled name silently forks a metric. The pass pins three things:
 //
-//   - the name argument of Registry.Counter/Gauge/Histogram must be a
-//     compile-time constant matching lowercase dotted form
+//   - the name argument of Registry.Counter/Gauge/Histogram — and of
+//     the per-thread Shard handle's methods of the same names — must be
+//     a compile-time constant matching lowercase dotted form
 //     ("pkg.metric_name");
 //   - a name spelled as a raw string literal may appear at exactly one
 //     call site — shared names must be hoisted to a named constant so
@@ -41,24 +42,9 @@ var telemetryNamePass = &Pass{
 	Name: "telemetryname",
 	Doc:  "metric names must be constant lowercase dotted strings, single-sourced, and match the checked-in inventory",
 	Run: func(c *Checker) {
-		regs := c.resolveNamed([]string{c.Cfg.RegistryType})
-		if len(regs) != 1 {
+		sites, ok := c.collectMetricSites()
+		if !ok {
 			return
-		}
-		var registry *types.TypeName
-		for tn := range regs {
-			registry = tn
-		}
-		// The registry's own package registers dynamically (Import) and
-		// is exempt.
-		exemptPath := registry.Pkg().Path()
-
-		var sites []metricSite
-		for _, pkg := range c.Prog.Packages {
-			if pkg.Path == exemptPath {
-				continue
-			}
-			sites = append(sites, c.metricSites(pkg, registry)...)
 		}
 
 		// Shape and single-sourcing.
@@ -89,9 +75,36 @@ var telemetryNamePass = &Pass{
 	},
 }
 
-// metricSites collects Registry.Counter/Gauge/Histogram call sites in
-// pkg with the constant name value when there is one.
-func (c *Checker) metricSites(pkg *Package, registry *types.TypeName) []metricSite {
+// collectMetricSites gathers every Registry/Shard metric registration
+// site outside the telemetry package itself. The registry's own
+// package registers dynamically (Import, shard spine growth) and is
+// exempt.
+func (c *Checker) collectMetricSites() ([]metricSite, bool) {
+	names := []string{c.Cfg.RegistryType}
+	if c.Cfg.ShardType != "" {
+		names = append(names, c.Cfg.ShardType)
+	}
+	recvs := c.resolveNamed(names)
+	if len(recvs) == 0 {
+		return nil, false
+	}
+	exempt := map[string]bool{}
+	for tn := range recvs {
+		exempt[tn.Pkg().Path()] = true
+	}
+	var sites []metricSite
+	for _, pkg := range c.Prog.Packages {
+		if exempt[pkg.Path] {
+			continue
+		}
+		sites = append(sites, c.metricSites(pkg, recvs)...)
+	}
+	return sites, true
+}
+
+// metricSites collects Registry/Shard Counter/Gauge/Histogram call
+// sites in pkg with the constant name value when there is one.
+func (c *Checker) metricSites(pkg *Package, recvs map[*types.TypeName]bool) []metricSite {
 	var out []metricSite
 	inspect(pkg, func(n ast.Node) bool {
 		call, ok := n.(*ast.CallExpr)
@@ -126,7 +139,7 @@ func (c *Checker) metricSites(pkg *Package, registry *types.TypeName) []metricSi
 			recv = p.Elem()
 		}
 		named, ok := recv.(*types.Named)
-		if !ok || named.Obj() != registry {
+		if !ok || !recvs[named.Obj()] {
 			return true
 		}
 		site := metricSite{pos: call.Args[0].Pos(), kind: kind}

@@ -9,13 +9,18 @@ import (
 
 	"ggpdes"
 	"ggpdes/internal/checkpoint"
+	"ggpdes/internal/telemetry"
 )
 
 // apiRevision identifies the /v1 wire contract. Revision 2 replaced
 // the flat job spec with an embedded ggpdes.Config ("config":{...})
-// and added attempts/last_error/resumed_from to job status; /v1 paths
-// are otherwise stable within a revision.
-const apiRevision = 2
+// and added attempts/last_error/resumed_from to job status. Revision 3
+// added GET /v1/jobs/{id}/series, changed /v1/stats gauges from bare
+// numbers to {value,set} objects (unset gauges are no longer reported
+// as a misleading 0), and added the OpenMetrics exposition (mounted by
+// ggserved at /metrics); /v1 paths are otherwise stable within a
+// revision.
+const apiRevision = 3
 
 // Handler returns the service's HTTP API:
 //
@@ -27,6 +32,8 @@ const apiRevision = 2
 //	                           flight, 404 unknown; failures map the
 //	                           typed cause: 409 cancelled/failed, 410
 //	                           corrupt checkpoint, 504 deadline
+//	GET    /v1/jobs/{id}/series  per-GVT-round time series — live ring
+//	                           while running, recorded series when done
 //	DELETE /v1/jobs/{id}       cancel; 200 with post-cancel status
 //	GET    /v1/version         API revision + checkpoint format
 //	GET    /v1/healthz         200 ok, 503 draining
@@ -36,11 +43,23 @@ func (m *Manager) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/jobs", m.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs/{id}", m.handleStatus)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", m.handleResult)
+	mux.HandleFunc("GET /v1/jobs/{id}/series", m.handleSeries)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", m.handleCancel)
 	mux.HandleFunc("GET /v1/version", m.handleVersion)
 	mux.HandleFunc("GET /v1/healthz", m.handleHealthz)
 	mux.HandleFunc("GET /v1/stats", m.handleStats)
 	return mux
+}
+
+// MetricsHandler returns the OpenMetrics/Prometheus text exposition of
+// the serving registry: the serve.* plane plus the engine metrics of
+// every completed job, merged. ggserved mounts it at /metrics; it is
+// not under /v1 so generic scrapers find it at the conventional path.
+func (m *Manager) MetricsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = telemetry.WriteOpenMetrics(w, m.reg.Snapshot())
+	})
 }
 
 type errorBody struct {
@@ -143,6 +162,27 @@ func (m *Manager) handleResult(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// seriesBody wraps a job's per-round series with its identity. Points
+// arrive oldest-first; Total counts every point ever recorded, so
+// total > len(points) tells the client the ring has wrapped.
+type seriesBody struct {
+	Status
+	Total  int                     `json:"total_points"`
+	Points []telemetry.SeriesPoint `json:"points"`
+}
+
+func (m *Manager) handleSeries(w http.ResponseWriter, r *http.Request) {
+	pts, total, st, ok := m.Series(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "unknown job"})
+		return
+	}
+	if pts == nil {
+		pts = []telemetry.SeriesPoint{}
+	}
+	writeJSON(w, http.StatusOK, seriesBody{Status: st, Total: total, Points: pts})
+}
+
 func (m *Manager) handleCancel(w http.ResponseWriter, r *http.Request) {
 	st, ok := m.Cancel(r.PathValue("id"))
 	if !ok {
@@ -205,10 +245,13 @@ func (m *Manager) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 // statsBody is the /v1/stats payload: a full registry snapshot.
+// Gauges carry their set flag (revision 3): a gauge that was
+// registered but never recorded reports {"set":false} instead of a
+// value indistinguishable from a real 0.
 type statsBody struct {
-	Counters   map[string]uint64  `json:"counters"`
-	Gauges     map[string]float64 `json:"gauges"`
-	Histograms any                `json:"histograms"`
+	Counters   map[string]uint64               `json:"counters"`
+	Gauges     map[string]telemetry.GaugeState `json:"gauges"`
+	Histograms map[string]telemetry.Summary    `json:"histograms"`
 }
 
 func (m *Manager) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -220,7 +263,7 @@ func (m *Manager) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	writeJSON(w, http.StatusOK, statsBody{
 		Counters:   reg.Counters(),
-		Gauges:     reg.Gauges(),
+		Gauges:     reg.Snapshot().Gauges,
 		Histograms: reg.Histograms(),
 	})
 }

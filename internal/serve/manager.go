@@ -75,7 +75,12 @@ type Options struct {
 	// unlimited).
 	RetainJobs int
 	// Registry receives the serve.* metrics (nil = a fresh registry).
+	// Engine metrics from completed jobs are folded into the same
+	// registry, so /metrics exposes both planes.
 	Registry *telemetry.Registry
+	// SeriesLimit bounds each job's live per-GVT-round series ring
+	// (0 = telemetry.DefaultSeriesLimit, negative = series disabled).
+	SeriesLimit int
 
 	// MaxAttempts is the default retry budget per job: attempts killed
 	// by injected crashes or the stall watchdog are retried — resuming
@@ -126,6 +131,7 @@ type Job struct {
 	lastErr     string
 	resumedFrom string
 	result      *ggpdes.Results
+	series      *telemetry.Series
 	submitted   time.Time
 	started     time.Time
 	finished    time.Time
@@ -398,6 +404,39 @@ func (m *Manager) Result(id string) (*ggpdes.Results, Status, bool) {
 	return j.result, j.status(), true
 }
 
+// Series returns the job's per-GVT-round time series: the live ring
+// while the job runs, or the recorded series once it finished. Jobs
+// answered from the result cache return the cached run's series. The
+// returned slice is a copy and safe to retain; total counts every
+// point ever recorded, so total > len(points) means the ring wrapped
+// and the oldest rounds were dropped.
+func (m *Manager) Series(id string) (pts []telemetry.SeriesPoint, total int, st Status, ok bool) {
+	m.mu.Lock()
+	j, found := m.jobs[id]
+	if !found {
+		m.mu.Unlock()
+		return nil, 0, Status{}, false
+	}
+	st = j.status()
+	ser := j.series
+	res := j.result
+	m.mu.Unlock()
+	if res != nil && res.Series != nil {
+		pts = make([]telemetry.SeriesPoint, len(res.Series))
+		copy(pts, res.Series)
+		total = len(pts)
+		if n := len(pts); n > 0 {
+			// Rounds are 1-based and contiguous; the last round number
+			// is the true count even when the recording ring wrapped.
+			if r := pts[n-1].Round; r > total {
+				total = r
+			}
+		}
+		return pts, total, st, true
+	}
+	return ser.Points(), ser.Total(), st, true
+}
+
 // Cancel stops a job: a queued job is marked cancelled immediately and
 // skipped by its worker; a running job has its context cancelled,
 // which the engine observes within one GVT round. Cancellation covers
@@ -534,6 +573,11 @@ func (m *Manager) run(j *Job) {
 		jobCtx, cancel = context.WithCancel(m.baseCtx)
 	}
 	j.cancel = cancel
+	if m.opts.SeriesLimit >= 0 {
+		// Live per-round series, readable through Series(id) while the
+		// job runs and replaced by the recorded copy when it finishes.
+		j.series = telemetry.NewSeries(m.opts.SeriesLimit)
+	}
 	cfg := j.cfg
 	maxAttempts := j.maxAttempts
 	m.mu.Unlock()
@@ -579,6 +623,10 @@ func (m *Manager) run(j *Job) {
 		j.result = res
 		m.completed.Inc()
 		m.cache.put(j.key, res)
+		// Fold the run's engine metrics into the serving registry so
+		// /metrics covers both planes. Cache hits never reach run(), so
+		// each simulation is counted exactly once.
+		m.reg.Import(res.Metrics)
 	case errors.Is(err, ggpdes.ErrDeadline) || errors.Is(err, context.DeadlineExceeded):
 		j.state = StateFailed
 		j.err = fmt.Sprintf("deadline exceeded after %s", timeout)
@@ -671,6 +719,14 @@ func (m *Manager) attempt(jobCtx context.Context, j *Job, cfg ggpdes.Config, ckp
 			resumeFrom = path
 		}
 	}
+	// Each attempt records into the job's live series ring from a clean
+	// slate, so the buffer always describes one consistent trajectory —
+	// the attempt that ultimately completes.
+	var series *ggpdes.SeriesOptions
+	if j.series != nil {
+		j.series.Reset()
+		series = &ggpdes.SeriesOptions{Buffer: j.series}
+	}
 	var res *ggpdes.Results
 	var err error
 	if resumeFrom != "" {
@@ -678,9 +734,10 @@ func (m *Manager) attempt(jobCtx context.Context, j *Job, cfg ggpdes.Config, ckp
 		m.mu.Lock()
 		j.resumedFrom = filepath.Base(resumeFrom)
 		m.mu.Unlock()
-		res, err = ggpdes.ResumeContext(ctx, resumeFrom, &ggpdes.ResumeOptions{Progress: progress})
+		res, err = ggpdes.ResumeContext(ctx, resumeFrom, &ggpdes.ResumeOptions{Progress: progress, Series: series})
 	} else {
 		cfg.Progress = progress
+		cfg.Series = series
 		res, err = ggpdes.RunContext(ctx, cfg)
 	}
 	if err != nil {

@@ -1,0 +1,79 @@
+package stats
+
+import (
+	"math"
+	"strings"
+)
+
+// sparkLevels are the eighth-block glyphs used by Sparkline, lowest
+// first.
+var sparkLevels = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders values as a single-line unicode block chart, the
+// compact form ggtop and ggsim use for per-round series (horizon
+// width, rollback rate). Values are scaled to [min, max] of the data;
+// non-finite values render as a space. An empty slice renders as "".
+//
+// When width > 0 and len(values) > width, the series is downsampled by
+// averaging fixed-size chunks so the line spans the full history.
+func Sparkline(values []float64, width int) string {
+	if len(values) == 0 {
+		return ""
+	}
+	if width > 0 && len(values) > width {
+		values = downsample(values, width)
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range values {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			continue
+		}
+		lo, hi = math.Min(lo, v), math.Max(hi, v)
+	}
+	span := hi - lo
+	var b strings.Builder
+	for _, v := range values {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			b.WriteByte(' ')
+			continue
+		}
+		idx := 0
+		if span > 0 {
+			idx = int((v - lo) / span * float64(len(sparkLevels)-1))
+		}
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(sparkLevels) {
+			idx = len(sparkLevels) - 1
+		}
+		b.WriteRune(sparkLevels[idx])
+	}
+	return b.String()
+}
+
+// downsample shrinks values to width points by averaging equal chunks;
+// chunks holding only non-finite values become NaN (a gap).
+func downsample(values []float64, width int) []float64 {
+	out := make([]float64, 0, width)
+	n := len(values)
+	for i := 0; i < width; i++ {
+		start, end := i*n/width, (i+1)*n/width
+		if end <= start {
+			end = start + 1
+		}
+		sum, cnt := 0.0, 0
+		for _, v := range values[start:end] {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				sum += v
+				cnt++
+			}
+		}
+		if cnt == 0 {
+			out = append(out, math.NaN())
+			continue
+		}
+		out = append(out, sum/float64(cnt))
+	}
+	return out
+}

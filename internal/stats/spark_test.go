@@ -1,0 +1,40 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"unicode/utf8"
+)
+
+func TestSparklineScaling(t *testing.T) {
+	if got := Sparkline(nil, 10); got != "" {
+		t.Fatalf("empty input rendered %q", got)
+	}
+	got := Sparkline([]float64{0, 1, 2, 3, 4, 5, 6, 7}, 0)
+	if got != "▁▂▃▄▅▆▇█" {
+		t.Fatalf("linear ramp = %q", got)
+	}
+	// Constant series sits on the floor, not the ceiling.
+	if got := Sparkline([]float64{5, 5, 5}, 0); got != "▁▁▁" {
+		t.Fatalf("constant = %q", got)
+	}
+	// Non-finite values render as gaps without poisoning the scale.
+	got = Sparkline([]float64{0, math.NaN(), 8}, 0)
+	if utf8.RuneCountInString(got) != 3 || got[:3] != "▁" || got[len(got)-3:] != "█" {
+		t.Fatalf("NaN handling = %q", got)
+	}
+}
+
+func TestSparklineDownsample(t *testing.T) {
+	vals := make([]float64, 100)
+	for i := range vals {
+		vals[i] = float64(i)
+	}
+	got := Sparkline(vals, 10)
+	if utf8.RuneCountInString(got) != 10 {
+		t.Fatalf("downsampled width = %d runes (%q)", utf8.RuneCountInString(got), got)
+	}
+	if got[:3] != "▁" || got[len(got)-3:] != "█" {
+		t.Fatalf("downsampled ramp = %q", got)
+	}
+}

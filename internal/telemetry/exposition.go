@@ -1,0 +1,98 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Prometheus/OpenMetrics text exposition. WriteOpenMetrics renders a
+// merged MetricsState in the text format Prometheus scrapes
+// (version 0.0.4): dotted registry names become underscore-separated
+// and are prefixed "ggpdes_", counters gain the "_total" suffix, and
+// histograms expose their log2 buckets as cumulative
+// `_bucket{le="..."}` lines with power-of-two upper bounds plus
+// "+Inf", followed by `_sum` and `_count`. Output is sorted by metric
+// name so the exposition is deterministic (golden-tested). Gauges
+// that were never set are skipped entirely rather than exposed as a
+// misleading 0.
+
+// expoPrefix namespaces every exposed metric.
+const expoPrefix = "ggpdes_"
+
+// expoName maps a registry name ("tw.rollback_depth") to an exposition
+// name ("ggpdes_tw_rollback_depth"). Registry names are enforced (by
+// ggvet's telemetryname pass) to be lowercase dotted identifiers, so
+// replacing dots is a complete sanitization.
+func expoName(name string) string {
+	return expoPrefix + strings.ReplaceAll(name, ".", "_")
+}
+
+// expoFloat renders a float the way Prometheus clients do: shortest
+// round-trip representation.
+func expoFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteOpenMetrics renders st in the Prometheus text exposition
+// format. The caller supplies a merged snapshot (Registry.Snapshot).
+func WriteOpenMetrics(w io.Writer, st MetricsState) error {
+	var b strings.Builder
+
+	names := make([]string, 0, len(st.Counters))
+	for name := range st.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		// OpenMetrics convention: TYPE declares the family, the sample
+		// carries the "_total" suffix.
+		n := expoName(name)
+		fmt.Fprintf(&b, "# TYPE %s counter\n%s_total %d\n", n, n, st.Counters[name])
+	}
+
+	names = names[:0]
+	for name, gs := range st.Gauges {
+		if gs.Set {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		n := expoName(name)
+		fmt.Fprintf(&b, "# TYPE %s gauge\n%s %s\n", n, n, expoFloat(st.Gauges[name].Value))
+	}
+
+	names = names[:0]
+	for name := range st.Histograms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		hs := st.Histograms[name]
+		n := expoName(name)
+		fmt.Fprintf(&b, "# TYPE %s histogram\n", n)
+		// Cumulative buckets up to the highest populated one; the
+		// upper bound of log2 bucket b is 2^b (bucket 0 is [0,1)).
+		top := -1
+		for i, c := range hs.Counts {
+			if c > 0 {
+				top = i
+			}
+		}
+		var cum uint64
+		for i := 0; i <= top; i++ {
+			cum += hs.Counts[i]
+			_, hi := bucketBounds(i)
+			fmt.Fprintf(&b, "%s_bucket{le=\"%s\"} %d\n", n, expoFloat(hi), cum)
+		}
+		fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", n, hs.Count)
+		fmt.Fprintf(&b, "%s_sum %s\n", n, expoFloat(hs.Sum))
+		fmt.Fprintf(&b, "%s_count %d\n", n, hs.Count)
+	}
+
+	_, err := io.WriteString(w, b.String())
+	return err
+}

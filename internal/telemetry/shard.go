@@ -1,0 +1,257 @@
+package telemetry
+
+// Per-thread metric sharding. A Registry hands out Shard views keyed
+// by thread id; each shard's Counter/Gauge/Histogram resolves to a
+// private, cache-line-padded cell for that (name, tid) pair, so worker
+// threads recording concurrently never bounce a cache line between
+// cores. Reads (Counters, Gauges, Histograms, Export/Snapshot,
+// WriteText, the OpenMetrics exposition) merge the base cells and all
+// shard cells, so consumers see exactly the totals an unsharded
+// registry would have produced:
+//
+//   - counters add across shards;
+//   - gauges merge by taking the maximum value among set shards
+//     (gauges in this codebase are high-water marks);
+//   - histograms merge bucket-wise, which is exact — the merged
+//     Summary is identical to one histogram having observed every
+//     value.
+//
+// Shard handles keep the ordinary atomic/mutex metric operations: a
+// registry may still be shared across concurrently running jobs (the
+// serving layer), where two runs can legitimately hand the same tid to
+// different goroutines. The win of sharding is eliminating cross-
+// thread cache-line sharing, not eliminating atomics.
+
+// cellLine is the padding target: two 64-byte cache lines, covering
+// the adjacent-line prefetcher on common x86 parts.
+const cellLine = 128
+
+// counterCell is a Counter padded out to its own cache line(s).
+type counterCell struct {
+	Counter
+	_ [cellLine - 8]byte
+}
+
+// gaugeCell is a Gauge padded out to its own cache line(s). The Gauge
+// struct is 24 bytes (8-byte mutex, 8-byte float, flag + padding).
+type gaugeCell struct {
+	Gauge
+	_ [cellLine - 24]byte
+}
+
+// histCell is a per-shard Histogram. The struct already spans many
+// cache lines (65 buckets), so only the leading hot fields get a pad.
+type histCell struct {
+	Histogram
+}
+
+// Shard is a per-thread view of a Registry. The zero Shard (and any
+// Shard from a nil Registry) hands out fresh unregistered handles,
+// preserving the package's nil-receiver-safe contract.
+type Shard struct {
+	r   *Registry
+	tid int
+}
+
+// Shard returns the per-thread view for tid. Negative tids are
+// clamped to 0. Safe on a nil registry.
+func (r *Registry) Shard(tid int) Shard {
+	if tid < 0 {
+		tid = 0
+	}
+	return Shard{r: r, tid: tid}
+}
+
+// SetSharding toggles whether Shard handles resolve to private
+// per-thread cells (the default) or to the shared base cells — the
+// pre-sharding behaviour, kept as the A/B arm of the contention
+// benchmark. Call it before any handles are acquired; handles already
+// handed out keep pointing at whichever cell they resolved to.
+func (r *Registry) SetSharding(enabled bool) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.shardsOff = !enabled
+	r.mu.Unlock()
+}
+
+// Counter returns the shard's private counter for name, creating it on
+// first use.
+func (s Shard) Counter(name string) *Counter {
+	if s.r == nil {
+		return &Counter{}
+	}
+	s.r.mu.Lock()
+	defer s.r.mu.Unlock()
+	if s.r.shardsOff {
+		return s.r.counterLocked(name)
+	}
+	cells := growCells(s.r.counterCells, name, s.tid)
+	if cells[s.tid] == nil {
+		cells[s.tid] = &counterCell{}
+	}
+	return &cells[s.tid].Counter
+}
+
+// Gauge returns the shard's private gauge for name, creating it on
+// first use.
+func (s Shard) Gauge(name string) *Gauge {
+	if s.r == nil {
+		return &Gauge{}
+	}
+	s.r.mu.Lock()
+	defer s.r.mu.Unlock()
+	if s.r.shardsOff {
+		return s.r.gaugeLocked(name)
+	}
+	cells := growCells(s.r.gaugeCells, name, s.tid)
+	if cells[s.tid] == nil {
+		cells[s.tid] = &gaugeCell{}
+	}
+	return &cells[s.tid].Gauge
+}
+
+// Histogram returns the shard's private histogram for name, creating
+// it on first use.
+func (s Shard) Histogram(name string) *Histogram {
+	if s.r == nil {
+		return &Histogram{}
+	}
+	s.r.mu.Lock()
+	defer s.r.mu.Unlock()
+	if s.r.shardsOff {
+		return s.r.histogramLocked(name)
+	}
+	cells := growCells(s.r.histCells, name, s.tid)
+	if cells[s.tid] == nil {
+		cells[s.tid] = &histCell{}
+	}
+	return &cells[s.tid].Histogram
+}
+
+// growCells returns m[name] grown (with nil fill) to cover index tid.
+// Cells are individually heap-allocated so growing the spine never
+// moves a cell a handle already points at.
+func growCells[C any](m map[string][]*C, name string, tid int) []*C {
+	cells := m[name]
+	for len(cells) <= tid {
+		cells = append(cells, nil)
+	}
+	m[name] = cells
+	return cells
+}
+
+// Merged reads. All helpers require r.mu held (read lock suffices:
+// the maps and spines are only mutated under the write lock, and the
+// cells themselves are internally synchronized).
+
+// counterValuesLocked returns the merged name -> value view: base
+// counters plus every shard cell.
+func (r *Registry) counterValuesLocked() map[string]uint64 {
+	out := make(map[string]uint64, len(r.counters)+len(r.counterCells))
+	for name, c := range r.counters {
+		out[name] = c.Value()
+	}
+	for name, cells := range r.counterCells {
+		v := out[name]
+		for _, cell := range cells {
+			if cell != nil {
+				v += cell.Value()
+			}
+		}
+		out[name] = v
+	}
+	return out
+}
+
+// gaugeStatesLocked returns the merged name -> GaugeState view. A
+// merged gauge is set iff any contributing cell is set; its value is
+// the maximum among set cells (high-water semantics).
+func (r *Registry) gaugeStatesLocked() map[string]GaugeState {
+	out := make(map[string]GaugeState, len(r.gauges)+len(r.gaugeCells))
+	merge := func(name string, g *Gauge) {
+		g.mu.Lock()
+		v, set := g.v, g.set
+		g.mu.Unlock()
+		st := out[name]
+		if set && (!st.Set || v > st.Value) {
+			st.Value, st.Set = v, true
+		}
+		out[name] = st
+	}
+	for name, g := range r.gauges {
+		merge(name, g)
+	}
+	for name, cells := range r.gaugeCells {
+		if _, ok := out[name]; !ok {
+			out[name] = GaugeState{}
+		}
+		for _, cell := range cells {
+			if cell != nil {
+				merge(name, &cell.Gauge)
+			}
+		}
+	}
+	return out
+}
+
+// histStatesLocked returns the merged name -> HistogramState view,
+// bucket-wise exact across base and shard cells.
+func (r *Registry) histStatesLocked() map[string]HistogramState {
+	out := make(map[string]HistogramState, len(r.histograms)+len(r.histCells))
+	merge := func(name string, h *Histogram) {
+		st, ok := out[name]
+		if !ok {
+			st = HistogramState{Counts: make([]uint64, histBuckets)}
+		}
+		h.mu.Lock()
+		for i, n := range h.counts {
+			st.Counts[i] += n
+		}
+		if h.count > 0 {
+			if st.Count == 0 || h.min < st.Min {
+				st.Min = h.min
+			}
+			if h.max > st.Max {
+				st.Max = h.max
+			}
+			st.Count += h.count
+			st.Sum += h.sum
+		}
+		h.mu.Unlock()
+		out[name] = st
+	}
+	for name, h := range r.histograms {
+		merge(name, h)
+	}
+	for name, cells := range r.histCells {
+		if _, ok := out[name]; !ok {
+			out[name] = HistogramState{Counts: make([]uint64, histBuckets)}
+		}
+		for _, cell := range cells {
+			if cell != nil {
+				merge(name, &cell.Histogram)
+			}
+		}
+	}
+	return out
+}
+
+// summaryFromState digests a raw histogram state exactly as
+// Histogram.Summary would for a histogram holding that state.
+func summaryFromState(st HistogramState) Summary {
+	var h Histogram
+	copy(h.counts[:], st.Counts)
+	h.count, h.sum, h.min, h.max = st.Count, st.Sum, st.Min, st.Max
+	return Summary{
+		Count: h.count,
+		Sum:   h.sum,
+		Mean:  h.mean(),
+		Min:   h.min,
+		Max:   h.max,
+		P50:   h.quantile(0.50),
+		P95:   h.quantile(0.95),
+		P99:   h.quantile(0.99),
+	}
+}

@@ -8,10 +8,13 @@
 // counters are atomic and gauges/histograms take a short uncontended
 // mutex, so a registry may be shared across concurrent simulations
 // (the serving layer's job metrics) as well as used from the
-// serialized simulated machine. All accessors are nil-receiver safe:
-// a producer constructed without a registry still gets working (but
-// unreported) metric handles, so instrumentation sites never need nil
-// checks.
+// serialized simulated machine. Hot producers take per-thread Shard
+// views (see shard.go) whose cells are cache-line padded, so parallel
+// recording never contends on a shared line; every read-side accessor
+// merges the shards back into the totals an unsharded registry would
+// report. All accessors are nil-receiver safe: a producer constructed
+// without a registry still gets working (but unreported) metric
+// handles, so instrumentation sites never need nil checks.
 package telemetry
 
 import (
@@ -239,14 +242,26 @@ type Registry struct {
 	counters   map[string]*Counter
 	gauges     map[string]*Gauge
 	histograms map[string]*Histogram
+
+	// Per-thread shard cells (see shard.go). Indexed by tid; nil
+	// entries are tids that never touched the metric. shardsOff
+	// routes Shard handles at the shared base cells instead (the
+	// contention benchmark's A/B arm).
+	counterCells map[string][]*counterCell
+	gaugeCells   map[string][]*gaugeCell
+	histCells    map[string][]*histCell
+	shardsOff    bool
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		counters:   map[string]*Counter{},
-		gauges:     map[string]*Gauge{},
-		histograms: map[string]*Histogram{},
+		counters:     map[string]*Counter{},
+		gauges:       map[string]*Gauge{},
+		histograms:   map[string]*Histogram{},
+		counterCells: map[string][]*counterCell{},
+		gaugeCells:   map[string][]*gaugeCell{},
+		histCells:    map[string][]*histCell{},
 	}
 }
 
@@ -258,6 +273,10 @@ func (r *Registry) Counter(name string) *Counter {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	return r.counterLocked(name)
+}
+
+func (r *Registry) counterLocked(name string) *Counter {
 	c, ok := r.counters[name]
 	if !ok {
 		c = &Counter{}
@@ -274,6 +293,10 @@ func (r *Registry) Gauge(name string) *Gauge {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	return r.gaugeLocked(name)
+}
+
+func (r *Registry) gaugeLocked(name string) *Gauge {
 	g, ok := r.gauges[name]
 	if !ok {
 		g = &Gauge{}
@@ -290,6 +313,10 @@ func (r *Registry) Histogram(name string) *Histogram {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	return r.histogramLocked(name)
+}
+
+func (r *Registry) histogramLocked(name string) *Histogram {
 	h, ok := r.histograms[name]
 	if !ok {
 		h = &Histogram{}
@@ -298,44 +325,49 @@ func (r *Registry) Histogram(name string) *Histogram {
 	return h
 }
 
-// Counters returns a name -> value snapshot of all counters.
+// Counters returns a name -> value snapshot of all counters, shard
+// cells merged in.
 func (r *Registry) Counters() map[string]uint64 {
 	if r == nil {
 		return nil
 	}
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	out := make(map[string]uint64, len(r.counters))
-	for name, c := range r.counters {
-		out[name] = c.Value()
-	}
-	return out
+	return r.counterValuesLocked()
 }
 
-// Gauges returns a name -> value snapshot of all gauges.
+// Gauges returns a name -> value snapshot of the gauges that have been
+// set (shard cells merged by maximum). Gauges that were registered but
+// never recorded are omitted rather than reported as a misleading 0;
+// callers that need the set flag itself use Snapshot.
 func (r *Registry) Gauges() map[string]float64 {
 	if r == nil {
 		return nil
 	}
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	out := make(map[string]float64, len(r.gauges))
-	for name, g := range r.gauges {
-		out[name] = g.Value()
+	states := r.gaugeStatesLocked()
+	out := make(map[string]float64, len(states))
+	for name, st := range states {
+		if st.Set {
+			out[name] = st.Value
+		}
 	}
 	return out
 }
 
-// Histograms returns a name -> summary snapshot of all histograms.
+// Histograms returns a name -> summary snapshot of all histograms,
+// shard cells merged bucket-wise.
 func (r *Registry) Histograms() map[string]Summary {
 	if r == nil {
 		return nil
 	}
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	out := make(map[string]Summary, len(r.histograms))
-	for name, h := range r.histograms {
-		out[name] = h.Summary()
+	states := r.histStatesLocked()
+	out := make(map[string]Summary, len(states))
+	for name, st := range states {
+		out[name] = summaryFromState(st)
 	}
 	return out
 }
@@ -367,40 +399,29 @@ type MetricsState struct {
 	Histograms map[string]HistogramState `json:"histograms,omitempty"`
 }
 
-// Export captures the registry's full raw state.
+// Export captures the registry's full raw state with shard cells
+// merged in: counters summed, gauges merged by maximum set value,
+// histogram buckets added. The merge is lossless for counters and
+// histograms — importing the export into a fresh registry reproduces
+// the merged totals exactly.
 func (r *Registry) Export() MetricsState {
 	if r == nil {
 		return MetricsState{}
 	}
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	st := MetricsState{
-		Counters:   make(map[string]uint64, len(r.counters)),
-		Gauges:     make(map[string]GaugeState, len(r.gauges)),
-		Histograms: make(map[string]HistogramState, len(r.histograms)),
+	return MetricsState{
+		Counters:   r.counterValuesLocked(),
+		Gauges:     r.gaugeStatesLocked(),
+		Histograms: r.histStatesLocked(),
 	}
-	for name, c := range r.counters {
-		st.Counters[name] = c.Value()
-	}
-	for name, g := range r.gauges {
-		g.mu.Lock()
-		st.Gauges[name] = GaugeState{Value: g.v, Set: g.set}
-		g.mu.Unlock()
-	}
-	for name, h := range r.histograms {
-		h.mu.Lock()
-		hs := HistogramState{
-			Counts: append([]uint64(nil), h.counts[:]...),
-			Count:  h.count,
-			Sum:    h.sum,
-			Min:    h.min,
-			Max:    h.max,
-		}
-		h.mu.Unlock()
-		st.Histograms[name] = hs
-	}
-	return st
 }
+
+// Snapshot is the merged-on-read view of the registry: every base and
+// shard cell folded into one MetricsState. It is Export under the
+// name the observability plane uses — the exposition endpoint and the
+// stats API render from a Snapshot.
+func (r *Registry) Snapshot() MetricsState { return r.Export() }
 
 // Import merges an exported state into the registry: counters add,
 // gauges adopt the imported value (if it was ever set), histograms
@@ -441,21 +462,24 @@ func (r *Registry) Import(st MetricsState) {
 	}
 }
 
-// WriteText dumps every metric in name order, one per line.
+// WriteText dumps every metric in name order, one per line, shard
+// cells merged in. Never-set gauges are skipped, like everywhere else.
 func (r *Registry) WriteText(w io.Writer) error {
 	if r == nil {
 		return nil
 	}
 	r.mu.RLock()
 	var lines []string
-	for name, c := range r.counters {
-		lines = append(lines, fmt.Sprintf("counter   %-32s %d", name, c.Value()))
+	for name, v := range r.counterValuesLocked() {
+		lines = append(lines, fmt.Sprintf("counter   %-32s %d", name, v))
 	}
-	for name, g := range r.gauges {
-		lines = append(lines, fmt.Sprintf("gauge     %-32s %g", name, g.Value()))
+	for name, st := range r.gaugeStatesLocked() {
+		if st.Set {
+			lines = append(lines, fmt.Sprintf("gauge     %-32s %g", name, st.Value))
+		}
 	}
-	for name, h := range r.histograms {
-		lines = append(lines, fmt.Sprintf("histogram %-32s %s", name, h.Summary()))
+	for name, st := range r.histStatesLocked() {
+		lines = append(lines, fmt.Sprintf("histogram %-32s %s", name, summaryFromState(st)))
 	}
 	r.mu.RUnlock()
 	sort.Strings(lines)

@@ -216,22 +216,12 @@ type heldSend struct {
 	due uint64
 }
 
-// engineTelemetry caches metric handles so hot paths skip registry
-// lookups; handles from a nil registry record but report nothing.
+// engineTelemetry caches the engine-global metric handles; handles
+// from a nil registry record but report nothing. Per-thread metrics
+// (rollbacks, commits, anti-messages, pool traffic) live on each
+// Peer's shard handles instead — see peerTelemetry in peer.go.
 type engineTelemetry struct {
-	rollbackDepth   *telemetry.Histogram
-	commitBatch     *telemetry.Histogram
-	antiSent        *telemetry.Counter
-	rollbacks       *telemetry.Counter
-	committed       *telemetry.Counter
 	uncommittedPeak *telemetry.Gauge
-
-	poolEventHit      *telemetry.Counter
-	poolEventMiss     *telemetry.Counter
-	poolEventRecycled *telemetry.Counter
-	poolStateHit      *telemetry.Counter
-	poolStateMiss     *telemetry.Counter
-	poolStateRecycled *telemetry.Counter
 }
 
 // NewEngine builds LPs and peers, asks the model to initialize every
@@ -259,19 +249,7 @@ func NewEngine(cfg Config) (*Engine, error) {
 func newEngineShell(cfg Config) (*Engine, error) {
 	eng := &Engine{cfg: cfg}
 	eng.tel = engineTelemetry{
-		rollbackDepth:   cfg.Telemetry.Histogram(MetricRollbackDepth),
-		commitBatch:     cfg.Telemetry.Histogram(MetricCommitBatch),
-		antiSent:        cfg.Telemetry.Counter(MetricAntiMessages),
-		rollbacks:       cfg.Telemetry.Counter(MetricRollbacks),
-		committed:       cfg.Telemetry.Counter(MetricCommittedEvents),
 		uncommittedPeak: cfg.Telemetry.Gauge(MetricUncommittedPeak),
-
-		poolEventHit:      cfg.Telemetry.Counter(MetricPoolEventHit),
-		poolEventMiss:     cfg.Telemetry.Counter(MetricPoolEventMiss),
-		poolEventRecycled: cfg.Telemetry.Counter(MetricPoolEventRecycled),
-		poolStateHit:      cfg.Telemetry.Counter(MetricPoolStateHit),
-		poolStateMiss:     cfg.Telemetry.Counter(MetricPoolStateMiss),
-		poolStateRecycled: cfg.Telemetry.Counter(MetricPoolStateRecycled),
 	}
 	perThread := cfg.Model.LPsPerThread()
 	if perThread <= 0 {

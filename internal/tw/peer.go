@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"ggpdes/internal/pq"
+	"ggpdes/internal/telemetry"
 	"ggpdes/internal/trace"
 )
 
@@ -71,18 +72,56 @@ type Peer struct {
 	// is quiesced for a checkpoint capture (see checkpoint.go).
 	quiesced []*Event
 
+	// tel holds this thread's private shard of the telemetry registry;
+	// recording here never shares a cache line with another thread.
+	tel peerTelemetry
+
 	// Stats is exported for the harness; do not mutate externally.
 	Stats PeerStats
+}
+
+// peerTelemetry caches per-thread shard handles so hot paths skip
+// registry lookups; handles from a nil registry record but report
+// nothing. Reads merge all peers' shards back into the per-run totals
+// (telemetry.Registry.Snapshot).
+type peerTelemetry struct {
+	rollbackDepth *telemetry.Histogram
+	commitBatch   *telemetry.Histogram
+	antiSent      *telemetry.Counter
+	rollbacks     *telemetry.Counter
+	committed     *telemetry.Counter
+
+	poolEventHit      *telemetry.Counter
+	poolEventMiss     *telemetry.Counter
+	poolEventRecycled *telemetry.Counter
+	poolStateHit      *telemetry.Counter
+	poolStateMiss     *telemetry.Counter
+	poolStateRecycled *telemetry.Counter
 }
 
 func newPeer(id int, eng *Engine) *Peer {
 	less := func(a, b *Event) bool { return a.before(b) }
 	prio := func(e *Event) float64 { return e.Ts }
+	sh := eng.cfg.Telemetry.Shard(id)
 	return &Peer{
 		ID:      id,
 		eng:     eng,
 		pending: pq.New[*Event](eng.cfg.QueueKind, less, prio),
 		minSent: math.Inf(1),
+		tel: peerTelemetry{
+			rollbackDepth: sh.Histogram(MetricRollbackDepth),
+			commitBatch:   sh.Histogram(MetricCommitBatch),
+			antiSent:      sh.Counter(MetricAntiMessages),
+			rollbacks:     sh.Counter(MetricRollbacks),
+			committed:     sh.Counter(MetricCommittedEvents),
+
+			poolEventHit:      sh.Counter(MetricPoolEventHit),
+			poolEventMiss:     sh.Counter(MetricPoolEventMiss),
+			poolEventRecycled: sh.Counter(MetricPoolEventRecycled),
+			poolStateHit:      sh.Counter(MetricPoolStateHit),
+			poolStateMiss:     sh.Counter(MetricPoolStateMiss),
+			poolStateRecycled: sh.Counter(MetricPoolStateRecycled),
+		},
 	}
 }
 
@@ -260,8 +299,8 @@ func (p *Peer) rollback(kp *KP, upto *Event) int {
 	}
 	if count > 0 {
 		p.Stats.Rollbacks++
-		p.eng.tel.rollbacks.Inc()
-		p.eng.tel.rollbackDepth.Observe(float64(count))
+		p.tel.rollbacks.Inc()
+		p.tel.rollbackDepth.Observe(float64(count))
 		if t := p.eng.cfg.Trace; t != nil {
 			t.Add(trace.KindRollback, p.ID, upto.Ts, int64(count))
 		}
@@ -311,7 +350,7 @@ func (p *Peer) sendAnti(s *Event, src int) {
 	dst.inq = append(dst.inq, anti)
 	p.acc += eng.cfg.Costs.SendCycles
 	p.Stats.AntiSent++
-	eng.tel.antiSent.Inc()
+	p.tel.antiSent.Inc()
 	if t := eng.cfg.Trace; t != nil {
 		t.Add(trace.KindAntiMessage, p.ID, s.Ts, int64(s.Dst))
 	}
@@ -484,8 +523,8 @@ func (p *Peer) FossilCollect(cpu CPU, gvt VT) int {
 	p.flushPoolStats()
 	p.Stats.Committed += uint64(total)
 	if total > 0 {
-		p.eng.tel.committed.Add(uint64(total))
-		p.eng.tel.commitBatch.Observe(float64(total))
+		p.tel.committed.Add(uint64(total))
+		p.tel.commitBatch.Observe(float64(total))
 		if t := p.eng.cfg.Trace; t != nil {
 			t.Add(trace.KindCommit, p.ID, gvt, int64(total))
 		}

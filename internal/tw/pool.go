@@ -152,7 +152,7 @@ func (p *Peer) flushPoolStats() {
 		s.stateHit == 0 && s.stateMiss == 0 && s.stateRecycled == 0 {
 		return
 	}
-	t := &p.eng.tel
+	t := &p.tel
 	t.poolEventHit.Add(s.eventHit)
 	t.poolEventMiss.Add(s.eventMiss)
 	t.poolEventRecycled.Add(s.eventRecycled)

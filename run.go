@@ -50,10 +50,13 @@ func RunContext(ctx context.Context, cfg Config) (*Results, error) {
 // ResumeOptions re-attaches what a checkpoint cannot carry: run
 // observability and an override for where further checkpoints go.
 type ResumeOptions struct {
-	// Trace and Progress re-attach instrumentation; checkpoints never
-	// record them (they hold writers and callbacks).
+	// Trace, Progress and Series re-attach instrumentation; checkpoints
+	// never record them (they hold writers and callbacks).
 	Trace    *TraceOptions
 	Progress *ProgressOptions
+	Series   *SeriesOptions
+	// Telemetry re-attaches a shared metrics registry (Config.Telemetry).
+	Telemetry *Registry
 	// CheckpointDir, when non-empty, overrides the snapshot's recorded
 	// checkpoint directory for the rest of the run.
 	CheckpointDir string
@@ -81,6 +84,8 @@ func ResumeContext(ctx context.Context, path string, opts *ResumeOptions) (*Resu
 	if opts != nil {
 		rs.cfg.Trace = opts.Trace
 		rs.cfg.Progress = opts.Progress
+		rs.cfg.Series = opts.Series
+		rs.cfg.Telemetry = opts.Telemetry
 		if opts.CheckpointDir != "" && rs.cfg.Checkpoint != nil {
 			rs.cfg.Checkpoint.Dir = opts.CheckpointDir
 		}
@@ -110,6 +115,10 @@ type runState struct {
 	schedCum  core.SchedulingStats
 	cyclesCum uint64
 	gvtFreq   int // next segment's base GVT frequency (0 = configured)
+
+	// Per-GVT-round sampling state (set when cfg.Series is non-nil).
+	series            *telemetry.Series
+	prevGVT, prevWall float64
 }
 
 // segment is one engine+machine incarnation of the run.
@@ -131,6 +140,13 @@ func (rs *runState) run(ctx context.Context) (*Results, error) {
 			rs.rec = trace.NewRing(t.Limit)
 		} else {
 			rs.rec = trace.New(t.Limit)
+		}
+	}
+	if so := rs.cfg.Series; so != nil {
+		if so.Buffer != nil {
+			rs.series = so.Buffer
+		} else {
+			rs.series = telemetry.NewSeries(so.Limit)
 		}
 	}
 	for {
@@ -182,7 +198,10 @@ func (rs *runState) buildSegment() (*segment, error) {
 		rs.rec.Clock = m.NowCycles
 		m.SetTrace(rs.rec)
 	}
-	reg := telemetry.NewRegistry()
+	reg := cfg.Telemetry
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
 	if rs.metrics != nil {
 		reg.Import(*rs.metrics)
 		rs.metrics = nil
@@ -217,7 +236,7 @@ func (rs *runState) buildSegment() (*segment, error) {
 	// number) and pauses the engine at checkpoint boundaries.
 	var eng *tw.Engine
 	var runner *core.Runner
-	var progress func(tw.VT)
+	var progress, sample func(tw.VT)
 	every := 0
 	if rs.checkpointing() {
 		every = rs.cfg.Checkpoint.Every
@@ -225,6 +244,9 @@ func (rs *runState) buildSegment() (*segment, error) {
 	segPubs := 0
 	onGVT := func(v tw.VT) {
 		rs.rounds++
+		if sample != nil {
+			sample(v)
+		}
 		if progress != nil {
 			progress(v)
 		}
@@ -280,6 +302,31 @@ func (rs *runState) buildSegment() (*segment, error) {
 	})
 	if err != nil {
 		return nil, err
+	}
+	if rs.series != nil {
+		// A segment restored mid-run starts its deltas from the
+		// restored position, not from zero. All sampling reads machine
+		// or engine state and charges no simulated cycles, so a run
+		// records the same trajectory with or without a series.
+		if rs.prevGVT == 0 && float64(eng.GVT()) > 0 {
+			rs.prevGVT = float64(eng.GVT())
+			rs.prevWall = m.WallSeconds()
+		}
+		sample = func(v tw.VT) {
+			pt := telemetry.SeriesPoint{
+				Round:         int(rs.rounds),
+				GVT:           float64(v),
+				WallSeconds:   m.WallSeconds(),
+				ActiveThreads: runner.NumActive(),
+			}
+			eng.FillSeriesPoint(&pt)
+			pt.AdvanceVT = pt.GVT - rs.prevGVT
+			if dt := pt.WallSeconds - rs.prevWall; dt > 0 {
+				pt.AdvanceRate = pt.AdvanceVT / dt
+			}
+			rs.prevGVT, rs.prevWall = pt.GVT, pt.WallSeconds
+			rs.series.Append(pt)
+		}
 	}
 	if p := cfg.Progress; p != nil {
 		pEvery := p.Every
@@ -409,11 +456,17 @@ func (rs *runState) checkpointAndReload(seg *segment) error {
 	if err != nil {
 		return fmt.Errorf("ggpdes: %w", err)
 	}
-	trc, prog := rs.cfg.Trace, rs.cfg.Progress
+	trc, prog, ser, ext := rs.cfg.Trace, rs.cfg.Progress, rs.cfg.Series, rs.cfg.Telemetry
 	if err := rs.loadSnapshot(decoded); err != nil {
 		return err
 	}
-	rs.cfg.Trace, rs.cfg.Progress = trc, prog
+	rs.cfg.Trace, rs.cfg.Progress, rs.cfg.Series, rs.cfg.Telemetry = trc, prog, ser, ext
+	if ext != nil {
+		// An external registry survived the segment boundary with its
+		// state intact; importing the snapshot's metrics into it again
+		// would double-count.
+		rs.metrics = nil
+	}
 	return nil
 }
 
@@ -490,6 +543,15 @@ func (rs *runState) finish(seg *segment) (*Results, error) {
 	res.Histograms = make(map[string]HistSummary, len(hists))
 	for name, hs := range hists {
 		res.Histograms[name] = histSummary(hs)
+	}
+	res.Metrics = seg.reg.Export()
+	if rs.series != nil {
+		res.Series = rs.series.Points()
+		if so := rs.cfg.Series; so != nil && so.CSV != nil {
+			if err := rs.series.WriteCSV(so.CSV); err != nil {
+				return nil, fmt.Errorf("ggpdes: writing series: %w", err)
+			}
+		}
 	}
 	res.RollbackDepth = res.Histograms[tw.MetricRollbackDepth]
 	res.GVTRoundLatencyCycles = res.Histograms[gvt.MetricRoundLatency]
