@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test test-race fuzz bench bench-smoke bench-diff bench-json serve-smoke chaos-smoke determinism-smoke obs-smoke inventory ci
+.PHONY: all build vet lint test test-race fuzz bench bench-smoke bench-diff bench-json dist-bench serve-smoke chaos-smoke determinism-smoke obs-smoke dist-smoke inventory ci
 
 all: ci
 
@@ -56,6 +56,11 @@ bench-diff:
 bench-json:
 	GO="$(GO)" sh scripts/bench_json.sh
 
+# Regenerate the committed single-process vs 2-worker throughput
+# record (BENCH_PR7.json).
+dist-bench:
+	GO="$(GO)" sh scripts/dist_bench.sh
+
 # End-to-end serving smoke: ggserved on an ephemeral port, one PHOLD
 # job to completion, identical resubmit served from cache, clean drain.
 serve-smoke:
@@ -80,10 +85,18 @@ obs-smoke:
 inventory:
 	$(GO) run ./cmd/ggvet -write-inventory
 
-# Determinism smoke: the same seeded PHOLD config twice; the full
-# verbose report (results + telemetry histograms) must be
+# Determinism smoke: the same seeded PHOLD config twice, then once
+# more sharded across 2 worker processes; the full verbose report
+# (results + telemetry histograms) and the series CSV must be
 # byte-identical — the end-to-end form of ggvet's determinism pass.
 determinism-smoke:
 	GO="$(GO)" sh scripts/determinism_smoke.sh
 
-ci: build lint test test-race determinism-smoke serve-smoke chaos-smoke obs-smoke bench-smoke
+# Distributed smoke: two real ggworker processes on ephemeral TCP
+# ports, a checkpointing ggsim coordinator against them, and the same
+# run in-process; reports, series, and shard checkpoint layout must
+# all line up.
+dist-smoke:
+	GO="$(GO)" sh scripts/dist_smoke.sh
+
+ci: build lint test test-race determinism-smoke dist-smoke serve-smoke chaos-smoke obs-smoke bench-smoke

@@ -1,0 +1,56 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"ggpdes/internal/telemetry"
+)
+
+// scrape renders a registry through the real OpenMetrics writer and
+// the real strict parser — the same round trip a live ggtop makes.
+func scrape(t *testing.T, reg *telemetry.Registry) *exposition {
+	t.Helper()
+	var b strings.Builder
+	if err := telemetry.WriteOpenMetrics(&b, reg.Export()); err != nil {
+		t.Fatal(err)
+	}
+	exp, err := parseOpenMetrics(b.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return exp
+}
+
+// Without a distributed run the workers gauge is never set, the
+// exposition never carries it, and the dist line must not render —
+// the unset-gauge skipping discipline, observed end to end.
+func TestRenderServiceSkipsDistWithoutGauge(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	reg.Counter("serve.jobs_submitted").Inc()
+	var b strings.Builder
+	renderService(&b, scrape(t, reg))
+	if strings.Contains(b.String(), "dist") {
+		t.Errorf("dist line rendered without a distributed run:\n%s", b.String())
+	}
+}
+
+// With the gauge set (a distributed job completed and its metrics were
+// folded into the shared registry) the dist line renders workers and
+// wire traffic.
+func TestRenderServiceDistLine(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	reg.Gauge("dist.workers.connected").Set(4)
+	reg.Counter("dist.events_relayed").Add(1500)
+	reg.Counter("dist.antis_relayed").Add(500)
+	reg.Counter("dist.bytes_sent").Add(1 << 20)
+	reg.Counter("dist.bytes_received").Add(1 << 21)
+	var b strings.Builder
+	renderService(&b, scrape(t, reg))
+	out := b.String()
+	for _, want := range []string{"dist    workers 4", "relayed 2.0K", "1.05M sent", "2.10M received"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dist line missing %q:\n%s", want, out)
+		}
+	}
+}

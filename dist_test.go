@@ -1,0 +1,223 @@
+package ggpdes
+
+import (
+	"context"
+	"io"
+	"net"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"ggpdes/internal/checkpoint"
+)
+
+// inProcWorkers returns a WorkerDialer whose "processes" are
+// goroutines serving the wire protocol over a net.Pipe — the full
+// framed JSON protocol with none of the process management, so the
+// golden matrix stays fast and hermetic. Every dial serves a fresh
+// connection, which is exactly what a redialing coordinator expects.
+func inProcWorkers() WorkerDialer {
+	return func(shard int) (io.ReadWriteCloser, error) {
+		local, remote := net.Pipe()
+		go func() {
+			_ = ServeWorkerConn(remote)
+			remote.Close()
+		}()
+		return local, nil
+	}
+}
+
+// distCfg is a small checkpointed configuration; checkpoints make the
+// matrix exercise the distributed quiesce/capture/restore cycle, not
+// just steady-state forwarding.
+func distCfg(model Model, dir string) Config {
+	return Config{
+		Model:                model,
+		Threads:              4,
+		System:               GGPDES,
+		GVT:                  WaitFree,
+		EndTime:              30,
+		Machine:              SmallMachine(),
+		GVTFrequency:         10,
+		ZeroCounterThreshold: 60,
+		Checkpoint:           &CheckpointOptions{Every: 2, Dir: dir},
+		Series:               &SeriesOptions{},
+	}
+}
+
+// scrubDist removes the dist.* wire metrics, which only the
+// distributed run has; everything else in Results must match the
+// in-process run exactly.
+func scrubDist(res *Results) {
+	for name := range res.Counters {
+		if strings.HasPrefix(name, "dist.") {
+			delete(res.Counters, name)
+		}
+	}
+	for name := range res.Gauges {
+		if strings.HasPrefix(name, "dist.") {
+			delete(res.Gauges, name)
+		}
+	}
+	for name := range res.Metrics.Counters {
+		if strings.HasPrefix(name, "dist.") {
+			delete(res.Metrics.Counters, name)
+		}
+	}
+	for name := range res.Metrics.Gauges {
+		if strings.HasPrefix(name, "dist.") {
+			delete(res.Metrics.Gauges, name)
+		}
+	}
+}
+
+// The tentpole acceptance property: a run sharded across worker
+// processes produces Results identical to the in-process run — same
+// trajectory, same statistics, same histograms, same per-round series
+// — for multiple models and worker counts.
+func TestDistributedGoldenMatrix(t *testing.T) {
+	models := []Model{
+		PHOLD{LPsPerThread: 4, Imbalance: 2},
+		Traffic{LPsPerThread: 4, CenterStartEvents: 6},
+	}
+	for _, model := range models {
+		golden, err := Run(distCfg(model, t.TempDir()))
+		if err != nil {
+			t.Fatalf("%s in-process: %v", model.Name(), err)
+		}
+		if golden.FinalGVT < 30 {
+			t.Fatalf("%s in-process run incomplete: GVT %v", model.Name(), golden.FinalGVT)
+		}
+		for _, workers := range []int{2, 4} {
+			t.Run(model.Name()+"/workers="+string(rune('0'+workers)), func(t *testing.T) {
+				res, err := RunDistributed(context.Background(), distCfg(model, t.TempDir()),
+					DistOptions{Workers: workers, Dial: inProcWorkers()})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got := res.Gauges["dist.workers.connected"]; got != float64(workers) {
+					t.Errorf("dist.workers.connected = %v, want %d", got, workers)
+				}
+				if res.Counters["dist.msgs_sent"] == 0 || res.Counters["dist.gvt_rounds"] == 0 {
+					t.Errorf("wire counters not booked: %v", res.Counters)
+				}
+				scrubDist(res)
+				if !reflect.DeepEqual(golden, res) {
+					t.Errorf("distributed run diverged from in-process:\nin-proc: %+v\ndist:    %+v", golden, res)
+				}
+			})
+		}
+	}
+}
+
+// A distributed checkpointed run writes per-shard files next to each
+// full snapshot, and each shard file is a valid snapshot carrying that
+// shard's slice of the engine.
+func TestDistributedShardCheckpoints(t *testing.T) {
+	dir := t.TempDir()
+	cfg := distCfg(PHOLD{LPsPerThread: 4, Imbalance: 2}, dir)
+	if _, err := RunDistributed(context.Background(), cfg, DistOptions{Workers: 2, Dial: inProcWorkers()}); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, shard := 0, 0
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".shard") {
+			shard++
+		} else {
+			full++
+		}
+	}
+	if full < 2 || shard != 2*full {
+		t.Fatalf("want n full snapshots and 2n shard files, got %d full, %d shard", full, shard)
+	}
+	snap, err := checkpoint.Read(filepath.Join(dir, checkpoint.ShardFileName(1, 1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(snap.Engine.Pending); got != cfg.Threads {
+		t.Fatalf("shard snapshot pending width %d, want %d", got, cfg.Threads)
+	}
+	for i, pend := range snap.Engine.Pending {
+		if i < 2 && len(pend) > 0 {
+			t.Errorf("shard 1 file holds pending events of peer %d (other shard)", i)
+		}
+	}
+	// Latest must keep resuming from full snapshots only.
+	latest, err := checkpoint.Latest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(latest, ".shard") {
+		t.Fatalf("Latest picked a shard file: %s", latest)
+	}
+}
+
+// The recovery property: a seeded chaos kill of a worker mid-run makes
+// the coordinator redial it, restore its shard from the last per-shard
+// checkpoint, replay the interrupted segment, and finish with Results
+// identical to a crash-free distributed run.
+func TestDistributedWorkerCrashRecovery(t *testing.T) {
+	cfg := func(dir string) Config { return distCfg(PHOLD{LPsPerThread: 4, Imbalance: 2}, dir) }
+	clean, err := RunDistributed(context.Background(), cfg(t.TempDir()),
+		DistOptions{Workers: 2, Dial: inProcWorkers()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	crashed, err := RunDistributed(context.Background(), cfg(t.TempDir()), DistOptions{
+		Workers:     2,
+		Dial:        inProcWorkers(),
+		MaxAttempts: 3,
+		CrashRate:   1,
+		ChaosSeed:   7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(clean, crashed) {
+		t.Errorf("crash-recovered run diverged from crash-free run:\nclean:   %+v\ncrashed: %+v", clean, crashed)
+	}
+}
+
+// Distributed runs reject the in-process-only features and impossible
+// shardings loudly instead of silently diverging.
+func TestDistributedConfigRejections(t *testing.T) {
+	base := distCfg(PHOLD{LPsPerThread: 4}, "")
+	cases := map[string]func() (Config, DistOptions){
+		"no workers": func() (Config, DistOptions) {
+			return base, DistOptions{Dial: inProcWorkers()}
+		},
+		"no dialer": func() (Config, DistOptions) {
+			return base, DistOptions{Workers: 2}
+		},
+		"uneven shards": func() (Config, DistOptions) {
+			return base, DistOptions{Workers: 3, Dial: inProcWorkers()}
+		},
+		"chaos": func() (Config, DistOptions) {
+			c := base
+			c.Chaos = &ChaosOptions{DropSendRate: 0.1}
+			return c, DistOptions{Workers: 2, Dial: inProcWorkers()}
+		},
+		"trace": func() (Config, DistOptions) {
+			c := base
+			c.Trace = &TraceOptions{}
+			return c, DistOptions{Workers: 2, Dial: inProcWorkers()}
+		},
+		"telemetry": func() (Config, DistOptions) {
+			c := base
+			c.Telemetry = NewRegistry()
+			return c, DistOptions{Workers: 2, Dial: inProcWorkers()}
+		},
+	}
+	for name, mk := range cases {
+		c, opts := mk()
+		if _, err := RunDistributed(context.Background(), c, opts); err == nil {
+			t.Errorf("%s: want error, got nil", name)
+		}
+	}
+}

@@ -1,0 +1,919 @@
+package ggpdes
+
+import (
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math"
+	"path/filepath"
+	"time"
+
+	"ggpdes/internal/chaos"
+	"ggpdes/internal/checkpoint"
+	"ggpdes/internal/core"
+	"ggpdes/internal/dist"
+	"ggpdes/internal/gvt"
+	"ggpdes/internal/machine"
+	"ggpdes/internal/pq"
+	"ggpdes/internal/telemetry"
+	"ggpdes/internal/tw"
+)
+
+// Distributed Time Warp: the coordinator side. RunDistributed executes
+// one simulation with its LP shards hosted in worker processes,
+// producing Results byte-identical to RunContext on the same Config.
+//
+// The coordinator runs the unmodified machine, scheduler and GVT
+// algorithm over a hollow engine; every peer operation forwards
+// synchronously to the worker hosting the real shard (internal/tw's
+// control/data split), so the global interleaving of engine operations
+// — and with it the trajectory — matches the in-process run by
+// construction. The GVT algorithm's two cuts over the forwarded
+// LocalMin/TakeMinSent reductions form a Mattern-style distributed GVT:
+// cut one collects each shard's local minimum, cut two accounts for
+// in-flight sends via the minimum-sent-timestamp reduction, and the
+// coordinator publishes the combined minimum.
+
+// WorkerDialer connects the coordinator to worker process shard,
+// returning a stream that speaks internal/dist's framed protocol
+// (typically a TCP connection to a ggworker process).
+type WorkerDialer func(shard int) (io.ReadWriteCloser, error)
+
+// DistOptions configures a distributed run.
+type DistOptions struct {
+	// Workers is the number of worker processes; Config.Threads must
+	// divide evenly across them (the block LP-to-thread mapping shards
+	// peers in contiguous ranges).
+	Workers int
+	// Dial connects to a worker shard, and is re-invoked to replace a
+	// lost connection.
+	Dial WorkerDialer
+	// MaxAttempts bounds run attempts when a worker connection is lost:
+	// each retry re-dials lost workers and resumes the current segment
+	// from its start state (the victim from its per-shard checkpoint
+	// when Config.Checkpoint has a directory). 0 or 1 means no retries.
+	MaxAttempts int
+	// RetryBackoff is the pause before a retry attempt.
+	RetryBackoff time.Duration
+	// CrashRate is the per-attempt probability of one injected worker
+	// crash (seeded fault injection for recovery testing); the crash
+	// point and victim derive deterministically from the config cache
+	// key and attempt number, and the final attempt never crashes.
+	CrashRate float64
+	// ChaosSeed seeds crash planning (0 = Config.Seed).
+	ChaosSeed uint64
+}
+
+// RunDistributed executes one simulation sharded across worker
+// processes. The Config is the in-process one; chaos injection,
+// tracing and external telemetry registries are in-process-only
+// features and are rejected.
+func RunDistributed(ctx context.Context, cfg Config, opts DistOptions) (*Results, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	dfail := func(format string, args ...any) error {
+		return fmt.Errorf("%w: %s", ErrInvalidConfig, fmt.Sprintf(format, args...))
+	}
+	if opts.Workers < 1 {
+		return nil, dfail("distributed run needs at least 1 worker, got %d", opts.Workers)
+	}
+	if opts.Dial == nil {
+		return nil, dfail("distributed run needs a worker dialer")
+	}
+	if cfg.Threads%opts.Workers != 0 {
+		return nil, dfail("%d threads do not shard evenly across %d workers", cfg.Threads, opts.Workers)
+	}
+	if cfg.Chaos != nil {
+		return nil, dfail("chaos injection is in-process only (use DistOptions.CrashRate for worker faults)")
+	}
+	if cfg.Trace != nil {
+		return nil, dfail("tracing is in-process only")
+	}
+	if cfg.Telemetry != nil {
+		return nil, dfail("external telemetry registries are in-process only (worker registries must start empty)")
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	d := &distRun{
+		rs:         &runState{cfg: cfg},
+		opts:       opts,
+		workers:    opts.Workers,
+		threadsPer: cfg.Threads / opts.Workers,
+		conns:      make([]io.ReadWriteCloser, opts.Workers),
+		attempt:    1,
+	}
+	d.maxAttempts = opts.MaxAttempts
+	if d.maxAttempts < 1 {
+		d.maxAttempts = 1
+	}
+	defer d.shutdownWorkers()
+	return d.run(ctx)
+}
+
+// distRun drives one distributed run across its segments and retry
+// attempts.
+type distRun struct {
+	rs   *runState
+	opts DistOptions
+	key  string
+
+	workers    int
+	threadsPer int
+	conns      []io.ReadWriteCloser
+	clients    []*dist.Client
+	reg        *telemetry.Registry // current segment's registry (for the connected gauge)
+
+	attempt     int
+	maxAttempts int
+	crashes     *chaos.WorkerCrashes
+
+	// segPoints buffers the current segment attempt's series points;
+	// they commit into rs.series only when the segment completes, so a
+	// retried attempt leaves no trace.
+	segPoints []SeriesPoint
+}
+
+// distSnap is the continuation state a retry must restore: everything a
+// failed segment attempt may have mutated before its boundary commit.
+type distSnap struct {
+	engine            *tw.EngineState
+	metrics           *telemetry.MetricsState
+	rounds            uint64
+	prevGVT, prevWall float64
+}
+
+func (d *distRun) run(ctx context.Context) (*Results, error) {
+	rs := d.rs
+	if so := rs.cfg.Series; so != nil {
+		if so.Buffer != nil {
+			rs.series = so.Buffer
+		} else {
+			rs.series = telemetry.NewSeries(so.Limit)
+		}
+	}
+	key, err := rs.cfg.CacheKey()
+	if err != nil {
+		return nil, fmt.Errorf("ggpdes: %w", err)
+	}
+	d.key = key
+	if d.opts.CrashRate > 0 {
+		seed := d.opts.ChaosSeed
+		if seed == 0 {
+			seed = rs.cfg.Seed
+		}
+		d.crashes = chaos.NewWorkerCrashes(seed, d.opts.CrashRate)
+	}
+	for {
+		snap := distSnap{
+			engine:   rs.engine,
+			metrics:  rs.metrics,
+			rounds:   rs.rounds,
+			prevGVT:  rs.prevGVT,
+			prevWall: rs.prevWall,
+		}
+		res, err := d.segment(ctx)
+		if err != nil {
+			if !errors.Is(err, dist.ErrWorkerLost) || d.attempt >= d.maxAttempts {
+				return nil, err
+			}
+			d.attempt++
+			rs.engine, rs.metrics = snap.engine, snap.metrics
+			rs.rounds, rs.prevGVT, rs.prevWall = snap.rounds, snap.prevGVT, snap.prevWall
+			d.segPoints = d.segPoints[:0]
+			if d.opts.RetryBackoff > 0 {
+				t := time.NewTimer(d.opts.RetryBackoff)
+				select {
+				case <-t.C:
+				case <-ctx.Done():
+					t.Stop()
+					return nil, fmt.Errorf("%w: %w", ErrCancelled, context.Cause(ctx))
+				}
+			}
+			continue
+		}
+		if res != nil {
+			return res, nil
+		}
+	}
+}
+
+// segment runs one segment attempt: nil Results and nil error means a
+// checkpoint boundary was committed and the run continues.
+func (d *distRun) segment(ctx context.Context) (*Results, error) {
+	rs := d.rs
+	seg, b, err := d.buildSegment()
+	if err != nil {
+		return nil, err
+	}
+	ictx, cancel := context.WithCancelCause(ctx)
+	defer cancel(nil)
+	b.cancel = cancel
+	runErr := seg.m.RunContext(ictx)
+	if b.err != nil {
+		// A failed forwarded operation cancels the machine and feeds the
+		// engine inert results; whatever RunContext concluded, the
+		// attempt is void.
+		return nil, b.err
+	}
+	if runErr != nil {
+		if cerr := ctx.Err(); cerr != nil && errors.Is(runErr, cerr) {
+			if errors.Is(cerr, context.DeadlineExceeded) {
+				return nil, fmt.Errorf("%w: %w", ErrDeadline, runErr)
+			}
+			return nil, fmt.Errorf("%w: %w", ErrCancelled, runErr)
+		}
+		return nil, fmt.Errorf("ggpdes: %s/%s distributed run failed: %w", rs.cfg.System, rs.cfg.GVT, runErr)
+	}
+	if seg.eng.Paused() {
+		return nil, d.boundary(seg, b)
+	}
+	return d.finish(seg, b)
+}
+
+// buildSegment assembles the coordinator's machine, hollow engine,
+// runner and registry, and (re)initializes every worker shard for the
+// next segment.
+func (d *distRun) buildSegment() (*segment, *remoteBridge, error) {
+	rs := d.rs
+	cfg := rs.cfg
+	mcfg, err := cfg.Machine.build()
+	if err != nil {
+		return nil, nil, err
+	}
+	mcfg.StartTick = rs.startTick
+	m, err := machine.New(mcfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	var adaptive *gvt.Adaptive
+	if a := cfg.AdaptiveGVT; a != nil {
+		adaptive = &gvt.Adaptive{
+			MinFrequency:               a.MinFrequency,
+			MaxFrequency:               a.MaxFrequency,
+			TargetUncommittedPerThread: a.TargetUncommittedPerThread,
+		}
+	}
+	reg := telemetry.NewRegistry()
+	if rs.metrics != nil {
+		reg.Import(*rs.metrics)
+		rs.metrics = nil
+	}
+	d.reg = reg
+	m.SetTelemetry(reg)
+	model, err := cfg.Model.build(cfg.Threads, cfg.EndTime)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	segState := rs.engine
+	rs.engine = nil
+
+	// Late-bound hooks, exactly as the in-process buildSegment.
+	var eng *tw.Engine
+	var runner *core.Runner
+	var progress, sample func(tw.VT)
+	every := 0
+	if rs.checkpointing() {
+		every = rs.cfg.Checkpoint.Every
+	}
+	crashArmed, victim, crashAt := d.planCrash(cfg.EndTime)
+	segPubs := 0
+	onGVT := func(v tw.VT) {
+		rs.rounds++
+		if sample != nil {
+			sample(v)
+		}
+		if progress != nil {
+			progress(v)
+		}
+		if crashArmed && float64(v) >= crashAt {
+			crashArmed = false
+			if c := d.conns[victim]; c != nil {
+				c.Close()
+			}
+		}
+		if every > 0 && float64(v) < cfg.EndTime {
+			segPubs++
+			if segPubs >= every {
+				eng.Pause()
+			}
+		}
+	}
+	twCfg := tw.Config{
+		NumThreads:       cfg.Threads,
+		Model:            model,
+		EndTime:          cfg.EndTime,
+		Seed:             cfg.Seed,
+		BatchSize:        cfg.BatchSize,
+		LPsPerKP:         cfg.LPsPerKP,
+		QueueKind:        pq.Kind(cfg.Queue),
+		StateSaving:      tw.SavePolicy(cfg.StateSaving),
+		LazyCancellation: cfg.LazyCancellation,
+		OptimismWindow:   cfg.OptimismWindow,
+		DisablePooling:   cfg.DisablePooling,
+		Telemetry:        reg,
+		OnGVT:            onGVT,
+	}
+	if segState != nil {
+		eng, err = tw.NewEngineFromState(twCfg, segState)
+	} else {
+		eng, err = tw.NewEngine(twCfg)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	b := &remoteBridge{d: d, eng: eng}
+	eng.HollowAll(b)
+
+	if err := d.initWorkers(reg, segState); err != nil {
+		return nil, nil, err
+	}
+	b.clients = d.clients
+
+	gvtFreq := cfg.GVTFrequency
+	if rs.gvtFreq > 0 {
+		gvtFreq = rs.gvtFreq
+	}
+	distRounds := reg.Counter(dist.MetricGVTRounds)
+	runner, err = core.NewRunner(core.Config{
+		Machine:              m,
+		Engine:               eng,
+		System:               core.System(cfg.System),
+		GVTKind:              gvt.Kind(cfg.GVT),
+		GVTFrequency:         gvtFreq,
+		ZeroCounterThreshold: cfg.ZeroCounterThreshold,
+		Affinity:             core.Affinity(cfg.Affinity),
+		GVTAdaptive:          adaptive,
+		Telemetry:            reg,
+		GVTOnCut: func(cut int, round uint64) {
+			// Cut two closing is one completed Mattern round: every
+			// shard's local minimum and in-flight send minimum have been
+			// reduced through the wire.
+			if cut == 2 {
+				distRounds.Inc()
+			}
+		},
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	if rs.series != nil {
+		if rs.prevGVT == 0 && float64(eng.GVT()) > 0 {
+			rs.prevGVT = float64(eng.GVT())
+			rs.prevWall = m.WallSeconds()
+		}
+		sample = func(v tw.VT) {
+			if b.err != nil {
+				return
+			}
+			pt := telemetry.SeriesPoint{
+				Round:         int(rs.rounds),
+				GVT:           float64(v),
+				WallSeconds:   m.WallSeconds(),
+				ActiveThreads: runner.NumActive(),
+			}
+			tw.FillSeriesTotals(&pt, eng.TotalStats(), eng.UncommittedEvents())
+			pt.ThreadLVTs = make([]float64, cfg.Threads)
+			var hits, misses uint64
+			queued := 0
+			for w := 0; w < d.workers; w++ {
+				resp := b.roundTrip(w, &dist.OpRequest{Op: dist.OpSeriesProbe}, nil, true)
+				if b.err != nil {
+					return
+				}
+				for i, pr := range resp.Probes {
+					pt.ThreadLVTs[w*d.threadsPer+i] = pr.LVT
+					queued += pr.Queued
+					hits += pr.PoolHits
+					misses += pr.PoolMisses
+				}
+			}
+			tw.FinishSeriesPoint(&pt, queued, hits, misses)
+			pt.AdvanceVT = pt.GVT - rs.prevGVT
+			if dt := pt.WallSeconds - rs.prevWall; dt > 0 {
+				pt.AdvanceRate = pt.AdvanceVT / dt
+			}
+			rs.prevGVT, rs.prevWall = pt.GVT, pt.WallSeconds
+			d.segPoints = append(d.segPoints, pt)
+		}
+	}
+	if p := cfg.Progress; p != nil {
+		pEvery := p.Every
+		if pEvery <= 0 {
+			pEvery = 0.1
+		}
+		step := pEvery * cfg.EndTime
+		next := step
+		progress = func(v tw.VT) {
+			g := float64(v)
+			if g < next && g < cfg.EndTime {
+				return
+			}
+			next = step * (math.Floor(g/step) + 1)
+			s := eng.TotalStats()
+			info := ProgressInfo{
+				GVT:             g,
+				EndTime:         cfg.EndTime,
+				CommittedEvents: s.Committed,
+				ProcessedEvents: s.Processed,
+				ActiveThreads:   runner.NumActive(),
+				Threads:         cfg.Threads,
+				GVTRounds:       rs.gvtRounds(runner),
+				WallSeconds:     m.WallSeconds(),
+			}
+			if info.WallSeconds > 0 {
+				info.CommittedEventRate = float64(info.CommittedEvents) / info.WallSeconds
+			}
+			if info.ProcessedEvents > 0 {
+				info.Efficiency = float64(info.CommittedEvents) / float64(info.ProcessedEvents)
+			}
+			if p.W != nil {
+				fmt.Fprintln(p.W, info)
+			}
+			if p.Func != nil {
+				p.Func(info)
+			}
+		}
+	}
+	m.SetOnCancel(eng.Cancel)
+	return &segment{mcfg: mcfg, m: m, eng: eng, runner: runner, reg: reg}, b, nil
+}
+
+// initWorkers (re)dials lost workers and initializes every shard for
+// the coming segment. A redialed worker restores from its per-shard
+// checkpoint file when one exists; everyone else restores from the
+// coordinator's in-memory segment-start state (the two are the same
+// projection, persisted vs. not).
+func (d *distRun) initWorkers(reg *telemetry.Registry, segState *tw.EngineState) error {
+	rs := d.rs
+	cfgJSON, err := json.Marshal(rs.cfg)
+	if err != nil {
+		return fmt.Errorf("ggpdes: encoding config for workers: %w", err)
+	}
+	d.clients = make([]*dist.Client, d.workers)
+	for w := 0; w < d.workers; w++ {
+		lo, hi := w*d.threadsPer, (w+1)*d.threadsPer
+		redialed := d.conns[w] == nil
+		if redialed {
+			c, err := d.opts.Dial(w)
+			if err != nil {
+				return fmt.Errorf("%w: dialing worker %d: %v", dist.ErrWorkerLost, w, err)
+			}
+			d.conns[w] = c
+		}
+		d.clients[w] = dist.NewClient(d.conns[w], reg)
+		st := shardStateFor(segState, lo, hi)
+		if redialed && rs.checkpointing() && rs.cfg.Checkpoint.Dir != "" && rs.segments > 0 {
+			st, err = d.readShardFile(w)
+			if err != nil {
+				return err
+			}
+		}
+		init := &dist.InitMsg{
+			Config:   cfgJSON,
+			CacheKey: d.key,
+			Shard:    w,
+			Workers:  d.workers,
+			Lo:       lo,
+			Hi:       hi,
+			State:    st,
+		}
+		if err := d.clients[w].Call(dist.KindInit, init, nil); err != nil {
+			if !dist.IsRemote(err) {
+				d.markLost(w)
+			}
+			return err
+		}
+	}
+	reg.Gauge(dist.MetricWorkersConnected).Set(float64(d.workers))
+	return nil
+}
+
+// planCrash decides whether this attempt injects a worker crash, and
+// where. The victim and crash point derive from the cache key and
+// attempt number, so a run is reproducible given the same options; the
+// final permitted attempt never crashes.
+func (d *distRun) planCrash(endTime float64) (armed bool, victim int, crashAt float64) {
+	if d.crashes == nil || d.attempt >= d.maxAttempts {
+		return false, 0, 0
+	}
+	crash, frac := d.crashes.Plan(d.key, d.attempt)
+	if !crash {
+		return false, 0, 0
+	}
+	h := fnv.New64a()
+	io.WriteString(h, d.key)
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], uint64(d.attempt))
+	h.Write(buf[:])
+	return true, int(h.Sum64() % uint64(d.workers)), frac * endTime
+}
+
+// markLost closes and forgets a worker connection and downgrades the
+// connected gauge; the next buildSegment redials.
+func (d *distRun) markLost(w int) {
+	if c := d.conns[w]; c != nil {
+		c.Close()
+		d.conns[w] = nil
+	}
+	connected := 0
+	for _, c := range d.conns {
+		if c != nil {
+			connected++
+		}
+	}
+	d.reg.Gauge(dist.MetricWorkersConnected).Set(float64(connected))
+}
+
+// shutdownWorkers asks every still-connected worker to exit cleanly
+// and closes the connections. Best-effort: a worker that does not
+// acknowledge is simply cut off.
+func (d *distRun) shutdownWorkers() {
+	for w, c := range d.conns {
+		if c == nil {
+			continue
+		}
+		if d.clients != nil && d.clients[w] != nil {
+			_ = d.clients[w].Call(dist.KindShutdown, nil, nil)
+		}
+		c.Close()
+		d.conns[w] = nil
+	}
+}
+
+// readShardFile restores one worker's slice of the last committed
+// checkpoint from its per-shard file.
+func (d *distRun) readShardFile(w int) (*tw.EngineState, error) {
+	path := filepath.Join(d.rs.cfg.Checkpoint.Dir, checkpoint.ShardFileName(d.rs.segments, w))
+	snap, err := checkpoint.Read(path)
+	if err != nil {
+		return nil, err
+	}
+	if snap.CacheKey != d.key {
+		return nil, fmt.Errorf("%w: shard checkpoint %s recorded cache key %s, run has %s",
+			ErrCheckpointCorrupt, path, snap.CacheKey, d.key)
+	}
+	return snap.Engine, nil
+}
+
+// shardStateFor projects a full engine state onto one shard: pending
+// events outside [lo, hi) are zeroed (their owning workers hold them),
+// everything else — LP records, sequence counter, statistics — rides
+// along whole, keeping worker engines in exact global correspondence.
+func shardStateFor(est *tw.EngineState, lo, hi int) *tw.EngineState {
+	if est == nil {
+		return nil
+	}
+	out := *est
+	out.Pending = make([][]tw.EventRecord, len(est.Pending))
+	for i := lo; i < hi && i < len(est.Pending); i++ {
+		out.Pending[i] = est.Pending[i]
+	}
+	return &out
+}
+
+// boundary commits a paused segment: distributed quiesce and capture,
+// worker metrics folded into the coordinator registry, the standard
+// snapshot round-trip, and per-shard checkpoint files alongside the
+// full snapshot.
+func (d *distRun) boundary(seg *segment, b *remoteBridge) error {
+	rs := d.rs
+	est, err := d.captureDistributed(seg, b)
+	if err != nil {
+		return err
+	}
+	if err := d.foldWorkerMetrics(seg, b); err != nil {
+		return err
+	}
+	seg.eng.FlushPoolStats()
+	if rs.series != nil {
+		for _, pt := range d.segPoints {
+			rs.series.Append(pt)
+		}
+	}
+	d.segPoints = d.segPoints[:0]
+	if err := rs.persistAndReload(seg, est); err != nil {
+		return err
+	}
+	if dir := rs.cfg.Checkpoint.Dir; dir != "" {
+		if err := d.writeShardFiles(dir, est); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// captureDistributed reproduces the in-process quiesce/capture cycle
+// across workers: the three quiesce stages loop over workers in peer
+// order with outbox relays between passes (an interleaving identical
+// to the in-process fixpoint), then each shard's capture overlays into
+// one full-width EngineState under the coordinator's master scalars.
+func (d *distRun) captureDistributed(seg *segment, b *remoteBridge) (*tw.EngineState, error) {
+	for {
+		progress := false
+		for w := 0; w < d.workers; w++ {
+			resp := b.roundTrip(w, &dist.OpRequest{Op: dist.OpQuiescePass}, nil, true)
+			if b.err != nil {
+				return nil, b.err
+			}
+			if resp.Flag {
+				progress = true
+			}
+		}
+		if !progress {
+			break
+		}
+	}
+	for w := 0; w < d.workers; w++ {
+		b.roundTrip(w, &dist.OpRequest{Op: dist.OpQuiesceDump}, nil, true)
+		if b.err != nil {
+			return nil, b.err
+		}
+	}
+	for {
+		progress := false
+		for w := 0; w < d.workers; w++ {
+			resp := b.roundTrip(w, &dist.OpRequest{Op: dist.OpQuiesceFlush}, nil, true)
+			if b.err != nil {
+				return nil, b.err
+			}
+			if resp.Flag {
+				progress = true
+			}
+		}
+		if !progress {
+			break
+		}
+	}
+	if n := seg.eng.UncommittedEvents(); n != 0 {
+		return nil, fmt.Errorf("ggpdes: distributed quiesce left %d uncommitted events", n)
+	}
+	env := seg.eng.EnvelopeOut()
+	est := &tw.EngineState{
+		Seq:             env.Seq,
+		GVT:             seg.eng.GVT(),
+		PeakUncommitted: seg.eng.PeakUncommittedEvents(),
+		LPs:             make([]tw.LPRecord, seg.eng.NumLPs()),
+		Pending:         make([][]tw.EventRecord, d.rs.cfg.Threads),
+		PeerStats:       make([]tw.PeerStats, d.rs.cfg.Threads),
+	}
+	for w := 0; w < d.workers; w++ {
+		resp := b.roundTrip(w, &dist.OpRequest{Op: dist.OpCaptureShard}, nil, true)
+		if b.err != nil {
+			return nil, b.err
+		}
+		sh := resp.Shard
+		if sh == nil {
+			return nil, fmt.Errorf("ggpdes: worker %d returned no shard capture", w)
+		}
+		copy(est.LPs[sh.LPLo:], sh.LPs)
+		for i, pend := range sh.Pending {
+			est.Pending[sh.PeerLo+i] = pend
+		}
+	}
+	for i, p := range seg.eng.Peers() {
+		est.PeerStats[i] = p.Stats
+	}
+	return est, nil
+}
+
+// foldWorkerMetrics flushes worker pools and imports every worker
+// registry into the coordinator's, in worker order, then re-asserts
+// the master peak gauge (gauge import is last-wins; only the
+// coordinator's peak is globally correct).
+func (d *distRun) foldWorkerMetrics(seg *segment, b *remoteBridge) error {
+	for w := 0; w < d.workers; w++ {
+		b.roundTrip(w, &dist.OpRequest{Op: dist.OpFlushPoolStats}, nil, true)
+		if b.err != nil {
+			return b.err
+		}
+	}
+	for w := 0; w < d.workers; w++ {
+		resp := b.roundTrip(w, &dist.OpRequest{Op: dist.OpMetrics}, nil, true)
+		if b.err != nil {
+			return b.err
+		}
+		if resp.Metrics != nil {
+			seg.reg.Import(*resp.Metrics)
+		}
+	}
+	seg.reg.Gauge(tw.MetricUncommittedPeak).Set(float64(seg.eng.PeakUncommittedEvents()))
+	return nil
+}
+
+// writeShardFiles persists each worker's slice of the just-committed
+// checkpoint next to the full snapshot, so a redialed worker can
+// restore without the coordinator resending its state in memory.
+func (d *distRun) writeShardFiles(dir string, est *tw.EngineState) error {
+	rs := d.rs
+	cfgJSON, err := json.Marshal(rs.cfg)
+	if err != nil {
+		return fmt.Errorf("ggpdes: %w", err)
+	}
+	for w := 0; w < d.workers; w++ {
+		lo, hi := w*d.threadsPer, (w+1)*d.threadsPer
+		snap := &checkpoint.Snapshot{
+			Config:   cfgJSON,
+			CacheKey: d.key,
+			Segments: rs.segments,
+			Engine:   shardStateFor(est, lo, hi),
+		}
+		data, err := checkpoint.Encode(snap)
+		if err != nil {
+			return fmt.Errorf("ggpdes: %w", err)
+		}
+		if _, err := checkpoint.WriteNamed(dir, checkpoint.ShardFileName(rs.segments, w), data); err != nil {
+			return fmt.Errorf("ggpdes: %w", err)
+		}
+	}
+	return nil
+}
+
+// finish runs the end-of-run sweep — worker invariants, pool flushes,
+// metrics imports — shuts the workers down and assembles Results via
+// the shared in-process path.
+func (d *distRun) finish(seg *segment, b *remoteBridge) (*Results, error) {
+	rs := d.rs
+	for w := 0; w < d.workers; w++ {
+		b.roundTrip(w, &dist.OpRequest{Op: dist.OpCheckInvariants}, nil, true)
+		if b.err != nil {
+			if dist.IsRemote(b.err) {
+				return nil, fmt.Errorf("ggpdes: engine invariant violated: %w", b.err)
+			}
+			return nil, b.err
+		}
+	}
+	if err := d.foldWorkerMetrics(seg, b); err != nil {
+		return nil, err
+	}
+	if rs.series != nil {
+		for _, pt := range d.segPoints {
+			rs.series.Append(pt)
+		}
+	}
+	d.segPoints = nil
+	d.shutdownWorkers()
+	return rs.finish(seg)
+}
+
+// remoteBridge is the coordinator's tw.RemoteTransport: every
+// forwarded operation is one synchronous round trip that threads the
+// engine-global envelope, mirrors worker peer statistics, relays
+// cross-shard traffic and charges the caller's simulated CPU. A
+// transport failure cancels the machine and feeds inert results until
+// the run loop observes the error.
+type remoteBridge struct {
+	d       *distRun
+	eng     *tw.Engine
+	clients []*dist.Client
+	cancel  context.CancelCauseFunc
+	err     error
+}
+
+func (b *remoteBridge) fail(w int, err error) {
+	if b.err == nil {
+		b.err = err
+		if b.cancel != nil {
+			b.cancel(err)
+		}
+	}
+	if !dist.IsRemote(err) {
+		b.d.markLost(w)
+	}
+}
+
+// inertResponse is what a failed transport hands back: zero counts,
+// false flags, and +Inf virtual times, so the GVT layer winds the run
+// down monotonically while cancellation propagates.
+func inertResponse() *dist.OpResponse {
+	return &dist.OpResponse{VT: dist.WireVT(math.Inf(1))}
+}
+
+// roundTrip performs one forwarded operation against worker w. With
+// envelope set, the coordinator's engine-global scalars thread through
+// the call and the worker's updated scalars and peer statistics are
+// mirrored back; OpInject is the one envelope-less operation.
+func (b *remoteBridge) roundTrip(w int, req *dist.OpRequest, cpu tw.CPU, envelope bool) *dist.OpResponse {
+	if b.err != nil {
+		return inertResponse()
+	}
+	if envelope {
+		env := b.eng.EnvelopeOut()
+		req.Env = &env
+	}
+	var resp dist.OpResponse
+	if err := b.clients[w].Call(dist.KindOp, req, &resp); err != nil {
+		b.fail(w, err)
+		return inertResponse()
+	}
+	if envelope {
+		if resp.Env == nil || len(resp.Stats) != b.d.threadsPer {
+			b.fail(w, fmt.Errorf("%w: malformed %v response from worker %d", dist.ErrWorkerLost, req.Op, w))
+			return inertResponse()
+		}
+		b.eng.ApplyEnvelope(*resp.Env)
+		lo := w * b.d.threadsPer
+		for i, s := range resp.Stats {
+			p := b.eng.Peer(lo + i)
+			// GVT accounting is coordinator-side (the gvt layer charges
+			// hollow peers directly); worker copies are stale zeros.
+			gc, gr := p.Stats.GVTCycles, p.Stats.GVTRounds
+			p.Stats = s
+			p.Stats.GVTCycles, p.Stats.GVTRounds = gc, gr
+		}
+	}
+	if len(resp.Outbox) > 0 {
+		b.relay(resp.Outbox)
+		if b.err != nil {
+			return inertResponse()
+		}
+	}
+	if cpu != nil && resp.Worked {
+		cpu.Work(resp.Cycles)
+	}
+	return &resp
+}
+
+// relay forwards cross-shard wire events to their destination workers
+// in production order, batching maximal runs with the same destination
+// into one OpInject. It must complete before the next forwarded
+// operation so destination input-queue order matches in-process
+// delivery order.
+func (b *remoteBridge) relay(events []tw.WireEvent) {
+	lps := b.eng.LPs()
+	for i := 0; i < len(events); {
+		w := lps[events[i].Dst].Owner / b.d.threadsPer
+		j := i + 1
+		for j < len(events) && lps[events[j].Dst].Owner/b.d.threadsPer == w {
+			j++
+		}
+		batch := events[i:j]
+		b.roundTrip(w, &dist.OpRequest{Op: dist.OpInject, Events: batch}, nil, false)
+		if b.err != nil {
+			return
+		}
+		b.clients[w].CountRelayed(batch)
+		i = j
+	}
+}
+
+func (b *remoteBridge) opPeer(peer int, req *dist.OpRequest, cpu tw.CPU) *dist.OpResponse {
+	req.Peer = peer
+	return b.roundTrip(peer/b.d.threadsPer, req, cpu, true)
+}
+
+// InputSize implements tw.RemoteTransport.
+func (b *remoteBridge) InputSize(peer int) int {
+	return b.opPeer(peer, &dist.OpRequest{Op: dist.OpInputSize}, nil).N
+}
+
+// HasWork implements tw.RemoteTransport.
+func (b *remoteBridge) HasWork(peer int) bool {
+	return b.opPeer(peer, &dist.OpRequest{Op: dist.OpHasWork}, nil).Flag
+}
+
+// HasExecutableWork implements tw.RemoteTransport.
+func (b *remoteBridge) HasExecutableWork(peer int) bool {
+	return b.opPeer(peer, &dist.OpRequest{Op: dist.OpHasExecWork}, nil).Flag
+}
+
+// Drain implements tw.RemoteTransport.
+func (b *remoteBridge) Drain(peer int, cpu tw.CPU) int {
+	return b.opPeer(peer, &dist.OpRequest{Op: dist.OpDrain}, cpu).N
+}
+
+// ProcessBatch implements tw.RemoteTransport.
+func (b *remoteBridge) ProcessBatch(peer int, cpu tw.CPU) int {
+	return b.opPeer(peer, &dist.OpRequest{Op: dist.OpProcessBatch}, cpu).N
+}
+
+// LocalMin implements tw.RemoteTransport.
+func (b *remoteBridge) LocalMin(peer int, cpu tw.CPU) tw.VT {
+	return tw.VT(b.opPeer(peer, &dist.OpRequest{Op: dist.OpLocalMin}, cpu).VT)
+}
+
+// RemoteMin implements tw.RemoteTransport.
+func (b *remoteBridge) RemoteMin(peer int) tw.VT {
+	return tw.VT(b.opPeer(peer, &dist.OpRequest{Op: dist.OpRemoteMin}, nil).VT)
+}
+
+// TakeMinSent implements tw.RemoteTransport.
+func (b *remoteBridge) TakeMinSent(peer int) tw.VT {
+	return tw.VT(b.opPeer(peer, &dist.OpRequest{Op: dist.OpTakeMinSent}, nil).VT)
+}
+
+// PeekMinSent implements tw.RemoteTransport.
+func (b *remoteBridge) PeekMinSent(peer int) tw.VT {
+	return tw.VT(b.opPeer(peer, &dist.OpRequest{Op: dist.OpPeekMinSent}, nil).VT)
+}
+
+// FossilCollect implements tw.RemoteTransport.
+func (b *remoteBridge) FossilCollect(peer int, cpu tw.CPU, gvtAt tw.VT) int {
+	return b.opPeer(peer, &dist.OpRequest{Op: dist.OpFossilCollect, GVT: dist.WireVT(gvtAt)}, cpu).N
+}

@@ -1,0 +1,344 @@
+package ggpdes
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+
+	"ggpdes/internal/dist"
+	"ggpdes/internal/pq"
+	"ggpdes/internal/telemetry"
+	"ggpdes/internal/tw"
+)
+
+// Worker side of a distributed run. A worker process hosts one shard
+// of the engine and executes forwarded operations in the exact order
+// the coordinator sends them; it runs no machine, scheduler or GVT
+// algorithm of its own. See internal/dist for the protocol and
+// internal/tw's shard support for the control/data split.
+
+// recordCPU is the worker-side stand-in for the coordinator's
+// simulated-CPU accumulator: it records how many cycles one forwarded
+// operation charged, and whether it charged at all, so the coordinator
+// can mirror the charge onto the real accumulator. Multiple Work calls
+// within one operation collapse into a single coordinator-side call,
+// which is equivalent — both sides accumulate.
+type recordCPU struct {
+	cycles uint64
+	worked bool
+}
+
+// Work implements tw.CPU.
+func (c *recordCPU) Work(cycles uint64) {
+	c.cycles += cycles
+	c.worked = true
+}
+
+func (c *recordCPU) reset() { c.cycles, c.worked = 0, false }
+
+// workerShard is one initialized shard: a full-topology engine whose
+// peers outside [lo, hi) are foreign, plus the worker's private
+// telemetry registry (fresh per Init; the coordinator imports its
+// export at segment boundaries, so counters must hold segment deltas
+// only).
+type workerShard struct {
+	eng    *tw.Engine
+	reg    *telemetry.Registry
+	lo, hi int
+	cpu    recordCPU
+}
+
+// newWorkerShard decodes an InitMsg into a live shard engine. The
+// embedded config must hash back to the coordinator's cache key — the
+// same lossy-codec guard checkpoint restore applies.
+func newWorkerShard(init *dist.InitMsg) (*workerShard, error) {
+	var cfg Config
+	if err := json.Unmarshal(init.Config, &cfg); err != nil {
+		return nil, fmt.Errorf("decoding config: %v", err)
+	}
+	key, err := cfg.CacheKey()
+	if err != nil {
+		return nil, fmt.Errorf("hashing config: %v", err)
+	}
+	if key != init.CacheKey {
+		return nil, fmt.Errorf("config hashes to %s, coordinator sent %s", key, init.CacheKey)
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1 // mirror RunContext's default
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if init.Workers <= 0 || init.Shard < 0 || init.Shard >= init.Workers {
+		return nil, fmt.Errorf("shard %d of %d workers out of range", init.Shard, init.Workers)
+	}
+	if init.Lo < 0 || init.Hi > cfg.Threads || init.Lo >= init.Hi {
+		return nil, fmt.Errorf("peer range [%d, %d) outside threads [0, %d)", init.Lo, init.Hi, cfg.Threads)
+	}
+	model, err := cfg.Model.build(cfg.Threads, cfg.EndTime)
+	if err != nil {
+		return nil, err
+	}
+	reg := telemetry.NewRegistry()
+	twCfg := tw.Config{
+		NumThreads:       cfg.Threads,
+		Model:            model,
+		EndTime:          cfg.EndTime,
+		Seed:             cfg.Seed,
+		BatchSize:        cfg.BatchSize,
+		LPsPerKP:         cfg.LPsPerKP,
+		QueueKind:        pq.Kind(cfg.Queue),
+		StateSaving:      tw.SavePolicy(cfg.StateSaving),
+		LazyCancellation: cfg.LazyCancellation,
+		OptimismWindow:   cfg.OptimismWindow,
+		DisablePooling:   cfg.DisablePooling,
+		Telemetry:        reg,
+	}
+	var eng *tw.Engine
+	if init.State != nil {
+		eng, err = tw.NewEngineFromState(twCfg, init.State)
+	} else {
+		eng, err = tw.NewEngine(twCfg)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if err := eng.Shardify(init.Lo, init.Hi); err != nil {
+		return nil, err
+	}
+	return &workerShard{eng: eng, reg: reg, lo: init.Lo, hi: init.Hi}, nil
+}
+
+// peer resolves a peer-scoped request's target, rejecting peers the
+// shard does not own.
+func (ws *workerShard) peer(i int) (*tw.Peer, error) {
+	if i < ws.lo || i >= ws.hi {
+		return nil, fmt.Errorf("peer %d outside shard [%d, %d)", i, ws.lo, ws.hi)
+	}
+	return ws.eng.Peer(i), nil
+}
+
+// shardStats snapshots every shard peer's cumulative counters. All of
+// them ride on every enveloped response: quiesce and inject traffic
+// can mutate peers other than the request's target.
+func (ws *workerShard) shardStats() []tw.PeerStats {
+	out := make([]tw.PeerStats, ws.hi-ws.lo)
+	for i := ws.lo; i < ws.hi; i++ {
+		out[i-ws.lo] = ws.eng.Peer(i).Stats
+	}
+	return out
+}
+
+// handle executes one forwarded operation. The protocol rule is that
+// the response carries Env, Stats and the CPU charge exactly when the
+// request carried an Envelope: OpInject touches no engine-global
+// scalars, and echoing a stale envelope back after it would rewind the
+// coordinator's state.
+func (ws *workerShard) handle(req *dist.OpRequest) (*dist.OpResponse, error) {
+	if req.Env != nil {
+		ws.eng.ApplyEnvelope(*req.Env)
+	}
+	ws.cpu.reset()
+	resp := &dist.OpResponse{}
+	switch req.Op {
+	case dist.OpDrain:
+		p, err := ws.peer(req.Peer)
+		if err != nil {
+			return nil, err
+		}
+		resp.N = p.Drain(&ws.cpu)
+	case dist.OpProcessBatch:
+		p, err := ws.peer(req.Peer)
+		if err != nil {
+			return nil, err
+		}
+		resp.N = p.ProcessBatch(&ws.cpu)
+	case dist.OpHasExecWork:
+		p, err := ws.peer(req.Peer)
+		if err != nil {
+			return nil, err
+		}
+		resp.Flag = p.HasExecutableWork()
+	case dist.OpHasWork:
+		p, err := ws.peer(req.Peer)
+		if err != nil {
+			return nil, err
+		}
+		resp.Flag = p.HasWork()
+	case dist.OpInputSize:
+		p, err := ws.peer(req.Peer)
+		if err != nil {
+			return nil, err
+		}
+		resp.N = p.InputSize()
+	case dist.OpLocalMin:
+		p, err := ws.peer(req.Peer)
+		if err != nil {
+			return nil, err
+		}
+		resp.VT = dist.WireVT(p.LocalMin(&ws.cpu))
+	case dist.OpRemoteMin:
+		p, err := ws.peer(req.Peer)
+		if err != nil {
+			return nil, err
+		}
+		resp.VT = dist.WireVT(p.RemoteMin())
+	case dist.OpTakeMinSent:
+		p, err := ws.peer(req.Peer)
+		if err != nil {
+			return nil, err
+		}
+		resp.VT = dist.WireVT(p.TakeMinSent())
+	case dist.OpPeekMinSent:
+		p, err := ws.peer(req.Peer)
+		if err != nil {
+			return nil, err
+		}
+		resp.VT = dist.WireVT(p.PeekMinSent())
+	case dist.OpFossilCollect:
+		p, err := ws.peer(req.Peer)
+		if err != nil {
+			return nil, err
+		}
+		resp.N = p.FossilCollect(&ws.cpu, tw.VT(req.GVT))
+	case dist.OpInject:
+		for _, w := range req.Events {
+			if err := ws.eng.InjectRemote(w); err != nil {
+				return nil, err
+			}
+		}
+	case dist.OpQuiescePass:
+		resp.Flag = ws.eng.QuiescePassShard()
+	case dist.OpQuiesceDump:
+		ws.eng.QuiesceDumpShard()
+	case dist.OpQuiesceFlush:
+		resp.Flag = ws.eng.QuiesceFlushShard()
+	case dist.OpCaptureShard:
+		sh, err := ws.eng.CaptureShard()
+		if err != nil {
+			return nil, err
+		}
+		resp.Shard = sh
+	case dist.OpCheckInvariants:
+		if err := ws.eng.CheckInvariants(); err != nil {
+			return nil, err
+		}
+	case dist.OpFlushPoolStats:
+		ws.eng.FlushPoolStats()
+	case dist.OpMetrics:
+		st := ws.reg.Export()
+		resp.Metrics = &st
+	case dist.OpSeriesProbe:
+		resp.Probes = ws.eng.ProbeShard()
+	default:
+		return nil, fmt.Errorf("unknown op code %d", uint8(req.Op))
+	}
+	if req.Env != nil {
+		env := ws.eng.EnvelopeOut()
+		resp.Env = &env
+		resp.Stats = ws.shardStats()
+		resp.Cycles, resp.Worked = ws.cpu.cycles, ws.cpu.worked
+	}
+	resp.Outbox = ws.eng.TakeOutbox()
+	return resp, nil
+}
+
+// ServeWorkerConn serves one coordinator connection until a clean
+// shutdown (returns nil) or a transport failure (returns the error;
+// the listener keeps accepting so a redialing coordinator can resume
+// the shard). Worker-side operation failures are answered with
+// KindError and do not end the connection — the coordinator decides
+// whether they are fatal.
+func ServeWorkerConn(rw io.ReadWriter) error {
+	var ws *workerShard
+	fail := func(format string, args ...any) error {
+		_, err := dist.WriteMsg(rw, dist.KindError, &dist.ErrorMsg{Error: fmt.Sprintf(format, args...)})
+		return err
+	}
+	for {
+		kind, body, _, err := dist.ReadMsg(rw)
+		if err != nil {
+			return fmt.Errorf("ggpdes: worker: reading frame: %w", err)
+		}
+		switch kind {
+		case dist.KindInit:
+			var init dist.InitMsg
+			if err := json.Unmarshal(body, &init); err != nil {
+				if werr := fail("decoding init: %v", err); werr != nil {
+					return werr
+				}
+				continue
+			}
+			nws, err := newWorkerShard(&init)
+			if err != nil {
+				if werr := fail("init: %v", err); werr != nil {
+					return werr
+				}
+				continue
+			}
+			ws = nws
+			if _, err := dist.WriteMsg(rw, dist.KindResult, nil); err != nil {
+				return err
+			}
+		case dist.KindOp:
+			if ws == nil {
+				if werr := fail("op before init"); werr != nil {
+					return werr
+				}
+				continue
+			}
+			var req dist.OpRequest
+			if err := json.Unmarshal(body, &req); err != nil {
+				if werr := fail("decoding op: %v", err); werr != nil {
+					return werr
+				}
+				continue
+			}
+			resp, err := ws.handle(&req)
+			if err != nil {
+				if werr := fail("%v: %v", req.Op, err); werr != nil {
+					return werr
+				}
+				continue
+			}
+			if _, err := dist.WriteMsg(rw, dist.KindResult, resp); err != nil {
+				return err
+			}
+		case dist.KindShutdown:
+			_, err := dist.WriteMsg(rw, dist.KindResult, nil)
+			return err
+		case dist.KindResult:
+			if werr := fail("unexpected %v frame from coordinator", kind); werr != nil {
+				return werr
+			}
+		case dist.KindError:
+			if werr := fail("unexpected %v frame from coordinator", kind); werr != nil {
+				return werr
+			}
+		default:
+			if werr := fail("unknown frame kind %d", uint8(kind)); werr != nil {
+				return werr
+			}
+		}
+	}
+}
+
+// ListenAndServeWorker accepts coordinator connections one at a time
+// until a coordinator asks for a clean shutdown. A dropped connection
+// (coordinator crash, injected fault) keeps the listener alive: the
+// coordinator redials and re-initializes the shard from its last
+// per-shard checkpoint.
+func ListenAndServeWorker(ln net.Listener) error {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		err = ServeWorkerConn(conn)
+		conn.Close()
+		if err == nil {
+			return nil
+		}
+	}
+}

@@ -163,6 +163,10 @@ type Config struct {
 	// Telemetry, when non-nil, receives scheduler metrics (see the
 	// Metric constants) and is forwarded to the GVT layer.
 	Telemetry *telemetry.Registry
+	// GVTOnCut, when non-nil, is forwarded to gvt.Config.OnCut: the
+	// Mattern-style cut notification the distributed coordinator uses
+	// to stamp wire traffic with cut generations. Observability only.
+	GVTOnCut func(cut int, round uint64)
 	// Faults, when non-nil, injects thread-level faults into the main
 	// loop (see internal/chaos). A killed thread exits immediately and
 	// never comes back, which typically stalls GVT; a stalled thread
@@ -305,6 +309,7 @@ func NewRunner(cfg Config) (*Runner, error) {
 		Costs:     cfg.GVTCosts,
 		Adaptive:  cfg.GVTAdaptive,
 		Telemetry: cfg.Telemetry,
+		OnCut:     cfg.GVTOnCut,
 	})
 	if err != nil {
 		return nil, err

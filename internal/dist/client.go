@@ -1,0 +1,106 @@
+package dist
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"ggpdes/internal/telemetry"
+	"ggpdes/internal/tw"
+)
+
+// Client is the coordinator's connection to one worker process: a
+// synchronous call/response channel with wire telemetry. It is not
+// goroutine-safe — the machine serializes all engine operations, which
+// is exactly what keeps the distributed trajectory deterministic.
+type Client struct {
+	rw io.ReadWriter
+
+	msgsSent      *telemetry.Counter
+	msgsReceived  *telemetry.Counter
+	bytesSent     *telemetry.Counter
+	bytesReceived *telemetry.Counter
+	eventsRelayed *telemetry.Counter
+	antisRelayed  *telemetry.Counter
+}
+
+// NewClient wraps a worker connection; wire counters register in reg
+// (nil-safe, like all telemetry).
+func NewClient(rw io.ReadWriter, reg *telemetry.Registry) *Client {
+	return &Client{
+		rw:            rw,
+		msgsSent:      reg.Counter(MetricMsgsSent),
+		msgsReceived:  reg.Counter(MetricMsgsReceived),
+		bytesSent:     reg.Counter(MetricBytesSent),
+		bytesReceived: reg.Counter(MetricBytesReceived),
+		eventsRelayed: reg.Counter(MetricEventsRelayed),
+		antisRelayed:  reg.Counter(MetricAntisRelayed),
+	}
+}
+
+// RemoteError is a failure the worker reported in answer to a request:
+// the connection is intact and the error is not retryable (redialing
+// would deterministically hit it again).
+type RemoteError struct{ Msg string }
+
+// Error implements error.
+func (e *RemoteError) Error() string { return "dist: worker: " + e.Msg }
+
+// Call sends one request and decodes the worker's response into reply
+// (which may be nil for acknowledgement-only calls). Transport
+// failures wrap ErrWorkerLost; worker-reported failures come back as
+// *RemoteError.
+func (c *Client) Call(kind MsgKind, payload, reply any) error {
+	n, err := WriteMsg(c.rw, kind, payload)
+	c.bytesSent.Add(uint64(n))
+	if err != nil {
+		return fmt.Errorf("%w: sending %v: %v", ErrWorkerLost, kind, err)
+	}
+	c.msgsSent.Inc()
+	rk, body, rn, err := ReadMsg(c.rw)
+	c.bytesReceived.Add(uint64(rn))
+	if err != nil {
+		return fmt.Errorf("%w: awaiting %v response: %v", ErrWorkerLost, kind, err)
+	}
+	c.msgsReceived.Inc()
+	if rk == KindError {
+		var em ErrorMsg
+		if jerr := json.Unmarshal(body, &em); jerr != nil || em.Error == "" {
+			em.Error = fmt.Sprintf("malformed error response to %v", kind)
+		}
+		return &RemoteError{Msg: em.Error}
+	}
+	if rk != KindResult {
+		return fmt.Errorf("%w: %v response to %v", ErrWorkerLost, rk, kind)
+	}
+	if reply == nil {
+		return nil
+	}
+	if err := json.Unmarshal(body, reply); err != nil {
+		return fmt.Errorf("%w: decoding %v response: %v", ErrWorkerLost, kind, err)
+	}
+	return nil
+}
+
+// CountRelayed books relayed cross-shard traffic into the wire
+// counters.
+func (c *Client) CountRelayed(events []tw.WireEvent) {
+	var pos, anti uint64
+	for _, w := range events {
+		if w.Anti {
+			anti++
+		} else {
+			pos++
+		}
+	}
+	c.eventsRelayed.Add(pos)
+	c.antisRelayed.Add(anti)
+}
+
+// IsRemote reports whether err is a worker-reported (non-retryable)
+// failure.
+func IsRemote(err error) bool {
+	var re *RemoteError
+	return errors.As(err, &re)
+}

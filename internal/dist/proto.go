@@ -1,0 +1,316 @@
+// Package dist is the wire protocol of distributed Time Warp runs: a
+// coordinator process drives the unmodified machine, scheduler and GVT
+// algorithm over a hollow engine and forwards every peer operation to
+// the worker process hosting the real shard (see internal/tw's shard
+// support for the control/data split that makes the trajectory
+// byte-identical to an in-process run).
+//
+// Framing is a 4-byte big-endian length followed by a 1-byte message
+// kind and a JSON payload. JSON matches the rest of the repo's wire
+// surfaces (configs, checkpoints) and round-trips floats exactly;
+// virtual times that can be +Inf travel as WireVT, a string-encoded
+// float, because bare JSON numbers cannot represent infinity.
+//
+// The protocol is a strict request/response alternation on one
+// connection: the coordinator sends KindInit once, then KindOp
+// messages, and finally KindShutdown; the worker answers every message
+// with exactly one KindResult or KindError. Synchronous round trips
+// are the point, not a limitation — each forwarded operation must
+// complete before the coordinator runs the next one, or the global
+// interleaving (and with it the trajectory) would diverge from the
+// in-process run.
+package dist
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+
+	"ggpdes/internal/telemetry"
+	"ggpdes/internal/tw"
+)
+
+// ErrWorkerLost marks a coordinator-side transport failure: the worker
+// connection broke mid-run. The serve layer classifies it as retryable
+// — the coordinator redials the worker and resumes its shard from the
+// last per-shard checkpoint.
+var ErrWorkerLost = errors.New("dist: worker connection lost")
+
+// Metric names the distributed layer registers.
+const (
+	// MetricMsgsSent / MetricMsgsReceived count protocol messages from
+	// the coordinator's point of view.
+	MetricMsgsSent     = "dist.msgs_sent"
+	MetricMsgsReceived = "dist.msgs_received"
+	// MetricBytesSent / MetricBytesReceived count framed wire bytes.
+	MetricBytesSent     = "dist.bytes_sent"
+	MetricBytesReceived = "dist.bytes_received"
+	// MetricEventsRelayed / MetricAntisRelayed count cross-shard
+	// positive events and anti-messages the coordinator relayed.
+	MetricEventsRelayed = "dist.events_relayed"
+	MetricAntisRelayed  = "dist.antis_relayed"
+	// MetricGVTRounds counts distributed Mattern-cut completions (cut 2
+	// of every GVT round observed by the coordinator).
+	MetricGVTRounds = "dist.gvt_rounds"
+	// MetricWorkersConnected gauges the worker processes currently
+	// attached to the coordinator.
+	MetricWorkersConnected = "dist.workers.connected"
+)
+
+// MsgKind tags a protocol frame.
+type MsgKind uint8
+
+const (
+	// KindInit carries an InitMsg; the worker builds its shard engine.
+	KindInit MsgKind = iota + 1
+	// KindOp carries an OpRequest; the worker runs one engine operation.
+	KindOp
+	// KindResult carries a response payload (InitMsg and KindShutdown
+	// are acknowledged with an empty one, KindOp with an OpResponse).
+	KindResult
+	// KindError carries an ErrorMsg; the request it answers failed.
+	KindError
+	// KindShutdown asks the worker to acknowledge and exit its serve
+	// loop cleanly.
+	KindShutdown
+)
+
+// String returns the kind's wire-table name.
+func (k MsgKind) String() string {
+	switch k {
+	case KindInit:
+		return "init"
+	case KindOp:
+		return "op"
+	case KindResult:
+		return "result"
+	case KindError:
+		return "error"
+	case KindShutdown:
+		return "shutdown"
+	default:
+		return fmt.Sprintf("MsgKind(%d)", uint8(k))
+	}
+}
+
+// OpCode selects the engine operation a KindOp frame forwards.
+type OpCode uint8
+
+const (
+	// Peer-scoped operations mirror tw.Peer's public surface; the
+	// request names the peer and threads the coordinator's Envelope.
+	OpDrain OpCode = iota + 1
+	OpProcessBatch
+	OpHasExecWork
+	OpHasWork
+	OpInputSize
+	OpLocalMin
+	OpRemoteMin
+	OpTakeMinSent
+	OpPeekMinSent
+	OpFossilCollect
+	// Worker-scoped operations act on the whole shard. OpInject relays
+	// cross-shard wire events (no envelope — injection touches no
+	// engine-global scalars); the quiesce trio and OpCaptureShard drive
+	// the distributed checkpoint fixpoint; the rest are the segment
+	// boundary's invariant/metrics sweep and series sampling.
+	OpInject
+	OpQuiescePass
+	OpQuiesceDump
+	OpQuiesceFlush
+	OpCaptureShard
+	OpCheckInvariants
+	OpFlushPoolStats
+	OpMetrics
+	OpSeriesProbe
+)
+
+// String returns the op's wire-table name.
+func (o OpCode) String() string {
+	switch o {
+	case OpDrain:
+		return "drain"
+	case OpProcessBatch:
+		return "process_batch"
+	case OpHasExecWork:
+		return "has_exec_work"
+	case OpHasWork:
+		return "has_work"
+	case OpInputSize:
+		return "input_size"
+	case OpLocalMin:
+		return "local_min"
+	case OpRemoteMin:
+		return "remote_min"
+	case OpTakeMinSent:
+		return "take_min_sent"
+	case OpPeekMinSent:
+		return "peek_min_sent"
+	case OpFossilCollect:
+		return "fossil_collect"
+	case OpInject:
+		return "inject"
+	case OpQuiescePass:
+		return "quiesce_pass"
+	case OpQuiesceDump:
+		return "quiesce_dump"
+	case OpQuiesceFlush:
+		return "quiesce_flush"
+	case OpCaptureShard:
+		return "capture_shard"
+	case OpCheckInvariants:
+		return "check_invariants"
+	case OpFlushPoolStats:
+		return "flush_pool_stats"
+	case OpMetrics:
+		return "metrics"
+	case OpSeriesProbe:
+		return "series_probe"
+	default:
+		return fmt.Sprintf("OpCode(%d)", uint8(o))
+	}
+}
+
+// WireVT is a virtual time on the wire. Several engine minimum
+// operations legitimately return +Inf ("nothing pending"), which JSON
+// numbers cannot carry, so virtual times travel as strings in Go's
+// shortest round-trip float form.
+type WireVT float64
+
+// MarshalJSON implements json.Marshaler.
+func (v WireVT) MarshalJSON() ([]byte, error) {
+	return strconv.AppendQuote(nil, strconv.FormatFloat(float64(v), 'g', -1, 64)), nil
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (v *WireVT) UnmarshalJSON(data []byte) error {
+	s, err := strconv.Unquote(string(data))
+	if err != nil {
+		return fmt.Errorf("dist: virtual time not a string: %w", err)
+	}
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return fmt.Errorf("dist: virtual time %q: %w", s, err)
+	}
+	*v = WireVT(f)
+	return nil
+}
+
+// InitMsg tells a worker which shard of which run it hosts. Config is
+// the run configuration in its canonical JSON wire form (the root
+// package owns the codec); CacheKey lets the worker verify the decoded
+// config hashes back, exactly like checkpoint restore does.
+type InitMsg struct {
+	Config   json.RawMessage `json:"config"`
+	CacheKey string          `json:"cache_key"`
+	// Shard is this worker's index; Workers the total count.
+	Shard   int `json:"shard"`
+	Workers int `json:"workers"`
+	// Lo and Hi bound the worker's peer range [Lo, Hi).
+	Lo int `json:"lo"`
+	Hi int `json:"hi"`
+	// State, when non-nil, restores the shard from a quiesced engine
+	// state (pending events outside the shard zeroed) instead of
+	// building segment zero fresh.
+	State *tw.EngineState `json:"state,omitempty"`
+}
+
+// OpRequest is one forwarded engine operation.
+type OpRequest struct {
+	Op OpCode `json:"op"`
+	// Peer names the target of peer-scoped ops.
+	Peer int `json:"peer,omitempty"`
+	// Env threads the coordinator's engine-global scalars; nil only for
+	// OpInject, which touches none of them.
+	Env *tw.Envelope `json:"env,omitempty"`
+	// GVT is OpFossilCollect's collection horizon.
+	GVT WireVT `json:"gvt,omitempty"`
+	// Events carries OpInject's relayed wire events.
+	Events []tw.WireEvent `json:"events,omitempty"`
+}
+
+// OpResponse is the result of one forwarded operation. Fields are
+// op-specific; Env and Stats ride on every enveloped op so the
+// coordinator can mirror the worker's state before the next operation.
+type OpResponse struct {
+	// N carries integer results (drained/processed/collected counts,
+	// input sizes); Flag boolean ones; VT virtual-time ones.
+	N    int    `json:"n,omitempty"`
+	Flag bool   `json:"flag,omitempty"`
+	VT   WireVT `json:"vt"`
+	// Env returns the engine-global scalars after the operation.
+	Env *tw.Envelope `json:"env,omitempty"`
+	// Stats returns every shard peer's cumulative counters (quiesce
+	// passes mutate peers other than the named one).
+	Stats []tw.PeerStats `json:"stats,omitempty"`
+	// Cycles is the simulated CPU cost the operation charged; Worked
+	// reports whether it charged at all (the coordinator must mirror
+	// not just the amount but whether the CPU hook fired).
+	Cycles uint64 `json:"cycles,omitempty"`
+	Worked bool   `json:"worked,omitempty"`
+	// Outbox carries cross-shard sends the operation produced, in
+	// production order.
+	Outbox []tw.WireEvent `json:"outbox,omitempty"`
+	// Probes is OpSeriesProbe's per-peer series contribution.
+	Probes []tw.PeerProbe `json:"probes,omitempty"`
+	// Shard is OpCaptureShard's serialized slice of the engine.
+	Shard *tw.ShardState `json:"shard,omitempty"`
+	// Metrics is OpMetrics' worker registry export.
+	Metrics *telemetry.MetricsState `json:"metrics,omitempty"`
+}
+
+// ErrorMsg is a KindError payload.
+type ErrorMsg struct {
+	Error string `json:"error"`
+}
+
+// maxFrame bounds a frame's payload; anything larger is protocol
+// corruption, not data.
+const maxFrame = 1 << 28
+
+// WriteMsg frames and writes one message and returns the bytes
+// written. A nil payload writes an empty object.
+func WriteMsg(w io.Writer, kind MsgKind, payload any) (int, error) {
+	body := []byte("{}")
+	if payload != nil {
+		var err error
+		body, err = json.Marshal(payload)
+		if err != nil {
+			return 0, fmt.Errorf("dist: encoding %v payload: %w", kind, err)
+		}
+	}
+	if len(body)+1 > maxFrame {
+		return 0, fmt.Errorf("dist: %v payload of %d bytes exceeds frame limit", kind, len(body))
+	}
+	var hdr [5]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(body)+1))
+	hdr[4] = byte(kind)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return 0, err
+	}
+	if _, err := w.Write(body); err != nil {
+		return len(hdr), err
+	}
+	return len(hdr) + len(body), nil
+}
+
+// ReadMsg reads one framed message and returns its kind, payload bytes
+// and total wire size.
+func ReadMsg(r io.Reader) (MsgKind, []byte, int, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, 0, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:4])
+	if n < 1 || n > maxFrame {
+		return 0, nil, 0, fmt.Errorf("dist: frame length %d out of range", n)
+	}
+	body := make([]byte, n-1)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return 0, nil, 0, err
+	}
+	return MsgKind(hdr[4]), body, len(hdr) + len(body), nil
+}

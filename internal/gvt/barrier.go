@@ -114,8 +114,12 @@ func (b *barrierGVT) Step(p *machine.Proc, acc *machine.Acc, tid int) {
 	acc.Flush()
 	if p.BarrierWait(b.bar1) {
 		// Serial thread freezes the round size while everyone is
-		// synchronized.
+		// synchronized; the world being stopped is this algorithm's
+		// first (trivially consistent) cut.
 		b.roundSize = b.participants
+		if f := b.cfg.OnCut; f != nil {
+			f(1, b.rounds)
+		}
 	}
 
 	// No thread is processing events now: drain and record a perfect
@@ -146,6 +150,9 @@ func (b *barrierGVT) Step(p *machine.Proc, acc *machine.Acc, tid int) {
 				}
 			}
 			b.charge(acc, tid, b.costs.ReduceCyclesPerThread)
+		}
+		if f := b.cfg.OnCut; f != nil {
+			f(2, b.rounds)
 		}
 		b.eng.SetGVT(math.Min(gmin, b.eng.EndTime()))
 		b.cfg.Hooks.OnAware(p, acc, tid)

@@ -233,6 +233,15 @@ type Config struct {
 	// Telemetry, when non-nil, receives round-latency metrics (see the
 	// Metric constants).
 	Telemetry *telemetry.Registry
+	// OnCut, when non-nil, is invoked at the two Mattern-style cut
+	// points of every round: cut 1 when the round's first local-minimum
+	// cut is recorded (barrier: the stop-the-world generation; wait-free:
+	// the first thread entering Phase A), and cut 2 when the reduction
+	// is complete, immediately before the new GVT is published. The
+	// distributed coordinator stamps wire traffic with the cut
+	// generation from this hook. It runs outside cost accounting and
+	// must not touch engine state — observability only.
+	OnCut func(cut int, round uint64)
 }
 
 // New builds the requested algorithm over all engine threads.

@@ -138,6 +138,11 @@ func (w *waitFree) Step(p *machine.Proc, acc *machine.Acc, tid int) {
 			return
 		}
 		// Phase A: record the first cut.
+		if w.countA == 0 {
+			if f := w.cfg.OnCut; f != nil {
+				f(1, w.round)
+			}
+		}
 		w.localMinA[tid] = peer.LocalMin(w.cpu(acc, tid, peer))
 		w.charge(acc, tid, w.costs.PhaseAdvanceCycles)
 		w.countA++
@@ -203,6 +208,9 @@ func (w *waitFree) stepAwareEnd(p *machine.Proc, acc *machine.Acc, tid int, peer
 				}
 			}
 			w.charge(acc, tid, w.costs.ReduceCyclesPerThread)
+		}
+		if f := w.cfg.OnCut; f != nil {
+			f(2, w.round)
 		}
 		w.eng.SetGVT(math.Min(gmin, w.eng.EndTime()))
 		w.cfg.Hooks.OnAware(p, acc, tid)

@@ -29,6 +29,12 @@ type Config struct {
 	// switches over them must cover every declared constant or fail
 	// loudly in default.
 	EnumTypes []string
+	// StrictEnumTypes are enum types (added to EnumTypes if not already
+	// listed) where a loudly-failing default is not an escape: wire
+	// protocol tags, where the default only classifies corrupt frames
+	// and a missing case silently misroutes a valid one. Switches over
+	// them must case every declared constant explicitly.
+	StrictEnumTypes []string
 	// EnumPkg is the module-relative package holding the public enum
 	// name tables (the Parse* functions) — "" disables the table check.
 	EnumPkg string
@@ -78,6 +84,10 @@ func DefaultConfig(modulePath string) Config {
 			modulePath + "/internal/core.System", modulePath + "/internal/core.Affinity",
 			modulePath + "/internal/gvt.Kind", modulePath + "/internal/pq.Kind",
 			modulePath + "/internal/tw.SavePolicy",
+			modulePath + "/internal/dist.MsgKind", modulePath + "/internal/dist.OpCode",
+		},
+		StrictEnumTypes: []string{
+			modulePath + "/internal/dist.MsgKind", modulePath + "/internal/dist.OpCode",
 		},
 		EnumPkg:       ".",
 		ModelIface:    modulePath + ".Model",

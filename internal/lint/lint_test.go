@@ -141,12 +141,13 @@ func TestPooledEscapeFixture(t *testing.T) {
 
 func TestEnumExhaustiveFixture(t *testing.T) {
 	cfg := Config{
-		EnumTypes:     []string{"enumfx.Color"},
-		EnumPkg:       ".",
-		ModelIface:    "enumfx.Model",
-		ModelEncode:   "encodeModel",
-		ModelDecode:   "decodeModel",
-		ModelCodecPkg: "state",
+		EnumTypes:       []string{"enumfx.Color"},
+		StrictEnumTypes: []string{"enumfx/wire.Kind"},
+		EnumPkg:         ".",
+		ModelIface:      "enumfx.Model",
+		ModelEncode:     "encodeModel",
+		ModelDecode:     "decodeModel",
+		ModelCodecPkg:   "state",
 	}
 	extra := runFixture(t, "enumexhaustive", "enumfx", cfg, []*Pass{enumExhaustivePass})
 	if len(extra) != 0 {

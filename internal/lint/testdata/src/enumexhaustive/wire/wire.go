@@ -1,0 +1,43 @@
+// Package wire is the strict-enum fixture: a protocol frame tag where
+// a loudly failing default is not an escape — the default's job is
+// classifying corrupt frames, so dispatch switches must case every
+// declared variant explicitly.
+package wire
+
+// Kind tags a protocol frame.
+type Kind uint8
+
+// The frame kinds.
+const (
+	Init Kind = iota + 1
+	Op
+	Shutdown
+)
+
+// Dispatch covers every variant: allowed — the loud default only
+// catches corrupt frames.
+func Dispatch(k Kind) string {
+	switch k {
+	case Init:
+		return "init"
+	case Op:
+		return "op"
+	case Shutdown:
+		return "shutdown"
+	default:
+		panic("wire: unknown kind")
+	}
+}
+
+// Partial misses a variant; the loud default would satisfy the
+// ordinary rule, but strict enums reject the escape.
+func Partial(k Kind) string {
+	switch k { // want `switch over Kind misses Shutdown: strict wire enum`
+	case Init:
+		return "init"
+	case Op:
+		return "op"
+	default:
+		panic("wire: unknown kind")
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"ggpdes"
 	"ggpdes/internal/chaos"
 	"ggpdes/internal/checkpoint"
+	"ggpdes/internal/dist"
 	"ggpdes/internal/rng"
 	"ggpdes/internal/telemetry"
 )
@@ -751,10 +752,12 @@ func (m *Manager) attempt(jobCtx context.Context, j *Job, cfg ggpdes.Config, ckp
 }
 
 // retryable reports whether an attempt failure was injected by the
-// harness (crash or stall) rather than requested by the client or
+// harness (crash or stall) or was a lost distributed-worker connection
+// — environmental failures — rather than requested by the client or
 // inherent to the config.
 func retryable(err error) bool {
-	return errors.Is(err, chaos.ErrInjectedCrash) || errors.Is(err, ErrStalled)
+	return errors.Is(err, chaos.ErrInjectedCrash) || errors.Is(err, ErrStalled) ||
+		errors.Is(err, dist.ErrWorkerLost)
 }
 
 // backoff is the delay before retry number `attempt`: base doubled per

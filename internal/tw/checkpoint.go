@@ -27,6 +27,10 @@ import (
 // actually killed at the boundary, a resumed run is byte-identical to
 // an uninterrupted one by construction.
 
+// errNotCheckpointModel is shared by Capture, CaptureShard and
+// NewEngineFromState.
+var errNotCheckpointModel = errors.New("tw: model does not implement CheckpointModel")
+
 // CheckpointModel is a Model whose LP states can be serialized. All
 // bundled models implement it; checkpointing requires it because LP
 // state is opaque to the engine.
@@ -102,51 +106,72 @@ func (e *Engine) Capture() (*EngineState, error) {
 	}
 	cm, ok := e.cfg.Model.(CheckpointModel)
 	if !ok {
-		return nil, errors.New("tw: model does not implement CheckpointModel")
+		return nil, errNotCheckpointModel
 	}
 	st := &EngineState{
 		Seq:             e.seq,
 		GVT:             e.gvt,
 		PeakUncommitted: e.peakUncommitted,
-		LPs:             make([]LPRecord, len(e.lps)),
 		Pending:         make([][]EventRecord, len(e.peers)),
 		PeerStats:       make([]PeerStats, len(e.peers)),
 	}
-	for i, lp := range e.lps {
+	lps, err := e.encodeLPs(cm, e.lps)
+	if err != nil {
+		return nil, err
+	}
+	st.LPs = lps
+	for i, p := range e.peers {
+		recs, err := e.drainQuiesced(p)
+		if err != nil {
+			return nil, err
+		}
+		st.Pending[i] = recs
+		st.PeerStats[i] = p.Stats
+	}
+	return st, nil
+}
+
+// encodeLPs serializes a run of LPs; Capture uses it over all LPs,
+// CaptureShard over one shard's.
+func (e *Engine) encodeLPs(cm CheckpointModel, lps []*LP) ([]LPRecord, error) {
+	recs := make([]LPRecord, len(lps))
+	for i, lp := range lps {
 		data, err := cm.EncodeState(lp.state)
 		if err != nil {
 			return nil, fmt.Errorf("tw: encoding LP %d state: %w", lp.ID, err)
 		}
-		st.LPs[i] = LPRecord{State: data, Rng: lp.rand.Save(), LVT: lp.lvt}
+		recs[i] = LPRecord{State: data, Rng: lp.rand.Save(), LVT: lp.lvt}
 	}
-	for i, p := range e.peers {
-		recs := make([]EventRecord, 0, len(p.quiesced))
-		for _, ev := range p.quiesced {
-			if ev.state == StateCancelled {
-				continue
-			}
-			if ev.Ts < e.gvt {
-				return nil, fmt.Errorf("tw: pending event %v below GVT %.6f at capture", ev, e.gvt)
-			}
-			recs = append(recs, EventRecord{
-				Ts: ev.Ts, Seq: ev.Seq, Src: ev.Src, Dst: ev.Dst,
-				Kind: ev.Kind, A: ev.A, B: ev.B,
-			})
+	return recs, nil
+}
+
+// drainQuiesced converts and consumes a peer's quiesced slice,
+// validating against the below-GVT invariant and asserting pop order.
+func (e *Engine) drainQuiesced(p *Peer) ([]EventRecord, error) {
+	recs := make([]EventRecord, 0, len(p.quiesced))
+	for _, ev := range p.quiesced {
+		if ev.state == StateCancelled {
+			continue
 		}
-		// Pop order is already (Ts, Seq); assert rather than trust.
-		if !sort.SliceIsSorted(recs, func(a, b int) bool {
-			if recs[a].Ts != recs[b].Ts {
-				return recs[a].Ts < recs[b].Ts
-			}
-			return recs[a].Seq < recs[b].Seq
-		}) {
-			return nil, fmt.Errorf("tw: peer %d pending pop order not sorted", p.ID)
+		if ev.Ts < e.gvt {
+			return nil, fmt.Errorf("tw: pending event %v below GVT %.6f at capture", ev, e.gvt)
 		}
-		st.Pending[i] = recs
-		st.PeerStats[i] = p.Stats
-		p.quiesced = nil
+		recs = append(recs, EventRecord{
+			Ts: ev.Ts, Seq: ev.Seq, Src: ev.Src, Dst: ev.Dst,
+			Kind: ev.Kind, A: ev.A, B: ev.B,
+		})
 	}
-	return st, nil
+	// Pop order is already (Ts, Seq); assert rather than trust.
+	if !sort.SliceIsSorted(recs, func(a, b int) bool {
+		if recs[a].Ts != recs[b].Ts {
+			return recs[a].Ts < recs[b].Ts
+		}
+		return recs[a].Seq < recs[b].Seq
+	}) {
+		return nil, fmt.Errorf("tw: peer %d pending pop order not sorted", p.ID)
+	}
+	p.quiesced = nil
+	return recs, nil
 }
 
 // quiesce rolls the engine back onto the committed cut of its current
@@ -154,32 +179,52 @@ func (e *Engine) Capture() (*EngineState, error) {
 // resulting anti-message traffic is drained to a fixpoint, deferred
 // lazy-cancellation sends are flushed, and each peer's pending set is
 // emptied (in pop order) into its quiesced scratch slice.
+// The three stages are factored into peer-range passes so a worker
+// engine can run each stage over just its shard under coordinator
+// control (see shard.go): looping the ranged passes over the full
+// range below is exactly the historical whole-engine quiesce.
 func (e *Engine) quiesce() {
-	cpu := nopCPU{}
 	// Roll back all speculation. Rollbacks unsend (anti-messages into
 	// other peers' input queues) and drains can trigger further
 	// rollbacks, so iterate to a fixpoint.
-	for {
-		progress := false
-		for _, p := range e.peers {
-			if len(p.inq) > 0 {
-				p.Drain(cpu)
+	for e.quiescePassRange(0, len(e.peers)) {
+	}
+	e.quiesceDumpRange(0, len(e.peers))
+	// Under lazy cancellation rolled-back events still hold tentative
+	// sends awaiting re-adoption; they cannot survive a checkpoint, so
+	// annihilate them now. The antis only ever target events already in
+	// the quiesced slices (everything pending is there), so the flush
+	// stage's drains just mark targets cancelled.
+	for e.quiesceFlushRange(0, len(e.peers)) {
+	}
+	e.quiesceResetRange(0, len(e.peers))
+}
+
+// quiescePassRange runs one drain-and-rollback round over peers
+// [lo, hi), reporting whether anything made progress.
+func (e *Engine) quiescePassRange(lo, hi int) bool {
+	cpu := nopCPU{}
+	progress := false
+	for _, p := range e.peers[lo:hi] {
+		if len(p.inq) > 0 {
+			p.Drain(cpu)
+			progress = true
+		}
+		for _, kp := range p.kps {
+			if len(kp.processed) > 0 {
+				p.rollback(kp, kp.processed[0])
 				progress = true
 			}
-			for _, kp := range p.kps {
-				if len(kp.processed) > 0 {
-					p.rollback(kp, kp.processed[0])
-					progress = true
-				}
-			}
-		}
-		if !progress {
-			break
 		}
 	}
-	// Empty the pending sets. Pop order is (Ts, Seq) — the canonical
-	// order the capture serializes.
-	for _, p := range e.peers {
+	return progress
+}
+
+// quiesceDumpRange empties the pending sets of peers [lo, hi) into
+// their quiesced slices. Pop order is (Ts, Seq) — the canonical order
+// the capture serializes.
+func (e *Engine) quiesceDumpRange(lo, hi int) {
+	for _, p := range e.peers[lo:hi] {
 		p.quiesced = p.quiesced[:0]
 		for {
 			ev, ok := p.pending.Pop()
@@ -189,30 +234,32 @@ func (e *Engine) quiesce() {
 			p.quiesced = append(p.quiesced, ev)
 		}
 	}
-	// Under lazy cancellation rolled-back events still hold tentative
-	// sends awaiting re-adoption; they cannot survive a checkpoint, so
-	// annihilate them now. The antis only ever target events already in
-	// the quiesced slices (everything pending is there), so the drains
-	// below just mark targets cancelled.
-	for {
-		progress := false
-		for _, p := range e.peers {
-			for _, ev := range p.quiesced {
-				if ev.state != StateCancelled && len(ev.tentative) > 0 {
-					p.flushTentative(ev)
-					progress = true
-				}
-			}
-			if len(p.inq) > 0 {
-				p.Drain(cpu)
+}
+
+// quiesceFlushRange runs one lazy-cancellation flush-and-drain round
+// over peers [lo, hi), reporting whether anything made progress.
+func (e *Engine) quiesceFlushRange(lo, hi int) bool {
+	cpu := nopCPU{}
+	progress := false
+	for _, p := range e.peers[lo:hi] {
+		for _, ev := range p.quiesced {
+			if ev.state != StateCancelled && len(ev.tentative) > 0 {
+				p.flushTentative(ev)
 				progress = true
 			}
 		}
-		if !progress {
-			break
+		if len(p.inq) > 0 {
+			p.Drain(cpu)
+			progress = true
 		}
 	}
-	for _, p := range e.peers {
+	return progress
+}
+
+// quiesceResetRange clears the per-round send windows and cycle
+// accumulators of peers [lo, hi) after a completed quiesce.
+func (e *Engine) quiesceResetRange(lo, hi int) {
+	for _, p := range e.peers[lo:hi] {
 		p.minSent = math.Inf(1)
 		p.acc = 0
 	}

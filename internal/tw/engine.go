@@ -198,6 +198,19 @@ type Engine struct {
 	crossSends uint64
 	heldSends  []heldSend
 
+	// Distributed sharding (see shard.go). remote, when non-nil, makes
+	// every public peer operation forward to the worker hosting the
+	// real shard (coordinator role). shardLo/shardHi bound the locally
+	// hosted peers — [0, NumThreads) unless Shardify narrowed them.
+	// outbox collects cross-shard sends awaiting relay, and remoteIdx
+	// maps twin events materialized from the wire by sequence number so
+	// relayed anti-messages can find their targets.
+	remote    RemoteTransport
+	shardLo   int
+	shardHi   int
+	outbox    []WireEvent
+	remoteIdx map[uint64]*Event
+
 	tel engineTelemetry
 }
 
@@ -256,6 +269,7 @@ func newEngineShell(cfg Config) (*Engine, error) {
 		return nil, errors.New("tw: model reports non-positive LPsPerThread")
 	}
 	nLPs := perThread * cfg.NumThreads
+	eng.shardLo, eng.shardHi = 0, cfg.NumThreads
 	eng.peers = make([]*Peer, cfg.NumThreads)
 	for i := range eng.peers {
 		eng.peers[i] = newPeer(i, eng)
@@ -449,6 +463,16 @@ func (e *Engine) send(from *Peer, cause *Event, dst int, ts VT, kind uint8, a, b
 		}
 		ev.state = StatePending
 		from.pending.Push(ev)
+	} else if dstPeer.foreign {
+		// Cross-shard send: the event travels by wire. The local copy
+		// stays on the cause's sent list as a shadow — rollback and
+		// lazy cancellation target it exactly as in-process — while the
+		// destination shard materializes and owns the live twin (see
+		// shard.go).
+		e.outbox = append(e.outbox, WireEvent{
+			Ts: ev.Ts, Seq: ev.Seq, Src: ev.Src, Dst: ev.Dst,
+			Kind: ev.Kind, A: ev.A, B: ev.B,
+		})
 	} else {
 		e.deliver(dstPeer, ev)
 	}

@@ -76,6 +76,11 @@ type Peer struct {
 	// recording here never shares a cache line with another thread.
 	tel peerTelemetry
 
+	// foreign marks a peer hosted by another worker process in a
+	// distributed run: it holds no event state and sends routed to it
+	// are collected as wire events instead (see shard.go).
+	foreign bool
+
 	// Stats is exported for the harness; do not mutate externally.
 	Stats PeerStats
 }
@@ -99,14 +104,21 @@ type peerTelemetry struct {
 	poolStateRecycled *telemetry.Counter
 }
 
-func newPeer(id int, eng *Engine) *Peer {
+// newPendingQueue builds a pending set of the engine's configured
+// kind; dropEvents (shard.go) also uses it to replace a foreign peer's
+// queue with a fresh empty one.
+func newPendingQueue(eng *Engine) pq.Queue[*Event] {
 	less := func(a, b *Event) bool { return a.before(b) }
 	prio := func(e *Event) float64 { return e.Ts }
+	return pq.New[*Event](eng.cfg.QueueKind, less, prio)
+}
+
+func newPeer(id int, eng *Engine) *Peer {
 	sh := eng.cfg.Telemetry.Shard(id)
 	return &Peer{
 		ID:      id,
 		eng:     eng,
-		pending: pq.New[*Event](eng.cfg.QueueKind, less, prio),
+		pending: newPendingQueue(eng),
 		minSent: math.Inf(1),
 		tel: peerTelemetry{
 			rollbackDepth: sh.Histogram(MetricRollbackDepth),
@@ -134,11 +146,19 @@ func (p *Peer) KPs() []*KP { return p.kps }
 // InputSize returns the number of entries in the input queue. Other
 // threads read it for activity detection (demand-driven scheduling) —
 // safe because machine execution is serialized.
-func (p *Peer) InputSize() int { return len(p.inq) }
+func (p *Peer) InputSize() int {
+	if r := p.eng.remote; r != nil {
+		return r.InputSize(p.ID)
+	}
+	return len(p.inq)
+}
 
 // HasWork reports whether the peer has any unconsumed input or live
 // pending events before the simulation end time, executable or not.
 func (p *Peer) HasWork() bool {
+	if r := p.eng.remote; r != nil {
+		return r.HasWork(p.ID)
+	}
 	if len(p.inq) > 0 {
 		return true
 	}
@@ -152,6 +172,9 @@ func (p *Peer) HasWork() bool {
 // the pseudo-controller's activation scan wakes it once GVT advances
 // far enough.
 func (p *Peer) HasExecutableWork() bool {
+	if r := p.eng.remote; r != nil {
+		return r.HasExecutableWork(p.ID)
+	}
 	if len(p.inq) > 0 {
 		return true
 	}
@@ -186,6 +209,9 @@ func (p *Peer) peekLive() *Event {
 // anti-messages and rolling back stragglers. It returns the number of
 // entries consumed and charges the corresponding CPU cycles.
 func (p *Peer) Drain(cpu CPU) int {
+	if r := p.eng.remote; r != nil {
+		return r.Drain(p.ID, cpu)
+	}
 	costs := &p.eng.cfg.Costs
 	cycles := costs.DrainBaseCycles
 	// Handling an anti-message can roll an LP back, whose unsends may
@@ -347,7 +373,19 @@ func (p *Peer) sendAnti(s *Event, src int) {
 	anti.Anti = true
 	anti.Target = s
 	dst := eng.peers[eng.lps[s.Dst].Owner]
-	dst.inq = append(dst.inq, anti)
+	if dst.foreign {
+		// Cross-shard annihilation: the anti travels by wire, carrying
+		// the target's sequence number for the destination shard to
+		// resolve against its twin. The local anti object was allocated
+		// only for its sequence number and pool accounting; nothing
+		// references it again (see shard.go).
+		eng.outbox = append(eng.outbox, WireEvent{
+			Ts: anti.Ts, Seq: anti.Seq, Src: anti.Src, Dst: anti.Dst,
+			Anti: true, TargetSeq: s.Seq,
+		})
+	} else {
+		dst.inq = append(dst.inq, anti)
+	}
 	p.acc += eng.cfg.Costs.SendCycles
 	p.Stats.AntiSent++
 	p.tel.antiSent.Inc()
@@ -371,6 +409,9 @@ func (p *Peer) unsend(ev *Event) {
 // pending events and returns how many ran. With a configured optimism
 // window, events beyond GVT + window stay pending until GVT advances.
 func (p *Peer) ProcessBatch(cpu CPU) int {
+	if r := p.eng.remote; r != nil {
+		return r.ProcessBatch(p.ID, cpu)
+	}
 	eng := p.eng
 	costs := &eng.cfg.Costs
 	horizon := eng.horizon()
@@ -421,6 +462,9 @@ func (p *Peer) ProcessBatch(cpu CPU) int {
 // peer: live pending events plus everything still in the input queue.
 // +Inf when it has none.
 func (p *Peer) LocalMin(cpu CPU) VT {
+	if r := p.eng.remote; r != nil {
+		return r.LocalMin(p.ID, cpu)
+	}
 	costs := &p.eng.cfg.Costs
 	cycles := costs.LocalMinCycles
 	min := math.Inf(1)
@@ -446,6 +490,9 @@ func (p *Peer) LocalMin(cpu CPU) VT {
 // (de-scheduled or freshly reactivated) on their behalf and pays for
 // the walk itself. +Inf when the peer holds nothing live.
 func (p *Peer) RemoteMin() VT {
+	if r := p.eng.remote; r != nil {
+		return r.RemoteMin(p.ID)
+	}
 	min := math.Inf(1)
 	if ev := p.peekLive(); ev != nil {
 		min = ev.Ts
@@ -471,6 +518,9 @@ func (p *Peer) noteSent(ts VT) {
 // TakeMinSent returns the smallest timestamp sent since the previous
 // call and resets the window; used by GVT cuts.
 func (p *Peer) TakeMinSent() VT {
+	if r := p.eng.remote; r != nil {
+		return r.TakeMinSent(p.ID)
+	}
 	v := p.minSent
 	p.minSent = math.Inf(1)
 	return v
@@ -481,7 +531,12 @@ func (p *Peer) TakeMinSent() VT {
 // round (reactivated threads processing before their subscription takes
 // effect): their sends after a receiver's cut would otherwise be
 // invisible to the round.
-func (p *Peer) PeekMinSent() VT { return p.minSent }
+func (p *Peer) PeekMinSent() VT {
+	if r := p.eng.remote; r != nil {
+		return r.PeekMinSent(p.ID)
+	}
+	return p.minSent
+}
 
 // FossilCollect commits and frees all processed events strictly below
 // gvt, returning the number committed. Committed events and their
@@ -489,6 +544,9 @@ func (p *Peer) PeekMinSent() VT { return p.minSent }
 // the pools are fed, so a few GVT rounds after startup the send path
 // stops allocating.
 func (p *Peer) FossilCollect(cpu CPU, gvt VT) int {
+	if r := p.eng.remote; r != nil {
+		return r.FossilCollect(p.ID, cpu, gvt)
+	}
 	costs := &p.eng.cfg.Costs
 	cycles := costs.FossilBaseCycles
 	total := 0

@@ -87,6 +87,12 @@ func (p *Peer) allocEvent() *Event {
 // field and poisoning the ordering key. With pooling disabled it does
 // nothing, preserving the historical allocate-and-drop behaviour.
 func (p *Peer) freeEvent(ev *Event) {
+	// A twin materialized from the wire (shard.go) leaves the
+	// anti-message resolution table when its lifecycle ends, whether or
+	// not its memory is recycled. Anti-messages are never registered.
+	if m := p.eng.remoteIdx; m != nil && !ev.Anti {
+		delete(m, ev.Seq)
+	}
 	if p.eng.cfg.DisablePooling {
 		return
 	}

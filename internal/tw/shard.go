@@ -1,0 +1,286 @@
+package tw
+
+import (
+	"fmt"
+	"math"
+)
+
+// Multi-process sharding. A distributed run splits one engine's peers
+// across worker processes while keeping the byte-identical-trajectory
+// guarantee. The trick is an exact control/data split:
+//
+//   - The coordinator process runs the unmodified machine, scheduler
+//     and GVT algorithm over a "hollow" engine: its peers hold no event
+//     state, and every public peer operation forwards over a
+//     RemoteTransport to the worker hosting the real shard, at the
+//     exact logical point the in-process call would have run. Because
+//     machine execution is serialized and each forwarded call completes
+//     before the next, the global interleaving of engine operations is
+//     identical to the in-process run by construction.
+//
+//   - Each worker process hosts a full-topology engine whose peers
+//     outside its shard are marked foreign: they hold no event state,
+//     and sends routed to them are collected as WireEvents (the outbox)
+//     for the coordinator to relay instead of being delivered locally.
+//
+// Engine-global scalars (sequence counter, GVT, uncommitted counts)
+// are owned by the coordinator and threaded through every forwarded
+// operation as an Envelope, so sequence numbers are assigned in the
+// same global order as in-process and worker-side peak tracking sees
+// globally correct values.
+//
+// Cross-shard event identity: a positive send to a foreign peer
+// allocates a local shadow event exactly like an in-process send (same
+// freelist pop, same pool counters, same sequence number) and keeps it
+// on the cause's sent/tentative lists so rollback and lazy
+// cancellation target it normally — but the shadow is never delivered
+// or freed locally; the destination shard materializes a twin from the
+// wire and owns its lifecycle from there. Anti-messages travel by
+// TargetSeq; the destination resolves them through remoteIdx, its
+// seq-to-twin table.
+
+// RemoteTransport forwards a hollow peer's operations to the worker
+// process hosting the real shard. Implementations perform the
+// operation remotely, apply the returned Envelope and peer statistics
+// to the local engine, relay any produced wire events, and charge cpu
+// with exactly the cycles the remote operation charged.
+type RemoteTransport interface {
+	InputSize(peer int) int
+	HasWork(peer int) bool
+	HasExecutableWork(peer int) bool
+	Drain(peer int, cpu CPU) int
+	ProcessBatch(peer int, cpu CPU) int
+	LocalMin(peer int, cpu CPU) VT
+	RemoteMin(peer int) VT
+	TakeMinSent(peer int) VT
+	PeekMinSent(peer int) VT
+	FossilCollect(peer int, cpu CPU, gvt VT) int
+}
+
+// Envelope is the engine-global scalar state threaded through every
+// forwarded operation: the coordinator holds the master copy, the
+// worker applies it before the operation and returns the updated
+// values after. GVT rides along raw — applying it must not re-fire
+// publication hooks, which belong to the coordinator.
+type Envelope struct {
+	Seq             uint64 `json:"seq"`
+	GVT             VT     `json:"gvt"`
+	Uncommitted     int    `json:"uncommitted"`
+	PeakUncommitted int    `json:"peak_uncommitted"`
+	PeakSinceMark   int    `json:"peak_since_mark"`
+}
+
+// EnvelopeOut snapshots the engine-global scalars.
+func (e *Engine) EnvelopeOut() Envelope {
+	return Envelope{
+		Seq:             e.seq,
+		GVT:             e.gvt,
+		Uncommitted:     e.uncommitted,
+		PeakUncommitted: e.peakUncommitted,
+		PeakSinceMark:   e.peakSinceMark,
+	}
+}
+
+// ApplyEnvelope installs coordinator-owned global scalars without
+// firing any publication hooks (trace, OnGVT): those run on the
+// coordinator, which owns the canonical run.
+func (e *Engine) ApplyEnvelope(env Envelope) {
+	e.seq = env.Seq
+	e.gvt = env.GVT
+	e.uncommitted = env.Uncommitted
+	e.peakUncommitted = env.PeakUncommitted
+	e.peakSinceMark = env.PeakSinceMark
+}
+
+// WireEvent is a cross-shard event or anti-message in transit. A
+// positive event carries the full payload; an anti-message carries the
+// sequence number of the event it annihilates, which the destination
+// shard resolves through its remoteIdx table.
+type WireEvent struct {
+	Ts        VT     `json:"ts"`
+	Seq       uint64 `json:"seq"`
+	Src       int    `json:"src"`
+	Dst       int    `json:"dst"`
+	Kind      uint8  `json:"kind,omitempty"`
+	A         int64  `json:"a,omitempty"`
+	B         int64  `json:"b,omitempty"`
+	Anti      bool   `json:"anti,omitempty"`
+	TargetSeq uint64 `json:"target_seq,omitempty"`
+}
+
+// Shardify marks every peer outside [lo, hi) as foreign on a worker
+// engine. Foreign peers drop their event state (the owning worker
+// holds the real copies) and zero their pool accounting, so summing
+// pool counters across all workers reproduces the in-process totals
+// exactly; sends routed to them are collected in the outbox instead of
+// delivered. Call it once, directly after NewEngine or
+// NewEngineFromState.
+func (e *Engine) Shardify(lo, hi int) error {
+	if lo < 0 || hi > len(e.peers) || lo >= hi {
+		return fmt.Errorf("tw: shard range [%d, %d) outside peers [0, %d)", lo, hi, len(e.peers))
+	}
+	e.shardLo, e.shardHi = lo, hi
+	e.remoteIdx = make(map[uint64]*Event)
+	for i, p := range e.peers {
+		if i >= lo && i < hi {
+			continue
+		}
+		p.foreign = true
+		p.dropEvents()
+	}
+	return nil
+}
+
+// HollowAll turns a coordinator engine into pure control state: every
+// peer drops its event state (peers keep their cumulative Stats, which
+// the transport maintains from worker responses) and all public peer
+// operations forward through rt. The engine keeps ownership of the
+// global scalars — GVT publication, Done, sequence numbering.
+func (e *Engine) HollowAll(rt RemoteTransport) {
+	e.remote = rt
+	for _, p := range e.peers {
+		p.dropEvents()
+	}
+}
+
+// ShardRange returns the local peer range; [0, NumThreads) unless
+// Shardify narrowed it.
+func (e *Engine) ShardRange() (lo, hi int) { return e.shardLo, e.shardHi }
+
+// dropEvents discards a peer's event state without recycling anything:
+// the authoritative copies live in another process, so freeing here
+// would corrupt the pool accounting that the sharded engines keep in
+// exact correspondence with an in-process run.
+func (p *Peer) dropEvents() {
+	p.inq = nil
+	p.pending = newPendingQueue(p.eng)
+	p.freeEvents = nil
+	p.pool = poolStats{}
+	p.quiesced = nil
+	p.acc = 0
+	p.minSent = math.Inf(1)
+}
+
+// TakeOutbox returns and clears the wire events produced by operations
+// since the last call, in production order. The caller must relay them
+// to their destination shards before running the next operation, so
+// destination input-queue order matches the in-process run.
+func (e *Engine) TakeOutbox() []WireEvent {
+	if len(e.outbox) == 0 {
+		return nil
+	}
+	out := e.outbox
+	e.outbox = nil
+	return out
+}
+
+// InjectRemote materializes a relayed wire event into the owning local
+// peer's input queue. Positive events build a twin of the sender-side
+// shadow (same identity, zero bookkeeping — exactly what an in-process
+// delivery would have enqueued) and register it for future
+// anti-message resolution; antis resolve their target through that
+// table.
+func (e *Engine) InjectRemote(w WireEvent) error {
+	if w.Dst < 0 || w.Dst >= len(e.lps) {
+		return fmt.Errorf("tw: remote event for unknown LP %d", w.Dst)
+	}
+	dst := e.peers[e.lps[w.Dst].Owner]
+	if dst.foreign {
+		return fmt.Errorf("tw: remote event for LP %d routed to foreign peer %d", w.Dst, dst.ID)
+	}
+	if w.Anti {
+		target := e.remoteIdx[w.TargetSeq]
+		if target == nil {
+			return fmt.Errorf("tw: remote anti-message for unknown event seq %d", w.TargetSeq)
+		}
+		anti := &Event{Ts: w.Ts, Seq: w.Seq, Src: w.Src, Dst: w.Dst, Anti: true, Target: target}
+		dst.inq = append(dst.inq, anti)
+		return nil
+	}
+	ev := &Event{Ts: w.Ts, Seq: w.Seq, Src: w.Src, Dst: w.Dst, Kind: w.Kind, A: w.A, B: w.B}
+	if e.remoteIdx == nil {
+		e.remoteIdx = make(map[uint64]*Event)
+	}
+	e.remoteIdx[w.Seq] = ev
+	dst.inq = append(dst.inq, ev)
+	return nil
+}
+
+// Distributed quiesce. The coordinator reproduces checkpoint.go's
+// three-stage fixpoint across workers by looping the exported
+// shard-scoped passes in worker order — which is peer order, because
+// shards partition peers in blocks — and relaying each pass's outbox
+// before the next worker runs. The interleaving of drains, rollbacks
+// and anti-message deliveries this produces is identical to the
+// in-process quiesce, so the captured cut (including anti-message
+// sequence numbers) is byte-identical.
+
+// QuiescePassShard runs one drain-and-rollback round over the local
+// shard's peers (stage one of quiesce) and reports whether any peer
+// made progress. The coordinator loops rounds across all workers until
+// a full round reports no progress anywhere.
+func (e *Engine) QuiescePassShard() bool {
+	return e.quiescePassRange(e.shardLo, e.shardHi)
+}
+
+// QuiesceDumpShard empties the local shard's pending sets into the
+// peers' quiesced slices in pop order (stage two of quiesce). Run it
+// only after the global stage-one fixpoint.
+func (e *Engine) QuiesceDumpShard() {
+	e.quiesceDumpRange(e.shardLo, e.shardHi)
+}
+
+// QuiesceFlushShard runs one lazy-cancellation flush-and-drain round
+// over the local shard (stage three of quiesce) and reports progress;
+// the coordinator loops it across workers like stage one.
+func (e *Engine) QuiesceFlushShard() bool {
+	return e.quiesceFlushRange(e.shardLo, e.shardHi)
+}
+
+// ShardState is the locally authoritative slice of a quiesced engine:
+// the shard's LP records and its peers' pending events. The
+// coordinator overlays shard states from all workers (plus its own
+// master scalars and peer statistics) into one standard EngineState.
+type ShardState struct {
+	// LPLo is the global id of LPs[0]; the shard's LPs are contiguous
+	// because the block LP-to-thread mapping keeps each peer's LPs
+	// contiguous.
+	LPLo int        `json:"lp_lo"`
+	LPs  []LPRecord `json:"lps"`
+	// PeerLo is the global index of Pending[0]'s peer.
+	PeerLo  int             `json:"peer_lo"`
+	Pending [][]EventRecord `json:"pending"`
+}
+
+// CaptureShard serializes the local shard after a completed
+// distributed quiesce, validating and consuming the quiesced slices
+// exactly as Capture does. The global uncommitted==0 check is the
+// coordinator's job — only it holds the master count.
+func (e *Engine) CaptureShard() (*ShardState, error) {
+	cm, ok := e.cfg.Model.(CheckpointModel)
+	if !ok {
+		return nil, errNotCheckpointModel
+	}
+	lo, hi := e.shardLo, e.shardHi
+	st := &ShardState{
+		PeerLo:  lo,
+		Pending: make([][]EventRecord, 0, hi-lo),
+	}
+	for _, p := range e.peers[lo:hi] {
+		if st.LPs == nil && len(p.lps) > 0 {
+			st.LPLo = p.lps[0].ID
+		}
+		recs, err := e.encodeLPs(cm, p.lps)
+		if err != nil {
+			return nil, err
+		}
+		st.LPs = append(st.LPs, recs...)
+		pend, err := e.drainQuiesced(p)
+		if err != nil {
+			return nil, err
+		}
+		st.Pending = append(st.Pending, pend)
+	}
+	e.quiesceResetRange(lo, hi)
+	return st, nil
+}

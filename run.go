@@ -420,6 +420,15 @@ func (rs *runState) checkpointAndReload(seg *segment) error {
 		return fmt.Errorf("ggpdes: checkpoint capture: %w", err)
 	}
 	seg.eng.FlushPoolStats()
+	return rs.persistAndReload(seg, est)
+}
+
+// persistAndReload serializes the run around an already-captured engine
+// state and reloads the continuation from the encoded bytes. Split from
+// checkpointAndReload so the distributed runner, which assembles the
+// engine state from per-worker shard captures, shares the exact same
+// snapshot round-trip.
+func (rs *runState) persistAndReload(seg *segment, est *tw.EngineState) error {
 	rs.accumulate(seg)
 	rs.segments++
 	key, err := rs.cfg.CacheKey()

@@ -9,6 +9,13 @@
 # binary's mouth: everything ggsim prints derives from simulated
 # machine time, so any divergence means ambient nondeterminism leaked
 # into the core.
+#
+# Then the same configuration runs sharded across 2 worker processes
+# (-workers 2): the report and the per-GVT-round series CSV must still
+# be byte-identical to the in-process run — the distributed control/
+# data split forwards operations without reordering them, so process
+# boundaries must not move the trajectory. Only the "distributed" info
+# line, which names the sharding itself, is excluded from the diff.
 set -eu
 
 GO=${GO:-go}
@@ -17,16 +24,42 @@ trap 'rm -rf "$dir"' EXIT INT TERM
 
 $GO build -o "$dir/ggsim" ./cmd/ggsim
 
+# run <subdir> [extra flags...] — the series CSV is written under the
+# subdir as a relative path so the "series written to" report line is
+# identical across runs.
 run() {
-    "$dir/ggsim" -model phold -threads 16 -end 40 -seed 1337 -v -hist
+    sub=$1
+    shift
+    mkdir -p "$dir/$sub"
+    (cd "$dir/$sub" && "$dir/ggsim" -model phold -threads 16 -end 40 -seed 1337 \
+        -v -hist -series series.csv "$@")
 }
 
-run >"$dir/run1.txt" 2>&1
-run >"$dir/run2.txt" 2>&1
+run a >"$dir/run1.txt" 2>&1
+run b >"$dir/run2.txt" 2>&1
 
 if ! diff -u "$dir/run1.txt" "$dir/run2.txt" >"$dir/diff.txt"; then
     echo "determinism-smoke: identical seeded runs diverged:" >&2
     cat "$dir/diff.txt" >&2
     exit 1
 fi
-echo "determinism-smoke: two seeded runs byte-identical ($(wc -l <"$dir/run1.txt") report lines)"
+
+run dist -workers 2 >"$dir/run_dist_raw.txt" 2>&1
+grep -q '^distributed' "$dir/run_dist_raw.txt" || {
+    echo "determinism-smoke: -workers 2 run did not report its sharding:" >&2
+    cat "$dir/run_dist_raw.txt" >&2
+    exit 1
+}
+grep -v '^distributed' "$dir/run_dist_raw.txt" >"$dir/run_dist.txt"
+
+if ! diff -u "$dir/run1.txt" "$dir/run_dist.txt" >"$dir/diff.txt"; then
+    echo "determinism-smoke: 2-worker run diverged from in-process:" >&2
+    cat "$dir/diff.txt" >&2
+    exit 1
+fi
+if ! diff -u "$dir/a/series.csv" "$dir/dist/series.csv" >"$dir/diff.txt"; then
+    echo "determinism-smoke: 2-worker series CSV diverged from in-process:" >&2
+    cat "$dir/diff.txt" >&2
+    exit 1
+fi
+echo "determinism-smoke: seeded runs byte-identical in-process and across 2 workers ($(wc -l <"$dir/run1.txt") report lines, $(wc -l <"$dir/a/series.csv") series rows)"

@@ -1,0 +1,72 @@
+#!/bin/sh
+# dist_bench.sh -- emit the PR's tracked benchmark record
+# (BENCH_PR7.json): single-process vs 2-worker throughput.
+#
+# The distributed trajectory is byte-identical to the in-process one,
+# so both runs commit exactly the same events; what differs is real
+# wall time — the coordinator pays one synchronous wire round trip per
+# forwarded engine operation. The record states both sides' measured
+# wall seconds, the committed-event throughput each achieves, and the
+# resulting slowdown ratio, so later transport work (batching,
+# pipelining) has a number to beat. `make dist-bench` runs this; the
+# output is committed.
+#
+# Tunables (environment):
+#   GO    go binary      (default: go)
+#   OUT   output path    (default: BENCH_PR7.json)
+set -eu
+
+GO=${GO:-go}
+OUT=${OUT:-BENCH_PR7.json}
+
+dir=$(mktemp -d)
+trap 'rm -rf "$dir"' EXIT INT TERM
+
+$GO build -o "$dir/ggsim" ./cmd/ggsim
+
+args="-model phold -threads 16 -lps 8 -end 60 -seed 7 -gvt-freq 10 -zero-threshold 60"
+
+# run <subdir> [extra flags] -> prints elapsed nanoseconds.
+run() {
+    sub=$1
+    shift
+    mkdir -p "$dir/$sub"
+    start=$(date +%s%N)
+    (cd "$dir/$sub" && "$dir/ggsim" $args -series series.csv "$@" >report.txt)
+    end=$(date +%s%N)
+    echo $((end - start))
+}
+
+# Warm once (binary page cache, worker spawn path), then measure.
+run warm >/dev/null
+run warm_dist -workers 2 >/dev/null
+single_ns=$(run single)
+dist_ns=$(run dist -workers 2)
+
+committed=$(awk -F, 'END { print $12 }' "$dir/single/series.csv")
+committed_dist=$(awk -F, 'END { print $12 }' "$dir/dist/series.csv")
+if [ "$committed" != "$committed_dist" ]; then
+    echo "dist-bench: committed events diverged: $committed vs $committed_dist" >&2
+    exit 1
+fi
+
+commit=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
+gover=$($GO env GOVERSION)
+
+awk -v pr=7 -v commit="$commit" -v gover="$gover" \
+    -v committed="$committed" -v single_ns="$single_ns" -v dist_ns="$dist_ns" \
+    -v cfg="$args" 'BEGIN {
+    printf "{\n"
+    printf "  \"pr\": %d,\n", pr
+    printf "  \"generated_by\": \"scripts/dist_bench.sh\",\n"
+    printf "  \"commit\": \"%s\",\n", commit
+    printf "  \"go\": \"%s\",\n", gover
+    printf "  \"config\": \"%s\",\n", cfg
+    printf "  \"committed_events\": %.0f,\n", committed
+    printf "  \"single_process\": {\"wall_ns\": %.0f, \"committed_ev_s_wall\": %.0f},\n", single_ns, committed * 1e9 / single_ns
+    printf "  \"workers_2\": {\"wall_ns\": %.0f, \"committed_ev_s_wall\": %.0f},\n", dist_ns, committed * 1e9 / dist_ns
+    printf "  \"dist_slowdown_ratio\": %.2f\n", dist_ns / single_ns
+    printf "}\n"
+}' >"$OUT"
+
+echo "dist-bench: wrote $OUT (single $(printf %d $((single_ns / 1000000)))ms vs 2-worker $(printf %d $((dist_ns / 1000000)))ms for $committed committed events)"

@@ -74,12 +74,22 @@ while read -r kind name; do
     counter | gauge | histogram) ;;
     *) continue ;;
     esac
+    case "$name" in
+    dist.*) continue ;; # only distributed runs register these — asserted absent below
+    esac
     expo="ggpdes_$(echo "$name" | tr . _)"
     grep -q "^# TYPE $expo $kind\$" "$dir/metrics" ||
         fail "/metrics is missing $kind $name ($expo)"
 done <internal/telemetry/inventory.txt
 
 grep -q '_bucket{le="+Inf"}' "$dir/metrics" || fail "no histogram buckets exposed"
+
+# No distributed job ran, so the dist.* plane must be absent — in
+# particular dist.workers.connected: unset gauges stay off the page
+# entirely (the set-flag skipping discipline).
+if grep -q 'ggpdes_dist_' "$dir/metrics"; then
+    fail "dist.* metrics exposed without a distributed run"
+fi
 
 # Per-round series with the horizon statistics.
 curl -sf "http://$addr/v1/jobs/$id/series" >"$dir/series.json" || fail "series fetch failed"
