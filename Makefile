@@ -29,12 +29,14 @@ test:
 test-race:
 	$(GO) test -race ./...
 
-# Short fuzz pass over the external inputs — the trace CSV reader and
-# the Config JSON wire codec; extend FUZZTIME locally.
+# Short fuzz pass over the external inputs — the trace CSV reader, the
+# Config JSON wire codec and the distributed binary batch codec; extend
+# FUZZTIME locally.
 FUZZTIME ?= 10s
 fuzz:
 	$(GO) test -run=^$$ -fuzz='^FuzzReadCSV$$' -fuzztime=$(FUZZTIME) ./internal/trace
 	$(GO) test -run=^$$ -fuzz='^FuzzConfigJSON$$' -fuzztime=$(FUZZTIME) .
+	$(GO) test -run=^$$ -fuzz='^FuzzBinaryFrame$$' -fuzztime=$(FUZZTIME) ./internal/dist
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./...
@@ -57,7 +59,7 @@ bench-json:
 	GO="$(GO)" sh scripts/bench_json.sh
 
 # Regenerate the committed single-process vs 2-worker throughput
-# record (BENCH_PR7.json).
+# record with the batching A/B (BENCH_PR8.json).
 dist-bench:
 	GO="$(GO)" sh scripts/dist_bench.sh
 

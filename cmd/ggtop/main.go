@@ -128,6 +128,10 @@ func renderService(b *strings.Builder, exp *exposition) {
 			stats.Count(uint64(get("dist_events_relayed_total")+get("dist_antis_relayed_total"))),
 			stats.Count(uint64(get("dist_bytes_sent_total"))),
 			stats.Count(uint64(get("dist_bytes_received_total"))))
+		fmt.Fprintf(b, "        batches %-8s coalesced %s  cached reads %s\n",
+			stats.Count(uint64(get("dist_batches_total"))),
+			stats.Count(uint64(get("dist_ops_coalesced_total"))),
+			stats.Count(uint64(get("dist_reads_cached_total"))))
 	}
 }
 

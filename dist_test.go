@@ -11,6 +11,7 @@ import (
 	"testing"
 
 	"ggpdes/internal/checkpoint"
+	"ggpdes/internal/dist"
 )
 
 // inProcWorkers returns a WorkerDialer whose "processes" are
@@ -109,6 +110,48 @@ func TestDistributedGoldenMatrix(t *testing.T) {
 				}
 			})
 		}
+	}
+}
+
+// The coalescing acceptance property: the batched planes (binary and
+// JSON framing) and the synchronous per-op plane produce identical
+// Results — coalescing, read caching and deferred relays remove round
+// trips without reordering what any worker observes — while the batched
+// plane sends far fewer frames.
+func TestDistributedBatchingModes(t *testing.T) {
+	model := PHOLD{LPsPerThread: 4, Imbalance: 2}
+	run := func(opts DistOptions) *Results {
+		t.Helper()
+		opts.Workers = 2
+		opts.Dial = inProcWorkers()
+		res, err := RunDistributed(context.Background(), distCfg(model, t.TempDir()), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	batched := run(DistOptions{})
+	jsonFramed := run(DistOptions{Wire: dist.WireJSON})
+	sync := run(DistOptions{NoBatch: true})
+
+	if batched.Counters["dist.batches"] == 0 || batched.Counters["dist.ops_coalesced"] == 0 ||
+		batched.Counters["dist.reads_cached"] == 0 {
+		t.Errorf("batched plane counters not booked: %v", batched.Counters)
+	}
+	if got := sync.Counters["dist.batches"]; got != 0 {
+		t.Errorf("nobatch run sent %v batch frames", got)
+	}
+	if b, s := batched.Counters["dist.msgs_sent"], sync.Counters["dist.msgs_sent"]; 2*b >= s {
+		t.Errorf("coalescing saved too little: %v batched frames vs %v synchronous", b, s)
+	}
+	scrubDist(batched)
+	scrubDist(jsonFramed)
+	scrubDist(sync)
+	if !reflect.DeepEqual(batched, jsonFramed) {
+		t.Errorf("json-framed batched run diverged from binary:\nbinary: %+v\njson:   %+v", batched, jsonFramed)
+	}
+	if !reflect.DeepEqual(batched, sync) {
+		t.Errorf("synchronous run diverged from batched:\nbatched: %+v\nsync:    %+v", batched, sync)
 	}
 }
 

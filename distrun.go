@@ -66,6 +66,14 @@ type DistOptions struct {
 	CrashRate float64
 	// ChaosSeed seeds crash planning (0 = Config.Seed).
 	ChaosSeed uint64
+	// Wire selects the hot-path frame encoding; the zero value is
+	// dist.WireBinary. dist.WireJSON is the debugging escape hatch.
+	Wire dist.Wire
+	// NoBatch disables op coalescing, the coordinator read cache and
+	// deferred inject relays, restoring the one-JSON-frame-per-op
+	// data plane (the batching A/B baseline). The trajectory is
+	// byte-identical either way — batching only removes round trips.
+	NoBatch bool
 }
 
 // RunDistributed executes one simulation sharded across worker
@@ -328,7 +336,21 @@ func (d *distRun) buildSegment() (*segment, *remoteBridge, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	b := &remoteBridge{d: d, eng: eng}
+	b := &remoteBridge{
+		d:           d,
+		eng:         eng,
+		batch:       !d.opts.NoBatch,
+		wire:        d.opts.Wire,
+		prefetch:    core.System(cfg.System) != core.Baseline,
+		readsCached: reg.Counter(dist.MetricReadsCached),
+	}
+	if b.batch {
+		b.pending = make([][]tw.WireEvent, d.workers)
+		b.cache = make([]readCache, d.workers)
+		for i := range b.cache {
+			b.cache[i] = newReadCache(d.threadsPer)
+		}
+	}
 	eng.HollowAll(b)
 
 	if err := d.initWorkers(reg, segState); err != nil {
@@ -762,18 +784,115 @@ func (d *distRun) finish(seg *segment, b *remoteBridge) (*Results, error) {
 	return rs.finish(seg)
 }
 
-// remoteBridge is the coordinator's tw.RemoteTransport: every
-// forwarded operation is one synchronous round trip that threads the
-// engine-global envelope, mirrors worker peer statistics, relays
-// cross-shard traffic and charges the caller's simulated CPU. A
-// transport failure cancels the machine and feeds inert results until
-// the run loop observes the error.
+// remoteBridge is the coordinator's tw.RemoteTransport. In the default
+// batched mode, consecutive operations against the same worker coalesce
+// into one frame (the fused methods), pure reads repeat from a
+// coordinator-side cache, and cross-shard relays queue until the next
+// frame to their destination — all without changing the order in which
+// the worker observes mutations, so the trajectory stays byte-identical
+// to the synchronous plane. With NoBatch every operation is one
+// synchronous JSON round trip (the PR7 wire). Either way each call
+// threads the engine-global envelope, mirrors worker peer statistics,
+// relays cross-shard traffic and charges the caller's simulated CPU;
+// a transport failure cancels the machine and feeds inert results
+// until the run loop observes the error.
 type remoteBridge struct {
 	d       *distRun
 	eng     *tw.Engine
 	clients []*dist.Client
 	cancel  context.CancelCauseFunc
 	err     error
+
+	batch    bool      // op coalescing + read cache + deferred relays
+	wire     dist.Wire // hot-path frame encoding (batched mode only)
+	prefetch bool      // piggyback HasExecutableWork on DrainProcess
+
+	// pending holds queued cross-shard relays per destination worker;
+	// they ride at the head of the next frame to that worker, so the
+	// destination's input-queue order still matches production order.
+	pending [][]tw.WireEvent
+	// cache memoizes pure per-peer reads per worker; any mutation of a
+	// worker (op or queued inject) invalidates that worker wholesale.
+	cache       []readCache
+	readsCached *telemetry.Counter
+
+	reqs []dist.OpRequest // scratch: op list under construction
+	ops  []dist.OpRequest // scratch: frame ops with inject flush prepended
+}
+
+// Cache validity bits, one per cached read kind.
+const (
+	ckHasWork = 1 << iota
+	ckHasExec
+	ckInputSize
+	ckRemoteMin
+	ckPeekMinSent
+)
+
+// readCache memoizes one worker's pure per-peer reads between
+// mutations. Every entry is filled from an actual wire read — the
+// worker already performed the read's (idempotent) heap cleanup at the
+// correct logical point, so replaying the answer locally is a provable
+// worker-side no-op. HasExecutableWork additionally depends on the GVT
+// horizon, so its entries are GVT-stamped and only served at the same
+// GVT they were read at.
+type readCache struct {
+	valid      []uint8
+	hasWork    []bool
+	hasExec    []bool
+	hasExecGVT []tw.VT
+	inputSize  []int
+	remoteMin  []tw.VT
+	peekMin    []tw.VT
+}
+
+func newReadCache(n int) readCache {
+	return readCache{
+		valid:      make([]uint8, n),
+		hasWork:    make([]bool, n),
+		hasExec:    make([]bool, n),
+		hasExecGVT: make([]tw.VT, n),
+		inputSize:  make([]int, n),
+		remoteMin:  make([]tw.VT, n),
+		peekMin:    make([]tw.VT, n),
+	}
+}
+
+// invalidate drops every cached read for worker w.
+func (b *remoteBridge) invalidate(w int) {
+	c := &b.cache[w]
+	for i := range c.valid {
+		c.valid[i] = 0
+	}
+}
+
+// fill caches one read result for worker w.
+func (b *remoteBridge) fill(w int, op *dist.OpRequest, r *dist.OpResult) {
+	c := &b.cache[w]
+	idx := op.Peer % b.d.threadsPer
+	switch op.Op {
+	case dist.OpHasWork:
+		c.hasWork[idx] = r.Flag
+		c.valid[idx] |= ckHasWork
+	case dist.OpHasExecWork:
+		c.hasExec[idx], c.hasExecGVT[idx] = r.Flag, b.eng.GVT()
+		c.valid[idx] |= ckHasExec
+	case dist.OpInputSize:
+		c.inputSize[idx] = r.N
+		c.valid[idx] |= ckInputSize
+	case dist.OpRemoteMin:
+		c.remoteMin[idx] = tw.VT(r.VT)
+		c.valid[idx] |= ckRemoteMin
+	case dist.OpPeekMinSent:
+		c.peekMin[idx] = tw.VT(r.VT)
+		c.valid[idx] |= ckPeekMinSent
+	case dist.OpDrain, dist.OpProcessBatch, dist.OpLocalMin,
+		dist.OpTakeMinSent, dist.OpFossilCollect, dist.OpInject,
+		dist.OpQuiescePass, dist.OpQuiesceDump, dist.OpQuiesceFlush,
+		dist.OpCaptureShard, dist.OpCheckInvariants, dist.OpFlushPoolStats,
+		dist.OpMetrics, dist.OpSeriesProbe:
+		// Mutating and unbatched ops cache nothing.
+	}
 }
 
 func (b *remoteBridge) fail(w int, err error) {
@@ -795,13 +914,123 @@ func inertResponse() *dist.OpResponse {
 	return &dist.OpResponse{VT: dist.WireVT(math.Inf(1))}
 }
 
+// sendOps ships one coalesced frame to worker w: any queued inject
+// relays ride at the head, then ops, with the engine envelope attached
+// iff a non-inject op is present (an inject-only flush must not echo a
+// stale envelope back). Results come back positionally: charged cycles
+// mirror onto cpu in op order, pure reads refill the cache (after any
+// mutation in the frame invalidates it), and the worker's outbox is
+// queued toward its destinations. Returns one result per op; inert
+// results after a failure.
+func (b *remoteBridge) sendOps(w int, ops []dist.OpRequest, cpu tw.CPU) []dist.OpResult {
+	inert := func() []dist.OpResult {
+		out := make([]dist.OpResult, len(ops))
+		for i := range out {
+			out[i].VT = dist.WireVT(math.Inf(1))
+		}
+		return out
+	}
+	if b.err != nil {
+		return inert()
+	}
+	m := dist.BatchMsg{Ops: ops}
+	head := 0
+	if evs := b.pending[w]; len(evs) > 0 {
+		head = 1
+		b.ops = append(b.ops[:0], dist.OpRequest{Op: dist.OpInject, Events: evs})
+		b.ops = append(b.ops, ops...)
+		m.Ops = b.ops
+	}
+	if len(ops) > 0 {
+		env := b.eng.EnvelopeOut()
+		m.Env = &env
+	}
+	reply, err := b.clients[w].CallBatch(b.wire, &m)
+	if head == 1 {
+		b.pending[w] = b.pending[w][:0]
+	}
+	if err != nil {
+		b.fail(w, err)
+		return inert()
+	}
+	if len(reply.Results) != len(m.Ops) {
+		b.fail(w, fmt.Errorf("%w: %d results for %d ops from worker %d",
+			dist.ErrWorkerLost, len(reply.Results), len(m.Ops), w))
+		return inert()
+	}
+	if m.Env != nil {
+		if reply.Env == nil || len(reply.Stats) != b.d.threadsPer {
+			b.fail(w, fmt.Errorf("%w: malformed batch response from worker %d", dist.ErrWorkerLost, w))
+			return inert()
+		}
+		b.eng.ApplyEnvelope(*reply.Env)
+		lo := w * b.d.threadsPer
+		for i, s := range reply.Stats {
+			p := b.eng.Peer(lo + i)
+			// GVT accounting is coordinator-side (the gvt layer charges
+			// hollow peers directly); worker copies are stale zeros.
+			gc, gr := p.Stats.GVTCycles, p.Stats.GVTRounds
+			p.Stats = s
+			p.Stats.GVTCycles, p.Stats.GVTRounds = gc, gr
+		}
+	}
+	mutated := head == 1
+	for i := range ops {
+		if !dist.PureRead(ops[i].Op) {
+			mutated = true
+		}
+	}
+	if mutated {
+		b.invalidate(w)
+	}
+	results := reply.Results[head:]
+	for i := range results {
+		r := &results[i]
+		if cpu != nil && r.Worked {
+			cpu.Work(r.Cycles)
+		}
+		b.fill(w, &ops[i], r)
+	}
+	if len(reply.Outbox) > 0 {
+		b.relay(reply.Outbox)
+	}
+	return results
+}
+
+// flushInjects drains worker w's queued inject relays as one
+// envelope-less frame before a non-batchable round trip.
+func (b *remoteBridge) flushInjects(w int) {
+	if len(b.pending[w]) > 0 {
+		b.sendOps(w, nil, nil)
+	}
+}
+
+// batchOne ships a single op as its own frame (still the batched data
+// plane: binary encoding, inject flush, cache refill).
+func (b *remoteBridge) batchOne(req dist.OpRequest, cpu tw.CPU) dist.OpResult {
+	b.reqs = append(b.reqs[:0], req)
+	return b.sendOps(req.Peer/b.d.threadsPer, b.reqs, cpu)[0]
+}
+
 // roundTrip performs one forwarded operation against worker w. With
 // envelope set, the coordinator's engine-global scalars thread through
 // the call and the worker's updated scalars and peer statistics are
-// mirrored back; OpInject is the one envelope-less operation.
+// mirrored back; OpInject is the one envelope-less operation. In
+// batched mode this is the non-batchable-op path (quiesce, capture,
+// metrics, probes): queued injects flush first so the worker sees them
+// in order, and mutating ops invalidate the read cache.
 func (b *remoteBridge) roundTrip(w int, req *dist.OpRequest, cpu tw.CPU, envelope bool) *dist.OpResponse {
 	if b.err != nil {
 		return inertResponse()
+	}
+	if b.batch {
+		b.flushInjects(w)
+		if b.err != nil {
+			return inertResponse()
+		}
+		if !dist.PureRead(req.Op) {
+			b.invalidate(w)
+		}
 	}
 	if envelope {
 		env := b.eng.EnvelopeOut()
@@ -842,9 +1071,13 @@ func (b *remoteBridge) roundTrip(w int, req *dist.OpRequest, cpu tw.CPU, envelop
 
 // relay forwards cross-shard wire events to their destination workers
 // in production order, batching maximal runs with the same destination
-// into one OpInject. It must complete before the next forwarded
-// operation so destination input-queue order matches in-process
-// delivery order.
+// into one OpInject. In batched mode the run is queued and delivered at
+// the head of the next frame to that worker — since only per-
+// destination order is observable (each worker sees its own input
+// stream), deferring delivery to the moment before the worker next
+// acts is indistinguishable from immediate delivery. In synchronous
+// mode the inject is its own round trip, completing before the next
+// forwarded operation.
 func (b *remoteBridge) relay(events []tw.WireEvent) {
 	lps := b.eng.LPs()
 	for i := 0; i < len(events); {
@@ -853,12 +1086,17 @@ func (b *remoteBridge) relay(events []tw.WireEvent) {
 		for j < len(events) && lps[events[j].Dst].Owner/b.d.threadsPer == w {
 			j++
 		}
-		batch := events[i:j]
-		b.roundTrip(w, &dist.OpRequest{Op: dist.OpInject, Events: batch}, nil, false)
-		if b.err != nil {
-			return
+		run := events[i:j]
+		if b.batch {
+			b.pending[w] = append(b.pending[w], run...)
+			b.invalidate(w)
+		} else {
+			b.roundTrip(w, &dist.OpRequest{Op: dist.OpInject, Events: run}, nil, false)
+			if b.err != nil {
+				return
+			}
 		}
-		b.clients[w].CountRelayed(batch)
+		b.clients[w].CountRelayed(run)
 		i = j
 	}
 }
@@ -870,50 +1108,175 @@ func (b *remoteBridge) opPeer(peer int, req *dist.OpRequest, cpu tw.CPU) *dist.O
 
 // InputSize implements tw.RemoteTransport.
 func (b *remoteBridge) InputSize(peer int) int {
+	if b.batch {
+		w, idx := peer/b.d.threadsPer, peer%b.d.threadsPer
+		if c := &b.cache[w]; c.valid[idx]&ckInputSize != 0 {
+			b.readsCached.Inc()
+			return c.inputSize[idx]
+		}
+		return b.batchOne(dist.OpRequest{Op: dist.OpInputSize, Peer: peer}, nil).N
+	}
 	return b.opPeer(peer, &dist.OpRequest{Op: dist.OpInputSize}, nil).N
 }
 
 // HasWork implements tw.RemoteTransport.
 func (b *remoteBridge) HasWork(peer int) bool {
+	if b.batch {
+		w, idx := peer/b.d.threadsPer, peer%b.d.threadsPer
+		if c := &b.cache[w]; c.valid[idx]&ckHasWork != 0 {
+			b.readsCached.Inc()
+			return c.hasWork[idx]
+		}
+		return b.batchOne(dist.OpRequest{Op: dist.OpHasWork, Peer: peer}, nil).Flag
+	}
 	return b.opPeer(peer, &dist.OpRequest{Op: dist.OpHasWork}, nil).Flag
 }
 
-// HasExecutableWork implements tw.RemoteTransport.
+// HasExecutableWork implements tw.RemoteTransport. Cached entries are
+// only good at the GVT horizon they were read at.
 func (b *remoteBridge) HasExecutableWork(peer int) bool {
+	if b.batch {
+		w, idx := peer/b.d.threadsPer, peer%b.d.threadsPer
+		if c := &b.cache[w]; c.valid[idx]&ckHasExec != 0 && c.hasExecGVT[idx] == b.eng.GVT() {
+			b.readsCached.Inc()
+			return c.hasExec[idx]
+		}
+		return b.batchOne(dist.OpRequest{Op: dist.OpHasExecWork, Peer: peer}, nil).Flag
+	}
 	return b.opPeer(peer, &dist.OpRequest{Op: dist.OpHasExecWork}, nil).Flag
 }
 
 // Drain implements tw.RemoteTransport.
 func (b *remoteBridge) Drain(peer int, cpu tw.CPU) int {
+	if b.batch {
+		return b.batchOne(dist.OpRequest{Op: dist.OpDrain, Peer: peer}, cpu).N
+	}
 	return b.opPeer(peer, &dist.OpRequest{Op: dist.OpDrain}, cpu).N
 }
 
 // ProcessBatch implements tw.RemoteTransport.
 func (b *remoteBridge) ProcessBatch(peer int, cpu tw.CPU) int {
+	if b.batch {
+		return b.batchOne(dist.OpRequest{Op: dist.OpProcessBatch, Peer: peer}, cpu).N
+	}
 	return b.opPeer(peer, &dist.OpRequest{Op: dist.OpProcessBatch}, cpu).N
 }
 
-// LocalMin implements tw.RemoteTransport.
+// LocalMin implements tw.RemoteTransport. Never cached: it charges the
+// caller's simulated CPU, so every call must reach the worker.
 func (b *remoteBridge) LocalMin(peer int, cpu tw.CPU) tw.VT {
+	if b.batch {
+		return tw.VT(b.batchOne(dist.OpRequest{Op: dist.OpLocalMin, Peer: peer}, cpu).VT)
+	}
 	return tw.VT(b.opPeer(peer, &dist.OpRequest{Op: dist.OpLocalMin}, cpu).VT)
 }
 
 // RemoteMin implements tw.RemoteTransport.
 func (b *remoteBridge) RemoteMin(peer int) tw.VT {
+	if b.batch {
+		w, idx := peer/b.d.threadsPer, peer%b.d.threadsPer
+		if c := &b.cache[w]; c.valid[idx]&ckRemoteMin != 0 {
+			b.readsCached.Inc()
+			return c.remoteMin[idx]
+		}
+		return tw.VT(b.batchOne(dist.OpRequest{Op: dist.OpRemoteMin, Peer: peer}, nil).VT)
+	}
 	return tw.VT(b.opPeer(peer, &dist.OpRequest{Op: dist.OpRemoteMin}, nil).VT)
 }
 
 // TakeMinSent implements tw.RemoteTransport.
 func (b *remoteBridge) TakeMinSent(peer int) tw.VT {
+	if b.batch {
+		return tw.VT(b.batchOne(dist.OpRequest{Op: dist.OpTakeMinSent, Peer: peer}, nil).VT)
+	}
 	return tw.VT(b.opPeer(peer, &dist.OpRequest{Op: dist.OpTakeMinSent}, nil).VT)
 }
 
 // PeekMinSent implements tw.RemoteTransport.
 func (b *remoteBridge) PeekMinSent(peer int) tw.VT {
+	if b.batch {
+		w, idx := peer/b.d.threadsPer, peer%b.d.threadsPer
+		if c := &b.cache[w]; c.valid[idx]&ckPeekMinSent != 0 {
+			b.readsCached.Inc()
+			return c.peekMin[idx]
+		}
+		return tw.VT(b.batchOne(dist.OpRequest{Op: dist.OpPeekMinSent, Peer: peer}, nil).VT)
+	}
 	return tw.VT(b.opPeer(peer, &dist.OpRequest{Op: dist.OpPeekMinSent}, nil).VT)
 }
 
 // FossilCollect implements tw.RemoteTransport.
 func (b *remoteBridge) FossilCollect(peer int, cpu tw.CPU, gvtAt tw.VT) int {
+	if b.batch {
+		return b.batchOne(dist.OpRequest{Op: dist.OpFossilCollect, Peer: peer, GVT: dist.WireVT(gvtAt)}, cpu).N
+	}
 	return b.opPeer(peer, &dist.OpRequest{Op: dist.OpFossilCollect, GVT: dist.WireVT(gvtAt)}, cpu).N
+}
+
+// DrainProcess implements tw.RemoteTransport: the scheduler hot loop's
+// Drain+ProcessBatch pair as one frame. For schedulers that poll
+// HasExecutableWork immediately after (gg/dd ReadMessageCount), a
+// prefetch of it rides along and lands in the cache.
+func (b *remoteBridge) DrainProcess(peer int, cpu tw.CPU) (int, int) {
+	if !b.batch {
+		return b.Drain(peer, cpu), b.ProcessBatch(peer, cpu)
+	}
+	b.reqs = append(b.reqs[:0],
+		dist.OpRequest{Op: dist.OpDrain, Peer: peer},
+		dist.OpRequest{Op: dist.OpProcessBatch, Peer: peer},
+	)
+	if b.prefetch {
+		b.reqs = append(b.reqs, dist.OpRequest{Op: dist.OpHasExecWork, Peer: peer})
+	}
+	rs := b.sendOps(peer/b.d.threadsPer, b.reqs, cpu)
+	return rs[0].N, rs[1].N
+}
+
+// DrainLocalMin implements tw.RemoteTransport: the barrier GVT's
+// Drain+LocalMin pair as one frame.
+func (b *remoteBridge) DrainLocalMin(peer int, cpu tw.CPU) (int, tw.VT) {
+	if !b.batch {
+		return b.Drain(peer, cpu), b.LocalMin(peer, cpu)
+	}
+	b.reqs = append(b.reqs[:0],
+		dist.OpRequest{Op: dist.OpDrain, Peer: peer},
+		dist.OpRequest{Op: dist.OpLocalMin, Peer: peer},
+	)
+	rs := b.sendOps(peer/b.d.threadsPer, b.reqs, cpu)
+	return rs[0].N, tw.VT(rs[1].VT)
+}
+
+// CutMins implements tw.RemoteTransport: the wait-free GVT send cut's
+// TakeMinSent+LocalMin pair as one frame.
+func (b *remoteBridge) CutMins(peer int, cpu tw.CPU) (tw.VT, tw.VT) {
+	if !b.batch {
+		return b.TakeMinSent(peer), b.LocalMin(peer, cpu)
+	}
+	b.reqs = append(b.reqs[:0],
+		dist.OpRequest{Op: dist.OpTakeMinSent, Peer: peer},
+		dist.OpRequest{Op: dist.OpLocalMin, Peer: peer},
+	)
+	rs := b.sendOps(peer/b.d.threadsPer, b.reqs, cpu)
+	return tw.VT(rs[0].VT), tw.VT(rs[1].VT)
+}
+
+// ScanMins implements tw.RemoteTransport: the GVT reduce loops'
+// RemoteMin+PeekMinSent pair. Between mutations both minima come
+// straight from the cache — the common case when many cutless threads
+// scan the same peers in one reduction.
+func (b *remoteBridge) ScanMins(peer int) (tw.VT, tw.VT) {
+	if !b.batch {
+		return b.RemoteMin(peer), b.PeekMinSent(peer)
+	}
+	w, idx := peer/b.d.threadsPer, peer%b.d.threadsPer
+	if c := &b.cache[w]; c.valid[idx]&ckRemoteMin != 0 && c.valid[idx]&ckPeekMinSent != 0 {
+		b.readsCached.Add(2)
+		return c.remoteMin[idx], c.peekMin[idx]
+	}
+	b.reqs = append(b.reqs[:0],
+		dist.OpRequest{Op: dist.OpRemoteMin, Peer: peer},
+		dist.OpRequest{Op: dist.OpPeekMinSent, Peer: peer},
+	)
+	rs := b.sendOps(peer/b.d.threadsPer, b.reqs, nil)
+	return tw.VT(rs[0].VT), tw.VT(rs[1].VT)
 }

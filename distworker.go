@@ -130,6 +130,116 @@ func (ws *workerShard) shardStats() []tw.PeerStats {
 	return out
 }
 
+// execOne executes one batchable operation, recording its result and
+// individual CPU charge. Batches call it per op; single KindOp frames
+// route their batchable codes through it too, so both paths share one
+// execution table.
+func (ws *workerShard) execOne(req *dist.OpRequest, res *dist.OpResult) error {
+	ws.cpu.reset()
+	switch req.Op {
+	case dist.OpDrain:
+		p, err := ws.peer(req.Peer)
+		if err != nil {
+			return err
+		}
+		res.N = p.Drain(&ws.cpu)
+	case dist.OpProcessBatch:
+		p, err := ws.peer(req.Peer)
+		if err != nil {
+			return err
+		}
+		res.N = p.ProcessBatch(&ws.cpu)
+	case dist.OpHasExecWork:
+		p, err := ws.peer(req.Peer)
+		if err != nil {
+			return err
+		}
+		res.Flag = p.HasExecutableWork()
+	case dist.OpHasWork:
+		p, err := ws.peer(req.Peer)
+		if err != nil {
+			return err
+		}
+		res.Flag = p.HasWork()
+	case dist.OpInputSize:
+		p, err := ws.peer(req.Peer)
+		if err != nil {
+			return err
+		}
+		res.N = p.InputSize()
+	case dist.OpLocalMin:
+		p, err := ws.peer(req.Peer)
+		if err != nil {
+			return err
+		}
+		res.VT = dist.WireVT(p.LocalMin(&ws.cpu))
+	case dist.OpRemoteMin:
+		p, err := ws.peer(req.Peer)
+		if err != nil {
+			return err
+		}
+		res.VT = dist.WireVT(p.RemoteMin())
+	case dist.OpTakeMinSent:
+		p, err := ws.peer(req.Peer)
+		if err != nil {
+			return err
+		}
+		res.VT = dist.WireVT(p.TakeMinSent())
+	case dist.OpPeekMinSent:
+		p, err := ws.peer(req.Peer)
+		if err != nil {
+			return err
+		}
+		res.VT = dist.WireVT(p.PeekMinSent())
+	case dist.OpFossilCollect:
+		p, err := ws.peer(req.Peer)
+		if err != nil {
+			return err
+		}
+		res.N = p.FossilCollect(&ws.cpu, tw.VT(req.GVT))
+	case dist.OpInject:
+		for _, w := range req.Events {
+			if err := ws.eng.InjectRemote(w); err != nil {
+				return err
+			}
+		}
+	case dist.OpQuiescePass, dist.OpQuiesceDump, dist.OpQuiesceFlush,
+		dist.OpCaptureShard, dist.OpCheckInvariants, dist.OpFlushPoolStats,
+		dist.OpMetrics, dist.OpSeriesProbe:
+		return fmt.Errorf("op %v is not batchable", req.Op)
+	default:
+		return fmt.Errorf("unknown op code %d", uint8(req.Op))
+	}
+	res.Cycles, res.Worked = ws.cpu.cycles, ws.cpu.worked
+	return nil
+}
+
+// executeBatch runs a coalesced op run in order. The envelope applies
+// once before the first op — nothing coordinator-side runs between the
+// batch's operations, so there is nothing to re-apply — and the reply
+// carries the final envelope and statistics exactly when the request
+// carried one. The outbox is taken once at the end: it accrues across
+// the batch in production order, which is the relay order the
+// coordinator must preserve.
+func (ws *workerShard) executeBatch(m *dist.BatchMsg) (*dist.BatchReply, error) {
+	if m.Env != nil {
+		ws.eng.ApplyEnvelope(*m.Env)
+	}
+	reply := &dist.BatchReply{Results: make([]dist.OpResult, len(m.Ops))}
+	for i := range m.Ops {
+		if err := ws.execOne(&m.Ops[i], &reply.Results[i]); err != nil {
+			return nil, fmt.Errorf("%v: %w", m.Ops[i].Op, err)
+		}
+	}
+	if m.Env != nil {
+		env := ws.eng.EnvelopeOut()
+		reply.Env = &env
+		reply.Stats = ws.shardStats()
+	}
+	reply.Outbox = ws.eng.TakeOutbox()
+	return reply, nil
+}
+
 // handle executes one forwarded operation. The protocol rule is that
 // the response carries Env, Stats and the CPU charge exactly when the
 // request carried an Envelope: OpInject touches no engine-global
@@ -142,72 +252,15 @@ func (ws *workerShard) handle(req *dist.OpRequest) (*dist.OpResponse, error) {
 	ws.cpu.reset()
 	resp := &dist.OpResponse{}
 	switch req.Op {
-	case dist.OpDrain:
-		p, err := ws.peer(req.Peer)
-		if err != nil {
+	case dist.OpDrain, dist.OpProcessBatch, dist.OpHasExecWork,
+		dist.OpHasWork, dist.OpInputSize, dist.OpLocalMin,
+		dist.OpRemoteMin, dist.OpTakeMinSent, dist.OpPeekMinSent,
+		dist.OpFossilCollect, dist.OpInject:
+		var res dist.OpResult
+		if err := ws.execOne(req, &res); err != nil {
 			return nil, err
 		}
-		resp.N = p.Drain(&ws.cpu)
-	case dist.OpProcessBatch:
-		p, err := ws.peer(req.Peer)
-		if err != nil {
-			return nil, err
-		}
-		resp.N = p.ProcessBatch(&ws.cpu)
-	case dist.OpHasExecWork:
-		p, err := ws.peer(req.Peer)
-		if err != nil {
-			return nil, err
-		}
-		resp.Flag = p.HasExecutableWork()
-	case dist.OpHasWork:
-		p, err := ws.peer(req.Peer)
-		if err != nil {
-			return nil, err
-		}
-		resp.Flag = p.HasWork()
-	case dist.OpInputSize:
-		p, err := ws.peer(req.Peer)
-		if err != nil {
-			return nil, err
-		}
-		resp.N = p.InputSize()
-	case dist.OpLocalMin:
-		p, err := ws.peer(req.Peer)
-		if err != nil {
-			return nil, err
-		}
-		resp.VT = dist.WireVT(p.LocalMin(&ws.cpu))
-	case dist.OpRemoteMin:
-		p, err := ws.peer(req.Peer)
-		if err != nil {
-			return nil, err
-		}
-		resp.VT = dist.WireVT(p.RemoteMin())
-	case dist.OpTakeMinSent:
-		p, err := ws.peer(req.Peer)
-		if err != nil {
-			return nil, err
-		}
-		resp.VT = dist.WireVT(p.TakeMinSent())
-	case dist.OpPeekMinSent:
-		p, err := ws.peer(req.Peer)
-		if err != nil {
-			return nil, err
-		}
-		resp.VT = dist.WireVT(p.PeekMinSent())
-	case dist.OpFossilCollect:
-		p, err := ws.peer(req.Peer)
-		if err != nil {
-			return nil, err
-		}
-		resp.N = p.FossilCollect(&ws.cpu, tw.VT(req.GVT))
-	case dist.OpInject:
-		for _, w := range req.Events {
-			if err := ws.eng.InjectRemote(w); err != nil {
-				return nil, err
-			}
-		}
+		resp.N, resp.Flag, resp.VT = res.N, res.Flag, res.VT
 	case dist.OpQuiescePass:
 		resp.Flag = ws.eng.QuiescePassShard()
 	case dist.OpQuiesceDump:
@@ -252,12 +305,41 @@ func (ws *workerShard) handle(req *dist.OpRequest) (*dist.OpResponse, error) {
 // whether they are fatal.
 func ServeWorkerConn(rw io.ReadWriter) error {
 	var ws *workerShard
+	// rbuf is the reusable frame read buffer; pbuf and fbuf are the
+	// binary reply payload and frame scratch buffers. One Write per
+	// response, no per-frame allocations on the hot path.
+	var rbuf, pbuf, fbuf []byte
 	fail := func(format string, args ...any) error {
 		_, err := dist.WriteMsg(rw, dist.KindError, &dist.ErrorMsg{Error: fmt.Sprintf(format, args...)})
 		return err
 	}
+	writeBinaryReply := func(reply *dist.BatchReply, ops []dist.OpRequest) error {
+		payload, err := dist.AppendBatchReply(pbuf[:0], reply, ops)
+		if cap(payload) > cap(pbuf) {
+			pbuf = payload
+		}
+		if err != nil {
+			if werr := fail("encoding batch reply: %v", err); werr != nil {
+				return werr
+			}
+			return nil
+		}
+		frame, err := dist.AppendMsg(fbuf[:0], dist.KindResultB, payload)
+		if cap(frame) > cap(fbuf) {
+			fbuf = frame
+		}
+		if err != nil {
+			if werr := fail("framing batch reply: %v", err); werr != nil {
+				return werr
+			}
+			return nil
+		}
+		_, err = rw.Write(frame)
+		return err
+	}
 	for {
-		kind, body, _, err := dist.ReadMsg(rw)
+		kind, body, _, buf, err := dist.ReadMsgBuf(rw, rbuf)
+		rbuf = buf
 		if err != nil {
 			return fmt.Errorf("ggpdes: worker: reading frame: %w", err)
 		}
@@ -305,10 +387,62 @@ func ServeWorkerConn(rw io.ReadWriter) error {
 			if _, err := dist.WriteMsg(rw, dist.KindResult, resp); err != nil {
 				return err
 			}
+		case dist.KindOps:
+			if ws == nil {
+				if werr := fail("op batch before init"); werr != nil {
+					return werr
+				}
+				continue
+			}
+			var m dist.BatchMsg
+			if err := json.Unmarshal(body, &m); err != nil {
+				if werr := fail("decoding op batch: %v", err); werr != nil {
+					return werr
+				}
+				continue
+			}
+			reply, err := ws.executeBatch(&m)
+			if err != nil {
+				if werr := fail("batch: %v", err); werr != nil {
+					return werr
+				}
+				continue
+			}
+			if _, err := dist.WriteMsg(rw, dist.KindResult, reply); err != nil {
+				return err
+			}
+		case dist.KindOpsB:
+			if ws == nil {
+				if werr := fail("op batch before init"); werr != nil {
+					return werr
+				}
+				continue
+			}
+			m, err := dist.DecodeBatch(body)
+			if err != nil {
+				if werr := fail("decoding binary batch: %v", err); werr != nil {
+					return werr
+				}
+				continue
+			}
+			reply, err := ws.executeBatch(m)
+			if err != nil {
+				if werr := fail("batch: %v", err); werr != nil {
+					return werr
+				}
+				continue
+			}
+			if err := writeBinaryReply(reply, m.Ops); err != nil {
+				return err
+			}
 		case dist.KindShutdown:
 			_, err := dist.WriteMsg(rw, dist.KindResult, nil)
 			return err
 		case dist.KindResult:
+			if werr := fail("unexpected %v frame from coordinator", kind); werr != nil {
+				return werr
+			}
+		case dist.KindResultB:
 			if werr := fail("unexpected %v frame from coordinator", kind); werr != nil {
 				return werr
 			}

@@ -408,8 +408,7 @@ func (r *Runner) threadBody(p *machine.Proc, tid int) {
 				continue
 			}
 		}
-		drained := peer.Drain(acc)
-		processed := peer.ProcessBatch(acc)
+		drained, processed := peer.DrainProcess(acc)
 		r.sched.ReadMessageCount(tid)
 		before := r.alg.Rounds()
 		r.alg.Step(p, acc, tid)

@@ -17,12 +17,19 @@ import (
 type Client struct {
 	rw io.ReadWriter
 
+	// wbuf and rbuf are reusable frame scratch buffers: one assembled
+	// Write per request, zero per-frame read allocations. bbuf holds
+	// binary batch payloads before framing.
+	wbuf, rbuf, bbuf []byte
+
 	msgsSent      *telemetry.Counter
 	msgsReceived  *telemetry.Counter
 	bytesSent     *telemetry.Counter
 	bytesReceived *telemetry.Counter
 	eventsRelayed *telemetry.Counter
 	antisRelayed  *telemetry.Counter
+	batches       *telemetry.Counter
+	opsCoalesced  *telemetry.Counter
 }
 
 // NewClient wraps a worker connection; wire counters register in reg
@@ -36,6 +43,8 @@ func NewClient(rw io.ReadWriter, reg *telemetry.Registry) *Client {
 		bytesReceived: reg.Counter(MetricBytesReceived),
 		eventsRelayed: reg.Counter(MetricEventsRelayed),
 		antisRelayed:  reg.Counter(MetricAntisRelayed),
+		batches:       reg.Counter(MetricBatches),
+		opsCoalesced:  reg.Counter(MetricOpsCoalesced),
 	}
 }
 
@@ -47,21 +56,33 @@ type RemoteError struct{ Msg string }
 // Error implements error.
 func (e *RemoteError) Error() string { return "dist: worker: " + e.Msg }
 
-// Call sends one request and decodes the worker's response into reply
-// (which may be nil for acknowledgement-only calls). Transport
-// failures wrap ErrWorkerLost; worker-reported failures come back as
-// *RemoteError.
-func (c *Client) Call(kind MsgKind, payload, reply any) error {
-	n, err := WriteMsg(c.rw, kind, payload)
+// send frames kind+body into the write scratch buffer and ships it in
+// one Write call.
+func (c *Client) send(kind MsgKind, body []byte) error {
+	frame, err := AppendMsg(c.wbuf[:0], kind, body)
+	if cap(frame) > cap(c.wbuf) {
+		c.wbuf = frame
+	}
+	if err != nil {
+		return fmt.Errorf("%w: framing %v: %v", ErrWorkerLost, kind, err)
+	}
+	n, err := c.rw.Write(frame)
 	c.bytesSent.Add(uint64(n))
 	if err != nil {
 		return fmt.Errorf("%w: sending %v: %v", ErrWorkerLost, kind, err)
 	}
 	c.msgsSent.Inc()
-	rk, body, rn, err := ReadMsg(c.rw)
+	return nil
+}
+
+// receive reads one response frame into the read scratch buffer. The
+// returned payload is valid until the next receive.
+func (c *Client) receive(kind MsgKind) (MsgKind, []byte, error) {
+	rk, body, rn, buf, err := ReadMsgBuf(c.rw, c.rbuf)
+	c.rbuf = buf
 	c.bytesReceived.Add(uint64(rn))
 	if err != nil {
-		return fmt.Errorf("%w: awaiting %v response: %v", ErrWorkerLost, kind, err)
+		return 0, nil, fmt.Errorf("%w: awaiting %v response: %v", ErrWorkerLost, kind, err)
 	}
 	c.msgsReceived.Inc()
 	if rk == KindError {
@@ -69,7 +90,26 @@ func (c *Client) Call(kind MsgKind, payload, reply any) error {
 		if jerr := json.Unmarshal(body, &em); jerr != nil || em.Error == "" {
 			em.Error = fmt.Sprintf("malformed error response to %v", kind)
 		}
-		return &RemoteError{Msg: em.Error}
+		return 0, nil, &RemoteError{Msg: em.Error}
+	}
+	return rk, body, nil
+}
+
+// Call sends one request and decodes the worker's response into reply
+// (which may be nil for acknowledgement-only calls). Transport
+// failures wrap ErrWorkerLost; worker-reported failures come back as
+// *RemoteError.
+func (c *Client) Call(kind MsgKind, payload, reply any) error {
+	body, err := MarshalBody(kind, payload)
+	if err != nil {
+		return err
+	}
+	if err := c.send(kind, body); err != nil {
+		return err
+	}
+	rk, rbody, err := c.receive(kind)
+	if err != nil {
+		return err
 	}
 	if rk != KindResult {
 		return fmt.Errorf("%w: %v response to %v", ErrWorkerLost, rk, kind)
@@ -77,10 +117,68 @@ func (c *Client) Call(kind MsgKind, payload, reply any) error {
 	if reply == nil {
 		return nil
 	}
-	if err := json.Unmarshal(body, reply); err != nil {
+	if err := json.Unmarshal(rbody, reply); err != nil {
 		return fmt.Errorf("%w: decoding %v response: %v", ErrWorkerLost, kind, err)
 	}
 	return nil
+}
+
+// CallBatch ships one coalesced op batch in the selected wire encoding
+// and decodes the reply. The ops slice must outlive the call — binary
+// replies are decoded positionally against it.
+func (c *Client) CallBatch(wire Wire, m *BatchMsg) (*BatchReply, error) {
+	var kind MsgKind
+	var body []byte
+	var err error
+	switch wire {
+	case WireBinary:
+		kind = KindOpsB
+		body, err = AppendBatch(c.bbuf[:0], m)
+		if cap(body) > cap(c.bbuf) {
+			c.bbuf = body
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dist: encoding batch: %w", err)
+		}
+		if err := c.send(kind, body); err != nil {
+			return nil, err
+		}
+	case WireJSON:
+		kind = KindOps
+		body, err = MarshalBody(kind, m)
+		if err != nil {
+			return nil, err
+		}
+		if err := c.send(kind, body); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("dist: unknown wire mode %d", uint8(wire))
+	}
+	c.batches.Inc()
+	if len(m.Ops) > 1 {
+		c.opsCoalesced.Add(uint64(len(m.Ops) - 1))
+	}
+	rk, rbody, err := c.receive(kind)
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case wire == WireBinary && rk == KindResultB:
+		reply, err := DecodeBatchReply(rbody, m.Ops)
+		if err != nil {
+			return nil, fmt.Errorf("%w: decoding %v response: %v", ErrWorkerLost, kind, err)
+		}
+		return reply, nil
+	case wire == WireJSON && rk == KindResult:
+		reply := &BatchReply{}
+		if err := json.Unmarshal(rbody, reply); err != nil {
+			return nil, fmt.Errorf("%w: decoding %v response: %v", ErrWorkerLost, kind, err)
+		}
+		return reply, nil
+	default:
+		return nil, fmt.Errorf("%w: %v response to %v", ErrWorkerLost, rk, kind)
+	}
 }
 
 // CountRelayed books relayed cross-shard traffic into the wire

@@ -1,0 +1,310 @@
+package dist
+
+import (
+	"fmt"
+
+	"ggpdes/internal/tw"
+)
+
+// Hand-rolled binary codec for batched hot-path frames (KindOpsB /
+// KindResultB). Integers are uvarints (zigzag when signed), virtual
+// times raw float64 bits — binary floats carry ±Inf natively, so the
+// WireVT string workaround stays a JSON-only concern. Results are
+// encoded positionally: the decoder knows each result's shape from the
+// op list it sent, so results carry no tags. Only Batchable ops have a
+// binary form; everything else travels as single JSON KindOp frames.
+
+// binVersion guards against coordinator/worker codec skew; bump on any
+// layout change.
+const binVersion = 1
+
+const (
+	flagEnv = 1 << 0
+)
+
+func corrupt(what string) error {
+	return fmt.Errorf("dist: corrupt binary frame: %s", what)
+}
+
+// AppendBatch encodes a batch request into dst.
+func AppendBatch(dst []byte, m *BatchMsg) ([]byte, error) {
+	dst = append(dst, binVersion)
+	var flags byte
+	if m.Env != nil {
+		flags |= flagEnv
+	}
+	dst = append(dst, flags)
+	if m.Env != nil {
+		dst = tw.AppendWireEnvelope(dst, *m.Env)
+	}
+	dst = tw.AppendWireUint(dst, uint64(len(m.Ops)))
+	for i := range m.Ops {
+		op := &m.Ops[i]
+		dst = append(dst, byte(op.Op))
+		switch op.Op {
+		case OpDrain, OpProcessBatch, OpHasExecWork, OpHasWork,
+			OpInputSize, OpLocalMin, OpRemoteMin, OpTakeMinSent,
+			OpPeekMinSent:
+			dst = tw.AppendWireUint(dst, uint64(op.Peer))
+		case OpFossilCollect:
+			dst = tw.AppendWireUint(dst, uint64(op.Peer))
+			dst = tw.AppendWireF64(dst, float64(op.GVT))
+		case OpInject:
+			dst = tw.AppendWireUint(dst, uint64(len(op.Events)))
+			for _, ev := range op.Events {
+				dst = tw.AppendWireEvent(dst, ev)
+			}
+		case OpQuiescePass, OpQuiesceDump, OpQuiesceFlush, OpCaptureShard,
+			OpCheckInvariants, OpFlushPoolStats, OpMetrics, OpSeriesProbe:
+			return dst, fmt.Errorf("dist: op %v has no binary form", op.Op)
+		default:
+			return dst, fmt.Errorf("dist: unknown op code %d", uint8(op.Op))
+		}
+	}
+	return dst, nil
+}
+
+// DecodeBatch decodes a binary batch request.
+func DecodeBatch(b []byte) (*BatchMsg, error) {
+	if len(b) < 2 {
+		return nil, corrupt("short batch header")
+	}
+	if b[0] != binVersion {
+		return nil, fmt.Errorf("dist: binary codec version %d, want %d", b[0], binVersion)
+	}
+	flags := b[1]
+	b = b[2:]
+	m := &BatchMsg{}
+	if flags&flagEnv != 0 {
+		env, rest, ok := tw.ConsumeWireEnvelope(b)
+		if !ok {
+			return nil, corrupt("batch envelope")
+		}
+		m.Env, b = &env, rest
+	}
+	nops, b, ok := tw.ConsumeWireUint(b)
+	if !ok || nops > uint64(len(b))+1 {
+		return nil, corrupt("batch op count")
+	}
+	m.Ops = make([]OpRequest, nops)
+	for i := range m.Ops {
+		if len(b) < 1 {
+			return nil, corrupt("batch op code")
+		}
+		op := &m.Ops[i]
+		op.Op, b = OpCode(b[0]), b[1:]
+		switch op.Op {
+		case OpDrain, OpProcessBatch, OpHasExecWork, OpHasWork,
+			OpInputSize, OpLocalMin, OpRemoteMin, OpTakeMinSent,
+			OpPeekMinSent:
+			peer, rest, ok := tw.ConsumeWireUint(b)
+			if !ok {
+				return nil, corrupt("op peer")
+			}
+			op.Peer, b = int(peer), rest
+		case OpFossilCollect:
+			peer, rest, ok := tw.ConsumeWireUint(b)
+			if !ok {
+				return nil, corrupt("op peer")
+			}
+			op.Peer, b = int(peer), rest
+			gvt, rest, ok := tw.ConsumeWireF64(b)
+			if !ok {
+				return nil, corrupt("fossil horizon")
+			}
+			op.GVT, b = WireVT(gvt), rest
+		case OpInject:
+			var n uint64
+			if n, b, ok = tw.ConsumeWireUint(b); !ok || n > uint64(len(b))+1 {
+				return nil, corrupt("inject count")
+			}
+			op.Events = make([]tw.WireEvent, n)
+			for j := range op.Events {
+				if op.Events[j], b, ok = tw.ConsumeWireEvent(b); !ok {
+					return nil, corrupt("inject event")
+				}
+			}
+		case OpQuiescePass, OpQuiesceDump, OpQuiesceFlush, OpCaptureShard,
+			OpCheckInvariants, OpFlushPoolStats, OpMetrics, OpSeriesProbe:
+			return nil, fmt.Errorf("dist: op %v has no binary form", op.Op)
+		default:
+			return nil, fmt.Errorf("dist: unknown op code %d", uint8(op.Op))
+		}
+	}
+	if len(b) != 0 {
+		return nil, corrupt("trailing batch bytes")
+	}
+	return m, nil
+}
+
+// appendResult encodes one op's result; the shape is the op's.
+func appendResult(dst []byte, op OpCode, r *OpResult) ([]byte, error) {
+	switch op {
+	case OpDrain, OpProcessBatch, OpFossilCollect:
+		dst = tw.AppendWireInt(dst, int64(r.N))
+		dst = tw.AppendWireUint(dst, r.Cycles)
+		return tw.AppendWireBool(dst, r.Worked), nil
+	case OpLocalMin:
+		dst = tw.AppendWireF64(dst, float64(r.VT))
+		dst = tw.AppendWireUint(dst, r.Cycles)
+		return tw.AppendWireBool(dst, r.Worked), nil
+	case OpInputSize:
+		return tw.AppendWireInt(dst, int64(r.N)), nil
+	case OpHasExecWork, OpHasWork:
+		return tw.AppendWireBool(dst, r.Flag), nil
+	case OpRemoteMin, OpTakeMinSent, OpPeekMinSent:
+		return tw.AppendWireF64(dst, float64(r.VT)), nil
+	case OpInject:
+		return dst, nil
+	case OpQuiescePass, OpQuiesceDump, OpQuiesceFlush, OpCaptureShard,
+		OpCheckInvariants, OpFlushPoolStats, OpMetrics, OpSeriesProbe:
+		return dst, fmt.Errorf("dist: op %v has no binary form", op)
+	default:
+		return dst, fmt.Errorf("dist: unknown op code %d", uint8(op))
+	}
+}
+
+// consumeResult decodes one op's result.
+func consumeResult(b []byte, op OpCode, r *OpResult) ([]byte, error) {
+	var ok bool
+	switch op {
+	case OpDrain, OpProcessBatch, OpFossilCollect:
+		var n int64
+		if n, b, ok = tw.ConsumeWireInt(b); !ok {
+			return b, corrupt("result count")
+		}
+		r.N = int(n)
+		if r.Cycles, b, ok = tw.ConsumeWireUint(b); !ok {
+			return b, corrupt("result cycles")
+		}
+		if r.Worked, b, ok = tw.ConsumeWireBool(b); !ok {
+			return b, corrupt("result worked flag")
+		}
+		return b, nil
+	case OpLocalMin:
+		var vt float64
+		if vt, b, ok = tw.ConsumeWireF64(b); !ok {
+			return b, corrupt("result virtual time")
+		}
+		r.VT = WireVT(vt)
+		if r.Cycles, b, ok = tw.ConsumeWireUint(b); !ok {
+			return b, corrupt("result cycles")
+		}
+		if r.Worked, b, ok = tw.ConsumeWireBool(b); !ok {
+			return b, corrupt("result worked flag")
+		}
+		return b, nil
+	case OpInputSize:
+		var n int64
+		if n, b, ok = tw.ConsumeWireInt(b); !ok {
+			return b, corrupt("result count")
+		}
+		r.N = int(n)
+		return b, nil
+	case OpHasExecWork, OpHasWork:
+		if r.Flag, b, ok = tw.ConsumeWireBool(b); !ok {
+			return b, corrupt("result flag")
+		}
+		return b, nil
+	case OpRemoteMin, OpTakeMinSent, OpPeekMinSent:
+		var vt float64
+		if vt, b, ok = tw.ConsumeWireF64(b); !ok {
+			return b, corrupt("result virtual time")
+		}
+		r.VT = WireVT(vt)
+		return b, nil
+	case OpInject:
+		return b, nil
+	case OpQuiescePass, OpQuiesceDump, OpQuiesceFlush, OpCaptureShard,
+		OpCheckInvariants, OpFlushPoolStats, OpMetrics, OpSeriesProbe:
+		return b, fmt.Errorf("dist: op %v has no binary form", op)
+	default:
+		return b, fmt.Errorf("dist: unknown op code %d", uint8(op))
+	}
+}
+
+// AppendBatchReply encodes a batch reply; ops is the request's op list,
+// which fixes each result's positional shape.
+func AppendBatchReply(dst []byte, r *BatchReply, ops []OpRequest) ([]byte, error) {
+	if len(r.Results) != len(ops) {
+		return dst, fmt.Errorf("dist: %d results for %d ops", len(r.Results), len(ops))
+	}
+	dst = append(dst, binVersion)
+	var flags byte
+	if r.Env != nil {
+		flags |= flagEnv
+	}
+	dst = append(dst, flags)
+	if r.Env != nil {
+		dst = tw.AppendWireEnvelope(dst, *r.Env)
+		dst = tw.AppendWireUint(dst, uint64(len(r.Stats)))
+		for _, s := range r.Stats {
+			dst = tw.AppendWirePeerStats(dst, s)
+		}
+	}
+	var err error
+	for i := range r.Results {
+		if dst, err = appendResult(dst, ops[i].Op, &r.Results[i]); err != nil {
+			return dst, err
+		}
+	}
+	dst = tw.AppendWireUint(dst, uint64(len(r.Outbox)))
+	for _, ev := range r.Outbox {
+		dst = tw.AppendWireEvent(dst, ev)
+	}
+	return dst, nil
+}
+
+// DecodeBatchReply decodes a binary batch reply against the op list
+// that produced it.
+func DecodeBatchReply(b []byte, ops []OpRequest) (*BatchReply, error) {
+	if len(b) < 2 {
+		return nil, corrupt("short reply header")
+	}
+	if b[0] != binVersion {
+		return nil, fmt.Errorf("dist: binary codec version %d, want %d", b[0], binVersion)
+	}
+	flags := b[1]
+	b = b[2:]
+	r := &BatchReply{}
+	if flags&flagEnv != 0 {
+		env, rest, ok := tw.ConsumeWireEnvelope(b)
+		if !ok {
+			return nil, corrupt("reply envelope")
+		}
+		r.Env, b = &env, rest
+		var n uint64
+		if n, b, ok = tw.ConsumeWireUint(b); !ok || n > uint64(len(b))+1 {
+			return nil, corrupt("stats count")
+		}
+		r.Stats = make([]tw.PeerStats, n)
+		for i := range r.Stats {
+			if r.Stats[i], b, ok = tw.ConsumeWirePeerStats(b); !ok {
+				return nil, corrupt("peer stats")
+			}
+		}
+	}
+	r.Results = make([]OpResult, len(ops))
+	var err error
+	for i := range r.Results {
+		if b, err = consumeResult(b, ops[i].Op, &r.Results[i]); err != nil {
+			return nil, err
+		}
+	}
+	n, b, ok := tw.ConsumeWireUint(b)
+	if !ok || n > uint64(len(b))+1 {
+		return nil, corrupt("outbox count")
+	}
+	if n > 0 {
+		r.Outbox = make([]tw.WireEvent, n)
+		for i := range r.Outbox {
+			if r.Outbox[i], b, ok = tw.ConsumeWireEvent(b); !ok {
+				return nil, corrupt("outbox event")
+			}
+		}
+	}
+	if len(b) != 0 {
+		return nil, corrupt("trailing reply bytes")
+	}
+	return r, nil
+}

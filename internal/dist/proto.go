@@ -55,10 +55,56 @@ const (
 	// MetricGVTRounds counts distributed Mattern-cut completions (cut 2
 	// of every GVT round observed by the coordinator).
 	MetricGVTRounds = "dist.gvt_rounds"
+	// MetricBatches counts coalesced op-batch frames sent;
+	// MetricOpsCoalesced counts the round trips they saved (ops per
+	// batch beyond the first).
+	MetricBatches      = "dist.batches"
+	MetricOpsCoalesced = "dist.ops_coalesced"
+	// MetricReadsCached counts pure queries answered from the
+	// coordinator's per-shard read cache without any frame at all.
+	MetricReadsCached = "dist.reads_cached"
 	// MetricWorkersConnected gauges the worker processes currently
 	// attached to the coordinator.
 	MetricWorkersConnected = "dist.workers.connected"
 )
+
+// Wire selects the encoding of hot-path op frames. Binary is the
+// default; JSON is the debugging escape hatch (ggsim -wire json).
+// Init, checkpoint, metrics and error frames are always JSON — they
+// are rare and their payloads already have JSON codecs.
+type Wire uint8
+
+const (
+	// WireBinary ships op batches as compact hand-rolled binary frames
+	// (KindOpsB/KindResultB).
+	WireBinary Wire = iota
+	// WireJSON ships op batches as JSON frames (KindOps/KindResult).
+	WireJSON
+)
+
+// String returns the wire mode's flag name.
+func (w Wire) String() string {
+	switch w {
+	case WireBinary:
+		return "binary"
+	case WireJSON:
+		return "json"
+	default:
+		return fmt.Sprintf("Wire(%d)", uint8(w))
+	}
+}
+
+// ParseWire parses a -wire flag value.
+func ParseWire(s string) (Wire, error) {
+	switch s {
+	case "binary":
+		return WireBinary, nil
+	case "json":
+		return WireJSON, nil
+	default:
+		return 0, fmt.Errorf("dist: unknown wire mode %q (want binary or json)", s)
+	}
+}
 
 // MsgKind tags a protocol frame.
 type MsgKind uint8
@@ -76,6 +122,14 @@ const (
 	// KindShutdown asks the worker to acknowledge and exit its serve
 	// loop cleanly.
 	KindShutdown
+	// KindOps carries a JSON BatchMsg: a coalesced run of ops the
+	// worker executes in order, answered with a KindResult BatchReply.
+	KindOps
+	// KindOpsB carries a binary-encoded batch (see codec.go), answered
+	// with KindResultB.
+	KindOpsB
+	// KindResultB carries a binary-encoded BatchReply.
+	KindResultB
 )
 
 // String returns the kind's wire-table name.
@@ -91,6 +145,12 @@ func (k MsgKind) String() string {
 		return "error"
 	case KindShutdown:
 		return "shutdown"
+	case KindOps:
+		return "ops"
+	case KindOpsB:
+		return "ops_binary"
+	case KindResultB:
+		return "result_binary"
 	default:
 		return fmt.Sprintf("MsgKind(%d)", uint8(k))
 	}
@@ -267,50 +327,156 @@ type ErrorMsg struct {
 	Error string `json:"error"`
 }
 
+// BatchMsg is a KindOps payload: a coalesced run of operations the
+// worker executes in order. The envelope rides once per batch and is
+// applied before the first op — nothing coordinator-side runs between
+// the batch's ops, so per-op re-application would install the same
+// values. Per-op Env fields are unused inside a batch.
+type BatchMsg struct {
+	// Env threads the coordinator's engine-global scalars; nil for
+	// inject-only batches, which touch none of them.
+	Env *tw.Envelope `json:"env,omitempty"`
+	Ops []OpRequest  `json:"ops"`
+}
+
+// OpResult is one batched operation's result: the op-specific value
+// plus its individual CPU charge, so the coordinator can mirror each
+// constituent charge in execution order.
+type OpResult struct {
+	N      int    `json:"n,omitempty"`
+	Flag   bool   `json:"flag,omitempty"`
+	VT     WireVT `json:"vt"`
+	Cycles uint64 `json:"cycles,omitempty"`
+	Worked bool   `json:"worked,omitempty"`
+}
+
+// BatchReply answers a batch: per-op results in execution order, the
+// final envelope and statistics (exactly when the request carried an
+// envelope), and the combined outbox in production order across the
+// whole batch.
+type BatchReply struct {
+	Env     *tw.Envelope   `json:"env,omitempty"`
+	Stats   []tw.PeerStats `json:"stats,omitempty"`
+	Results []OpResult     `json:"results"`
+	Outbox  []tw.WireEvent `json:"outbox,omitempty"`
+}
+
+// Batchable reports whether an op may ride in a coalesced batch frame.
+// The hot path — drain/process, the GVT minima, fossil collection and
+// injects — is batchable; init/checkpoint/metrics-adjacent ops are
+// rare, carry structured payloads, and stay on single JSON KindOp
+// frames.
+func Batchable(op OpCode) bool {
+	switch op {
+	case OpDrain, OpProcessBatch, OpHasExecWork, OpHasWork, OpInputSize,
+		OpLocalMin, OpRemoteMin, OpTakeMinSent, OpPeekMinSent,
+		OpFossilCollect, OpInject:
+		return true
+	case OpQuiescePass, OpQuiesceDump, OpQuiesceFlush, OpCaptureShard,
+		OpCheckInvariants, OpFlushPoolStats, OpMetrics, OpSeriesProbe:
+		return false
+	default:
+		return false
+	}
+}
+
+// PureRead reports whether an op leaves every observable value of the
+// worker's shard unchanged: repeating it immediately is a provable
+// no-op. Pure reads do not invalidate the coordinator's read cache.
+// (Drain-side cleanup of already-cancelled queue heads does not count
+// as a change — it never alters a subsequent result, only reclaims
+// storage, and the first post-mutation read always goes to the wire.)
+func PureRead(op OpCode) bool {
+	switch op {
+	case OpHasExecWork, OpHasWork, OpInputSize, OpRemoteMin,
+		OpPeekMinSent, OpSeriesProbe:
+		return true
+	case OpDrain, OpProcessBatch, OpLocalMin, OpTakeMinSent,
+		OpFossilCollect, OpInject, OpQuiescePass, OpQuiesceDump,
+		OpQuiesceFlush, OpCaptureShard, OpCheckInvariants,
+		OpFlushPoolStats, OpMetrics:
+		return false
+	default:
+		return false
+	}
+}
+
 // maxFrame bounds a frame's payload; anything larger is protocol
 // corruption, not data.
 const maxFrame = 1 << 28
 
-// WriteMsg frames and writes one message and returns the bytes
-// written. A nil payload writes an empty object.
-func WriteMsg(w io.Writer, kind MsgKind, payload any) (int, error) {
-	body := []byte("{}")
-	if payload != nil {
-		var err error
-		body, err = json.Marshal(payload)
-		if err != nil {
-			return 0, fmt.Errorf("dist: encoding %v payload: %w", kind, err)
-		}
-	}
+// AppendMsg appends one framed message (header plus body) to dst, so a
+// caller with a scratch buffer issues a single Write per frame.
+func AppendMsg(dst []byte, kind MsgKind, body []byte) ([]byte, error) {
 	if len(body)+1 > maxFrame {
-		return 0, fmt.Errorf("dist: %v payload of %d bytes exceeds frame limit", kind, len(body))
+		return dst, fmt.Errorf("dist: %v payload of %d bytes exceeds frame limit", kind, len(body))
 	}
-	var hdr [5]byte
-	binary.BigEndian.PutUint32(hdr[:4], uint32(len(body)+1))
-	hdr[4] = byte(kind)
-	if _, err := w.Write(hdr[:]); err != nil {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(body)+1))
+	dst = append(dst, byte(kind))
+	return append(dst, body...), nil
+}
+
+// MarshalBody encodes a frame payload as JSON; a nil payload becomes
+// an empty object.
+func MarshalBody(kind MsgKind, payload any) ([]byte, error) {
+	if payload == nil {
+		return []byte("{}"), nil
+	}
+	body, err := json.Marshal(payload)
+	if err != nil {
+		return nil, fmt.Errorf("dist: encoding %v payload: %w", kind, err)
+	}
+	return body, nil
+}
+
+// WriteMsg frames and writes one message in a single Write call and
+// returns the bytes written. A nil payload writes an empty object.
+func WriteMsg(w io.Writer, kind MsgKind, payload any) (int, error) {
+	body, err := MarshalBody(kind, payload)
+	if err != nil {
 		return 0, err
 	}
-	if _, err := w.Write(body); err != nil {
-		return len(hdr), err
+	return WriteRawMsg(w, kind, body)
+}
+
+// WriteRawMsg frames and writes one message with a pre-encoded body in
+// a single Write call.
+func WriteRawMsg(w io.Writer, kind MsgKind, body []byte) (int, error) {
+	frame, err := AppendMsg(make([]byte, 0, 5+len(body)), kind, body)
+	if err != nil {
+		return 0, err
 	}
-	return len(hdr) + len(body), nil
+	return w.Write(frame)
 }
 
 // ReadMsg reads one framed message and returns its kind, payload bytes
-// and total wire size.
+// and total wire size. The payload is freshly allocated; loops should
+// prefer ReadMsgBuf with a reusable scratch buffer.
 func ReadMsg(r io.Reader) (MsgKind, []byte, int, error) {
+	kind, body, n, _, err := ReadMsgBuf(r, nil)
+	return kind, body, n, err
+}
+
+// ReadMsgBuf reads one framed message into buf (grown as needed) and
+// returns the kind, the payload slice aliasing buf, the total wire
+// size, and the possibly-grown buffer for the caller to reuse. The
+// payload is valid until the next ReadMsgBuf call with the same
+// buffer.
+func ReadMsgBuf(r io.Reader, buf []byte) (MsgKind, []byte, int, []byte, error) {
 	var hdr [5]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return 0, nil, 0, err
+		return 0, nil, 0, buf, err
 	}
 	n := binary.BigEndian.Uint32(hdr[:4])
 	if n < 1 || n > maxFrame {
-		return 0, nil, 0, fmt.Errorf("dist: frame length %d out of range", n)
+		return 0, nil, 0, buf, fmt.Errorf("dist: frame length %d out of range", n)
 	}
-	body := make([]byte, n-1)
+	if cap(buf) < int(n-1) {
+		buf = make([]byte, n-1)
+	}
+	body := buf[:n-1]
 	if _, err := io.ReadFull(r, body); err != nil {
-		return 0, nil, 0, err
+		return 0, nil, 0, buf, err
 	}
-	return MsgKind(hdr[4]), body, len(hdr) + len(body), nil
+	return MsgKind(hdr[4]), body, len(hdr) + len(body), buf, nil
 }

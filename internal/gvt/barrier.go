@@ -124,8 +124,8 @@ func (b *barrierGVT) Step(p *machine.Proc, acc *machine.Acc, tid int) {
 
 	// No thread is processing events now: drain and record a perfect
 	// local minimum.
-	peer.Drain(cpu)
-	b.localMin[tid] = peer.LocalMin(cpu)
+	_, min := peer.DrainLocalMin(cpu)
+	b.localMin[tid] = min
 	acc.Flush()
 	if p.BarrierWait(b.bar2) {
 		// Serial thread is the pseudo-controller: reduce, publish, and
@@ -141,11 +141,11 @@ func (b *barrierGVT) Step(p *machine.Proc, acc *machine.Acc, tid int) {
 				// and still processing before their join applies) are
 				// scanned on their behalf: queues plus their unread
 				// sent-minimum window.
-				other := b.eng.Peer(i)
-				if rm := other.RemoteMin(); rm < gmin {
+				rm, ms := b.eng.Peer(i).ScanMins()
+				if rm < gmin {
 					gmin = rm
 				}
-				if ms := other.PeekMinSent(); ms < gmin {
+				if ms < gmin {
 					gmin = ms
 				}
 			}

@@ -165,10 +165,11 @@ func (w *waitFree) stepSend(p *machine.Proc, acc *machine.Acc, tid int, peer *tw
 	}
 	// Phase B: second cut, folding the continuous sent-minimum window.
 	min := w.localMinA[tid]
-	if ms := peer.TakeMinSent(); ms < min {
+	ms, lm := peer.CutMins(w.cpu(acc, tid, peer))
+	if ms < min {
 		min = ms
 	}
-	if lm := peer.LocalMin(w.cpu(acc, tid, peer)); lm < min {
+	if lm < min {
 		min = lm
 	}
 	w.localMinB[tid] = min
@@ -199,11 +200,11 @@ func (w *waitFree) stepAwareEnd(p *machine.Proc, acc *machine.Acc, tid int, peer
 				// Threads without a cut this round (de-scheduled or
 				// waiting to rejoin) are scanned on their behalf:
 				// queues plus their unread sent-minimum window.
-				other := w.eng.Peer(i)
-				if rm := other.RemoteMin(); rm < gmin {
+				rm, ms := w.eng.Peer(i).ScanMins()
+				if rm < gmin {
 					gmin = rm
 				}
-				if ms := other.PeekMinSent(); ms < gmin {
+				if ms < gmin {
 					gmin = ms
 				}
 			}

@@ -142,7 +142,7 @@ func TestPooledEscapeFixture(t *testing.T) {
 func TestEnumExhaustiveFixture(t *testing.T) {
 	cfg := Config{
 		EnumTypes:       []string{"enumfx.Color"},
-		StrictEnumTypes: []string{"enumfx/wire.Kind"},
+		StrictEnumTypes: []string{"enumfx/wire.Kind", "enumfx/wire.Codec"},
 		EnumPkg:         ".",
 		ModelIface:      "enumfx.Model",
 		ModelEncode:     "encodeModel",

@@ -41,3 +41,35 @@ func Partial(k Kind) string {
 		panic("wire: unknown kind")
 	}
 }
+
+// Codec selects a frame encoding — a second strict enum in the same
+// package, so registration is per-type, not per-package.
+type Codec uint8
+
+// The encodings; the zero value is the default.
+const (
+	Binary Codec = iota
+	JSON
+)
+
+// Select covers every variant without a default: allowed.
+func Select(c Codec) string {
+	switch c {
+	case Binary:
+		return "binary"
+	case JSON:
+		return "json"
+	}
+	return "unknown"
+}
+
+// SelectPartial misses the zero-valued variant; strict enums require
+// it cased like any other.
+func SelectPartial(c Codec) string {
+	switch c { // want `switch over Codec misses Binary: strict wire enum`
+	case JSON:
+		return "json"
+	default:
+		return "binary"
+	}
+}

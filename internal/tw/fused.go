@@ -1,0 +1,48 @@
+package tw
+
+// Fused peer operations. The scheduler and GVT hot paths issue several
+// fixed pairs of consecutive operations against the same peer with no
+// intervening engine state reads; fusing each pair into one call lets a
+// distributed transport ship the pair as a single coalesced frame
+// instead of two synchronous round trips. In-process the fused methods
+// are nothing but the two calls in their original order, so the
+// trajectory is unchanged by construction; a remote transport must
+// execute the constituent operations in exactly this order on the
+// worker and charge cpu with each operation's cycles in the same order.
+
+// DrainProcess is the main-loop pair: Drain immediately followed by
+// ProcessBatch (core.Runner.threadBody).
+func (p *Peer) DrainProcess(cpu CPU) (drained, processed int) {
+	if r := p.eng.remote; r != nil {
+		return r.DrainProcess(p.ID, cpu)
+	}
+	return p.Drain(cpu), p.ProcessBatch(cpu)
+}
+
+// DrainLocalMin is the barrier GVT's stop-the-world pair: Drain
+// immediately followed by LocalMin (gvt.barrier's cut).
+func (p *Peer) DrainLocalMin(cpu CPU) (drained int, min VT) {
+	if r := p.eng.remote; r != nil {
+		return r.DrainLocalMin(p.ID, cpu)
+	}
+	return p.Drain(cpu), p.LocalMin(cpu)
+}
+
+// CutMins is the wait-free GVT's second-cut pair: TakeMinSent
+// immediately followed by LocalMin (gvt.waitFree.stepSend).
+func (p *Peer) CutMins(cpu CPU) (minSent, localMin VT) {
+	if r := p.eng.remote; r != nil {
+		return r.CutMins(p.ID, cpu)
+	}
+	return p.TakeMinSent(), p.LocalMin(cpu)
+}
+
+// ScanMins is the pseudo-controller's scan pair for threads that
+// contributed no cut this round: RemoteMin immediately followed by
+// PeekMinSent (both GVT reduction loops).
+func (p *Peer) ScanMins() (remoteMin, peekMinSent VT) {
+	if r := p.eng.remote; r != nil {
+		return r.ScanMins(p.ID)
+	}
+	return p.RemoteMin(), p.PeekMinSent()
+}

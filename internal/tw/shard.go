@@ -55,6 +55,14 @@ type RemoteTransport interface {
 	TakeMinSent(peer int) VT
 	PeekMinSent(peer int) VT
 	FossilCollect(peer int, cpu CPU, gvt VT) int
+
+	// Fused pairs (see fused.go): the transport must run the two
+	// constituent operations in their in-process order — one coalesced
+	// frame for a batching transport, two round trips otherwise.
+	DrainProcess(peer int, cpu CPU) (drained, processed int)
+	DrainLocalMin(peer int, cpu CPU) (drained int, min VT)
+	CutMins(peer int, cpu CPU) (minSent, localMin VT)
+	ScanMins(peer int) (remoteMin, peekMinSent VT)
 }
 
 // Envelope is the engine-global scalar state threaded through every

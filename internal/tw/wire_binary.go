@@ -1,0 +1,196 @@
+package tw
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// Binary wire encoders for the distributed data plane. internal/dist's
+// batched binary frames (see its codec) embed engine-owned structures —
+// the Envelope, cross-shard WireEvents, and per-peer statistics — so
+// their codecs live here, next to the struct definitions they must
+// track field-for-field.
+//
+// Encoding conventions: unsigned integers are uvarints, signed
+// integers are zigzag uvarints, and virtual times are raw little-endian
+// IEEE 754 bits — binary floats carry ±Inf natively, so the WireVT
+// string workaround is a JSON-only concern. Consume functions return
+// the remaining buffer and report failure instead of panicking, so a
+// corrupt frame surfaces as a protocol error, not a crash.
+
+// AppendWireUint appends v as a uvarint.
+func AppendWireUint(b []byte, v uint64) []byte {
+	return binary.AppendUvarint(b, v)
+}
+
+// ConsumeWireUint decodes a uvarint from the front of b.
+func ConsumeWireUint(b []byte) (uint64, []byte, bool) {
+	v, n := binary.Uvarint(b)
+	if n <= 0 {
+		return 0, b, false
+	}
+	return v, b[n:], true
+}
+
+// AppendWireInt appends v as a zigzag uvarint.
+func AppendWireInt(b []byte, v int64) []byte {
+	return binary.AppendUvarint(b, uint64(v<<1)^uint64(v>>63))
+}
+
+// ConsumeWireInt decodes a zigzag uvarint from the front of b.
+func ConsumeWireInt(b []byte) (int64, []byte, bool) {
+	u, rest, ok := ConsumeWireUint(b)
+	if !ok {
+		return 0, b, false
+	}
+	return int64(u>>1) ^ -int64(u&1), rest, true
+}
+
+// AppendWireF64 appends v as 8 raw little-endian IEEE 754 bytes.
+func AppendWireF64(b []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
+}
+
+// ConsumeWireF64 decodes 8 raw float bytes from the front of b.
+func ConsumeWireF64(b []byte) (float64, []byte, bool) {
+	if len(b) < 8 {
+		return 0, b, false
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(b[:8])), b[8:], true
+}
+
+// AppendWireBool appends v as one byte.
+func AppendWireBool(b []byte, v bool) []byte {
+	if v {
+		return append(b, 1)
+	}
+	return append(b, 0)
+}
+
+// ConsumeWireBool decodes one boolean byte from the front of b.
+func ConsumeWireBool(b []byte) (bool, []byte, bool) {
+	if len(b) < 1 {
+		return false, b, false
+	}
+	return b[0] != 0, b[1:], true
+}
+
+// AppendWireEnvelope appends the engine-global scalars.
+func AppendWireEnvelope(b []byte, env Envelope) []byte {
+	b = AppendWireUint(b, env.Seq)
+	b = AppendWireF64(b, env.GVT)
+	b = AppendWireInt(b, int64(env.Uncommitted))
+	b = AppendWireInt(b, int64(env.PeakUncommitted))
+	return AppendWireInt(b, int64(env.PeakSinceMark))
+}
+
+// ConsumeWireEnvelope decodes an Envelope from the front of b.
+func ConsumeWireEnvelope(b []byte) (Envelope, []byte, bool) {
+	var env Envelope
+	var ok bool
+	if env.Seq, b, ok = ConsumeWireUint(b); !ok {
+		return env, b, false
+	}
+	if env.GVT, b, ok = ConsumeWireF64(b); !ok {
+		return env, b, false
+	}
+	var v int64
+	if v, b, ok = ConsumeWireInt(b); !ok {
+		return env, b, false
+	}
+	env.Uncommitted = int(v)
+	if v, b, ok = ConsumeWireInt(b); !ok {
+		return env, b, false
+	}
+	env.PeakUncommitted = int(v)
+	if v, b, ok = ConsumeWireInt(b); !ok {
+		return env, b, false
+	}
+	env.PeakSinceMark = int(v)
+	return env, b, true
+}
+
+// AppendWireEvent appends one cross-shard event or anti-message.
+func AppendWireEvent(b []byte, w WireEvent) []byte {
+	b = AppendWireF64(b, w.Ts)
+	b = AppendWireUint(b, w.Seq)
+	b = AppendWireInt(b, int64(w.Src))
+	b = AppendWireInt(b, int64(w.Dst))
+	b = append(b, w.Kind)
+	b = AppendWireInt(b, w.A)
+	b = AppendWireInt(b, w.B)
+	b = AppendWireBool(b, w.Anti)
+	return AppendWireUint(b, w.TargetSeq)
+}
+
+// ConsumeWireEvent decodes one WireEvent from the front of b.
+func ConsumeWireEvent(b []byte) (WireEvent, []byte, bool) {
+	var w WireEvent
+	var ok bool
+	if w.Ts, b, ok = ConsumeWireF64(b); !ok {
+		return w, b, false
+	}
+	if w.Seq, b, ok = ConsumeWireUint(b); !ok {
+		return w, b, false
+	}
+	var v int64
+	if v, b, ok = ConsumeWireInt(b); !ok {
+		return w, b, false
+	}
+	w.Src = int(v)
+	if v, b, ok = ConsumeWireInt(b); !ok {
+		return w, b, false
+	}
+	w.Dst = int(v)
+	if len(b) < 1 {
+		return w, b, false
+	}
+	w.Kind, b = b[0], b[1:]
+	if w.A, b, ok = ConsumeWireInt(b); !ok {
+		return w, b, false
+	}
+	if w.B, b, ok = ConsumeWireInt(b); !ok {
+		return w, b, false
+	}
+	if w.Anti, b, ok = ConsumeWireBool(b); !ok {
+		return w, b, false
+	}
+	if w.TargetSeq, b, ok = ConsumeWireUint(b); !ok {
+		return w, b, false
+	}
+	return w, b, true
+}
+
+// AppendWirePeerStats appends one peer's cumulative counters in
+// declaration order.
+func AppendWirePeerStats(b []byte, s PeerStats) []byte {
+	b = AppendWireUint(b, s.Processed)
+	b = AppendWireUint(b, s.RolledBack)
+	b = AppendWireUint(b, s.Committed)
+	b = AppendWireUint(b, s.Rollbacks)
+	b = AppendWireUint(b, s.Stragglers)
+	b = AppendWireUint(b, s.AntiSent)
+	b = AppendWireUint(b, s.Annihilated)
+	b = AppendWireUint(b, s.Drained)
+	b = AppendWireUint(b, s.LazyReused)
+	b = AppendWireUint(b, s.LazyCancelled)
+	b = AppendWireUint(b, s.GVTCycles)
+	return AppendWireUint(b, s.GVTRounds)
+}
+
+// ConsumeWirePeerStats decodes one PeerStats from the front of b.
+func ConsumeWirePeerStats(b []byte) (PeerStats, []byte, bool) {
+	var s PeerStats
+	fields := []*uint64{
+		&s.Processed, &s.RolledBack, &s.Committed, &s.Rollbacks,
+		&s.Stragglers, &s.AntiSent, &s.Annihilated, &s.Drained,
+		&s.LazyReused, &s.LazyCancelled, &s.GVTCycles, &s.GVTRounds,
+	}
+	var ok bool
+	for _, f := range fields {
+		if *f, b, ok = ConsumeWireUint(b); !ok {
+			return s, b, false
+		}
+	}
+	return s, b, true
+}

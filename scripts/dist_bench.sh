@@ -1,23 +1,27 @@
 #!/bin/sh
 # dist_bench.sh -- emit the PR's tracked benchmark record
-# (BENCH_PR7.json): single-process vs 2-worker throughput.
+# (BENCH_PR8.json): single-process vs 2-worker throughput, plus the
+# batching A/B that justifies the batched binary data plane.
 #
 # The distributed trajectory is byte-identical to the in-process one,
-# so both runs commit exactly the same events; what differs is real
-# wall time — the coordinator pays one synchronous wire round trip per
-# forwarded engine operation. The record states both sides' measured
-# wall seconds, the committed-event throughput each achieves, and the
-# resulting slowdown ratio, so later transport work (batching,
-# pipelining) has a number to beat. `make dist-bench` runs this; the
+# so every mode commits exactly the same events; what differs is real
+# wall time. PR7's synchronous plane paid one JSON round trip per
+# forwarded engine operation (190x wall slowdown); PR8 coalesces
+# same-worker runs into batch frames, answers repeated pure reads from
+# a coordinator-side cache, defers cross-shard relays to the next frame
+# and hand-rolls a binary codec for the hot ops. The record states the
+# measured wall seconds for single-process, the batched default, and
+# the -nobatch synchronous baseline, so the batching win and the
+# remaining wire tax are both pinned. `make dist-bench` runs this; the
 # output is committed.
 #
 # Tunables (environment):
 #   GO    go binary      (default: go)
-#   OUT   output path    (default: BENCH_PR7.json)
+#   OUT   output path    (default: BENCH_PR8.json)
 set -eu
 
 GO=${GO:-go}
-OUT=${OUT:-BENCH_PR7.json}
+OUT=${OUT:-BENCH_PR8.json}
 
 dir=$(mktemp -d)
 trap 'rm -rf "$dir"' EXIT INT TERM
@@ -42,20 +46,22 @@ run warm >/dev/null
 run warm_dist -workers 2 >/dev/null
 single_ns=$(run single)
 dist_ns=$(run dist -workers 2)
+sync_ns=$(run sync -workers 2 -nobatch -wire json)
 
 committed=$(awk -F, 'END { print $12 }' "$dir/single/series.csv")
 committed_dist=$(awk -F, 'END { print $12 }' "$dir/dist/series.csv")
-if [ "$committed" != "$committed_dist" ]; then
-    echo "dist-bench: committed events diverged: $committed vs $committed_dist" >&2
+committed_sync=$(awk -F, 'END { print $12 }' "$dir/sync/series.csv")
+if [ "$committed" != "$committed_dist" ] || [ "$committed" != "$committed_sync" ]; then
+    echo "dist-bench: committed events diverged: $committed vs $committed_dist (batched) vs $committed_sync (sync)" >&2
     exit 1
 fi
 
 commit=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
 gover=$($GO env GOVERSION)
 
-awk -v pr=7 -v commit="$commit" -v gover="$gover" \
+awk -v pr=8 -v commit="$commit" -v gover="$gover" \
     -v committed="$committed" -v single_ns="$single_ns" -v dist_ns="$dist_ns" \
-    -v cfg="$args" 'BEGIN {
+    -v sync_ns="$sync_ns" -v cfg="$args" 'BEGIN {
     printf "{\n"
     printf "  \"pr\": %d,\n", pr
     printf "  \"generated_by\": \"scripts/dist_bench.sh\",\n"
@@ -65,8 +71,14 @@ awk -v pr=7 -v commit="$commit" -v gover="$gover" \
     printf "  \"committed_events\": %.0f,\n", committed
     printf "  \"single_process\": {\"wall_ns\": %.0f, \"committed_ev_s_wall\": %.0f},\n", single_ns, committed * 1e9 / single_ns
     printf "  \"workers_2\": {\"wall_ns\": %.0f, \"committed_ev_s_wall\": %.0f},\n", dist_ns, committed * 1e9 / dist_ns
+    printf "  \"batching_ab\": {\n"
+    printf "    \"batched_binary_wall_ns\": %.0f,\n", dist_ns
+    printf "    \"sync_json_wall_ns\": %.0f,\n", sync_ns
+    printf "    \"batching_speedup\": %.2f\n", sync_ns / dist_ns
+    printf "  },\n"
     printf "  \"dist_slowdown_ratio\": %.2f\n", dist_ns / single_ns
     printf "}\n"
 }' >"$OUT"
 
-echo "dist-bench: wrote $OUT (single $(printf %d $((single_ns / 1000000)))ms vs 2-worker $(printf %d $((dist_ns / 1000000)))ms for $committed committed events)"
+ratio=$(awk -v d="$dist_ns" -v s="$single_ns" 'BEGIN { printf "%.2f", d / s }')
+echo "dist-bench: wrote $OUT (single $((single_ns / 1000000))ms, batched 2-worker $((dist_ns / 1000000))ms, sync 2-worker $((sync_ns / 1000000))ms; slowdown ${ratio}x for $committed committed events)"
