@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test test-race fuzz bench bench-smoke bench-diff bench-json dist-bench serve-smoke chaos-smoke determinism-smoke obs-smoke dist-smoke inventory ci
+.PHONY: all build vet lint test test-race fuzz bench bench-smoke bench-diff bench-json dist-bench cluster-bench serve-smoke chaos-smoke cluster-smoke determinism-smoke obs-smoke dist-smoke inventory ci
 
 all: ci
 
@@ -74,6 +74,19 @@ serve-smoke:
 chaos-smoke:
 	GO="$(GO)" sh scripts/chaos_smoke.sh
 
+# Clustered-serving smoke: three real peered ggserved replicas over a
+# shared checkpoint root; duplicate submits answered by peer fill with
+# one fleet-wide simulation, a deduplicated sweep streamed over SSE,
+# and a SIGKILLed owner's job resumed by the submitting replica from
+# the shared keyed checkpoint directory.
+cluster-smoke:
+	GO="$(GO)" sh scripts/cluster_smoke.sh
+
+# Regenerate the committed fleet sweep-dedup record (BENCH_PR9.json):
+# the 16-member / 8-duplicate sweep against 1 vs 3 replicas.
+cluster-bench:
+	GO="$(GO)" sh scripts/cluster_bench.sh
+
 # Observability smoke: ggserved + pprof on ephemeral ports, one PHOLD
 # job, then the whole surface end to end — /metrics covers every
 # inventoried name, the series endpoint reports the horizon stats, and
@@ -101,4 +114,4 @@ determinism-smoke:
 dist-smoke:
 	GO="$(GO)" sh scripts/dist_smoke.sh
 
-ci: build lint test test-race determinism-smoke dist-smoke serve-smoke chaos-smoke obs-smoke bench-smoke
+ci: build lint test test-race determinism-smoke dist-smoke serve-smoke chaos-smoke cluster-smoke obs-smoke bench-smoke

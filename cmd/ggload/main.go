@@ -1,36 +1,52 @@
-// Command ggload drives a ggserved instance: a closed-loop or
-// open-loop load generator that doubles as a serving benchmark, plus a
-// -smoke mode used by `make serve-smoke`.
+// Command ggload drives one or more ggserved replicas: a closed-loop
+// or open-loop load generator that doubles as a serving benchmark,
+// plus the deterministic smoke sequences behind `make serve-smoke`,
+// `make chaos-smoke`, and `make cluster-smoke`.
 //
 //	ggload -addr localhost:8347 -concurrency 16 -jobs 200        # closed loop
 //	ggload -addr localhost:8347 -rate 50 -duration 30s           # open loop
 //	ggload -addr localhost:8347 -smoke                           # CI smoke test
 //	ggload -addr localhost:8347 -chaos-smoke                     # CI fault-tolerance test
+//	ggload -addrs a,b,c -cluster-smoke -pids p1,p2,p3 \
+//	       -checkpoint-root /dir                                 # CI cluster test
+//	ggload -addrs a,b,c -sweep-bench -members 16 -dups 8         # dedup benchmark
 //
 // Closed loop keeps -concurrency submissions in flight, each polled to
 // a terminal state before the next is issued — the sweep axis for the
 // EXPERIMENTS.md throughput-vs-concurrency curve. Open loop submits at
 // a fixed -rate regardless of completions, exercising the 429
-// backpressure path.
+// backpressure path. All transport rides the typed /v2 client
+// (internal/serve/client); only the deprecation-header check in
+// -smoke still touches /v1 raw.
 package main
 
 import (
-	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
-	"io"
+	"net"
 	"net/http"
 	"os"
+	"path/filepath"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
+
+	"ggpdes"
+	"ggpdes/internal/serve/client"
+	"ggpdes/internal/serve/cluster"
 )
 
 func main() {
 	var (
 		addr        = flag.String("addr", "localhost:8347", "ggserved host:port")
+		addrsFlag   = flag.String("addrs", "", "comma-separated replica host:ports (cluster modes; load gen round-robins)")
 		concurrency = flag.Int("concurrency", 8, "closed-loop in-flight submissions")
 		jobs        = flag.Int("jobs", 64, "closed-loop total jobs")
 		rate        = flag.Float64("rate", 0, "open-loop submissions per second (0 = closed loop)")
@@ -47,43 +63,96 @@ func main() {
 		pollEvery   = flag.Duration("poll", 20*time.Millisecond, "status poll interval")
 		smoke       = flag.Bool("smoke", false, "run the deterministic smoke sequence and exit 0/1")
 		chaosSmoke  = flag.Bool("chaos-smoke", false, "run the fault-tolerance smoke sequence against a crash-injecting server and exit 0/1")
+		cluSmoke    = flag.Bool("cluster-smoke", false, "run the clustered-serving smoke against -addrs and exit 0/1")
+		pidsFlag    = flag.String("pids", "", "cluster-smoke: replica pids matching -addrs order (enables the kill/failover leg)")
+		ckptRoot    = flag.String("checkpoint-root", "", "cluster-smoke: the fleet's shared checkpoint root (for kill timing)")
+		sweepBench  = flag.Bool("sweep-bench", false, "submit one deduplicated sweep and print a JSON record")
+		members     = flag.Int("members", 16, "sweep-bench: total sweep members")
+		dups        = flag.Int("dups", 8, "sweep-bench: members that duplicate another member's config")
+		freePorts   = flag.Int("free-ports", 0, "print N free 127.0.0.1 host:ports and exit (for scripts wiring static -peers fleets)")
 	)
 	flag.Parse()
 
-	base := "http://" + *addr
-	if *smoke {
-		if err := runSmoke(base); err != nil {
-			fmt.Fprintf(os.Stderr, "ggload: smoke FAILED: %v\n", err)
-			os.Exit(1)
+	// Static peer fleets need every replica's address before any of
+	// them starts, so :0 can't be used directly; this reserves ports by
+	// binding and releasing them (the usual benign reuse race).
+	if *freePorts > 0 {
+		lns := make([]net.Listener, *freePorts)
+		for i := range lns {
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				exitOn("free-ports", err)
+			}
+			lns[i] = ln
 		}
-		fmt.Println("ggload: smoke OK")
-		return
-	}
-	if *chaosSmoke {
-		if err := runChaosSmoke(base); err != nil {
-			fmt.Fprintf(os.Stderr, "ggload: chaos smoke FAILED: %v\n", err)
-			os.Exit(1)
+		for _, ln := range lns {
+			fmt.Println(ln.Addr().String())
+			ln.Close()
 		}
-		fmt.Println("ggload: chaos smoke OK")
 		return
 	}
 
-	spec := func(i int) map[string]any {
+	addrs := []string{*addr}
+	if *addrsFlag != "" {
+		addrs = addrs[:0]
+		for _, a := range strings.Split(*addrsFlag, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				addrs = append(addrs, a)
+			}
+		}
+	}
+	clients := make([]*client.Client, len(addrs))
+	for i, a := range addrs {
+		clients[i] = client.New("http://"+a, nil)
+		clients[i].Poll = *pollEvery
+	}
+	ctx := context.Background()
+
+	switch {
+	case *smoke:
+		exitOn("smoke", runSmoke(ctx, clients[0]))
+		return
+	case *chaosSmoke:
+		exitOn("chaos smoke", runChaosSmoke(ctx, clients[0]))
+		return
+	case *cluSmoke:
+		exitOn("cluster smoke", runClusterSmoke(ctx, addrs, clients, *pidsFlag, *ckptRoot))
+		return
+	case *sweepBench:
+		// No "OK" banner here: stdout is exactly the one JSON record,
+		// so scripts can capture it with a plain redirect.
+		if err := runSweepBench(ctx, addrs, clients, *members, *dups, *endTime); err != nil {
+			fmt.Fprintf(os.Stderr, "ggload: sweep bench FAILED: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	spec := func(i int) client.JobSpec {
 		seed := *seedBase
 		if !*sameConfig {
 			seed += uint64(i)
 		}
-		return map[string]any{
-			"config": map[string]any{
-				"model":    map[string]any{"name": *model, "lps_per_thread": *lps},
-				"threads":  *threads,
-				"system":   "gg",
-				"gvt":      "waitfree",
-				"machine":  map[string]any{"cores": *cores, "smt_width": *smt},
-				"end_time": *endTime,
-				"seed":     seed,
+		var m ggpdes.Model
+		switch *model {
+		case "epidemics":
+			m = ggpdes.Epidemics{LPsPerThread: *lps}
+		case "traffic":
+			m = ggpdes.Traffic{LPsPerThread: *lps}
+		default:
+			m = ggpdes.PHOLD{LPsPerThread: *lps}
+		}
+		return client.JobSpec{
+			Config: ggpdes.Config{
+				Model:   m,
+				Threads: *threads,
+				System:  ggpdes.GGPDES,
+				GVT:     ggpdes.WaitFree,
+				Machine: ggpdes.Machine{Cores: *cores, SMTWidth: *smt},
+				EndTime: *endTime,
+				Seed:    seed,
 			},
-			"timeout_seconds": *jobTimeout,
+			TimeoutSeconds: *jobTimeout,
 		}
 	}
 
@@ -102,21 +171,19 @@ func main() {
 	}
 
 	runOne := func(i int) {
+		c := clients[i%len(clients)]
 		start := time.Now()
-		st, code, err := submit(base, spec(i))
+		meta, err := c.Submit(ctx, spec(i))
 		if err != nil {
-			failures.Add(1)
+			var ce *client.Error
+			if isClientError(err, &ce) && ce.Code == "queue_full" {
+				rejected.Add(1)
+			} else {
+				failures.Add(1)
+			}
 			return
 		}
-		if code == http.StatusTooManyRequests {
-			rejected.Add(1)
-			return
-		}
-		if code != http.StatusAccepted && code != http.StatusOK {
-			failures.Add(1)
-			return
-		}
-		final, err := pollTerminal(base, st.ID, *pollEvery)
+		final, err := c.Wait(ctx, meta.ID)
 		if err != nil {
 			failures.Add(1)
 			return
@@ -195,153 +262,114 @@ func main() {
 	}
 }
 
-// status mirrors the server's job snapshot; only the fields ggload
-// reads.
-type status struct {
-	ID       string `json:"id"`
-	State    string `json:"state"`
-	Cached   bool   `json:"cached"`
-	Error    string `json:"error"`
-	Attempts int    `json:"attempts"`
-	Resumed  string `json:"resumed_from"`
-}
-
-func terminal(state string) bool {
-	return state == "done" || state == "failed" || state == "cancelled"
-}
-
-func submit(base string, spec any) (status, int, error) {
-	body, err := json.Marshal(spec)
+func exitOn(what string, err error) {
 	if err != nil {
-		return status{}, 0, err
+		fmt.Fprintf(os.Stderr, "ggload: %s FAILED: %v\n", what, err)
+		os.Exit(1)
 	}
-	resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
-	if err != nil {
-		return status{}, 0, err
-	}
-	defer resp.Body.Close()
-	var st status
-	if resp.StatusCode < 300 {
-		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
-			return status{}, resp.StatusCode, err
-		}
-	} else {
-		io.Copy(io.Discard, resp.Body)
-	}
-	return st, resp.StatusCode, nil
+	fmt.Printf("ggload: %s OK\n", what)
 }
 
-func getStatus(base, id string) (status, int, error) {
-	resp, err := http.Get(base + "/v1/jobs/" + id)
-	if err != nil {
-		return status{}, 0, err
-	}
-	defer resp.Body.Close()
-	var st status
-	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
-		return status{}, resp.StatusCode, err
-	}
-	return st, resp.StatusCode, nil
+// isClientError unwraps err into *client.Error.
+func isClientError(err error, target **client.Error) bool {
+	return errors.As(err, target)
 }
 
-func pollTerminal(base, id string, every time.Duration) (status, error) {
-	deadline := time.Now().Add(10 * time.Minute)
-	for {
-		st, code, err := getStatus(base, id)
-		if err != nil {
-			return status{}, err
-		}
-		if code != http.StatusOK {
-			return status{}, fmt.Errorf("poll %s: HTTP %d", id, code)
-		}
-		if terminal(st.State) {
-			return st, nil
-		}
-		if time.Now().After(deadline) {
-			return status{}, fmt.Errorf("job %s stuck in %s", id, st.State)
-		}
-		time.Sleep(every)
+// pholdSpec is the smoke workload: small, fast, deterministic.
+func pholdSpec(seed uint64, end float64) client.JobSpec {
+	return client.JobSpec{
+		Config: ggpdes.Config{
+			Model:   ggpdes.PHOLD{LPsPerThread: 4},
+			Threads: 4,
+			System:  ggpdes.GGPDES,
+			GVT:     ggpdes.WaitFree,
+			Machine: ggpdes.Machine{Cores: 8, SMTWidth: 2},
+			EndTime: end,
+			Seed:    seed,
+		},
+		TimeoutSeconds: 120,
 	}
+}
+
+// waitDone polls the job to a terminal state and requires done.
+func waitDone(ctx context.Context, c *client.Client, id string) (client.JobMeta, error) {
+	wctx, cancel := context.WithTimeout(ctx, 10*time.Minute)
+	defer cancel()
+	final, err := c.Wait(wctx, id)
+	if err != nil {
+		return final, fmt.Errorf("wait %s: %w", id, err)
+	}
+	if final.State != "done" {
+		msg := final.LastError
+		if final.Error != nil {
+			msg = final.Error.Message
+		}
+		return final, fmt.Errorf("job %s finished %s (%s)", id, final.State, msg)
+	}
+	return final, nil
 }
 
 // runSmoke is the deterministic CI sequence behind `make serve-smoke`:
 // healthz, submit a small PHOLD job, poll it to done, fetch the
 // result, resubmit the identical spec and require a cache hit backed
-// by the server's hit counter.
-func runSmoke(base string) error {
-	resp, err := http.Get(base + "/v1/healthz")
+// by the server's hit counter — plus the /v1 deprecation headers.
+func runSmoke(ctx context.Context, c *client.Client) error {
+	h, err := c.Healthz(ctx)
 	if err != nil {
 		return fmt.Errorf("healthz: %w", err)
 	}
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("healthz: HTTP %d", resp.StatusCode)
+	if h.Status != "ok" {
+		return fmt.Errorf("healthz status %q", h.Status)
 	}
 
-	spec := map[string]any{
-		"config": map[string]any{
-			"model":    map[string]any{"name": "phold", "lps_per_thread": 4},
-			"threads":  4,
-			"system":   "gg",
-			"gvt":      "waitfree",
-			"machine":  map[string]any{"cores": 8, "smt_width": 2},
-			"end_time": 20,
-			"seed":     424242,
-		},
-		"timeout_seconds": 120,
-	}
-	st, code, err := submit(base, spec)
-	if err != nil || code != http.StatusAccepted {
-		return fmt.Errorf("submit: HTTP %d, err %v", code, err)
-	}
-	final, err := pollTerminal(base, st.ID, 10*time.Millisecond)
+	spec := pholdSpec(424242, 20)
+	meta, err := c.Submit(ctx, spec)
 	if err != nil {
+		return fmt.Errorf("submit: %w", err)
+	}
+	if _, err := waitDone(ctx, c, meta.ID); err != nil {
 		return err
 	}
-	if final.State != "done" {
-		return fmt.Errorf("job %s finished %s (%s)", st.ID, final.State, final.Error)
-	}
-
-	resp, err = http.Get(base + "/v1/jobs/" + st.ID + "/result")
+	_, res, err := c.Result(ctx, meta.ID)
 	if err != nil {
 		return fmt.Errorf("result: %w", err)
 	}
-	var result struct {
-		Results struct {
-			CommittedEvents uint64
-		} `json:"results"`
-	}
-	err = json.NewDecoder(resp.Body).Decode(&result)
-	resp.Body.Close()
-	if err != nil || resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("result: HTTP %d, err %v", resp.StatusCode, err)
-	}
-	if result.Results.CommittedEvents == 0 {
+	if res == nil || res.CommittedEvents == 0 {
 		return fmt.Errorf("result has zero committed events")
 	}
 
-	st2, code, err := submit(base, spec)
-	if err != nil || code != http.StatusOK {
-		return fmt.Errorf("resubmit: HTTP %d (want 200 cache hit), err %v", code, err)
+	meta2, err := c.Submit(ctx, spec)
+	if err != nil {
+		return fmt.Errorf("resubmit: %w", err)
 	}
-	if !st2.Cached || st2.State != "done" {
-		return fmt.Errorf("resubmit not served from cache: %+v", st2)
+	if !meta2.Cached || meta2.State != "done" || meta2.Source != "cache" {
+		return fmt.Errorf("resubmit not served from cache: %+v", meta2)
 	}
 
-	resp, err = http.Get(base + "/v1/stats")
-	if err != nil {
-		return fmt.Errorf("stats: %w", err)
-	}
-	var stats struct {
-		Counters map[string]uint64 `json:"counters"`
-	}
-	err = json.NewDecoder(resp.Body).Decode(&stats)
-	resp.Body.Close()
+	stats, err := c.Stats(ctx)
 	if err != nil {
 		return fmt.Errorf("stats: %w", err)
 	}
 	if stats.Counters["serve.cache_hits"] == 0 {
 		return fmt.Errorf("server reports zero cache hits after a hit: %v", stats.Counters)
+	}
+
+	// The /v1 shim must announce its deprecation (RFC 8594-style).
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base()+"/v1/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return fmt.Errorf("v1 healthz: %w", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("v1 healthz: HTTP %d", resp.StatusCode)
+	}
+	if resp.Header.Get("Deprecation") != "true" || !strings.Contains(resp.Header.Get("Link"), "successor-version") {
+		return fmt.Errorf("v1 shim missing deprecation headers: Deprecation=%q Link=%q",
+			resp.Header.Get("Deprecation"), resp.Header.Get("Link"))
 	}
 	return nil
 }
@@ -351,19 +379,10 @@ func runSmoke(base string) error {
 // -checkpoint-every 2: every job's early attempts are crashed mid-run,
 // so completing all of them proves the checkpoint/resume/retry path
 // end to end.
-func runChaosSmoke(base string) error {
-	resp, err := http.Get(base + "/v1/version")
+func runChaosSmoke(ctx context.Context, c *client.Client) error {
+	ver, err := c.Version(ctx)
 	if err != nil {
 		return fmt.Errorf("version: %w", err)
-	}
-	var ver struct {
-		APIRevision int `json:"api_revision"`
-		MaxAttempts int `json:"max_attempts"`
-	}
-	err = json.NewDecoder(resp.Body).Decode(&ver)
-	resp.Body.Close()
-	if err != nil || resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("version: HTTP %d, err %v", resp.StatusCode, err)
 	}
 	if ver.APIRevision < 2 {
 		return fmt.Errorf("server API revision %d predates fault tolerance", ver.APIRevision)
@@ -375,41 +394,27 @@ func runChaosSmoke(base string) error {
 	const jobs = 6
 	ids := make([]string, jobs)
 	for i := range ids {
-		spec := map[string]any{
-			"config": map[string]any{
-				"model":   map[string]any{"name": "phold", "lps_per_thread": 4},
-				"threads": 4,
-				"system":  "gg",
-				"gvt":     "waitfree",
-				"machine": map[string]any{"cores": 8, "smt_width": 2},
-				// Long enough to cross several GVT rounds, so crashed
-				// attempts have checkpoints to resume from.
-				"end_time":      40,
-				"gvt_frequency": 10,
-				"seed":          171717 + i,
-			},
-			"timeout_seconds": 120,
+		// Long enough to cross several GVT rounds, so crashed attempts
+		// have checkpoints to resume from.
+		spec := pholdSpec(uint64(171717+i), 40)
+		spec.Config.GVTFrequency = 10
+		meta, err := c.Submit(ctx, spec)
+		if err != nil {
+			return fmt.Errorf("submit %d: %w", i, err)
 		}
-		st, code, err := submit(base, spec)
-		if err != nil || code != http.StatusAccepted {
-			return fmt.Errorf("submit %d: HTTP %d, err %v", i, code, err)
-		}
-		ids[i] = st.ID
+		ids[i] = meta.ID
 	}
 
 	retried, resumed := 0, 0
 	for _, id := range ids {
-		final, err := pollTerminal(base, id, 10*time.Millisecond)
+		final, err := waitDone(ctx, c, id)
 		if err != nil {
-			return err
-		}
-		if final.State != "done" {
-			return fmt.Errorf("job %s finished %s (%s) — fault tolerance failed", id, final.State, final.Error)
+			return fmt.Errorf("%w — fault tolerance failed", err)
 		}
 		if final.Attempts > 1 {
 			retried++
 		}
-		if final.Resumed != "" {
+		if final.ResumedFrom != "" {
 			resumed++
 		}
 	}
@@ -420,24 +425,314 @@ func runChaosSmoke(base string) error {
 		return fmt.Errorf("no retried job resumed from a checkpoint")
 	}
 
-	resp, err = http.Get(base + "/v1/stats")
+	stats, err := c.Stats(ctx)
 	if err != nil {
 		return fmt.Errorf("stats: %w", err)
 	}
-	var stats struct {
-		Counters map[string]uint64 `json:"counters"`
-	}
-	err = json.NewDecoder(resp.Body).Decode(&stats)
-	resp.Body.Close()
-	if err != nil {
-		return fmt.Errorf("stats: %w", err)
-	}
-	for _, c := range []string{"serve.injected_crashes", "serve.retries", "serve.resumes"} {
-		if stats.Counters[c] == 0 {
-			return fmt.Errorf("counter %s is zero after chaos run: %v", c, stats.Counters)
+	for _, counter := range []string{"serve.injected_crashes", "serve.retries", "serve.resumes"} {
+		if stats.Counters[counter] == 0 {
+			return fmt.Errorf("counter %s is zero after chaos run: %v", counter, stats.Counters)
 		}
 	}
 	fmt.Printf("ggload: %d/%d jobs done, %d retried, %d resumed from checkpoints (crashes=%d)\n",
 		jobs, jobs, retried, resumed, stats.Counters["serve.injected_crashes"])
+	return nil
+}
+
+// fleetSimulations sums serve.simulations (jobs the engine actually
+// ran) across every replica — the fleet-wide dedup ledger.
+func fleetSimulations(ctx context.Context, clients []*client.Client) (uint64, error) {
+	var total uint64
+	for _, c := range clients {
+		stats, err := c.Stats(ctx)
+		if err != nil {
+			return 0, fmt.Errorf("stats %s: %w", c.Base(), err)
+		}
+		total += stats.Counters["serve.simulations"]
+	}
+	return total, nil
+}
+
+// runClusterSmoke is the CI sequence behind `make cluster-smoke`,
+// against a 3-replica fleet sharing a checkpoint root:
+//
+//  1. every replica reports the full fleet healthy;
+//  2. an identical config submitted to two different replicas
+//     simulates exactly once fleet-wide, the second answered from the
+//     owner's cache;
+//  3. a sweep with duplicated members streams every member over SSE
+//     and simulates only the unique configs;
+//  4. (with -pids) the replica owning a long job is killed mid-run
+//     and a survivor finishes the job from the shared checkpoint.
+func runClusterSmoke(ctx context.Context, addrs []string, clients []*client.Client, pidsFlag, ckptRoot string) error {
+	if len(addrs) < 3 {
+		return fmt.Errorf("cluster smoke needs -addrs with >= 3 replicas, got %d", len(addrs))
+	}
+
+	// 1: fleet health.
+	for i, c := range clients {
+		h, err := c.Healthz(ctx)
+		if err != nil {
+			return fmt.Errorf("healthz %s: %w", addrs[i], err)
+		}
+		if h.Status != "ok" || h.ClusterSize != len(addrs) || len(h.Peers) != len(addrs)-1 {
+			return fmt.Errorf("replica %s unhealthy: %+v", addrs[i], h)
+		}
+		for _, p := range h.Peers {
+			if !p.OK {
+				return fmt.Errorf("replica %s cannot reach peer %s: %s", addrs[i], p.Addr, p.Error)
+			}
+		}
+	}
+
+	// 2: duplicate submit across replicas simulates once.
+	before, err := fleetSimulations(ctx, clients)
+	if err != nil {
+		return err
+	}
+	spec := pholdSpec(909090, 20)
+	meta, err := clients[0].Submit(ctx, spec)
+	if err != nil {
+		return fmt.Errorf("submit to %s: %w", addrs[0], err)
+	}
+	if _, err := waitDone(ctx, clients[0], meta.ID); err != nil {
+		return err
+	}
+	meta2, err := clients[1].Submit(ctx, spec)
+	if err != nil {
+		return fmt.Errorf("duplicate submit to %s: %w", addrs[1], err)
+	}
+	final2, err := waitDone(ctx, clients[1], meta2.ID)
+	if err != nil {
+		return err
+	}
+	if !final2.Cached {
+		return fmt.Errorf("duplicate submit simulated again: %+v", final2)
+	}
+	after, err := fleetSimulations(ctx, clients)
+	if err != nil {
+		return err
+	}
+	if after-before != 1 {
+		return fmt.Errorf("duplicate config ran %d fleet simulations, want 1", after-before)
+	}
+	fmt.Printf("ggload: duplicate submit deduped (source %q, 1 fleet simulation)\n", final2.Source)
+
+	// 3: sweep with duplicated members over SSE.
+	before = after
+	sweep := client.SweepSpec{
+		Defaults: pholdSpec(0, 20),
+		Seeds:    []uint64{611, 612, 613, 614, 611, 612, 613, 614},
+	}
+	st, err := clients[2].Sweep(ctx, sweep)
+	if err != nil {
+		return fmt.Errorf("sweep submit: %w", err)
+	}
+	events := 0
+	finalSt, err := clients[2].SweepEvents(ctx, st.ID, func(ev client.SweepEvent) error {
+		if ev.Seq != events {
+			return fmt.Errorf("sweep event out of order: seq %d at position %d", ev.Seq, events)
+		}
+		events++
+		if ev.Job.State != "done" {
+			return fmt.Errorf("sweep member %d finished %s", ev.Index, ev.Job.State)
+		}
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("sweep events: %w", err)
+	}
+	if events != len(sweep.Seeds) || finalSt.State != "done" || finalSt.Done != len(sweep.Seeds) {
+		return fmt.Errorf("sweep streamed %d events, final %+v", events, finalSt)
+	}
+	after, err = fleetSimulations(ctx, clients)
+	if err != nil {
+		return err
+	}
+	if after-before != 4 {
+		return fmt.Errorf("sweep of 8 members (4 unique) ran %d fleet simulations, want 4", after-before)
+	}
+	fmt.Printf("ggload: sweep streamed %d members over SSE, 4 fleet simulations\n", events)
+
+	// 4: kill the owner mid-job; a survivor resumes from the shared
+	// checkpoint.
+	if pidsFlag == "" {
+		fmt.Println("ggload: no -pids, skipping the failover leg")
+		return nil
+	}
+	pids := make([]int, 0, len(addrs))
+	for _, p := range strings.Split(pidsFlag, ",") {
+		pid, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return fmt.Errorf("bad -pids entry %q: %w", p, err)
+		}
+		pids = append(pids, pid)
+	}
+	if len(pids) != len(addrs) {
+		return fmt.Errorf("-pids has %d entries for %d addrs", len(pids), len(addrs))
+	}
+	return runFailover(ctx, addrs, clients, pids, ckptRoot)
+}
+
+// runFailover submits a long checkpointing job to a non-owner
+// replica, kills the owner once a checkpoint exists, and requires the
+// submitting replica to finish the job itself from that checkpoint.
+func runFailover(ctx context.Context, addrs []string, clients []*client.Client, pids []int, ckptRoot string) error {
+	if ckptRoot == "" {
+		return fmt.Errorf("the failover leg needs -checkpoint-root (the fleet's shared root)")
+	}
+	// The same ring the fleet uses tells us each config's owner; pick a
+	// seed whose owner is not the replica we submit to.
+	ring := cluster.New(cluster.Options{Self: addrs[0], Peers: addrs[1:]})
+	var spec client.JobSpec
+	victim := -1
+	for seed := uint64(777000); victim < 0; seed++ {
+		spec = pholdSpec(seed, 20000)
+		spec.Config.GVTFrequency = 10
+		// Set Checkpoint on the Config itself, not via CheckpointEvery:
+		// the cadence is part of the cache key, and the key computed
+		// here must match the one the fleet hashes server-side.
+		spec.Config.Checkpoint = &ggpdes.CheckpointOptions{Every: 10}
+		spec.TimeoutSeconds = 600
+		key, err := spec.Config.CacheKey()
+		if err != nil {
+			return err
+		}
+		owner, self := ring.Owner(key)
+		ownerAddr := addrs[0]
+		if !self {
+			ownerAddr = owner.Addr()
+		}
+		for i, a := range addrs {
+			if a == ownerAddr && i != 0 {
+				victim = i
+			}
+		}
+	}
+	key, _ := spec.Config.CacheKey()
+	fmt.Printf("ggload: failover job owned by %s, submitting via %s\n", addrs[victim], addrs[0])
+
+	meta, err := clients[0].Submit(ctx, spec)
+	if err != nil {
+		return fmt.Errorf("failover submit: %w", err)
+	}
+
+	// Kill only after the owner has written a checkpoint, so the
+	// survivor has something to resume from.
+	dir := filepath.Join(ckptRoot, "key-"+pathSafe(key))
+	deadline := time.Now().Add(2 * time.Minute)
+	for {
+		if names, err := filepath.Glob(filepath.Join(dir, "ckpt-*.json")); err == nil && len(names) > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("no checkpoint appeared in %s", dir)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := syscall.Kill(pids[victim], syscall.SIGKILL); err != nil {
+		return fmt.Errorf("kill replica %s (pid %d): %w", addrs[victim], pids[victim], err)
+	}
+	fmt.Printf("ggload: killed %s (pid %d) mid-job\n", addrs[victim], pids[victim])
+
+	final, err := waitDone(ctx, clients[0], meta.ID)
+	if err != nil {
+		return fmt.Errorf("job did not survive the owner's death: %w", err)
+	}
+	if final.ResumedFrom == "" {
+		return fmt.Errorf("failover job did not resume from a checkpoint: %+v", final)
+	}
+	stats, err := clients[0].Stats(ctx)
+	if err != nil {
+		return err
+	}
+	if stats.Counters["cluster.failovers"] == 0 {
+		return fmt.Errorf("cluster.failovers is zero after a failover: %v", stats.Counters)
+	}
+	fmt.Printf("ggload: job finished on the survivor, resumed from %s (failovers=%d)\n",
+		final.ResumedFrom, stats.Counters["cluster.failovers"])
+	return nil
+}
+
+// pathSafe mirrors the server's checkpoint-directory escaping for
+// cache keys ("sha256:..." → "sha256-...").
+func pathSafe(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch r {
+		case ':', '/', '\\':
+			return '-'
+		}
+		return r
+	}, s)
+}
+
+// runSweepBench submits one sweep with duplicated members and prints
+// a JSON record of the fleet's dedup behaviour: wall time, fleet
+// simulations, and the fleet hit rate (members answered without a
+// simulation). cluster_bench.sh embeds the line in BENCH_PR9.json.
+func runSweepBench(ctx context.Context, addrs []string, clients []*client.Client, total, dup int, end float64) error {
+	if dup >= total {
+		return fmt.Errorf("-dups %d must be below -members %d", dup, total)
+	}
+	unique := total - dup
+	seeds := make([]uint64, 0, total)
+	for i := 0; i < total; i++ {
+		// The first `unique` seeds are distinct; duplicates cycle
+		// through them again.
+		seeds = append(seeds, uint64(505000+i%unique))
+	}
+	before, err := fleetSimulations(ctx, clients)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	st, err := clients[0].Sweep(ctx, client.SweepSpec{Defaults: pholdSpec(0, end), Seeds: seeds})
+	if err != nil {
+		return fmt.Errorf("sweep submit: %w", err)
+	}
+	finalSt, err := clients[0].SweepEvents(ctx, st.ID, nil)
+	if err != nil {
+		return fmt.Errorf("sweep events: %w", err)
+	}
+	wall := time.Since(start)
+	if finalSt.State != "done" || finalSt.Done != total {
+		return fmt.Errorf("sweep finished %s (%d/%d done)", finalSt.State, finalSt.Done, total)
+	}
+	after, err := fleetSimulations(ctx, clients)
+	if err != nil {
+		return err
+	}
+	sims := after - before
+	// Sum the cluster.* routing counters across the fleet so the bench
+	// record shows *how* the dedup happened, not just that it did.
+	// Unclustered replicas never register them, so the sums stay 0 in
+	// the 1-replica arm.
+	clusterCounters := map[string]uint64{}
+	for _, c := range clients {
+		stats, err := c.Stats(ctx)
+		if err != nil {
+			return err
+		}
+		for name, v := range stats.Counters {
+			if strings.HasPrefix(name, "cluster.") {
+				clusterCounters[name] += v
+			}
+		}
+	}
+	rec := map[string]any{
+		"replicas":       len(addrs),
+		"members":        total,
+		"duplicates":     dup,
+		"unique":         unique,
+		"wall_ns":        wall.Nanoseconds(),
+		"simulations":    sims,
+		"fleet_hit_rate": float64(total-int(sims)) / float64(total),
+		"cluster":        clusterCounters,
+	}
+	out, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(out))
 	return nil
 }

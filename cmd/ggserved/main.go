@@ -13,6 +13,13 @@
 // -pprof-addr opens net/http/pprof on a separate listener so profiling
 // never shares a port with the public API.
 //
+// Clustering: -peers (or GGSERVED_PEERS) lists the other replicas of
+// a static fleet. Replicas route jobs by consistent hashing on the
+// config's cache key — the owner simulates, everyone else fills from
+// its cache or delegates to it — so identical submissions anywhere in
+// the fleet simulate once. A shared -checkpoint-root lets any replica
+// resume a dead peer's job from its latest checkpoint.
+//
 // SIGTERM/SIGINT drains gracefully: admission stops (503), running
 // jobs finish, then the process exits.
 package main
@@ -28,10 +35,13 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"ggpdes/internal/serve"
+	"ggpdes/internal/serve/cluster"
+	"ggpdes/internal/telemetry"
 )
 
 func main() {
@@ -53,8 +63,45 @@ func main() {
 		chaosSeed  = flag.Uint64("chaos-seed", 0, "chaos: crash-injection seed (0 = 1)")
 		seriesLim  = flag.Int("series-limit", 0, "per-job live series ring size in GVT rounds (0 = default, negative disables)")
 		pprofAddr  = flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty = disabled)")
+		peersFlag  = flag.String("peers", "", "comma-separated peer addresses (host:port) forming a static fleet (or GGSERVED_PEERS)")
+		advertise  = flag.String("advertise", "", "address peers reach this replica at (default: the bound listen address)")
 	)
 	flag.Parse()
+
+	peersSpec := *peersFlag
+	if peersSpec == "" {
+		peersSpec = os.Getenv("GGSERVED_PEERS")
+	}
+	var peers []string
+	for _, p := range strings.Split(peersSpec, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			peers = append(peers, p)
+		}
+	}
+
+	// Listen before building the manager: the cluster layer needs this
+	// replica's advertised address, and with -addr :0 that only exists
+	// once the socket is bound.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(ln.Addr().String()+"\n"), 0o644); err != nil {
+			fatalf("%v", err)
+		}
+	}
+
+	reg := telemetry.NewRegistry()
+	var clu *cluster.Cluster
+	if len(peers) > 0 {
+		self := *advertise
+		if self == "" {
+			self = ln.Addr().String()
+		}
+		clu = cluster.New(cluster.Options{Self: self, Peers: peers, Registry: reg})
+		fmt.Fprintf(os.Stderr, "ggserved: clustered as %s with peers %s\n", self, strings.Join(peers, ","))
+	}
 
 	// Every job context derives from procCtx, so cancelling it after an
 	// incomplete drain hard-stops stragglers instead of abandoning them.
@@ -75,6 +122,8 @@ func main() {
 		CrashRate:       *crashRate,
 		ChaosSeed:       *chaosSeed,
 		SeriesLimit:     *seriesLim,
+		Registry:        reg,
+		Cluster:         clu,
 	})
 
 	// Publish the serve registry under expvar so one scrape covers the
@@ -89,7 +138,9 @@ func main() {
 	}))
 
 	mux := http.NewServeMux()
-	mux.Handle("/v1/", mgr.Handler())
+	api := mgr.Handler()
+	mux.Handle("/v1/", api)
+	mux.Handle("/v2/", api)
 	mux.Handle("/metrics", mgr.MetricsHandler())
 	mux.Handle("/debug/vars", expvar.Handler())
 
@@ -110,15 +161,6 @@ func main() {
 		go func() { _ = http.Serve(pln, pmux) }()
 	}
 
-	ln, err := net.Listen("tcp", *addr)
-	if err != nil {
-		fatalf("%v", err)
-	}
-	if *addrFile != "" {
-		if err := os.WriteFile(*addrFile, []byte(ln.Addr().String()+"\n"), 0o644); err != nil {
-			fatalf("%v", err)
-		}
-	}
 	fmt.Fprintf(os.Stderr, "ggserved: listening on %s (%d workers, queue %d, cache %d)\n",
 		ln.Addr(), mgr.Workers(), mgr.QueueDepth(), *cacheSize)
 

@@ -133,6 +133,18 @@ func renderService(b *strings.Builder, exp *exposition) {
 			stats.Count(uint64(get("dist_ops_coalesced_total"))),
 			stats.Count(uint64(get("dist_reads_cached_total"))))
 	}
+	// The cluster.* counters are registered only on clustered replicas
+	// (cluster.New), so their presence — again, not value — keys the
+	// fleet line.
+	if _, ok := exp.samples["ggpdes_cluster_fills_total"]; ok {
+		fmt.Fprintf(b, "fleet   peers up %-7.0f sims %-8.0f dedup(inflight) %.0f\n",
+			get("cluster_peers_connected"), get("serve_simulations_total"),
+			get("serve_dedup_inflight_total"))
+		fmt.Fprintf(b, "        fills %-8.0f served %-8.0f delegated %-6.0f remote %-6.0f failovers %-4.0f spills %.0f\n",
+			get("cluster_fills_total"), get("cluster_fills_served_total"),
+			get("cluster_delegated_total"), get("cluster_remote_jobs_total"),
+			get("cluster_failovers_total"), get("cluster_spills_total"))
+	}
 }
 
 // renderJob prints the followed job's time-resolved view.

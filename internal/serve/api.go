@@ -1,0 +1,222 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"ggpdes"
+	"ggpdes/internal/chaos"
+	"ggpdes/internal/dist"
+	"ggpdes/internal/serve/cluster"
+)
+
+// This file is the /v2 wire vocabulary (API revision 4): one typed
+// error envelope for every failure, one JobMeta shape shared by job,
+// sweep, and SSE payloads, and the mapping between the repo's typed
+// sentinel errors and envelope codes. /v1 keeps its string-error
+// bodies through the compatibility shim; everything new speaks this.
+
+// Error codes carried in the /v2 envelope. Each code corresponds to
+// exactly one sentinel (or terminal condition) and one HTTP status,
+// so clients can switch on code instead of parsing message strings.
+const (
+	CodeInvalidConfig     = "invalid_config"     // 400 ggpdes.ErrInvalidConfig
+	CodeNotFound          = "not_found"          // 404 unknown job or sweep
+	CodeCancelled         = "cancelled"          // 409 ggpdes.ErrCancelled / client cancel
+	CodeFailed            = "failed"             // 409 unclassified terminal failure
+	CodeCheckpointCorrupt = "checkpoint_corrupt" // 410 ggpdes.ErrCheckpointCorrupt
+	CodeQueueFull         = "queue_full"         // 429 ErrQueueFull (retryable)
+	CodeWorkerLost        = "worker_lost"        // 502 dist.ErrWorkerLost (retryable)
+	CodePeerLost          = "peer_lost"          // 502 cluster.ErrPeerLost (retryable)
+	CodeDraining          = "draining"           // 503 ErrDraining (retryable)
+	CodeDeadline          = "deadline"           // 504 ggpdes.ErrDeadline
+	CodeStalled           = "stalled"            // 504 ErrStalled (retryable)
+	CodeInternal          = "internal"           // 500 anything else
+)
+
+// ErrorInfo is the typed error payload: the single shape every /v2
+// failure wears, whether it rejects a request or describes a job's
+// terminal state inside JobMeta.
+type ErrorInfo struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+	// Retryable means the same request may succeed if repeated —
+	// against this replica later (queue_full, draining) or was caused
+	// by a recoverable environmental fault (stall, lost worker/peer).
+	Retryable bool `json:"retryable"`
+}
+
+// errorEnvelope is the body of every non-2xx /v2 response.
+type errorEnvelope struct {
+	Error ErrorInfo `json:"error"`
+}
+
+// classify maps an error to its HTTP status and envelope payload via
+// the typed sentinels. Unrecognized errors fall back to the given
+// code and status (submissions default to internal/500, terminal job
+// causes to failed/409 — set by the call sites).
+func classify(err error, fbCode string, fbStatus int) (int, ErrorInfo) {
+	msg := ""
+	if err != nil {
+		msg = err.Error()
+	}
+	info := func(code int, c string, retry bool) (int, ErrorInfo) {
+		return code, ErrorInfo{Code: c, Message: msg, Retryable: retry}
+	}
+	switch {
+	case errors.Is(err, ggpdes.ErrInvalidConfig):
+		return info(http.StatusBadRequest, CodeInvalidConfig, false)
+	case errors.Is(err, ErrQueueFull):
+		return info(http.StatusTooManyRequests, CodeQueueFull, true)
+	case errors.Is(err, ErrDraining):
+		return info(http.StatusServiceUnavailable, CodeDraining, true)
+	case errors.Is(err, ggpdes.ErrDeadline), errors.Is(err, context.DeadlineExceeded):
+		return info(http.StatusGatewayTimeout, CodeDeadline, false)
+	case errors.Is(err, ggpdes.ErrCheckpointCorrupt):
+		return info(http.StatusGone, CodeCheckpointCorrupt, false)
+	case errors.Is(err, ggpdes.ErrCancelled), errors.Is(err, context.Canceled):
+		return info(http.StatusConflict, CodeCancelled, false)
+	case errors.Is(err, ErrStalled):
+		return info(http.StatusGatewayTimeout, CodeStalled, true)
+	case errors.Is(err, dist.ErrWorkerLost):
+		return info(http.StatusBadGateway, CodeWorkerLost, true)
+	case errors.Is(err, cluster.ErrPeerLost):
+		return info(http.StatusBadGateway, CodePeerLost, true)
+	case errors.Is(err, chaos.ErrInjectedCrash):
+		return info(http.StatusConflict, CodeFailed, true)
+	default:
+		return info(fbStatus, fbCode, false)
+	}
+}
+
+// remoteFailure converts a peer's envelope error back into the local
+// sentinel it was mapped from, so a delegated job's terminal state
+// classifies (and re-serializes) exactly as if the run were local.
+func remoteFailure(p string, re *cluster.RemoteError) error {
+	var sentinel error
+	switch re.Code {
+	case CodeInvalidConfig:
+		sentinel = ggpdes.ErrInvalidConfig
+	case CodeDeadline:
+		sentinel = ggpdes.ErrDeadline
+	case CodeCheckpointCorrupt:
+		sentinel = ggpdes.ErrCheckpointCorrupt
+	case CodeCancelled:
+		sentinel = ggpdes.ErrCancelled
+	case CodeStalled:
+		sentinel = ErrStalled
+	case CodeWorkerLost:
+		sentinel = dist.ErrWorkerLost
+	default:
+		return fmt.Errorf("peer %s: %s: %s", p, re.Code, re.Message)
+	}
+	return fmt.Errorf("peer %s: %w: %s", p, sentinel, re.Message)
+}
+
+// Result sources reported in JobMeta.Source: where a job's results
+// came from when it did not simulate locally.
+const (
+	SourceCache    = "cache"    // local result-cache hit at submit
+	SourceInflight = "inflight" // coalesced onto an identical in-flight job
+	SourcePeer     = "peer"     // filled from the owning peer's cache
+	SourceRemote   = "remote"   // delegated to and run by the owning peer
+)
+
+// JobMeta is the one job-identity shape every /v2 payload shares:
+// job status, result and series wrappers, sweep members, and SSE
+// events all embed it. It is Status re-cut for revision 4 — the
+// terminal error becomes the typed ErrorInfo instead of a bare
+// string, and Source says where the results came from.
+type JobMeta struct {
+	ID    string `json:"id"`
+	State State  `json:"state"`
+	// Key is the config's content-addressed cache key.
+	Key string `json:"key,omitempty"`
+	// Cached is true when the job produced no local simulation: its
+	// results came from the cache, an in-flight duplicate, or a peer.
+	Cached bool `json:"cached,omitempty"`
+	// Source qualifies Cached: "cache", "inflight", "peer", "remote",
+	// or empty for a locally simulated run.
+	Source string `json:"source,omitempty"`
+	// Error is the typed terminal failure, present only for failed or
+	// cancelled jobs.
+	Error *ErrorInfo `json:"error,omitempty"`
+
+	Attempts    int    `json:"attempts,omitempty"`
+	LastError   string `json:"last_error,omitempty"`
+	ResumedFrom string `json:"resumed_from,omitempty"`
+
+	SubmittedAt  time.Time `json:"submitted_at"`
+	StartedAt    time.Time `json:"started_at,omitempty"`
+	FinishedAt   time.Time `json:"finished_at,omitempty"`
+	QueueSeconds float64   `json:"queue_seconds"`
+	RunSeconds   float64   `json:"run_seconds"`
+}
+
+// Meta re-cuts a Status snapshot into the /v2 shape.
+func (st Status) Meta() JobMeta {
+	m := JobMeta{
+		ID:           st.ID,
+		State:        st.State,
+		Key:          st.Key,
+		Cached:       st.Cached,
+		Source:       st.Source,
+		Attempts:     st.Attempts,
+		LastError:    st.LastError,
+		ResumedFrom:  st.ResumedFrom,
+		SubmittedAt:  st.SubmittedAt,
+		StartedAt:    st.StartedAt,
+		FinishedAt:   st.FinishedAt,
+		QueueSeconds: st.QueueSeconds,
+		RunSeconds:   st.RunSeconds,
+	}
+	if st.State == StateFailed || st.State == StateCancelled {
+		cause := st.failCause
+		if cause == nil {
+			cause = errors.New(st.Error)
+		}
+		_, info := classify(cause, CodeFailed, http.StatusConflict)
+		if st.Error != "" {
+			info.Message = st.Error
+		}
+		m.Error = &info
+	}
+	return m
+}
+
+// metaStatus maps a terminal job's meta back to the HTTP status its
+// error code rides on (200 for done).
+func metaStatus(m JobMeta) int {
+	if m.Error == nil {
+		return http.StatusOK
+	}
+	return codeHTTPStatus(m.Error.Code)
+}
+
+// codeHTTPStatus is the inverse of classify for envelope codes: the
+// HTTP status each code is defined to ride on.
+func codeHTTPStatus(code string) int {
+	switch code {
+	case CodeInvalidConfig:
+		return http.StatusBadRequest
+	case CodeNotFound:
+		return http.StatusNotFound
+	case CodeCheckpointCorrupt:
+		return http.StatusGone
+	case CodeQueueFull:
+		return http.StatusTooManyRequests
+	case CodeWorkerLost, CodePeerLost:
+		return http.StatusBadGateway
+	case CodeDraining:
+		return http.StatusServiceUnavailable
+	case CodeDeadline, CodeStalled:
+		return http.StatusGatewayTimeout
+	case CodeInternal:
+		return http.StatusInternalServerError
+	default: // cancelled, failed
+		return http.StatusConflict
+	}
+}

@@ -62,6 +62,22 @@ func (c *resultCache) get(key string) (*ggpdes.Results, bool) {
 	return el.Value.(*cacheEntry).res, true
 }
 
+// peek is get without the hit/miss accounting, for re-checks that
+// already recorded the lookup (Submit's under-lock race close).
+func (c *resultCache) peek(key string) (*ggpdes.Results, bool) {
+	if c.max <= 0 {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).res, true
+}
+
 // put stores a completed result, evicting the least recently used
 // entry past the bound.
 func (c *resultCache) put(key string, res *ggpdes.Results) {

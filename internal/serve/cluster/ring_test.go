@@ -1,0 +1,73 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+// Every replica must compute the same owner for the same key whatever
+// order its -peers flag listed the members in — that shared answer is
+// the whole routing contract.
+func TestRingOrderInvariant(t *testing.T) {
+	a := newRing([]string{"h1:1", "h2:2", "h3:3"}, 64)
+	b := newRing([]string{"h3:3", "h1:1", "h2:2", "h2:2"}, 64)
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("sha256:%064x", i)
+		if a.owner(key) != b.owner(key) {
+			t.Fatalf("key %d: owner %q (sorted list) != %q (shuffled list)", i, a.owner(key), b.owner(key))
+		}
+	}
+}
+
+// With virtual nodes the key split must be roughly even: no member
+// should own more than twice its fair share over a large key sample.
+func TestRingBalance(t *testing.T) {
+	members := []string{"h1:1", "h2:2", "h3:3"}
+	r := newRing(members, 64)
+	counts := map[string]int{}
+	const n = 3000
+	for i := 0; i < n; i++ {
+		counts[r.owner(fmt.Sprintf("sha256:%064x", i))]++
+	}
+	for _, m := range members {
+		share := float64(counts[m]) / n
+		if share < 1.0/(3*2) || share > 2.0/3 {
+			t.Fatalf("member %s owns %.1f%% of keys (counts %v)", m, share*100, counts)
+		}
+	}
+}
+
+// A single-member ring routes everything to that member, and an empty
+// ring routes nowhere.
+func TestRingDegenerate(t *testing.T) {
+	one := newRing([]string{"only:1"}, 8)
+	if got := one.owner("sha256:abc"); got != "only:1" {
+		t.Fatalf("single-member ring routed to %q", got)
+	}
+	empty := newRing(nil, 8)
+	if got := empty.owner("sha256:abc"); got != "" {
+		t.Fatalf("empty ring routed to %q", got)
+	}
+}
+
+// Cluster.Owner must identify self vs peer against the same ring.
+func TestClusterOwnerSelf(t *testing.T) {
+	members := []string{"h1:1", "h2:2", "h3:3"}
+	views := make([]*Cluster, len(members))
+	for i, self := range members {
+		views[i] = New(Options{Self: self, Peers: members})
+	}
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("sha256:%064x", i)
+		owner := views[0].ring.owner(key)
+		for _, v := range views {
+			p, self := v.Owner(key)
+			if self != (v.Self() == owner) {
+				t.Fatalf("key %d: view %s disagrees on self-ownership of %s", i, v.Self(), owner)
+			}
+			if !self && p.Addr() != owner {
+				t.Fatalf("key %d: view %s routed to %s, ring says %s", i, v.Self(), p.Addr(), owner)
+			}
+		}
+	}
+}

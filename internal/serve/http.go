@@ -12,42 +12,85 @@ import (
 	"ggpdes/internal/telemetry"
 )
 
-// apiRevision identifies the /v1 wire contract. Revision 2 replaced
-// the flat job spec with an embedded ggpdes.Config ("config":{...})
-// and added attempts/last_error/resumed_from to job status. Revision 3
-// added GET /v1/jobs/{id}/series, changed /v1/stats gauges from bare
-// numbers to {value,set} objects (unset gauges are no longer reported
-// as a misleading 0), and added the OpenMetrics exposition (mounted by
-// ggserved at /metrics); /v1 paths are otherwise stable within a
-// revision.
-const apiRevision = 3
+// apiRevision identifies the service wire contract. Revision 2
+// replaced the flat job spec with an embedded ggpdes.Config
+// ("config":{...}) and added attempts/last_error/resumed_from to job
+// status. Revision 3 added GET /v1/jobs/{id}/series, changed
+// /v1/stats gauges from bare numbers to {value,set} objects, and
+// added the OpenMetrics exposition (mounted by ggserved at /metrics).
+// Revision 4 introduces /v2 — the typed error envelope
+// {"error":{"code","message","retryable"}}, JobMeta-shaped payloads,
+// sweeps with SSE streaming, the cluster fill/delegate endpoints —
+// and demotes /v1 to a frozen compatibility shim served with a
+// Deprecation header; /v1 bodies are unchanged from revision 3
+// (additive fields only).
+const apiRevision = 4
 
-// Handler returns the service's HTTP API:
+// Handler returns the service's HTTP API — the current /v2 surface
+// plus the deprecated /v1 shim:
 //
-//	POST   /v1/jobs            submit a JobSpec; 202 queued, 200 cache hit,
-//	                           400 invalid config, 429 queue full
-//	                           (Retry-After), 503 draining
-//	GET    /v1/jobs/{id}       job status; 404 unknown
-//	GET    /v1/jobs/{id}/result  200 results when done, 202 still in
-//	                           flight, 404 unknown; failures map the
-//	                           typed cause: 409 cancelled/failed, 410
-//	                           corrupt checkpoint, 504 deadline
-//	GET    /v1/jobs/{id}/series  per-GVT-round time series — live ring
-//	                           while running, recorded series when done
-//	DELETE /v1/jobs/{id}       cancel; 200 with post-cancel status
-//	GET    /v1/version         API revision + checkpoint format
-//	GET    /v1/healthz         200 ok, 503 draining
-//	GET    /v1/stats           telemetry counters/gauges/histograms
+//	POST   /v2/jobs              submit a JobSpec; 202 queued, 200 cache
+//	                             hit; errors wear the typed envelope
+//	                             (400 invalid_config, 429 queue_full
+//	                             with deterministic Retry-After, 503
+//	                             draining)
+//	GET    /v2/jobs/{id}         job status as {"job": JobMeta}
+//	GET    /v2/jobs/{id}/result  200 job+results when done, 202 in
+//	                             flight; terminal failures map the
+//	                             error code's status
+//	GET    /v2/jobs/{id}/series  per-GVT-round time series
+//	DELETE /v2/jobs/{id}         cancel; 200 with post-cancel meta
+//	POST   /v2/sweeps            fan one SweepSpec into K member jobs
+//	GET    /v2/sweeps/{id}       aggregate + per-member status
+//	GET    /v2/sweeps/{id}/events  SSE stream: one event per member in
+//	                             completion order, then "done"
+//	DELETE /v2/sweeps/{id}       cancel all non-terminal members
+//	GET    /v2/version           API revision + checkpoint format
+//	GET    /v2/healthz           queue occupancy + peer connectivity;
+//	                             503 only when draining
+//	GET    /v2/stats             telemetry counters/gauges/histograms
+//	GET    /v2/cluster/ping      cluster-internal liveness probe
+//	GET    /v2/cluster/result/{key}  cluster-internal cache fill
+//	POST   /v2/cluster/jobs      cluster-internal delegated run
+//
+// The /v1 routes keep their revision-3 request/response shapes
+// (string error bodies included) and answer with `Deprecation: true`
+// plus a successor-version Link header.
 func (m *Manager) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/jobs", m.handleSubmit)
-	mux.HandleFunc("GET /v1/jobs/{id}", m.handleStatus)
-	mux.HandleFunc("GET /v1/jobs/{id}/result", m.handleResult)
-	mux.HandleFunc("GET /v1/jobs/{id}/series", m.handleSeries)
-	mux.HandleFunc("DELETE /v1/jobs/{id}", m.handleCancel)
-	mux.HandleFunc("GET /v1/version", m.handleVersion)
-	mux.HandleFunc("GET /v1/healthz", m.handleHealthz)
-	mux.HandleFunc("GET /v1/stats", m.handleStats)
+	// The deprecated /v1 shim: same handlers, same bodies, plus the
+	// deprecation headers (RFC 8594-style) pointing clients at /v2.
+	v1 := func(h http.HandlerFunc) http.HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Deprecation", "true")
+			w.Header().Set("Link", `</v2>; rel="successor-version"`)
+			h(w, r)
+		}
+	}
+	mux.HandleFunc("POST /v1/jobs", v1(m.handleSubmit))
+	mux.HandleFunc("GET /v1/jobs/{id}", v1(m.handleStatus))
+	mux.HandleFunc("GET /v1/jobs/{id}/result", v1(m.handleResult))
+	mux.HandleFunc("GET /v1/jobs/{id}/series", v1(m.handleSeries))
+	mux.HandleFunc("DELETE /v1/jobs/{id}", v1(m.handleCancel))
+	mux.HandleFunc("GET /v1/version", v1(m.handleVersion))
+	mux.HandleFunc("GET /v1/healthz", v1(m.handleHealthz))
+	mux.HandleFunc("GET /v1/stats", v1(m.handleStats))
+
+	mux.HandleFunc("POST /v2/jobs", m.v2Submit)
+	mux.HandleFunc("GET /v2/jobs/{id}", m.v2Status)
+	mux.HandleFunc("GET /v2/jobs/{id}/result", m.v2Result)
+	mux.HandleFunc("GET /v2/jobs/{id}/series", m.v2Series)
+	mux.HandleFunc("DELETE /v2/jobs/{id}", m.v2Cancel)
+	mux.HandleFunc("POST /v2/sweeps", m.v2SubmitSweep)
+	mux.HandleFunc("GET /v2/sweeps/{id}", m.v2SweepStatus)
+	mux.HandleFunc("GET /v2/sweeps/{id}/events", m.v2SweepEvents)
+	mux.HandleFunc("DELETE /v2/sweeps/{id}", m.v2CancelSweep)
+	mux.HandleFunc("GET /v2/version", m.v2Version)
+	mux.HandleFunc("GET /v2/healthz", m.v2Healthz)
+	mux.HandleFunc("GET /v2/stats", m.handleStats)
+	mux.HandleFunc("GET /v2/cluster/ping", m.v2ClusterPing)
+	mux.HandleFunc("GET /v2/cluster/result/{key}", m.v2ClusterResult)
+	mux.HandleFunc("POST /v2/cluster/jobs", m.v2ClusterRun)
 	return mux
 }
 
@@ -116,9 +159,9 @@ func (m *Manager) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	st, err := m.Submit(spec)
 	switch {
 	case errors.Is(err, ErrQueueFull):
-		// Queue depth × typical service time is the natural drain
-		// horizon; 1s is a conservative client backoff hint.
-		w.Header().Set("Retry-After", "1")
+		// Deterministic backoff hint: derived from queue occupancy,
+		// not the wall clock (see retryAfterSeconds).
+		m.setRetryAfter(w)
 		writeJSON(w, submitStatus(err), errorBody{Error: err.Error()})
 	case err != nil:
 		writeJSON(w, submitStatus(err), errorBody{Error: err.Error()})
@@ -218,30 +261,23 @@ func (m *Manager) handleVersion(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// healthBody is the /v1/healthz payload.
-type healthBody struct {
-	Status     string `json:"status"`
-	Workers    int    `json:"workers"`
-	QueueDepth int    `json:"queue_depth"`
-	Queued     int    `json:"queued"`
-	Running    int    `json:"running"`
-}
+// healthBody is the /v1 name for the healthz payload; revision 4
+// upgraded it to the shared Health shape (additively — revision-3
+// clients keep parsing it).
+type healthBody = Health
 
+// handleHealthz serves the same upgraded Health payload as /v2: the
+// revision-3 fields (status, workers, queue_depth, queued, running)
+// are all still present, with queue occupancy and peer connectivity
+// added — additive, so revision-3 clients keep parsing it.
 func (m *Manager) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	queued, running := m.Counts()
-	body := healthBody{
-		Status:     "ok",
-		Workers:    m.Workers(),
-		QueueDepth: m.QueueDepth(),
-		Queued:     queued,
-		Running:    running,
-	}
+	h := m.Health(r.Context())
 	code := http.StatusOK
-	if m.Draining() {
-		body.Status = "draining"
+	if h.Draining {
+		h.Status = "draining"
 		code = http.StatusServiceUnavailable
 	}
-	writeJSON(w, code, body)
+	writeJSON(w, code, h)
 }
 
 // statsBody is the /v1/stats payload: a full registry snapshot.

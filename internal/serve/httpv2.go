@@ -1,0 +1,344 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strconv"
+
+	"ggpdes/internal/checkpoint"
+)
+
+// This file is the /v2 HTTP surface (API revision 4): the typed error
+// envelope everywhere, JobMeta-shaped payloads, sweeps with SSE
+// streaming, the richer healthz, and the cluster-internal fill/
+// delegate endpoints. The /v1 handlers in http.go stay as the
+// compatibility shim.
+
+// writeError writes the /v2 envelope for err via classify.
+func writeError(w http.ResponseWriter, err error, fbCode string, fbStatus int) {
+	code, info := classify(err, fbCode, fbStatus)
+	writeJSON(w, code, errorEnvelope{Error: info})
+}
+
+// writeNotFound writes the envelope for an unknown job or sweep id.
+func writeNotFound(w http.ResponseWriter, what string) {
+	writeJSON(w, http.StatusNotFound, errorEnvelope{Error: ErrorInfo{
+		Code: CodeNotFound, Message: "unknown " + what,
+	}})
+}
+
+// retryAfterSeconds derives the 429 backoff hint from queue occupancy
+// instead of the wall clock: with every worker busy, a full queue
+// drains in about queueLen/workers service times, so that ratio (in
+// seconds, floored at 1, capped at 60) is the deterministic hint.
+// Identical server state always produces an identical header, which
+// keeps backpressure tests timing-insensitive.
+func retryAfterSeconds(queueLen, workers int) int {
+	if workers < 1 {
+		workers = 1
+	}
+	s := (queueLen + workers - 1) / workers
+	if s < 1 {
+		s = 1
+	}
+	if s > 60 {
+		s = 60
+	}
+	return s
+}
+
+// setRetryAfter stamps the deterministic Retry-After header for a
+// queue-full rejection.
+func (m *Manager) setRetryAfter(w http.ResponseWriter) {
+	w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(len(m.queue), m.opts.Workers)))
+}
+
+// jobBody is the /v2 job payload: JobMeta alone for status, plus
+// results or series where the endpoint carries them.
+type jobBody struct {
+	Job JobMeta `json:"job"`
+}
+
+type jobResultBody struct {
+	Job     JobMeta `json:"job"`
+	Results any     `json:"results"`
+}
+
+// jobErrorBody is the non-2xx body for a job that reached a terminal
+// failure: the standard envelope (so every /v2 error body has a
+// top-level "error") plus the job's full meta.
+type jobErrorBody struct {
+	Error ErrorInfo `json:"error"`
+	Job   JobMeta   `json:"job"`
+}
+
+// writeJobError writes a terminal job's failure at its code's status.
+func writeJobError(w http.ResponseWriter, meta JobMeta) {
+	info := ErrorInfo{Code: CodeFailed, Message: "job failed"}
+	if meta.Error != nil {
+		info = *meta.Error
+	}
+	writeJSON(w, metaStatus(meta), jobErrorBody{Error: info, Job: meta})
+}
+
+func (m *Manager) v2Submit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, fmt.Errorf("invalid JSON body: %w", err), CodeInvalidConfig, http.StatusBadRequest)
+		return
+	}
+	st, err := m.Submit(spec)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		m.setRetryAfter(w)
+		writeError(w, err, CodeInternal, http.StatusInternalServerError)
+	case err != nil:
+		writeError(w, err, CodeInternal, http.StatusInternalServerError)
+	case st.Cached:
+		writeJSON(w, http.StatusOK, jobBody{Job: st.Meta()})
+	default:
+		writeJSON(w, http.StatusAccepted, jobBody{Job: st.Meta()})
+	}
+}
+
+func (m *Manager) v2Status(w http.ResponseWriter, r *http.Request) {
+	st, ok := m.Get(r.PathValue("id"))
+	if !ok {
+		writeNotFound(w, "job")
+		return
+	}
+	writeJSON(w, http.StatusOK, jobBody{Job: st.Meta()})
+}
+
+func (m *Manager) v2Result(w http.ResponseWriter, r *http.Request) {
+	res, st, ok := m.Result(r.PathValue("id"))
+	if !ok {
+		writeNotFound(w, "job")
+		return
+	}
+	meta := st.Meta()
+	switch st.State {
+	case StateDone:
+		writeJSON(w, http.StatusOK, jobResultBody{Job: meta, Results: res})
+	case StateFailed, StateCancelled:
+		writeJobError(w, meta)
+	default:
+		writeJSON(w, http.StatusAccepted, jobBody{Job: meta})
+	}
+}
+
+// jobSeriesBody mirrors /v1's series payload in the /v2 shape.
+type jobSeriesBody struct {
+	Job    JobMeta `json:"job"`
+	Total  int     `json:"total_points"`
+	Points any     `json:"points"`
+}
+
+func (m *Manager) v2Series(w http.ResponseWriter, r *http.Request) {
+	pts, total, st, ok := m.Series(r.PathValue("id"))
+	if !ok {
+		writeNotFound(w, "job")
+		return
+	}
+	body := jobSeriesBody{Job: st.Meta(), Total: total, Points: pts}
+	if pts == nil {
+		body.Points = []struct{}{}
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+func (m *Manager) v2Cancel(w http.ResponseWriter, r *http.Request) {
+	st, ok := m.Cancel(r.PathValue("id"))
+	if !ok {
+		writeNotFound(w, "job")
+		return
+	}
+	writeJSON(w, http.StatusOK, jobBody{Job: st.Meta()})
+}
+
+type sweepBody struct {
+	Sweep SweepStatus `json:"sweep"`
+}
+
+func (m *Manager) v2SubmitSweep(w http.ResponseWriter, r *http.Request) {
+	var spec SweepSpec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, fmt.Errorf("invalid JSON body: %w", err), CodeInvalidConfig, http.StatusBadRequest)
+		return
+	}
+	st, err := m.SubmitSweep(spec)
+	if err != nil {
+		writeError(w, err, CodeInternal, http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, sweepBody{Sweep: st})
+}
+
+func (m *Manager) v2SweepStatus(w http.ResponseWriter, r *http.Request) {
+	st, ok := m.GetSweep(r.PathValue("id"))
+	if !ok {
+		writeNotFound(w, "sweep")
+		return
+	}
+	writeJSON(w, http.StatusOK, sweepBody{Sweep: st})
+}
+
+func (m *Manager) v2CancelSweep(w http.ResponseWriter, r *http.Request) {
+	st, ok := m.CancelSweep(r.PathValue("id"))
+	if !ok {
+		writeNotFound(w, "sweep")
+		return
+	}
+	writeJSON(w, http.StatusOK, sweepBody{Sweep: st})
+}
+
+// v2SweepEvents streams the sweep's completions as Server-Sent
+// Events: one `event: result` per member in completion order (already
+// settled members replay immediately, so a late subscriber misses
+// nothing), then one `event: done` carrying the final SweepStatus.
+// The stream also ends when the client goes away.
+func (m *Manager) v2SweepEvents(w http.ResponseWriter, r *http.Request) {
+	if _, ok := m.GetSweep(r.PathValue("id")); !ok {
+		writeNotFound(w, "sweep")
+		return
+	}
+	fl, canFlush := w.(http.Flusher)
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	id := r.PathValue("id")
+	next := 0
+	for {
+		evs, finished, wake, ok := m.sweepEventsSince(id, next)
+		if !ok {
+			// Evicted from retention mid-stream; nothing more to say.
+			return
+		}
+		for _, ev := range evs {
+			if err := writeSSE(w, "result", ev.Seq, ev); err != nil {
+				return
+			}
+		}
+		next += len(evs)
+		if canFlush && len(evs) > 0 {
+			fl.Flush()
+		}
+		if finished {
+			final, _ := m.GetSweep(id)
+			_ = writeSSE(w, "done", next, sweepBody{Sweep: final})
+			if canFlush {
+				fl.Flush()
+			}
+			return
+		}
+		select {
+		case <-wake:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// writeSSE writes one Server-Sent Event with a JSON data payload.
+func writeSSE(w http.ResponseWriter, event string, id int, v any) error {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", id, event, data)
+	return err
+}
+
+func (m *Manager) v2Version(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, versionBody{
+		Service:          "ggserved",
+		API:              "v2",
+		APIRevision:      apiRevision,
+		CheckpointFormat: checkpoint.Version,
+		GoVersion:        runtime.Version(),
+		MaxAttempts:      m.opts.MaxAttempts,
+	})
+}
+
+func (m *Manager) v2Healthz(w http.ResponseWriter, r *http.Request) {
+	h := m.Health(r.Context())
+	code := http.StatusOK
+	if h.Draining {
+		// Degraded still answers 200 — this replica can serve; peers
+		// being down is advisory. Draining is the only state a load
+		// balancer must stop routing to.
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, h)
+}
+
+// Cluster-internal endpoints. They live under /v2/cluster/ and speak
+// the same envelope; replicas are the only intended callers.
+
+func (m *Manager) v2ClusterPing(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// v2ClusterResult is the fill protocol's server side: a bare cache
+// lookup, 200 with the Results on a hit, not_found on a miss. It
+// never simulates — fills must stay cheap or routing would amplify
+// load instead of shedding it.
+func (m *Manager) v2ClusterResult(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	res, ok := m.cache.get(key)
+	if !ok {
+		writeNotFound(w, "cached result")
+		return
+	}
+	if m.clu != nil {
+		m.clu.NoteFillServed()
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+// v2ClusterRun is delegation's server side: run the spec as our own
+// job (cache, single-flight, retries and all) and block until it
+// settles, answering with the result or its typed failure. NoForward
+// is forced so a stale peer list cannot create routing loops.
+func (m *Manager) v2ClusterRun(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, fmt.Errorf("invalid JSON body: %w", err), CodeInvalidConfig, http.StatusBadRequest)
+		return
+	}
+	spec.NoForward = true
+	if m.clu != nil {
+		m.clu.NoteRemoteJob()
+	}
+	st, err := m.Submit(spec)
+	if err != nil {
+		if errors.Is(err, ErrQueueFull) {
+			m.setRetryAfter(w)
+		}
+		writeError(w, err, CodeInternal, http.StatusInternalServerError)
+		return
+	}
+	final, err := m.Wait(r.Context(), st.ID)
+	if err != nil {
+		// The requester hung up (or died); the job keeps running here
+		// and lands in the cache for its retry.
+		return
+	}
+	meta := final.Meta()
+	if final.State != StateDone {
+		writeJobError(w, meta)
+		return
+	}
+	res, _, _ := m.Result(st.ID)
+	writeJSON(w, http.StatusOK, jobResultBody{Job: meta, Results: res})
+}

@@ -2,12 +2,14 @@ package serve
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"hash/fnv"
 	"os"
 	"path/filepath"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -17,6 +19,7 @@ import (
 	"ggpdes/internal/checkpoint"
 	"ggpdes/internal/dist"
 	"ggpdes/internal/rng"
+	"ggpdes/internal/serve/cluster"
 	"ggpdes/internal/telemetry"
 )
 
@@ -104,6 +107,13 @@ type Options struct {
 	// watchdog disabled).
 	StallTimeout time.Duration
 
+	// Cluster is this replica's view of the serving fleet: consistent-
+	// hash routing on the cache key, peer cache fill, and delegation.
+	// nil runs single-node. When set, CheckpointRoot should point at a
+	// directory shared by every replica so any of them can resume
+	// another's dead job.
+	Cluster *cluster.Cluster
+
 	// CrashRate injects a simulated worker crash — the attempt's
 	// context is cancelled at a planned GVT fraction — with this
 	// probability per attempt, deterministic in (ChaosSeed, job key,
@@ -138,6 +148,13 @@ type Job struct {
 	finished    time.Time
 	cancel      context.CancelFunc
 	done        chan struct{}
+
+	// source says where a non-simulated result came from ("cache",
+	// "inflight", "peer", "remote"); empty for local runs.
+	source string
+	// followers are identical-key jobs coalesced onto this in-flight
+	// leader; they settle with the leader's terminal outcome.
+	followers []*Job
 }
 
 // Status is an immutable snapshot of a job, shaped for JSON.
@@ -148,7 +165,12 @@ type Status struct {
 	Key string `json:"key"`
 	// Cached is true when the result was served from the cache without
 	// a run.
-	Cached bool   `json:"cached,omitempty"`
+	Cached bool `json:"cached,omitempty"`
+	// Source qualifies Cached: "cache" (local hit), "inflight"
+	// (coalesced onto an identical in-flight job), "peer" (filled from
+	// the owning replica's cache), "remote" (delegated to and run by
+	// the owning replica); empty for local runs.
+	Source string `json:"source,omitempty"`
 	Error  string `json:"error,omitempty"`
 
 	// Attempts counts run attempts so far (0 for cache hits).
@@ -179,6 +201,7 @@ type Manager struct {
 	reg     *telemetry.Registry
 	cache   *resultCache
 	crashes *chaos.WorkerCrashes
+	clu     *cluster.Cluster
 
 	// baseCtx parents every job context: cancelling it (the caller's
 	// process-lifetime context) reaches all in-flight runs, so a drain
@@ -196,6 +219,13 @@ type Manager struct {
 	terminal []string // terminal job IDs, oldest first, for retention
 	seq      uint64
 	draining bool
+	// inflight indexes the leading (actually executing) job per cache
+	// key; identical submissions arriving while it runs coalesce onto
+	// it as followers instead of simulating again.
+	inflight map[string]*Job
+
+	sweeps        map[string]*sweepJob
+	sweepTerminal []string // terminal sweep IDs, oldest first
 
 	submitted      *telemetry.Counter
 	completed      *telemetry.Counter
@@ -209,6 +239,8 @@ type Manager struct {
 	queueWait      *telemetry.Histogram
 	runWall        *telemetry.Histogram
 	inFlight       *telemetry.Gauge
+	simulations    *telemetry.Counter
+	dedupInflight  *telemetry.Counter
 }
 
 // New starts a manager and its worker pool with a background base
@@ -243,9 +275,12 @@ func NewContext(ctx context.Context, opts Options) *Manager {
 		opts:           opts,
 		reg:            reg,
 		baseCtx:        ctx,
+		clu:            opts.Cluster,
 		cache:          newResultCache(opts.CacheEntries, reg),
 		queue:          make(chan *Job, opts.QueueDepth),
 		jobs:           make(map[string]*Job),
+		inflight:       make(map[string]*Job),
+		sweeps:         make(map[string]*sweepJob),
 		submitted:      reg.Counter(MetricJobsSubmitted),
 		completed:      reg.Counter(MetricJobsCompleted),
 		failed:         reg.Counter(MetricJobsFailed),
@@ -258,6 +293,8 @@ func NewContext(ctx context.Context, opts Options) *Manager {
 		queueWait:      reg.Histogram(MetricQueueWaitMS),
 		runWall:        reg.Histogram(MetricRunWallMS),
 		inFlight:       reg.Gauge(MetricJobsInFlight),
+		simulations:    reg.Counter(MetricSimulations),
+		dedupInflight:  reg.Counter(MetricDedupInflight),
 	}
 	if opts.CrashRate > 0 {
 		seed := opts.ChaosSeed
@@ -291,10 +328,13 @@ func (m *Manager) Workers() int { return m.opts.Workers }
 // QueueDepth reports the admission queue bound.
 func (m *Manager) QueueDepth() int { return m.opts.QueueDepth }
 
-// Submit validates the spec and either answers it from the result
-// cache (job born StateDone, Cached=true) or admits it to the queue.
-// It fails fast with ErrQueueFull when the queue is at bound and
-// ErrDraining after Drain has begun; spec errors wrap
+// Submit validates the spec and answers it the cheapest way it can:
+// from the result cache (job born StateDone, Cached=true), by
+// coalescing onto an identical job already in flight (the follower
+// settles with the leader's outcome — single-flight dedup, so K
+// concurrent identical submissions simulate once), or by admitting it
+// to the queue. It fails fast with ErrQueueFull when the queue is at
+// bound and ErrDraining after Drain has begun; spec errors wrap
 // ggpdes.ErrInvalidConfig.
 func (m *Manager) Submit(spec JobSpec) (Status, error) {
 	cfg, err := spec.config(m.opts)
@@ -315,23 +355,12 @@ func (m *Manager) Submit(spec JobSpec) (Status, error) {
 		done:        make(chan struct{}),
 	}
 
+	// Fast path: a cache hit needs no queue slot. The lookup repeats
+	// under the lock below, so a completion racing this unlocked miss
+	// still dedups.
 	if !spec.NoCache {
 		if res, ok := m.cache.get(key); ok {
-			j.cached = true
-			j.result = res
-			j.state = StateDone
-			j.finished = j.submitted
-			close(j.done)
-			m.mu.Lock()
-			if m.draining {
-				m.mu.Unlock()
-				return Status{}, ErrDraining
-			}
-			m.register(j)
-			m.mu.Unlock()
-			m.submitted.Inc()
-			m.completed.Inc()
-			return j.status(), nil
+			return m.submitCached(j, res)
 		}
 	} else {
 		// Count the bypass as a miss so hit-rate math stays honest.
@@ -344,6 +373,28 @@ func (m *Manager) Submit(spec JobSpec) (Status, error) {
 		m.mu.Unlock()
 		return Status{}, ErrDraining
 	}
+	if !spec.NoCache {
+		// Re-check the cache under the lock: completions publish their
+		// result while holding m.mu, so this closes the race between
+		// the unlocked miss above and a concurrent completion. peek, not
+		// get — the lookup was already counted once.
+		if res, ok := m.cache.peek(key); ok {
+			m.mu.Unlock()
+			return m.submitCached(j, res)
+		}
+		// Single-flight: an identical job already executing absorbs
+		// this one as a follower instead of simulating again.
+		if leader, ok := m.inflight[key]; ok && !leader.state.Terminal() {
+			leader.followers = append(leader.followers, j)
+			m.register(j)
+			st := j.status()
+			m.mu.Unlock()
+			m.submitted.Inc()
+			m.dedupInflight.Inc()
+			m.inFlight.Set(float64(m.countInFlight()))
+			return st, nil
+		}
+	}
 	select {
 	case m.queue <- j:
 	default:
@@ -352,11 +403,34 @@ func (m *Manager) Submit(spec JobSpec) (Status, error) {
 		return Status{}, ErrQueueFull
 	}
 	m.register(j)
+	if !spec.NoCache {
+		m.inflight[key] = j
+	}
 	st := j.status()
 	m.mu.Unlock()
 	m.submitted.Inc()
 	m.inFlight.Set(float64(m.countInFlight()))
 	return st, nil
+}
+
+// submitCached finishes a Submit answered from the result cache.
+func (m *Manager) submitCached(j *Job, res *ggpdes.Results) (Status, error) {
+	j.cached = true
+	j.source = SourceCache
+	j.result = res
+	j.state = StateDone
+	j.finished = j.submitted
+	close(j.done)
+	m.mu.Lock()
+	if m.draining {
+		m.mu.Unlock()
+		return Status{}, ErrDraining
+	}
+	m.register(j)
+	m.mu.Unlock()
+	m.submitted.Inc()
+	m.completed.Inc()
+	return j.status(), nil
 }
 
 // register assigns an ID and records the job. Caller holds m.mu.
@@ -453,15 +527,51 @@ func (m *Manager) Cancel(id string) (Status, bool) {
 	switch j.state {
 	case StateQueued:
 		j.state = StateCancelled
+		j.err = "cancelled"
 		j.finished = time.Now()
 		close(j.done)
 		m.retainLocked(j.id)
 		m.cancelled.Inc()
+		// Duplicates coalesced onto this job share its fate: the leader
+		// was the only execution they were waiting on (DESIGN.md §10).
+		m.finalizeLocked(j)
 	case StateRunning:
 		// The worker observes the context and finishes the lifecycle.
 		j.cancel()
 	}
 	return j.status(), true
+}
+
+// finalizeLocked drops the job's in-flight index entry and settles
+// any coalesced duplicates with its terminal outcome: a done leader
+// hands followers its result (Cached, Source "inflight"); a failed or
+// cancelled leader fails them identically. Caller holds m.mu; j must
+// be terminal.
+func (m *Manager) finalizeLocked(j *Job) {
+	if m.inflight[j.key] == j {
+		delete(m.inflight, j.key)
+	}
+	followers := j.followers
+	j.followers = nil
+	for _, f := range followers {
+		f.state = j.state
+		f.err = j.err
+		f.failCause = j.failCause
+		f.finished = time.Now()
+		switch j.state {
+		case StateDone:
+			f.result = j.result
+			f.cached = true
+			f.source = SourceInflight
+			m.completed.Inc()
+		case StateCancelled:
+			m.cancelled.Inc()
+		default:
+			m.failed.Inc()
+		}
+		close(f.done)
+		m.retainLocked(f.id)
+	}
 }
 
 // Wait blocks until the job reaches a terminal state or the context
@@ -584,10 +694,28 @@ func (m *Manager) run(j *Job) {
 	m.mu.Unlock()
 	defer cancel()
 
-	// Give the job its own checkpoint directory so retries resume.
+	// Give the job a checkpoint directory so retries resume. Single-
+	// node managers key it by job ID as before. Clustered managers key
+	// cacheable jobs by *cache key* under the shared root: the same
+	// config checkpoints to the same place whichever replica runs it
+	// (writes are atomic and — runs being deterministic — identical),
+	// so a requester can resume a dead owner's job where it stopped.
+	// Keyed directories are never removed on success for the same
+	// reason: a peer may be mid-read. Clustered NoCache jobs get a
+	// node-scoped directory so same-numbered job IDs on different
+	// replicas cannot collide in the shared root.
 	var ckptDir string
+	keyed := false
 	if cfg.Checkpoint != nil && m.ckptRoot != "" {
-		ckptDir = filepath.Join(m.ckptRoot, j.id)
+		switch {
+		case m.clu != nil && !j.spec.NoCache:
+			ckptDir = filepath.Join(m.ckptRoot, "key-"+pathSafe(j.key))
+			keyed = true
+		case m.clu != nil:
+			ckptDir = filepath.Join(m.ckptRoot, "node-"+pathSafe(m.clu.Self()), j.id)
+		default:
+			ckptDir = filepath.Join(m.ckptRoot, j.id)
+		}
 		cfg.Checkpoint = &ggpdes.CheckpointOptions{Every: cfg.Checkpoint.Every, Dir: ckptDir}
 	}
 
@@ -596,23 +724,43 @@ func (m *Manager) run(j *Job) {
 
 	var res *ggpdes.Results
 	var err error
-	for attempt := 1; ; attempt++ {
-		m.mu.Lock()
-		j.attempts = attempt
-		m.mu.Unlock()
-		res, err = m.attempt(jobCtx, j, cfg, ckptDir, attempt)
-		if err == nil || attempt >= maxAttempts || !retryable(err) {
-			break
+	var source string
+	settled := false
+
+	// Clustered routing: if a peer owns this key, fill from its cache,
+	// else delegate the run to it. Only an owner that died mid-job
+	// (failover: resume its checkpoints locally) or pushed back
+	// (spill: queue full / draining) falls through to the local path.
+	if m.clu != nil && !j.spec.NoCache && !j.spec.NoForward {
+		if owner, self := m.clu.Owner(j.key); !self {
+			res, source, err, settled = m.runRemote(jobCtx, j, owner)
 		}
-		m.retries.Inc()
-		m.mu.Lock()
-		j.lastErr = err.Error()
-		m.mu.Unlock()
-		if !sleepCtx(jobCtx, backoff(m.opts.RetryBackoff, j.key, attempt)) {
-			// The job deadline or a client cancel ended the backoff;
-			// classify it below like any other attempt outcome.
-			err = fmt.Errorf("retry backoff interrupted: %w", context.Cause(jobCtx))
-			break
+	}
+
+	if !settled {
+		res, source, err = nil, "", nil
+		// One serve.simulations tick per job the engine actually ran
+		// locally — summed across replicas this is the fleet-wide
+		// execution count the dedup benchmarks assert on.
+		m.simulations.Inc()
+		for attempt := 1; ; attempt++ {
+			m.mu.Lock()
+			j.attempts = attempt
+			m.mu.Unlock()
+			res, err = m.attempt(jobCtx, j, cfg, ckptDir, attempt, keyed)
+			if err == nil || attempt >= maxAttempts || !retryable(err) {
+				break
+			}
+			m.retries.Inc()
+			m.mu.Lock()
+			j.lastErr = err.Error()
+			m.mu.Unlock()
+			if !sleepCtx(jobCtx, backoff(m.opts.RetryBackoff, j.key, attempt)) {
+				// The job deadline or a client cancel ended the backoff;
+				// classify it below like any other attempt outcome.
+				err = fmt.Errorf("retry backoff interrupted: %w", context.Cause(jobCtx))
+				break
+			}
 		}
 	}
 
@@ -622,11 +770,16 @@ func (m *Manager) run(j *Job) {
 	case err == nil:
 		j.state = StateDone
 		j.result = res
+		j.source = source
+		j.cached = source != ""
 		m.completed.Inc()
 		m.cache.put(j.key, res)
 		// Fold the run's engine metrics into the serving registry so
-		// /metrics covers both planes. Cache hits never reach run(), so
-		// each simulation is counted exactly once.
+		// /metrics covers both planes. Cache hits never reach run(),
+		// and peer-produced results carry no Metrics over the wire
+		// (the field is json:"-", so it arrives zero and imports
+		// nothing), so each simulation's metrics import exactly once
+		// fleet-wide — on the replica that ran it.
 		m.reg.Import(res.Metrics)
 	case errors.Is(err, ggpdes.ErrDeadline) || errors.Is(err, context.DeadlineExceeded):
 		j.state = StateFailed
@@ -646,22 +799,141 @@ func (m *Manager) run(j *Job) {
 	}
 	close(j.done)
 	m.retainLocked(j.id)
+	m.finalizeLocked(j)
 	runMS := float64(j.finished.Sub(j.started).Milliseconds())
 	m.mu.Unlock()
 
-	if err == nil && ckptDir != "" {
+	if err == nil && ckptDir != "" && !keyed {
 		_ = os.RemoveAll(ckptDir) // completed jobs don't need their snapshots
 	}
 	m.runWall.Observe(runMS)
 	m.inFlight.Set(float64(m.countInFlight()))
 }
 
+// runRemote routes a peer-owned job through the cluster: fill from
+// the owner's cache, else delegate the run to it. It returns settled
+// = true when the cluster answered (result or terminal error) and
+// false when the job must run locally instead — the owner died mid-
+// job (failover; the local run resumes its shared checkpoints) or
+// pushed back under load (spill).
+func (m *Manager) runRemote(jobCtx context.Context, j *Job, owner *cluster.Peer) (res *ggpdes.Results, source string, err error, settled bool) {
+	res, err = m.clu.FetchResult(jobCtx, owner, j.key)
+	if err == nil {
+		return res, SourcePeer, nil, true
+	}
+	if jobCtx.Err() != nil {
+		return nil, "", context.Cause(jobCtx), true
+	}
+	// Fill missed (or the owner is already unreachable — delegation
+	// below settles which). Hand the run to the owner so the fleet
+	// simulates each key once; NoForward stops it routing onward.
+	spec := j.spec
+	spec.NoForward = true
+	body, merr := json.Marshal(spec)
+	if merr != nil {
+		return nil, "", merr, true
+	}
+	res, err = m.clu.RunJob(jobCtx, owner, body)
+	if err == nil {
+		return res, SourceRemote, nil, true
+	}
+	if jobCtx.Err() != nil {
+		return nil, "", context.Cause(jobCtx), true
+	}
+	if errors.Is(err, cluster.ErrPeerLost) {
+		// The owner died with our job. Fail over to a local run, which
+		// resumes from the shared keyed checkpoint dir at whatever GVT
+		// the owner last snapshotted.
+		m.clu.NoteFailover()
+		return nil, "", nil, false
+	}
+	var re *cluster.RemoteError
+	if errors.As(err, &re) {
+		if re.Code == CodeQueueFull || re.Code == CodeDraining {
+			// The owner is healthy but shedding load; running locally
+			// trades fleet-wide dedup for availability.
+			m.clu.NoteSpill()
+			return nil, "", nil, false
+		}
+		// A typed remote failure (deadline, invalid config, ...) is the
+		// job's real outcome; re-running locally would just repeat it.
+		return nil, "", remoteFailure(owner.Addr(), re), true
+	}
+	return nil, "", err, true
+}
+
+// pathSafe flattens a cache key or host:port into a path component.
+func pathSafe(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch r {
+		case ':', '/', '\\':
+			return '-'
+		}
+		return r
+	}, s)
+}
+
+// Health is the healthz payload: queue occupancy plus — when
+// clustered — per-peer reachability, so a load balancer can shed to
+// replicas that are neither draining nor partitioned.
+type Health struct {
+	// Status is "ok", "degraded" (some peer unreachable), or
+	// "draining".
+	Status   string `json:"status"`
+	Draining bool   `json:"draining,omitempty"`
+	Workers  int    `json:"workers"`
+	// QueueDepth is the admission bound; QueueLen the spots taken;
+	// QueueFree the spots left before submissions 429.
+	QueueDepth int `json:"queue_depth"`
+	QueueLen   int `json:"queue_len"`
+	QueueFree  int `json:"queue_free"`
+	Queued     int `json:"queued"`
+	Running    int `json:"running"`
+	// ClusterSize and Peers appear only on clustered replicas. Peers
+	// reports the latest probe, which this call performs.
+	ClusterSize int                  `json:"cluster_size,omitempty"`
+	Peers       []cluster.PeerHealth `json:"peers,omitempty"`
+}
+
+// Health probes the fleet (bounded by the cluster ping timeout under
+// ctx) and snapshots queue occupancy. Single-node managers skip the
+// probe and never degrade.
+func (m *Manager) Health(ctx context.Context) Health {
+	queued, running := m.Counts()
+	h := Health{
+		Status:     "ok",
+		Workers:    m.opts.Workers,
+		QueueDepth: m.opts.QueueDepth,
+		QueueLen:   len(m.queue),
+		Queued:     queued,
+		Running:    running,
+	}
+	h.QueueFree = h.QueueDepth - h.QueueLen
+	if m.clu != nil {
+		h.ClusterSize = m.clu.Size()
+		h.Peers = m.clu.Probe(ctx)
+		for _, p := range h.Peers {
+			if !p.OK {
+				h.Status = "degraded"
+			}
+		}
+	}
+	if m.Draining() {
+		h.Status = "draining"
+		h.Draining = true
+	}
+	return h
+}
+
 // attempt executes one run attempt under its own cancellable context.
 // The engine's progress callback doubles as the fault-injection point
 // (a planned crash cancels the context at a GVT fraction) and as the
 // heartbeat the stall watchdog monitors. Attempts after the first
-// resume from the job's latest checkpoint when one exists.
-func (m *Manager) attempt(jobCtx context.Context, j *Job, cfg ggpdes.Config, ckptDir string, attempt int) (*ggpdes.Results, error) {
+// resume from the job's latest checkpoint when one exists; keyed
+// (cluster-shared) checkpoint dirs resume even on the first attempt,
+// because the checkpoint a failover finds there was written by the
+// dead owner, not by this job.
+func (m *Manager) attempt(jobCtx context.Context, j *Job, cfg ggpdes.Config, ckptDir string, attempt int, keyed bool) (*ggpdes.Results, error) {
 	ctx, cancel := context.WithCancelCause(jobCtx)
 	defer cancel(nil)
 
@@ -715,7 +987,7 @@ func (m *Manager) attempt(jobCtx context.Context, j *Job, cfg ggpdes.Config, ckp
 	}
 
 	resumeFrom := ""
-	if ckptDir != "" && attempt > 1 {
+	if ckptDir != "" && (attempt > 1 || keyed) {
 		if path, err := checkpoint.Latest(ckptDir); err == nil {
 			resumeFrom = path
 		}
@@ -796,6 +1068,7 @@ func (j *Job) status() Status {
 		State:       j.state,
 		Key:         j.key,
 		Cached:      j.cached,
+		Source:      j.source,
 		Error:       j.err,
 		Attempts:    j.attempts,
 		LastError:   j.lastErr,

@@ -23,6 +23,15 @@ const (
 	MetricQueueWaitMS = "serve.queue_wait_ms"
 	MetricRunWallMS   = "serve.run_wall_ms"
 
+	// Dedup accounting. MetricSimulations counts jobs the engine
+	// actually ran on this replica — not cache hits, coalesced
+	// duplicates, or peer-served results — so summing it across a
+	// cluster proves each distinct config simulated once fleet-wide.
+	// MetricDedupInflight counts submissions coalesced onto an
+	// identical job already executing (single-flight dedup).
+	MetricSimulations   = "serve.simulations"
+	MetricDedupInflight = "serve.dedup_inflight"
+
 	// Result cache.
 	MetricCacheHits      = "serve.cache_hits"
 	MetricCacheMisses    = "serve.cache_misses"

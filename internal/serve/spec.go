@@ -41,6 +41,11 @@ type JobSpec struct {
 	// negative = no checkpointing). Ignored when the config already
 	// carries its own Checkpoint settings.
 	CheckpointEvery int `json:"checkpoint_every,omitempty"`
+	// NoForward marks a spec a peer already routed here: the receiving
+	// replica must serve it itself (cache or local run) rather than
+	// forward it onward, which breaks routing loops. The cluster layer
+	// sets it on delegated jobs; clients normally leave it unset.
+	NoForward bool `json:"no_forward,omitempty"`
 }
 
 // config applies the server defaults and serving-policy fields to the

@@ -1,0 +1,120 @@
+#!/bin/sh
+# cluster_bench.sh -- emit the PR's tracked benchmark record
+# (BENCH_PR9.json): the fleet-wide sweep-dedup measurement.
+#
+# One 16-member PHOLD parameter sweep in which 8 members duplicate the
+# other 8, run twice from a cold cache: against a single 2-worker
+# replica, and against a 3-replica fleet of 2-worker replicas peered by
+# consistent hashing. Both arms must simulate exactly the 8 unique
+# configs (fleet hit rate 0.5 — the duplicates are answered from the
+# content-addressed cache wherever in the fleet they land); the fleet
+# arm additionally routes each unique member to its owning replica,
+# and its cluster.* routing counters are embedded so the record shows
+# how the dedup happened (delegations + peer fills), not just that it
+# did. Note the wall times are expected to be close: a delegated job
+# pins a worker slot on the submitting replica while the owner runs
+# it, so one sweep's parallelism is bounded by the submitter's pool —
+# the fleet's capacity win shows up under independent clients, its
+# dedup win in the simulations count. `make cluster-bench` runs this;
+# the output is committed.
+#
+# Tunables (environment):
+#   GO    go binary      (default: go)
+#   OUT   output path    (default: BENCH_PR9.json)
+#   END   virtual end time per member (default: 1500)
+set -eu
+
+GO=${GO:-go}
+OUT=${OUT:-BENCH_PR9.json}
+END=${END:-1500}
+
+dir=$(mktemp -d)
+pids=""
+trap 'for p in $pids; do kill "$p" 2>/dev/null || true; done; rm -rf "$dir"' EXIT INT TERM
+
+$GO build -o "$dir/ggserved" ./cmd/ggserved
+$GO build -o "$dir/ggload" ./cmd/ggload
+
+"$dir/ggload" -free-ports 3 >"$dir/ports"
+a1=$(sed -n 1p "$dir/ports")
+a2=$(sed -n 2p "$dir/ports")
+a3=$(sed -n 3p "$dir/ports")
+
+fail() {
+    echo "cluster-bench: $1" >&2
+    cat "$dir"/ggserved*.log >&2 || true
+    exit 1
+}
+
+# start <n> <addr> [peer flags...]
+start() {
+    n=$1
+    a=$2
+    shift 2
+    "$dir/ggserved" -addr "$a" -workers 2 "$@" 2>"$dir/ggserved$n.log" &
+    pids="$pids $!"
+    i=0
+    until curl -sf "http://$a/v2/healthz" >/dev/null 2>&1; do
+        i=$((i + 1))
+        [ "$i" -le 100 ] || fail "replica $a never came up"
+        sleep 0.1
+    done
+}
+
+drain() {
+    for p in $pids; do
+        kill -TERM "$p" 2>/dev/null || true
+    done
+    for p in $pids; do
+        i=0
+        while kill -0 "$p" 2>/dev/null; do
+            i=$((i + 1))
+            [ "$i" -le 300 ] || fail "replica did not drain"
+            sleep 0.1
+        done
+    done
+    pids=""
+}
+
+bench="-sweep-bench -members 16 -dups 8 -end $END"
+
+# Arm 1: one replica, cold cache. Dedup is local (cache + in-flight
+# coalescing); all 8 unique members share its 2 workers.
+start 1 "$a1"
+"$dir/ggload" $bench -addrs "$a1" >"$dir/single.json" || fail "single-replica sweep failed"
+drain
+
+# Arm 2: three peered replicas, cold caches. The sweep lands on one
+# replica; members hash-route to their owners, so the unique work runs
+# on 6 workers while duplicates fill from whichever owner ran first.
+start 1 "$a1" -peers "$a2,$a3"
+start 2 "$a2" -peers "$a1,$a3"
+start 3 "$a3" -peers "$a1,$a2"
+"$dir/ggload" $bench -addrs "$a1,$a2,$a3" >"$dir/fleet.json" || fail "3-replica sweep failed"
+drain
+
+for f in single fleet; do
+    grep -q '"simulations":8' "$dir/$f.json" ||
+        fail "$f arm did not simulate exactly the 8 unique members: $(cat "$dir/$f.json")"
+done
+
+commit=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
+gover=$($GO env GOVERSION)
+
+{
+    printf '{\n'
+    printf '  "pr": 9,\n'
+    printf '  "generated_by": "scripts/cluster_bench.sh",\n'
+    printf '  "commit": "%s",\n' "$commit"
+    printf '  "go": "%s",\n' "$gover"
+    printf '  "config": "phold -threads 4 -lps 4, 16-member sweep, 8 duplicates, end_time %s, 2 workers per replica",\n' "$END"
+    printf '  "cluster_dedup": {\n'
+    printf '    "single_replica": %s,\n' "$(cat "$dir/single.json")"
+    printf '    "fleet_3_replicas": %s\n' "$(cat "$dir/fleet.json")"
+    printf '  }\n'
+    printf '}\n'
+} >"$OUT"
+
+single_ns=$(sed -n 's/.*"wall_ns":\([0-9]*\).*/\1/p' "$dir/single.json")
+fleet_ns=$(sed -n 's/.*"wall_ns":\([0-9]*\).*/\1/p' "$dir/fleet.json")
+echo "cluster-bench: wrote $OUT (16-member sweep, 8 dups: 1 replica $((single_ns / 1000000))ms, 3 replicas $((fleet_ns / 1000000))ms, 8 simulations each)"

@@ -75,7 +75,8 @@ while read -r kind name; do
     *) continue ;;
     esac
     case "$name" in
-    dist.*) continue ;; # only distributed runs register these — asserted absent below
+    dist.*) continue ;;    # only distributed runs register these — asserted absent below
+    cluster.*) continue ;; # only clustered replicas register these — asserted absent below
     esac
     expo="ggpdes_$(echo "$name" | tr . _)"
     grep -q "^# TYPE $expo $kind\$" "$dir/metrics" ||
@@ -89,6 +90,12 @@ grep -q '_bucket{le="+Inf"}' "$dir/metrics" || fail "no histogram buckets expose
 # entirely (the set-flag skipping discipline).
 if grep -q 'ggpdes_dist_' "$dir/metrics"; then
     fail "dist.* metrics exposed without a distributed run"
+fi
+
+# Same discipline for the fleet plane: cluster.* counters are only
+# registered by cluster.New, and this replica ran with no peers.
+if grep -q 'ggpdes_cluster_' "$dir/metrics"; then
+    fail "cluster.* metrics exposed without clustering"
 fi
 
 # Per-round series with the horizon statistics.
