@@ -347,8 +347,10 @@ func (c *Client) CancelSweep(ctx context.Context, id string) (SweepStatus, error
 // SweepEvents subscribes to a sweep's SSE stream and invokes fn once
 // per member completion, in completion order (members settled before
 // the subscription are replayed first). It returns the final sweep
-// status from the stream's closing "done" event. fn returning an
-// error aborts the stream with that error.
+// status from the stream's closing "done" event; a stream the server
+// ends with a terminal "error" event instead (sweep evicted from
+// retention mid-stream) returns that envelope as *Error. fn returning
+// an error aborts the stream with that error.
 func (c *Client) SweepEvents(ctx context.Context, id string, fn func(SweepEvent) error) (SweepStatus, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v2/sweeps/"+url.PathEscape(id)+"/events", nil)
 	if err != nil {
@@ -390,6 +392,22 @@ func (c *Client) SweepEvents(ctx context.Context, id string, fn func(SweepEvent)
 					return SweepStatus{}, fmt.Errorf("sweep done event: %w", err)
 				}
 				return out.Sweep, nil
+			case "error":
+				// The server ended the stream abnormally (e.g. the sweep
+				// was evicted from retention mid-stream) and sent the
+				// envelope as a terminal event instead of a done.
+				var envelope struct {
+					Error *ErrorInfo `json:"error"`
+				}
+				if err := json.Unmarshal(data.Bytes(), &envelope); err != nil || envelope.Error == nil {
+					return SweepStatus{}, fmt.Errorf("sweep error event: %s", data.String())
+				}
+				return SweepStatus{}, &Error{
+					Code:       envelope.Error.Code,
+					Message:    envelope.Error.Message,
+					Retryable:  envelope.Error.Retryable,
+					HTTPStatus: resp.StatusCode,
+				}
 			}
 			event = ""
 			data.Reset()

@@ -440,3 +440,43 @@ func TestClusterKeyedCheckpointDirs(t *testing.T) {
 		t.Fatalf("keyed checkpoint dir not retained after success: %v", err)
 	}
 }
+
+// Two single-worker replicas submitting each other's keys must not
+// deadlock. A delegation blocks for the whole remote run, so if it
+// held the submitting worker, each replica's only worker would sit in
+// RunJob against its peer while the jobs they delegated to each other
+// sat queued behind them forever. Handing the wait to a goroutine
+// keeps both workers free: each replica runs the job the other
+// delegated to it, and both submissions settle as remote results.
+func TestMutualDelegationNoDeadlock(t *testing.T) {
+	f := startFleet(t, 2, func(i int, o *Options) { o.Workers = 1 })
+
+	spec0, _ := f.pickSeed(t, 4700, 1, quickSpec) // submitted on 0, owned by 1
+	spec1, _ := f.pickSeed(t, 4800, 0, quickSpec) // submitted on 1, owned by 0
+
+	st0, err := f.mgrs[0].Submit(spec0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st1, err := f.mgrs[1].Submit(spec1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final0 := waitState(t, f.mgrs[0], st0.ID, StateDone)
+	final1 := waitState(t, f.mgrs[1], st1.ID, StateDone)
+	for i, final := range []Status{final0, final1} {
+		if !final.Cached || final.Source != SourceRemote {
+			t.Fatalf("member %d job has cached=%t source=%q, want a delegated remote run",
+				i, final.Cached, final.Source)
+		}
+	}
+	if got := f.counter(cluster.MetricDelegated); got != 2 {
+		t.Fatalf("fleet recorded %d delegations, want 2", got)
+	}
+	if got := f.counter(cluster.MetricRemoteJobs); got != 2 {
+		t.Fatalf("fleet accepted %d remote jobs, want 2", got)
+	}
+	if got := f.simulations(); got != 2 {
+		t.Fatalf("fleet ran %d simulations, want 2", got)
+	}
+}

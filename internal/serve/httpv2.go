@@ -202,8 +202,10 @@ func (m *Manager) v2CancelSweep(w http.ResponseWriter, r *http.Request) {
 // v2SweepEvents streams the sweep's completions as Server-Sent
 // Events: one `event: result` per member in completion order (already
 // settled members replay immediately, so a late subscriber misses
-// nothing), then one `event: done` carrying the final SweepStatus.
-// The stream also ends when the client goes away.
+// nothing), then one `event: done` carrying the final SweepStatus. A
+// sweep evicted from retention mid-stream ends with one `event: error`
+// carrying the /v2 envelope instead of a done. The stream also ends
+// when the client goes away.
 func (m *Manager) v2SweepEvents(w http.ResponseWriter, r *http.Request) {
 	if _, ok := m.GetSweep(r.PathValue("id")); !ok {
 		writeNotFound(w, "sweep")
@@ -219,7 +221,16 @@ func (m *Manager) v2SweepEvents(w http.ResponseWriter, r *http.Request) {
 	for {
 		evs, finished, wake, ok := m.sweepEventsSince(id, next)
 		if !ok {
-			// Evicted from retention mid-stream; nothing more to say.
+			// Evicted from retention mid-stream. End the stream with a
+			// terminal error event so the client sees a typed failure
+			// instead of a silent close it can't tell from success.
+			_ = writeSSE(w, "error", next, errorEnvelope{Error: ErrorInfo{
+				Code:    CodeNotFound,
+				Message: "sweep evicted from retention before the stream finished",
+			}})
+			if canFlush {
+				fl.Flush()
+			}
 			return
 		}
 		for _, ev := range evs {

@@ -554,6 +554,12 @@ func (m *Manager) finalizeLocked(j *Job) {
 	followers := j.followers
 	j.followers = nil
 	for _, f := range followers {
+		if f.state.Terminal() {
+			// Cancel already settled this follower while it waited on
+			// the leader; its outcome and retention entry stand, and
+			// its done channel is already closed.
+			continue
+		}
 		f.state = j.state
 		f.err = j.err
 		f.failCause = j.failCause
@@ -659,11 +665,10 @@ func (m *Manager) worker() {
 	}
 }
 
-// run executes one job end to end: a bounded sequence of attempts,
-// each resuming from the job's latest checkpoint, with exponential
-// backoff between them. Only faults the harness injected — simulated
-// worker crashes and watchdog-detected GVT stalls — are retried;
-// client cancellation, the job deadline, and config errors are final.
+// run starts one dequeued job. Peer-owned jobs hand the remote
+// conversation to a goroutine and return the worker to the queue;
+// everything else simulates on this worker via simulate and settles
+// via finish.
 func (m *Manager) run(j *Job) {
 	m.mu.Lock()
 	if j.state != StateQueued { // cancelled while waiting
@@ -690,9 +695,7 @@ func (m *Manager) run(j *Job) {
 		j.series = telemetry.NewSeries(m.opts.SeriesLimit)
 	}
 	cfg := j.cfg
-	maxAttempts := j.maxAttempts
 	m.mu.Unlock()
-	defer cancel()
 
 	// Give the job a checkpoint directory so retries resume. Single-
 	// node managers key it by job ID as before. Clustered managers key
@@ -722,48 +725,78 @@ func (m *Manager) run(j *Job) {
 	m.queueWait.Observe(float64(j.started.Sub(j.submitted).Milliseconds()))
 	m.inFlight.Set(float64(m.countInFlight()))
 
-	var res *ggpdes.Results
-	var err error
-	var source string
-	settled := false
-
 	// Clustered routing: if a peer owns this key, fill from its cache,
-	// else delegate the run to it. Only an owner that died mid-job
-	// (failover: resume its checkpoints locally) or pushed back
-	// (spill: queue full / draining) falls through to the local path.
+	// else delegate the run to it. A delegation blocks for as long as
+	// the remote simulation runs, and a worker parked on a peer is
+	// capacity the admission queue has lost: were every worker on two
+	// replicas parked like that — each side saturating the other with
+	// mutually-owned keys — the delegated jobs would sit queued on
+	// both with nobody left to run them. So the remote conversation
+	// (fill, delegate, and the failover/spill fallback) gets its own
+	// goroutine and this worker goes back to the queue, keeping it
+	// free for local jobs — including the ones peers delegated here.
 	if m.clu != nil && !j.spec.NoCache && !j.spec.NoForward {
 		if owner, self := m.clu.Owner(j.key); !self {
-			res, source, err, settled = m.runRemote(jobCtx, j, owner)
+			m.wg.Add(1)
+			go func() {
+				defer m.wg.Done()
+				defer cancel()
+				res, source, err, settled := m.runRemote(jobCtx, j, owner)
+				if !settled {
+					// The owner died mid-job (failover: resume its shared
+					// checkpoints) or pushed back (spill): run here.
+					res, err = m.simulate(jobCtx, j, cfg, ckptDir, keyed)
+					source = ""
+				}
+				m.finish(j, res, source, err, timeout, ckptDir, keyed)
+			}()
+			return
 		}
 	}
+	defer cancel()
+	res, err := m.simulate(jobCtx, j, cfg, ckptDir, keyed)
+	m.finish(j, res, "", err, timeout, ckptDir, keyed)
+}
 
-	if !settled {
-		res, source, err = nil, "", nil
-		// One serve.simulations tick per job the engine actually ran
-		// locally — summed across replicas this is the fleet-wide
-		// execution count the dedup benchmarks assert on.
-		m.simulations.Inc()
-		for attempt := 1; ; attempt++ {
-			m.mu.Lock()
-			j.attempts = attempt
-			m.mu.Unlock()
-			res, err = m.attempt(jobCtx, j, cfg, ckptDir, attempt, keyed)
-			if err == nil || attempt >= maxAttempts || !retryable(err) {
-				break
-			}
-			m.retries.Inc()
-			m.mu.Lock()
-			j.lastErr = err.Error()
-			m.mu.Unlock()
-			if !sleepCtx(jobCtx, backoff(m.opts.RetryBackoff, j.key, attempt)) {
-				// The job deadline or a client cancel ended the backoff;
-				// classify it below like any other attempt outcome.
-				err = fmt.Errorf("retry backoff interrupted: %w", context.Cause(jobCtx))
-				break
-			}
+// simulate executes the job locally: a bounded sequence of attempts,
+// each resuming from the job's latest checkpoint, with exponential
+// backoff between them. Only faults the harness injected — simulated
+// worker crashes and watchdog-detected GVT stalls — are retried;
+// client cancellation, the job deadline, and config errors are final.
+func (m *Manager) simulate(jobCtx context.Context, j *Job, cfg ggpdes.Config, ckptDir string, keyed bool) (*ggpdes.Results, error) {
+	// One serve.simulations tick per job the engine actually ran
+	// locally — summed across replicas this is the fleet-wide
+	// execution count the dedup benchmarks assert on.
+	m.simulations.Inc()
+	var res *ggpdes.Results
+	var err error
+	for attempt := 1; ; attempt++ {
+		m.mu.Lock()
+		j.attempts = attempt
+		m.mu.Unlock()
+		res, err = m.attempt(jobCtx, j, cfg, ckptDir, attempt, keyed)
+		if err == nil || attempt >= j.maxAttempts || !retryable(err) {
+			break
+		}
+		m.retries.Inc()
+		m.mu.Lock()
+		j.lastErr = err.Error()
+		m.mu.Unlock()
+		if !sleepCtx(jobCtx, backoff(m.opts.RetryBackoff, j.key, attempt)) {
+			// The job deadline or a client cancel ended the backoff;
+			// finish classifies it like any other attempt outcome.
+			err = fmt.Errorf("retry backoff interrupted: %w", context.Cause(jobCtx))
+			break
 		}
 	}
+	return res, err
+}
 
+// finish settles a started job: classify the outcome, publish the
+// result, settle coalesced followers, and emit the terminal metrics.
+// It runs on the worker for local jobs and on the delegation
+// goroutine for peer-owned ones.
+func (m *Manager) finish(j *Job, res *ggpdes.Results, source string, err error, timeout time.Duration, ckptDir string, keyed bool) {
 	m.mu.Lock()
 	j.finished = time.Now()
 	switch {

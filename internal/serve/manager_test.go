@@ -464,3 +464,47 @@ func TestJobIDFormat(t *testing.T) {
 	}
 	waitState(t, m, st.ID, StateDone)
 }
+
+// Cancelling a coalesced duplicate settles it immediately; the leader
+// finishing later must skip it rather than settle it again (which
+// would close the follower's done channel a second time and panic the
+// worker, overwrite its cancelled state, and retain it twice).
+func TestCancelQueuedFollower(t *testing.T) {
+	m := New(Options{Workers: 1, QueueDepth: 4})
+	defer drain(t, m)
+
+	lead, err := m.Submit(longSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitRunning(t, m, lead.ID)
+	fol, err := m.Submit(longSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fol.State != StateQueued {
+		t.Fatalf("duplicate submitted as %s, want a queued follower", fol.State)
+	}
+	if got := m.Registry().Counters()[MetricDedupInflight]; got != 1 {
+		t.Fatalf("dedup_inflight = %d, want 1", got)
+	}
+
+	st, ok := m.Cancel(fol.ID)
+	if !ok || st.State != StateCancelled {
+		t.Fatalf("follower cancel: ok=%t state=%s", ok, st.State)
+	}
+
+	// Cancel the leader too; its worker settles the lifecycle and runs
+	// finalizeLocked over the followers list.
+	if _, ok := m.Cancel(lead.ID); !ok {
+		t.Fatal("leader cancel failed")
+	}
+	waitState(t, m, lead.ID, StateCancelled)
+	final := waitState(t, m, fol.ID, StateCancelled)
+	if final.Cached || final.Source != "" {
+		t.Fatalf("cancelled follower reports cached=%t source=%q", final.Cached, final.Source)
+	}
+	if got := m.Registry().Counters()[MetricJobsCancelled]; got != 2 {
+		t.Fatalf("jobs_cancelled = %d, want 2 (each job settled exactly once)", got)
+	}
+}

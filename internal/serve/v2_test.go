@@ -391,3 +391,69 @@ func TestV1BodiesStable(t *testing.T) {
 		t.Fatalf("v1 status body grew a source field for a fresh run: %s", raw)
 	}
 }
+
+// A sweep evicted from retention while its SSE stream is open must end
+// the stream with a terminal error event; the client surfaces it as a
+// typed not_found *client.Error instead of the generic "stream ended
+// without a done event".
+func TestV2SweepEvictedMidStream(t *testing.T) {
+	m, c := startV2(t, Options{Workers: 2, QueueDepth: 8})
+	ctx := v2ctx(t)
+
+	// Member 0 finishes fast (its event proves the stream is live);
+	// member 1 runs until cancelled, holding the stream open.
+	spec := client.SweepSpec{
+		Defaults: client.JobSpec{Config: quickSpec(9100).Config},
+		Configs:  []ggpdes.Config{quickSpec(9100).Config, longSpec().Config},
+	}
+	st, err := c.Sweep(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	gotEvent := make(chan struct{}, 1)
+	streamDone := make(chan struct{})
+	var streamErr error
+	go func() {
+		defer close(streamDone)
+		_, streamErr = c.SweepEvents(ctx, st.ID, func(ev client.SweepEvent) error {
+			select {
+			case gotEvent <- struct{}{}:
+			default:
+			}
+			return nil
+		})
+	}()
+	<-gotEvent
+
+	// The fan-out submits members in order, so member 1 may not have a
+	// job ID the instant member 0's event lands.
+	var memberID string
+	deadline := time.Now().Add(30 * time.Second)
+	for memberID == "" {
+		sw, ok := m.GetSweep(st.ID)
+		if !ok {
+			t.Fatal("sweep disappeared before eviction")
+		}
+		memberID = sw.Members[1].ID
+		if time.Now().After(deadline) {
+			t.Fatal("member 1 was never submitted")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Evict the sweep out from under the open stream, then settle the
+	// remaining member so the stream wakes and notices.
+	m.mu.Lock()
+	delete(m.sweeps, st.ID)
+	m.mu.Unlock()
+	if _, ok := m.Cancel(memberID); !ok {
+		t.Fatal("cancelling the long member failed")
+	}
+
+	<-streamDone
+	var ce *client.Error
+	if !errors.As(streamErr, &ce) || ce.Code != "not_found" {
+		t.Fatalf("stream ended with %v, want a typed not_found error", streamErr)
+	}
+}

@@ -11,12 +11,11 @@
 # arm additionally routes each unique member to its owning replica,
 # and its cluster.* routing counters are embedded so the record shows
 # how the dedup happened (delegations + peer fills), not just that it
-# did. Note the wall times are expected to be close: a delegated job
-# pins a worker slot on the submitting replica while the owner runs
-# it, so one sweep's parallelism is bounded by the submitter's pool —
-# the fleet's capacity win shows up under independent clients, its
-# dedup win in the simulations count. `make cluster-bench` runs this;
-# the output is committed.
+# did. Delegated members wait on a background goroutine rather than a
+# worker slot, so the fleet arm's peer-owned members run on their
+# owners' pools while the home replica's workers handle the rest; the
+# dedup win is the simulations count either way. `make cluster-bench`
+# runs this; the output is committed.
 #
 # Tunables (environment):
 #   GO    go binary      (default: go)
