@@ -158,6 +158,7 @@ func main() {
 		pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 		fmt.Fprintf(os.Stderr, "ggserved: pprof on %s\n", pln.Addr())
+		//ggvet:allow(process-lifetime debug listener: the pprof server serves until exit and holds no job state worth draining)
 		go func() { _ = http.Serve(pln, pmux) }()
 	}
 

@@ -339,6 +339,7 @@ func publishExpvar(addr string) func(ggpdes.ProgressInfo) {
 	m.Set("active_threads", active)
 	m.Set("gvt_rounds", rounds)
 	expvar.Publish("ggsim", m)
+	//ggvet:allow(process-lifetime debug listener: the expvar server serves until the simulation process exits; there is no shutdown phase to join)
 	go func() {
 		if err := http.ListenAndServe(addr, nil); err != nil {
 			fmt.Fprintf(os.Stderr, "ggsim: expvar server: %v\n", err)

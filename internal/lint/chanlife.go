@@ -1,0 +1,290 @@
+package lint
+
+// chanlife: closing a channel is an ownership statement — the closer
+// asserts no other goroutine will close it again (panic) or send on it
+// (panic). The serving layer's PR 9 double-close came from exactly the
+// shape this pass forbids: two functions each closing the same channel
+// field with neither checking whether the job had already reached a
+// terminal state. The rules, inside the configured packages:
+//
+//   - A channel that arrives as a function parameter is never closed:
+//     the callee cannot know who else holds a reference. Ownership
+//     transfer is real but rare enough that it takes an annotation.
+//   - A channel struct field (or package-level channel variable) may
+//     be closed unguarded from at most one function — the owner. Every
+//     additional close site must be guarded by a terminal-state check:
+//     lexically inside an if/switch whose condition inspects state
+//     (an identifier or method matching state/terminal/closed/done/
+//     finished/drain...), or preceded in an enclosing block by such a
+//     check that exits early. With more than one unguarded site, every
+//     unguarded site is reported — the fix is to pick the owner and
+//     guard (or delete) the rest. A //ggvet:allow on a close site
+//     counts as a guard: the ownership claim was audited by hand and
+//     written down, so the remaining single owner stays legal.
+//
+// Channels local to a function are exempt: their lifetime is visible
+// in one screen of code and the race the pass hunts needs two call
+// paths.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+)
+
+var chanLifePass = &Pass{
+	Name: "chanlife",
+	Doc:  "channel fields have one unguarded closer; extra closes need a terminal-state guard; parameter channels are never closed",
+	Run: func(c *Checker) {
+		cl := &chanLife{c: c, sites: map[types.Object][]closeSite{}}
+		for _, pkg := range c.Prog.Packages {
+			if !matchRel(pkg.Rel, c.Cfg.ChanClosePkgs) {
+				continue
+			}
+			cl.scanPkg(pkg)
+		}
+		cl.report()
+	},
+}
+
+type closeSite struct {
+	pos     token.Pos
+	fn      string // enclosing function display name
+	guarded bool
+	disp    string // "Job.done" style display for the channel
+}
+
+type chanLife struct {
+	c     *Checker
+	sites map[types.Object][]closeSite
+}
+
+func (cl *chanLife) scanPkg(pkg *Package) {
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			params := paramObjs(pkg, fd)
+			cl.scanBody(pkg, fd, fd.Body, nil, params)
+		}
+	}
+}
+
+// scanBody walks the function keeping the ancestor path so a close
+// site can look outward for its guards.
+func (cl *chanLife) scanBody(pkg *Package, fd *ast.FuncDecl, n ast.Node, path []ast.Node, params map[types.Object]bool) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		if n == nil {
+			path = path[:len(path)-1]
+			return true
+		}
+		path = append(path, n)
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		if !ok || id.Name != "close" || len(call.Args) != 1 {
+			return true
+		}
+		if _, isBuiltin := pkg.Info.Uses[id].(*types.Builtin); !isBuiltin {
+			return true
+		}
+		cl.closeSiteFound(pkg, fd, call, append([]ast.Node(nil), path...), params)
+		return true
+	})
+}
+
+func (cl *chanLife) closeSiteFound(pkg *Package, fd *ast.FuncDecl, call *ast.CallExpr, path []ast.Node, params map[types.Object]bool) {
+	arg := unparenDeref(call.Args[0])
+	switch e := arg.(type) {
+	case *ast.Ident:
+		obj := pkg.Info.Uses[e]
+		if obj == nil {
+			return
+		}
+		if params[obj] {
+			cl.c.Report(call.Pos(), "close of parameter channel %s: only the owner may close a channel — signal completion on a separate done channel, or annotate the ownership transfer", e.Name)
+			return
+		}
+		v, ok := obj.(*types.Var)
+		if !ok {
+			return
+		}
+		// Package-level channel variables get the same single-owner
+		// discipline as fields; locals are exempt.
+		if v.Parent() == pkg.Types.Scope() {
+			cl.record(v, pkg.Types.Name()+"."+v.Name(), fd, call, path)
+		}
+	case *ast.SelectorExpr:
+		var obj types.Object
+		if s, ok := pkg.Info.Selections[e]; ok {
+			obj = s.Obj()
+		} else {
+			obj = pkg.Info.Uses[e.Sel]
+		}
+		v, ok := obj.(*types.Var)
+		if !ok || !v.IsField() {
+			return
+		}
+		owner := namedTypeName(pkg.Info.TypeOf(e.X))
+		if owner == "" {
+			owner = pkg.Types.Name()
+		}
+		cl.record(v, owner+"."+v.Name(), fd, call, path)
+	}
+}
+
+func (cl *chanLife) record(v *types.Var, disp string, fd *ast.FuncDecl, call *ast.CallExpr, path []ast.Node) {
+	// An allow annotation on the close site means the ownership was
+	// audited by hand: it counts as guarded, so the remaining single
+	// unguarded owner stays legal.
+	cl.sites[v] = append(cl.sites[v], closeSite{
+		pos:     call.Pos(),
+		fn:      fd.Name.Name,
+		guarded: guardedByState(path, call) || cl.c.allowedAt(call.Pos()),
+		disp:    disp,
+	})
+}
+
+func (cl *chanLife) report() {
+	// Deterministic order: group findings by position via the final
+	// sort in Run; iterate values only.
+	for _, sites := range cl.sites {
+		var unguarded []closeSite
+		for _, s := range sites {
+			if !s.guarded {
+				unguarded = append(unguarded, s)
+			}
+		}
+		if len(unguarded) <= 1 {
+			continue
+		}
+		sort.Slice(unguarded, func(i, j int) bool { return unguarded[i].pos < unguarded[j].pos })
+		var fns []string
+		for _, s := range unguarded {
+			fns = append(fns, s.fn)
+		}
+		for _, s := range unguarded {
+			cl.c.Report(s.pos, "channel field %s closed unguarded in %d functions (%s): one owner may close it unguarded — guard the others with a terminal-state check", s.disp, len(unguarded), joinUnique(fns))
+		}
+	}
+}
+
+func joinUnique(names []string) string {
+	seen := map[string]bool{}
+	out := ""
+	for _, n := range names {
+		if seen[n] {
+			continue
+		}
+		seen[n] = true
+		if out != "" {
+			out += ", "
+		}
+		out += n
+	}
+	return out
+}
+
+var stateCondRe = regexp.MustCompile(`(?i)(state|terminal|closed|done|finish|drain|settl)`)
+
+// guardedByState reports whether the close site is dominated by a
+// terminal-state check: an enclosing if/switch-case whose condition
+// mentions state, or an earlier statement in an enclosing block that
+// checks state and exits early (continue/return/break).
+func guardedByState(path []ast.Node, site ast.Node) bool {
+	for i := len(path) - 1; i >= 0; i-- {
+		switch n := path[i].(type) {
+		case *ast.IfStmt:
+			if exprMentionsState(n.Cond) {
+				return true
+			}
+		case *ast.CaseClause:
+			// The guard is the switch tag (switch j.state { case ... })
+			// or a stateish case expression (case st.Terminal():).
+			for _, e := range n.List {
+				if exprMentionsState(e) {
+					return true
+				}
+			}
+			// The enclosing SwitchStmt sits one or two levels out (its
+			// body BlockStmt is between them in the walk path).
+			for j := i - 1; j >= 0 && j >= i-2; j-- {
+				if sw, ok := path[j].(*ast.SwitchStmt); ok && sw.Tag != nil && exprMentionsState(sw.Tag) {
+					return true
+				}
+			}
+		case *ast.BlockStmt:
+			if earlyStateExitBefore(n.List, innerStmt(path, i)) {
+				return true
+			}
+		case *ast.FuncLit, *ast.FuncDecl:
+			return false
+		}
+	}
+	return false
+}
+
+// innerStmt finds the statement of block path[i] that contains the
+// rest of the path.
+func innerStmt(path []ast.Node, i int) ast.Node {
+	if i+1 < len(path) {
+		return path[i+1]
+	}
+	return path[len(path)-1]
+}
+
+// earlyStateExitBefore reports whether a statement strictly before the
+// one containing the close is `if <stateish> { ...; continue/return/
+// break }` — the dominator shape finalize loops use.
+func earlyStateExitBefore(list []ast.Stmt, until ast.Node) bool {
+	for _, st := range list {
+		if st == until {
+			return false
+		}
+		ifst, ok := st.(*ast.IfStmt)
+		if !ok || !exprMentionsState(ifst.Cond) || len(ifst.Body.List) == 0 {
+			continue
+		}
+		switch ifst.Body.List[len(ifst.Body.List)-1].(type) {
+		case *ast.BranchStmt, *ast.ReturnStmt:
+			return true
+		}
+	}
+	return false
+}
+
+func exprMentionsState(e ast.Expr) bool {
+	if e == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && stateCondRe.MatchString(id.Name) {
+			found = true
+			return false
+		}
+		return !found
+	})
+	return found
+}
+
+func paramObjs(pkg *Package, fd *ast.FuncDecl) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	if fd.Type.Params == nil {
+		return out
+	}
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			if obj := pkg.Info.Defs[name]; obj != nil {
+				out[obj] = true
+			}
+		}
+	}
+	return out
+}

@@ -64,6 +64,43 @@ type Config struct {
 	// boundary wrappers, and exported functions taking a Context must
 	// use it.
 	CtxPkgs []string
+
+	// LockOrderPkgs are the module-relative packages whose mutex fields
+	// are analyzed for acquisition cycles and for locks held across
+	// blocking operations (channel sends/receives, blocking selects,
+	// WaitGroup.Wait, net/net-http calls, exec.Cmd.Wait, time.Sleep).
+	LockOrderPkgs []string
+
+	// ChanClosePkgs are the module-relative packages where channel-close
+	// discipline is enforced: a channel field may be closed unguarded
+	// from at most one site (extra sites need a terminal-state guard),
+	// and closing a function-parameter channel is always flagged.
+	ChanClosePkgs []string
+
+	// GoroTrackPkgs are the module-relative packages below the API
+	// boundary where every `go` statement must be tracked: joined via a
+	// WaitGroup or done channel, or bound to a cancellable context or
+	// stop channel the launcher can reach.
+	GoroTrackPkgs []string
+
+	// StreamPkgs are the module-relative packages whose SSE/stream
+	// handlers (functions that set Content-Type: text/event-stream)
+	// must emit exactly one terminal frame on every return path.
+	StreamPkgs []string
+	// StreamWriteFunc names the frame-writing helper the handlers use;
+	// a call passing one of StreamTerminalEvents as a string literal is
+	// a terminal frame ("" = "writeSSE").
+	StreamWriteFunc string
+	// StreamTerminalEvents are the event names that terminate a stream
+	// (nil = ["done", "error"]).
+	StreamTerminalEvents []string
+
+	// FrameKindTypes are fully qualified frame-kind enums (wire message
+	// tags): every declared constant must have at least one send/encode
+	// site and one receive/dispatch site outside String/Parse tables —
+	// a kind nobody produces is dead surface, a kind nobody dispatches
+	// is silently dropped on receive.
+	FrameKindTypes []string
 }
 
 // DefaultConfig is the real repository's shape.
@@ -102,5 +139,20 @@ func DefaultConfig(modulePath string) Config {
 		InventoryFile: "internal/telemetry/inventory.txt",
 
 		CtxPkgs: []string{".", "internal/serve", "internal/machine"},
+
+		LockOrderPkgs: []string{
+			"internal/serve/...", "internal/dist", "internal/telemetry",
+		},
+		ChanClosePkgs: []string{
+			".", "internal/serve/...", "internal/dist", "internal/telemetry",
+		},
+		GoroTrackPkgs: []string{
+			".", "cmd/...", "internal/serve/...", "internal/dist",
+		},
+		StreamPkgs: []string{"internal/serve"},
+		FrameKindTypes: []string{
+			modulePath + "/internal/dist.MsgKind",
+			modulePath + "/internal/dist.OpCode",
+		},
 	}
 }

@@ -1,0 +1,160 @@
+package lint
+
+// goroleak: below the API boundary every goroutine must be accounted
+// for — a server that drains on SIGTERM can only wait for work it can
+// see. PR 9's delegation fix moved remote conversations onto their own
+// goroutines; this pass makes "and they are registered with the drain
+// accounting" a checked property instead of reviewer folklore. A `go`
+// statement in the configured packages is accepted when its body shows
+// one of the tracking shapes:
+//
+//   - it joins a sync.WaitGroup (a Done call, almost always deferred);
+//   - it signals completion on a channel (a close or a send) — the
+//     done-channel join;
+//   - it observes cancellation: a receive or select on a stop/done
+//     channel or a context's Done(), or a range over a channel (it
+//     exits when the producer closes the channel).
+//
+// A goroutine with none of these can outlive drain silently. Process-
+// lifetime helpers (debug listeners, expvar servers) are real and
+// fine — they carry a //ggvet:allow with the reason, which is the
+// point: the exception is written down where it happens.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+)
+
+var goroLeakPass = &Pass{
+	Name: "goroleak",
+	Doc:  "every go statement below the API boundary is tracked: WaitGroup/done-channel join, or cancellation it can observe",
+	Run: func(c *Checker) {
+		for _, pkg := range c.Prog.Packages {
+			if !matchRel(pkg.Rel, c.Cfg.GoroTrackPkgs) {
+				continue
+			}
+			inspect(pkg, func(n ast.Node) bool {
+				gs, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				c.checkGoStmt(pkg, gs)
+				return true
+			})
+		}
+	},
+}
+
+func (c *Checker) checkGoStmt(pkg *Package, gs *ast.GoStmt) {
+	body := c.goBody(pkg, gs.Call)
+	if body == nil {
+		c.Report(gs.Pos(), "untracked goroutine: the body is an external call ggvet cannot see — wrap it in a literal that joins a WaitGroup or signals a done channel")
+		return
+	}
+	if goroutineTracked(pkg, body) {
+		return
+	}
+	c.Report(gs.Pos(), "untracked goroutine below the API boundary: join it (WaitGroup or done channel) or give it cancellation it observes (context/stop channel), so drain and shutdown can account for it")
+}
+
+// goBody resolves the goroutine's body: the literal's body, or the
+// declaration body of a same-module function/method target.
+func (c *Checker) goBody(pkg *Package, call *ast.CallExpr) *ast.BlockStmt {
+	if lit, ok := call.Fun.(*ast.FuncLit); ok {
+		return lit.Body
+	}
+	fn := calleeFunc(pkg, call)
+	if fn == nil {
+		return nil
+	}
+	return c.moduleFuncBody(fn)
+}
+
+// moduleFuncBody finds the FuncDecl body of fn anywhere in the loaded
+// module.
+func (c *Checker) moduleFuncBody(fn *types.Func) *ast.BlockStmt {
+	for _, p := range c.Prog.Packages {
+		if p.Types != fn.Pkg() {
+			continue
+		}
+		for _, f := range p.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				if p.Info.Defs[fd.Name] == fn {
+					return fd.Body
+				}
+			}
+		}
+	}
+	return nil
+}
+
+var cancelChanRe = regexp.MustCompile(`(?i)^(stop|done|quit|closing|cancel|ctx|idle|wake)`)
+
+// goroutineTracked reports whether the body shows a tracking shape.
+func goroutineTracked(pkg *Package, body *ast.BlockStmt) bool {
+	tracked := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if tracked {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			// sync.WaitGroup.Done (deferred or not).
+			if fn := calleeFunc(pkg, n); fn != nil && fn.Pkg() != nil &&
+				fn.Pkg().Path() == "sync" && fn.Name() == "Done" {
+				tracked = true
+				return false
+			}
+			// close(ch): completion signal.
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "close" {
+				if _, isBuiltin := pkg.Info.Uses[id].(*types.Builtin); isBuiltin {
+					tracked = true
+					return false
+				}
+			}
+		case *ast.SendStmt:
+			// Send on a result/done channel: the launcher receives it.
+			tracked = true
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && cancellableChan(pkg, n.X) {
+				tracked = true
+				return false
+			}
+		case *ast.RangeStmt:
+			// Ranging over a channel: exits when the feeding side
+			// closes it.
+			if t := pkg.Info.TypeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					tracked = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return tracked
+}
+
+// cancellableChan recognizes the receive operand of a cancellation
+// wait: ctx.Done()-style calls, or channels whose name says stop/done.
+func cancellableChan(pkg *Package, e ast.Expr) bool {
+	e = unparenDeref(e)
+	switch e := e.(type) {
+	case *ast.CallExpr:
+		if sel, ok := e.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Done" {
+			return true
+		}
+	case *ast.Ident:
+		return cancelChanRe.MatchString(e.Name)
+	case *ast.SelectorExpr:
+		return cancelChanRe.MatchString(e.Sel.Name)
+	}
+	return false
+}

@@ -1,0 +1,64 @@
+package lint
+
+// Machine-readable diagnostics: one JSON object per finding, newline-
+// delimited, so CI annotates pull requests and future tooling consumes
+// ggvet without scraping the human format. Suppressed findings are
+// included with their allow reason — the ledger of accepted exceptions
+// is part of the output, not hidden by it.
+
+import (
+	"encoding/json"
+	"io"
+	"path/filepath"
+)
+
+// JSONDiagnostic is the wire shape of one finding.
+type JSONDiagnostic struct {
+	Pass       string `json:"pass"`
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Col        int    `json:"col"`
+	Message    string `json:"message"`
+	Suppressed bool   `json:"suppressed,omitempty"`
+	Reason     string `json:"reason,omitempty"`
+}
+
+// EncodeJSON writes diagnostics as newline-delimited JSON objects with
+// module-relative slash paths (stable across machines). Pass active
+// and suppressed findings pre-merged in the order they should appear.
+func EncodeJSON(w io.Writer, root string, diags []Diagnostic) error {
+	enc := json.NewEncoder(w)
+	for _, d := range diags {
+		jd := JSONDiagnostic{
+			Pass:       d.Pass,
+			File:       relPath(root, d.Position.Filename),
+			Line:       d.Position.Line,
+			Col:        d.Position.Column,
+			Message:    d.Message,
+			Suppressed: d.Suppressed,
+			Reason:     d.Reason,
+		}
+		if err := enc.Encode(jd); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MergeDiags interleaves active and suppressed findings into one
+// position-sorted stream.
+func MergeDiags(active, suppressed []Diagnostic) []Diagnostic {
+	out := make([]Diagnostic, 0, len(active)+len(suppressed))
+	out = append(out, active...)
+	out = append(out, suppressed...)
+	sortDiags(out)
+	return out
+}
+
+func relPath(root, name string) string {
+	rel, err := filepath.Rel(root, name)
+	if err != nil {
+		return filepath.ToSlash(name)
+	}
+	return filepath.ToSlash(rel)
+}

@@ -1,12 +1,15 @@
 // Package lint is ggvet: a domain-aware static-analysis suite that
 // mechanically enforces the invariants the engine's guarantees rest on
 // — determinism of the simulation core, event/snapshot pool hygiene,
-// enum/codec exhaustiveness, telemetry naming, and context plumbing.
-// The passes are deliberately repo-shaped: they know which packages
-// form the deterministic core, which types are pool-recycled, and
-// which file owns the recycling discipline, so a future change that
-// silently breaks byte-identical trajectories fails `make lint`
-// instead of surviving until an unreproducible run.
+// enum/codec exhaustiveness, telemetry naming, context plumbing, and
+// (since PR 10) the serving layer's concurrency discipline: lock
+// acquisition order, channel-close ownership, goroutine tracking, and
+// stream termination. The passes are deliberately repo-shaped: they
+// know which packages form the deterministic core, which types are
+// pool-recycled, and which struct fields are mutexes worth ordering,
+// so a future change that silently breaks byte-identical trajectories
+// or deadlocks the fleet fails `make lint` instead of surviving until
+// an unreproducible run.
 //
 // Intentional exceptions carry a //ggvet:allow(<reason>) annotation on
 // the offending line or the line above; the reason is mandatory and
@@ -30,6 +33,12 @@ type Diagnostic struct {
 	Position token.Position
 	Pass     string
 	Message  string
+	// Suppressed marks a finding covered by a //ggvet:allow annotation;
+	// Reason carries the annotation's reason. Suppressed findings never
+	// fail a run — they exist so `ggvet -json` can hand tooling the
+	// complete ledger, accepted exceptions included.
+	Suppressed bool
+	Reason     string
 }
 
 // String renders the diagnostic for terminals and editors.
@@ -52,9 +61,10 @@ type Checker struct {
 	Prog *Program
 	Cfg  Config
 
-	pass   string
-	diags  []Diagnostic
-	allows map[string]map[int]string // filename -> line -> reason
+	pass       string
+	diags      []Diagnostic
+	suppressed []Diagnostic
+	allows     map[string]map[int]string // filename -> line -> reason
 }
 
 var allowRe = regexp.MustCompile(`^//ggvet:allow\((.*)\)\s*$`)
@@ -99,8 +109,14 @@ func (c *Checker) Run(passes []*Pass) []Diagnostic {
 		c.pass = p.Name
 		p.Run(c)
 	}
-	sort.Slice(c.diags, func(i, j int) bool {
-		a, b := c.diags[i], c.diags[j]
+	sortDiags(c.diags)
+	return c.diags
+}
+
+// sortDiags orders diagnostics by position, then message.
+func sortDiags(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
 		if a.Position.Filename != b.Position.Filename {
 			return a.Position.Filename < b.Position.Filename
 		}
@@ -112,22 +128,52 @@ func (c *Checker) Run(passes []*Pass) []Diagnostic {
 		}
 		return a.Message < b.Message
 	})
-	return c.diags
 }
 
-// Report records a diagnostic at pos unless an allow annotation covers
-// that line (same line, or the line immediately above).
+// Report records a diagnostic at pos. When an allow annotation covers
+// the line (same line, or the line immediately above) the finding is
+// recorded as suppressed with the annotation's reason instead of
+// active, so Run still passes but the JSON ledger keeps the exception.
 func (c *Checker) Report(pos token.Pos, format string, args ...any) {
 	position := c.Prog.Fset.Position(pos)
+	d := Diagnostic{Position: position, Pass: c.pass, Message: fmt.Sprintf(format, args...)}
 	if lines, ok := c.allows[position.Filename]; ok {
-		if _, ok := lines[position.Line]; ok {
-			return
+		reason, ok := lines[position.Line]
+		if !ok {
+			reason, ok = lines[position.Line-1]
 		}
-		if _, ok := lines[position.Line-1]; ok {
+		if ok {
+			d.Suppressed = true
+			d.Reason = reason
+			c.suppressed = append(c.suppressed, d)
 			return
 		}
 	}
-	c.diags = append(c.diags, Diagnostic{Position: position, Pass: c.pass, Message: fmt.Sprintf(format, args...)})
+	c.diags = append(c.diags, d)
+}
+
+// Suppressed returns the findings //ggvet:allow annotations absorbed
+// during Run, sorted by position — the accepted-exception ledger.
+func (c *Checker) Suppressed() []Diagnostic {
+	sortDiags(c.suppressed)
+	return c.suppressed
+}
+
+// allowedAt reports whether an allow annotation covers pos (same line
+// or the line above). Passes whose verdict depends on counting sites —
+// chanlife's single-owner rule — use it to treat an annotated site as
+// audited instead of merely hiding one of the pair's two reports.
+func (c *Checker) allowedAt(pos token.Pos) bool {
+	position := c.Prog.Fset.Position(pos)
+	lines, ok := c.allows[position.Filename]
+	if !ok {
+		return false
+	}
+	if _, ok := lines[position.Line]; ok {
+		return true
+	}
+	_, ok = lines[position.Line-1]
+	return ok
 }
 
 // Passes returns the full suite in a stable order.
@@ -138,6 +184,10 @@ func Passes() []*Pass {
 		enumExhaustivePass,
 		telemetryNamePass,
 		ctxPlumbPass,
+		lockOrderPass,
+		chanLifePass,
+		goroLeakPass,
+		streamTermPass,
 	}
 }
 

@@ -10,6 +10,8 @@ package lint
 // the whole suite with zero findings.
 
 import (
+	"bytes"
+	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -17,6 +19,8 @@ import (
 	"strings"
 	"testing"
 )
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite golden files from current output")
 
 var (
 	wantLineRe = regexp.MustCompile("// want ((?:`[^`]*`\\s*)+)")
@@ -179,6 +183,75 @@ func TestCtxPlumbFixture(t *testing.T) {
 	extra := runFixture(t, "ctxplumb", "ctxfx", cfg, []*Pass{ctxPlumbPass})
 	if len(extra) != 0 {
 		t.Errorf("unexpected file-level diagnostics: %v", extra)
+	}
+}
+
+func TestLockOrderFixture(t *testing.T) {
+	cfg := Config{LockOrderPkgs: []string{"."}}
+	extra := runFixture(t, "lockorder", "lockfx", cfg, []*Pass{lockOrderPass})
+	if len(extra) != 0 {
+		t.Errorf("unexpected file-level diagnostics: %v", extra)
+	}
+}
+
+func TestChanLifeFixture(t *testing.T) {
+	cfg := Config{ChanClosePkgs: []string{"."}}
+	extra := runFixture(t, "chanlife", "chanfx", cfg, []*Pass{chanLifePass})
+	if len(extra) != 0 {
+		t.Errorf("unexpected file-level diagnostics: %v", extra)
+	}
+}
+
+func TestGoroLeakFixture(t *testing.T) {
+	cfg := Config{GoroTrackPkgs: []string{"."}}
+	extra := runFixture(t, "goroleak", "gorofx", cfg, []*Pass{goroLeakPass})
+	if len(extra) != 0 {
+		t.Errorf("unexpected file-level diagnostics: %v", extra)
+	}
+}
+
+func TestStreamTermFixture(t *testing.T) {
+	cfg := Config{
+		StreamPkgs:     []string{"."},
+		FrameKindTypes: []string{"streamfx.Kind"},
+	}
+	extra := runFixture(t, "streamterm", "streamfx", cfg, []*Pass{streamTermPass})
+	if len(extra) != 0 {
+		t.Errorf("unexpected file-level diagnostics: %v", extra)
+	}
+}
+
+// TestJSONGolden pins the -json wire shape: one newline-delimited
+// object per finding, module-relative paths, suppressed findings
+// carried with their allow reasons. The chanlife fixture exercises
+// both active and suppressed diagnostics.
+func TestJSONGolden(t *testing.T) {
+	root := filepath.Join("testdata", "src", "chanlife")
+	prog, err := Load(root, "chanfx")
+	if err != nil {
+		t.Fatalf("load fixture: %v", err)
+	}
+	checker := NewChecker(prog, Config{ChanClosePkgs: []string{"."}})
+	active := checker.Run([]*Pass{chanLifePass})
+	all := MergeDiags(active, checker.Suppressed())
+
+	var buf bytes.Buffer
+	if err := EncodeJSON(&buf, prog.Root, all); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	goldenPath := filepath.Join("testdata", "golden", "chanlife.json")
+	if *updateGolden {
+		if err := os.WriteFile(goldenPath, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	golden, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read golden (run `go test ./internal/lint -run JSONGolden -update-golden` to create): %v", err)
+	}
+	if got, want := buf.String(), string(golden); got != want {
+		t.Errorf("ggvet -json output drifted from golden.\ngot:\n%s\nwant:\n%s", got, want)
 	}
 }
 

@@ -1,0 +1,83 @@
+// Fixture for the chanlife pass: channel-close ownership. Two
+// unguarded closers of the same field are both reported; one unguarded
+// owner plus terminal-state-guarded extras is the sanctioned shape;
+// closing a parameter channel is always flagged; locals are exempt.
+package chanfx
+
+type state int
+
+const (
+	running state = iota
+	settled
+)
+
+type job struct {
+	state state
+	done  chan struct{}
+}
+
+// Two unguarded closers of job.done — the PR 9 double-close shape.
+func finishA(j *job) {
+	close(j.done) // want `channel field job.done closed unguarded in 2 functions`
+}
+
+func finishB(j *job) {
+	close(j.done) // want `channel field job.done closed unguarded in 2 functions`
+}
+
+type task struct {
+	state state
+	ready chan struct{}
+}
+
+// ownTask is the single unguarded owner; the extra closers below are
+// guarded by terminal-state checks, so the field stays quiet.
+func ownTask(t *task) {
+	close(t.ready)
+}
+
+func cancelTask(t *task) {
+	switch t.state {
+	case running:
+		close(t.ready)
+	}
+}
+
+func settleTasks(ts []*task) {
+	for _, x := range ts {
+		if x.state == settled {
+			continue
+		}
+		close(x.ready)
+	}
+}
+
+// A callee cannot know who else will close a channel handed to it.
+func closeParam(ch chan int) {
+	close(ch) // want `close of parameter channel ch`
+}
+
+// Ownership transfer is real but takes an annotation; the suppressed
+// finding still surfaces in `ggvet -json` with this reason.
+func handoff(ch chan int) {
+	//ggvet:allow(relay takes ownership of ch by documented contract)
+	close(ch)
+}
+
+// Package-level channels get the same single-owner discipline.
+var broadcast = make(chan int)
+
+func stopA() {
+	close(broadcast) // want `channel field chanfx.broadcast closed unguarded in 2 functions`
+}
+
+func stopB() {
+	close(broadcast) // want `channel field chanfx.broadcast closed unguarded in 2 functions`
+}
+
+// Locals are exempt: the lifetime is visible in one screen.
+func localChan() {
+	ch := make(chan int, 1)
+	ch <- 1
+	close(ch)
+}

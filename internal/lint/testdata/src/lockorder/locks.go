@@ -1,0 +1,152 @@
+// Fixture for the lockorder pass: acquisition cycles, recursive
+// acquisition, and locks held across blocking operations — plus the
+// disciplined shapes that must stay quiet.
+package lockfx
+
+import (
+	"sync"
+	"time"
+)
+
+type A struct {
+	mu sync.Mutex
+	wg sync.WaitGroup
+	ch chan int
+}
+
+type B struct {
+	mu sync.Mutex
+}
+
+// lockAB and lockBA acquire the same two mutexes in opposite orders:
+// both edges of the cycle are reported at their acquisition sites.
+func lockAB(a *A, b *B) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b.mu.Lock() // want `lock order cycle`
+	b.mu.Unlock()
+}
+
+func lockBA(a *A, b *B) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	a.mu.Lock() // want `lock order cycle`
+	a.mu.Unlock()
+}
+
+func relockDirect(a *A) {
+	a.mu.Lock()
+	a.mu.Lock() // want `acquired while already held`
+	a.mu.Unlock()
+	a.mu.Unlock()
+}
+
+func lockA(a *A) {
+	a.mu.Lock()
+	a.mu.Unlock()
+}
+
+func relockViaCall(a *A) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	lockA(a) // want `call to lockA acquires mutex A.mu, which is already held`
+}
+
+func heldSend(a *A) {
+	a.mu.Lock()
+	a.ch <- 1 // want `mutex A.mu held across channel send`
+	a.mu.Unlock()
+}
+
+func heldRecv(a *A) {
+	a.mu.Lock()
+	<-a.ch // want `mutex A.mu held across channel receive`
+	a.mu.Unlock()
+}
+
+func heldWait(a *A) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.wg.Wait() // want `mutex A.mu held across sync.WaitGroup.Wait`
+}
+
+func heldSleep(a *A) {
+	a.mu.Lock()
+	time.Sleep(time.Millisecond) // want `mutex A.mu held across time.Sleep`
+	a.mu.Unlock()
+}
+
+func heldSelect(a *A) {
+	a.mu.Lock()
+	select { // want `mutex A.mu held across select with no default`
+	case <-a.ch:
+	case a.ch <- 1:
+	}
+	a.mu.Unlock()
+}
+
+func waits(a *A) {
+	a.wg.Wait()
+}
+
+func heldTransitive(a *A) {
+	a.mu.Lock()
+	waits(a) // want `mutex A.mu held across call to waits, which blocks`
+	a.mu.Unlock()
+}
+
+// ---- disciplined shapes: all quiet ----
+
+// Release before blocking.
+func releasesFirst(a *A) {
+	a.mu.Lock()
+	v := len(a.ch)
+	a.mu.Unlock()
+	a.ch <- v
+}
+
+// A select with a default never parks the holder.
+func nonBlockingSend(a *A) {
+	a.mu.Lock()
+	select {
+	case a.ch <- 1:
+	default:
+	}
+	a.mu.Unlock()
+}
+
+// The error branch unlocks and returns; the fallthrough path unlocks
+// before sending.
+func branchRelease(a *A, fail bool) {
+	a.mu.Lock()
+	if fail {
+		a.mu.Unlock()
+		return
+	}
+	a.mu.Unlock()
+	a.ch <- 1
+}
+
+// A launched goroutine does not inherit the launcher's locks.
+func launches(a *A) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.wg.Add(1)
+	go func() {
+		defer a.wg.Done()
+		a.ch <- 1
+	}()
+}
+
+// Consistent nesting (A before B everywhere would be fine on its own;
+// this pair orders A before its own cache-style lock only).
+type C struct {
+	mu sync.Mutex
+}
+
+func nestedConsistent(a *A, c *C) {
+	a.mu.Lock()
+	c.mu.Lock()
+	c.mu.Unlock()
+	a.mu.Unlock()
+}

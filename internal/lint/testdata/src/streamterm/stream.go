@@ -1,0 +1,77 @@
+// Fixture for the streamterm pass, terminal-frame half: an SSE
+// handler (it sets Content-Type: text/event-stream) must emit exactly
+// one done/error frame on every return path; write-failure and
+// cancellation returns are the sanctioned escapes.
+package streamfx
+
+type header map[string]string
+
+func (h header) Set(k, v string) { h[k] = v }
+
+type writer struct {
+	h header
+}
+
+func (w *writer) Header() header { return w.h }
+
+func writeSSE(w *writer, event string, v any) error { return nil }
+
+type hub struct {
+	events chan int
+	stop   chan struct{}
+}
+
+// Every path terminates once: done on completion, write-failure and
+// stop-channel returns escape. Quiet.
+func goodHandler(w *writer, h *hub) {
+	if h == nil {
+		return // plain HTTP: the stream has not started
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	for {
+		select {
+		case ev, ok := <-h.events:
+			if !ok {
+				_ = writeSSE(w, "done", nil)
+				return
+			}
+			if err := writeSSE(w, "result", ev); err != nil {
+				return
+			}
+		case <-h.stop:
+			return
+		}
+	}
+}
+
+// The negative-event path ends the stream with no terminal frame.
+func badHandler(w *writer, h *hub) {
+	w.Header().Set("Content-Type", "text/event-stream")
+	for ev := range h.events {
+		if ev < 0 {
+			return // want `returns without a terminal frame`
+		}
+		_ = writeSSE(w, "result", ev)
+	}
+	_ = writeSSE(w, "done", nil)
+}
+
+// A stream terminates exactly once.
+func doubleDone(w *writer) {
+	w.Header().Set("Content-Type", "text/event-stream")
+	_ = writeSSE(w, "done", nil)
+	_ = writeSSE(w, "done", nil) // want `second terminal frame`
+}
+
+// Not a stream: plain handlers return freely. Quiet.
+func jsonHandler(w *writer, ok bool) {
+	w.Header().Set("Content-Type", "application/json")
+	if !ok {
+		return
+	}
+}
+
+// The client side sets Accept, not Content-Type: not a handler. Quiet.
+func sseClient(w *writer) {
+	w.Header().Set("Accept", "text/event-stream")
+}

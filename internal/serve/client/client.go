@@ -371,7 +371,9 @@ func (c *Client) SweepEvents(ctx context.Context, id string, fn func(SweepEvent)
 	sc := bufio.NewScanner(resp.Body)
 	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
 	for sc.Scan() {
-		line := sc.Text()
+		// The SSE spec terminates lines with LF, CRLF, or CR; Scanner
+		// splits on LF, so a CRLF stream leaves the CR for us to strip.
+		line := strings.TrimSuffix(sc.Text(), "\r")
 		switch {
 		case line == "":
 			// Blank line: dispatch the accumulated event.
@@ -411,10 +413,19 @@ func (c *Client) SweepEvents(ctx context.Context, id string, fn func(SweepEvent)
 			}
 			event = ""
 			data.Reset()
-		case strings.HasPrefix(line, "event: "):
-			event = strings.TrimPrefix(line, "event: ")
-		case strings.HasPrefix(line, "data: "):
-			data.WriteString(strings.TrimPrefix(line, "data: "))
+		case strings.HasPrefix(line, ":"):
+			// Comment line — heartbeats proxies and servers inject to
+			// keep the connection alive. Ignored per spec.
+		case strings.HasPrefix(line, "event:"):
+			event = sseFieldValue(line, "event:")
+		case strings.HasPrefix(line, "data:"):
+			// Multiple data: lines in one event concatenate with a
+			// newline between them (the spec appends LF after each and
+			// strips the final one — equivalent to joining with "\n").
+			if data.Len() > 0 {
+				data.WriteByte('\n')
+			}
+			data.WriteString(sseFieldValue(line, "data:"))
 		}
 		// id: lines are informational; seq rides in the payload too.
 	}
@@ -422,6 +433,14 @@ func (c *Client) SweepEvents(ctx context.Context, id string, fn func(SweepEvent)
 		return SweepStatus{}, err
 	}
 	return SweepStatus{}, fmt.Errorf("sweep stream ended without a done event")
+}
+
+// sseFieldValue extracts an SSE field's value: everything after the
+// "name:" prefix, minus at most one leading space (the spec makes the
+// space after the colon optional, and only the first one is cosmetic).
+func sseFieldValue(line, prefix string) string {
+	v := strings.TrimPrefix(line, prefix)
+	return strings.TrimPrefix(v, " ")
 }
 
 // Healthz fetches the health payload. The body is returned even when

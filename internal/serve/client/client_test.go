@@ -1,0 +1,226 @@
+package client
+
+// Raw-byte tests for the SweepEvents SSE parser. The serve package's
+// round-trip tests cover the happy path through a real Manager; these
+// pin the parser against the wire shapes the SSE spec allows but our
+// own server happens not to emit — CRLF line endings, multi-line data
+// fields, comment heartbeats, fields without the cosmetic space after
+// the colon — plus the failure shapes: EOF mid-event and a consumer
+// cancelling mid-stream.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// sseServer serves the given raw bytes as a /v2 sweep event stream.
+func sseServer(t *testing.T, raw string) *Client {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write([]byte(raw))
+	}))
+	t.Cleanup(srv.Close)
+	return New(srv.URL, nil)
+}
+
+func TestSweepEventsCRLF(t *testing.T) {
+	// Every line terminated \r\n, as a proxy normalizing to CRLF would
+	// send it. The trailing \r must not corrupt field values or stop
+	// the blank-line dispatch from firing.
+	raw := strings.Join([]string{
+		"id: 0\r",
+		"event: result\r",
+		`data: {"seq":0,"index":2,"job":{"id":"j1","state":"done"}}` + "\r",
+		"\r",
+		"id: 1\r",
+		"event: done\r",
+		`data: {"sweep":{"id":"s1","state":"done","total":1,"done":1}}` + "\r",
+		"\r",
+	}, "\n") + "\n"
+	c := sseServer(t, raw)
+	var got []SweepEvent
+	final, err := c.SweepEvents(context.Background(), "s1", func(ev SweepEvent) error {
+		got = append(got, ev)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("SweepEvents: %v", err)
+	}
+	if len(got) != 1 || got[0].Index != 2 || got[0].Job.ID != "j1" {
+		t.Errorf("events = %+v, want one result for job j1 index 2", got)
+	}
+	if final.ID != "s1" || final.State != "done" {
+		t.Errorf("final = %+v, want sweep s1 done", final)
+	}
+}
+
+func TestSweepEventsMultiLineData(t *testing.T) {
+	// The spec joins multiple data: lines with "\n". JSON tolerates the
+	// newline between tokens, so a split payload must still decode —
+	// and must NOT be concatenated without the separator (which would
+	// glue "2," and "\"job\"" into different, still-valid JSON only by
+	// luck; here the split is mid-string so naive concatenation without
+	// the newline yields a different value).
+	raw := "event: result\n" +
+		"data: {\"seq\":0,\"index\":7,\n" +
+		"data: \"job\":{\"id\":\"j2\",\"state\":\"done\"}}\n" +
+		"\n" +
+		"event: done\n" +
+		"data: {\"sweep\":{\"id\":\"s2\",\"state\":\"done\"}}\n" +
+		"\n"
+	c := sseServer(t, raw)
+	var got []SweepEvent
+	final, err := c.SweepEvents(context.Background(), "s2", func(ev SweepEvent) error {
+		got = append(got, ev)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("SweepEvents: %v", err)
+	}
+	if len(got) != 1 || got[0].Index != 7 || got[0].Job.ID != "j2" {
+		t.Errorf("events = %+v, want one result for job j2 index 7", got)
+	}
+	if final.ID != "s2" {
+		t.Errorf("final = %+v, want sweep s2", final)
+	}
+}
+
+func TestSweepEventsCommentsAndBareColons(t *testing.T) {
+	// Comment lines (leading colon) are heartbeats — ignored, and in
+	// particular they must not dispatch or corrupt the pending event.
+	// Field colons without the cosmetic space are also legal.
+	raw := ":keepalive\n" +
+		"event:result\n" +
+		":another heartbeat mid-event\n" +
+		`data:{"seq":0,"index":1,"job":{"id":"j3","state":"failed"}}` + "\n" +
+		"\n" +
+		":between events\n" +
+		"event:done\n" +
+		`data:{"sweep":{"id":"s3","state":"done"}}` + "\n" +
+		"\n"
+	c := sseServer(t, raw)
+	var got []SweepEvent
+	final, err := c.SweepEvents(context.Background(), "s3", func(ev SweepEvent) error {
+		got = append(got, ev)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("SweepEvents: %v", err)
+	}
+	if len(got) != 1 || got[0].Job.State != "failed" {
+		t.Errorf("events = %+v, want one failed-job result", got)
+	}
+	if final.ID != "s3" {
+		t.Errorf("final = %+v, want sweep s3", final)
+	}
+}
+
+func TestSweepEventsEOFMidEvent(t *testing.T) {
+	// The connection dies after the event line but before the blank
+	// line that would dispatch it. The half-received event must not be
+	// delivered, and the missing done must surface as an error.
+	raw := "event: result\n" +
+		`data: {"seq":0,"index":0,"job":{"id":"j4","state":"done"}}` + "\n"
+	c := sseServer(t, raw)
+	calls := 0
+	_, err := c.SweepEvents(context.Background(), "s4", func(SweepEvent) error {
+		calls++
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "without a done event") {
+		t.Errorf("err = %v, want stream-ended-without-done", err)
+	}
+	if calls != 0 {
+		t.Errorf("fn called %d times for an undispatched half event, want 0", calls)
+	}
+}
+
+func TestSweepEventsTerminalError(t *testing.T) {
+	// A server-side terminal error event becomes a typed *Error.
+	raw := "event: error\n" +
+		`data: {"error":{"code":"not_found","message":"sweep evicted"}}` + "\n" +
+		"\n"
+	c := sseServer(t, raw)
+	_, err := c.SweepEvents(context.Background(), "s5", nil)
+	var e *Error
+	if !errors.As(err, &e) || e.Code != "not_found" {
+		t.Errorf("err = %v, want *Error with code not_found", err)
+	}
+}
+
+// TestSweepEventsCancelMidStream runs the race-prone path: the server
+// keeps the stream open and flushing while the consumer's context is
+// cancelled from another goroutine. Run under -race, this pins that
+// cancellation tears the stream down without a data race and surfaces
+// a context error rather than hanging or fabricating a final status.
+func TestSweepEventsCancelMidStream(t *testing.T) {
+	firstEvent := make(chan struct{})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.WriteHeader(http.StatusOK)
+		fl := w.(http.Flusher)
+		for i := 0; ; i++ {
+			_, err := fmt.Fprintf(w, "event: result\ndata: {\"seq\":%d,\"index\":%d,\"job\":{\"id\":\"j\",\"state\":\"done\"}}\n\n", i, i)
+			if err != nil {
+				return
+			}
+			fl.Flush()
+			if i == 0 {
+				close(firstEvent)
+			}
+			select {
+			case <-r.Context().Done():
+				return
+			case <-time.After(time.Millisecond):
+			}
+		}
+	}))
+	defer srv.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	c := New(srv.URL, nil)
+
+	errc := make(chan error, 1)
+	go func() {
+		_, err := c.SweepEvents(ctx, "s6", func(SweepEvent) error { return nil })
+		errc <- err
+	}()
+
+	<-firstEvent
+	cancel()
+
+	select {
+	case err := <-errc:
+		if err == nil {
+			t.Error("SweepEvents returned nil after mid-stream cancellation")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("SweepEvents did not return after cancellation")
+	}
+}
+
+// TestSweepEventsConsumerAbort pins that fn returning an error aborts
+// the stream with that error instead of waiting for a done frame.
+func TestSweepEventsConsumerAbort(t *testing.T) {
+	raw := "event: result\n" +
+		`data: {"seq":0,"index":0,"job":{"id":"j7","state":"done"}}` + "\n" +
+		"\n" +
+		"event: done\n" +
+		`data: {"sweep":{"id":"s7","state":"done"}}` + "\n" +
+		"\n"
+	c := sseServer(t, raw)
+	abort := errors.New("enough")
+	_, err := c.SweepEvents(context.Background(), "s7", func(SweepEvent) error { return abort })
+	if !errors.Is(err, abort) {
+		t.Errorf("err = %v, want the consumer's abort error", err)
+	}
+}

@@ -441,6 +441,48 @@ func TestClusterKeyedCheckpointDirs(t *testing.T) {
 	}
 }
 
+// Drain accounting for delegations: the remote conversation runs on
+// its own goroutine so the worker can return to the queue (see run),
+// but that goroutine is wg-tracked — Drain must not return while a
+// delegated job is still in flight. If the goroutine ever escaped the
+// WaitGroup, Drain would return with the job stuck Running and the
+// settle would race process exit.
+func TestDrainWaitsForDelegation(t *testing.T) {
+	f := startFleet(t, 2, nil)
+
+	longEnough := func(seed uint64) JobSpec {
+		spec := quickSpec(seed)
+		spec.Config.EndTime = 20000 // ~250ms of simulation: room to drain mid-run
+		return spec
+	}
+	// Owned by member 1, submitted to member 0: member 0 delegates.
+	spec, _ := f.pickSeed(t, 4900, 1, longEnough)
+
+	st, err := f.mgrs[0].Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only once the job is Running has run() handed it to the
+	// delegation goroutine — the window Drain has to account for.
+	waitRunning(t, f.mgrs[0], st.ID)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := f.mgrs[0].Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	final, ok := f.mgrs[0].Get(st.ID)
+	if !ok {
+		t.Fatal("job disappeared across Drain")
+	}
+	if final.State != StateDone {
+		t.Fatalf("Drain returned with the delegated job still %s: the delegation goroutine escaped drain accounting", final.State)
+	}
+	if final.Source != SourceRemote || !final.Cached {
+		t.Fatalf("delegated job settled with source %q cached %t, want remote/true", final.Source, final.Cached)
+	}
+}
+
 // Two single-worker replicas submitting each other's keys must not
 // deadlock. A delegation blocks for the whole remote run, so if it
 // held the submitting worker, each replica's only worker would sit in

@@ -243,7 +243,21 @@ func (m *Manager) v2SweepEvents(w http.ResponseWriter, r *http.Request) {
 			fl.Flush()
 		}
 		if finished {
-			final, _ := m.GetSweep(id)
+			final, ok := m.GetSweep(id)
+			if !ok {
+				// Evicted between the last sweepEventsSince and here: a
+				// zero-value done frame would tell the client the sweep
+				// succeeded with no members. Terminate with the same typed
+				// error the mid-stream eviction path uses.
+				_ = writeSSE(w, "error", next, errorEnvelope{Error: ErrorInfo{
+					Code:    CodeNotFound,
+					Message: "sweep evicted from retention before the stream finished",
+				}})
+				if canFlush {
+					fl.Flush()
+				}
+				return
+			}
 			_ = writeSSE(w, "done", next, sweepBody{Sweep: final})
 			if canFlush {
 				fl.Flush()

@@ -420,6 +420,11 @@ func (m *Manager) submitCached(j *Job, res *ggpdes.Results) (Status, error) {
 	j.result = res
 	j.state = StateDone
 	j.finished = j.submitted
+	// This close precedes publication: j was built by Submit and is not
+	// yet registered, so no other code can reach j.done. finish owns
+	// the post-publication close; Cancel and finalizeLocked close only
+	// behind terminal-state guards.
+	//ggvet:allow(pre-publication close: j is unregistered and exclusively owned here; finish is the post-publication owner)
 	close(j.done)
 	m.mu.Lock()
 	if m.draining {

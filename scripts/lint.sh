@@ -5,8 +5,11 @@
 # correctness), and ggvet (the repo's own domain-aware suite in
 # internal/lint: determinism of the simulation core, event-pool
 # hygiene, enum/codec exhaustiveness, telemetry naming, context
-# plumbing). Any finding prints file:line diagnostics and exits
-# non-zero.
+# plumbing, and the serving layer's concurrency discipline — lock
+# order, channel-close ownership, goroutine tracking, and stream
+# termination). Any finding prints file:line diagnostics and exits
+# non-zero; `ggvet -json` emits the same ledger machine-readably,
+# accepted //ggvet:allow exceptions included.
 set -eu
 
 GO=${GO:-go}
